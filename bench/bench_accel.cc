@@ -1,0 +1,102 @@
+// E13 (§9 extension): CEEs in accelerators.
+//
+// Paper claim reproduced: "one might expect to see CEEs in these devices as well. There might
+// be novel challenges in detecting and mitigating CEEs in non-CPU settings."
+//
+// The novel challenge modeled: a defective SIMT lane corrupts only the elements assigned to
+// it, and a deterministic lane defect corrupts them *identically on every run* — so the
+// obvious run-twice-and-compare check is blind unless the work-to-lane assignment is permuted
+// between runs. Output: detection rates of repeat vs rotation checking across defect
+// determinism, plus directed lane-screening yield vs probe budget.
+
+#include <cstdio>
+
+#include "src/accel/accelerator.h"
+#include "src/common/csv.h"
+#include "src/common/rng.h"
+
+using namespace mercurial;
+
+int main() {
+  std::printf("# E13 — accelerator (SIMT) CEEs: lane defects and check strategies\n");
+
+  constexpr uint32_t kLanes = 64;
+  constexpr int kTrials = 300;
+
+  CsvWriter csv(stdout);
+  std::printf("# part 1: kernel-level checking, deterministic vs sporadic lane defect\n");
+  csv.Header({"defect", "fire_rate", "repeat_check_detect_pct", "rotation_check_detect_pct",
+              "rotation_localizes_culprit_pct"});
+
+  struct Case {
+    const char* label;
+    double fire_rate;
+    int bit_index;  // -1 = deterministic wrong value
+  };
+  const Case cases[] = {
+      {"deterministic", 1.0, -1},
+      {"high-rate-sporadic", 0.2, 44},
+      {"low-rate-sporadic", 0.02, 44},
+  };
+
+  for (const Case& c : cases) {
+    int repeat_detect = 0;
+    int rotation_detect = 0;
+    int localized = 0;
+    Rng rng(900);
+    for (int trial = 0; trial < kTrials; ++trial) {
+      SimAccelerator device(kLanes, Rng(1000 + trial));
+      LaneDefectSpec defect;
+      defect.lane = 13;
+      defect.fire_rate = c.fire_rate;
+      defect.bit_index = c.bit_index;
+      device.AddLaneDefect(defect);
+
+      std::vector<double> a(256);
+      std::vector<double> b(256);
+      for (size_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.NextDouble() * 10 - 5;
+        b[i] = rng.NextDouble() * 10 - 5;
+      }
+      repeat_detect += CheckByRepeat(device, LaneOp::kMul, a, b).corruption_detected ? 1 : 0;
+      const AccelCheckResult rotation = CheckByRotation(device, LaneOp::kMul, a, b);
+      rotation_detect += rotation.corruption_detected ? 1 : 0;
+      bool culprit = false;
+      for (uint32_t lane : rotation.suspect_lanes) {
+        culprit = culprit || lane == 13;
+      }
+      localized += culprit ? 1 : 0;
+    }
+    csv.Row({c.label, CsvWriter::Num(c.fire_rate),
+             CsvWriter::Num(100.0 * repeat_detect / kTrials),
+             CsvWriter::Num(100.0 * rotation_detect / kTrials),
+             CsvWriter::Num(100.0 * localized / kTrials)});
+  }
+  std::printf("# expected shape: REPEAT is totally blind to the deterministic lane defect\n");
+  std::printf("# (0%%) while ROTATION catches it every time and implicates the true lane; for\n");
+  std::printf("# sporadic defects both detect (independent firings differ between runs).\n\n");
+
+  std::printf("# part 2: directed lane screening yield vs probe budget (sporadic defect)\n");
+  csv.Header({"probes_per_lane", "screen_detect_pct", "lane_ops_per_screen"});
+  for (uint64_t probes : {8u, 32u, 128u, 512u}) {
+    int detected = 0;
+    uint64_t ops = 0;
+    for (int trial = 0; trial < 100; ++trial) {
+      SimAccelerator device(kLanes, Rng(5000 + trial));
+      LaneDefectSpec defect;
+      defect.lane = 29;
+      defect.fire_rate = 0.02;
+      defect.bit_index = 44;
+      device.AddLaneDefect(defect);
+      Rng rng(6000 + trial);
+      const auto failed = ScreenLanes(device, rng, probes);
+      detected += !failed.empty() ? 1 : 0;
+      ops += device.counters().lane_ops;
+    }
+    csv.Row({CsvWriter::Num(probes), CsvWriter::Num(detected * 1.0),
+             CsvWriter::Num(static_cast<double>(ops) / 100.0)});
+  }
+  std::printf("# expected shape: detection rises toward 100%% as the probe budget grows —\n");
+  std::printf("# the accelerator restatement of §4's 'how many cycles devoted to testing'.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E10: the self-inverting AES case study (§2).
+//
+// Paper claim reproduced: "A deterministic AES mis-computation, which was 'self-inverting':
+// encrypting and decrypting on the same core yielded the identity function, but decryption
+// elsewhere yielded gibberish."
+//
+// Output: for each checking discipline, how many corrupted ciphertexts ship, how many are
+// caught, and the checking overhead — quantifying why the *placement* of the check matters
+// more than its cost.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/csv.h"
+#include "src/common/rng.h"
+#include "src/mitigate/selfcheck.h"
+#include "src/sim/core.h"
+#include "src/substrate/aes.h"
+#include "src/workload/core_routines.h"
+
+using namespace mercurial;
+
+int main() {
+  std::printf("# E10 — self-inverting AES: check placement vs detection\n");
+
+  // The defective core (corrupted key-expansion round constant, deterministic).
+  SimCore defective(1, Rng(1));
+  DefectSpec defect;
+  defect.unit = ExecUnit::kAes;
+  defect.effect = DefectEffect::kRconCorrupt;
+  defect.opcode_mask = 1ull << kAesOpRcon;
+  defect.fvt.base_rate = 1.0;
+  defective.AddDefect(defect);
+  SimCore checker(2, Rng(2));
+
+  constexpr int kMessages = 200;
+  Rng rng(77);
+
+  CsvWriter csv(stdout);
+  csv.Header({"check_mode", "messages", "bad_ciphertexts_shipped", "caught", "failed_closed",
+              "sim_ops_per_message"});
+
+  for (CryptoCheckMode mode : {CryptoCheckMode::kNone, CryptoCheckMode::kSameCoreRoundTrip,
+                               CryptoCheckMode::kCrossCoreRoundTrip}) {
+    defective.ResetCounters();
+    checker.ResetCounters();
+    SelfCheckingAes aes(&defective, &checker, mode);
+    Rng message_rng(42);
+    int shipped_bad = 0;
+    int failed_closed = 0;
+    for (int m = 0; m < kMessages; ++m) {
+      uint8_t key[kAesKeyBytes];
+      message_rng.FillBytes(key, sizeof(key));
+      std::vector<uint8_t> plaintext(128);
+      message_rng.FillBytes(plaintext.data(), plaintext.size());
+      const auto result = aes.Encrypt(key, m, plaintext);
+      if (!result.ok()) {
+        ++failed_closed;
+        continue;
+      }
+      const auto golden = AesCtrTransform(ExpandAesKey(key), m, plaintext);
+      shipped_bad += *result != golden ? 1 : 0;
+    }
+    const char* label = mode == CryptoCheckMode::kNone               ? "none"
+                        : mode == CryptoCheckMode::kSameCoreRoundTrip ? "same_core_roundtrip"
+                                                                      : "cross_core_roundtrip";
+    const uint64_t ops = defective.counters().TotalOps() + checker.counters().TotalOps();
+    csv.Row({label, CsvWriter::Num(static_cast<uint64_t>(kMessages)),
+             CsvWriter::Num(static_cast<uint64_t>(shipped_bad)),
+             CsvWriter::Num(aes.stats().corruptions_caught),
+             CsvWriter::Num(static_cast<uint64_t>(failed_closed)),
+             CsvWriter::Num(static_cast<double>(ops) / kMessages)});
+  }
+
+  std::printf("# expected shape: 'none' and 'same_core_roundtrip' ship %d/%d corrupted\n",
+              kMessages, kMessages);
+  std::printf("# ciphertexts — the same-core check doubles the cost and catches NOTHING,\n");
+  std::printf("# because enc∘dec with the same wrong key schedule is the identity; the\n");
+  std::printf("# cross-core check catches all %d and recovers (its higher per-message cost\n",
+              kMessages);
+  std::printf("# here is the recovery re-encryption: on this core EVERY message needs it).\n");
+
+  // Determinism: the paper could reproduce this case deterministically. Verify bit-identical
+  // wrong ciphertexts across repeated runs.
+  uint8_t key[kAesKeyBytes] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  std::vector<uint8_t> plaintext(64, 0xab);
+  const auto first = CoreAesCtr(defective, key, 9, plaintext);
+  const auto second = CoreAesCtr(defective, key, 9, plaintext);
+  std::printf("# deterministic miscomputation: repeated runs identical = %s\n",
+              first == second ? "yes" : "NO");
+  return 0;
+}

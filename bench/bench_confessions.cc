@@ -1,0 +1,102 @@
+// E6: precision of human-identified suspects (§6).
+//
+// Paper claim reproduced: "roughly half of these human-identified suspects are actually
+// proven, on deeper investigation, to be mercurial cores — we must extract 'confessions' via
+// further testing... The other half is a mix of false accusations and limited
+// reproducibility."
+//
+// We build a population of human-filed suspects — truly mercurial cores (some with easily
+// reproduced defects, some with narrow data triggers or f/V/T corners) plus falsely accused
+// healthy cores — and interrogate every one. Output: confession precision versus
+// interrogation budget, with the non-confessing half decomposed into its two causes.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/csv.h"
+#include "src/common/rng.h"
+#include "src/detect/confession.h"
+#include "src/sim/defect_catalog.h"
+
+using namespace mercurial;
+
+namespace {
+
+struct Suspect {
+  std::unique_ptr<SimCore> core;
+  bool truly_mercurial;
+};
+
+std::vector<Suspect> BuildSuspectPopulation(int count, Rng& rng) {
+  // Human triage skews toward real problems but includes false accusations; 70/30 plus the
+  // limited-reproducibility share reproduces the paper's "roughly half".
+  std::vector<Suspect> suspects;
+  CatalogOptions catalog;
+  catalog.p_latent = 0.0;          // suspects are misbehaving NOW
+  catalog.p_data_triggered = 0.25; // a share have narrow triggers (hard to reproduce)
+  // Selection bias: humans only notice cores that misbehave often, so the flagged
+  // population's firing rates sit at the loud end of the catalog's range.
+  catalog.log10_rate_min = -3.5;
+  catalog.log10_rate_max = -2.0;
+  for (int i = 0; i < count; ++i) {
+    Suspect suspect;
+    suspect.core = std::make_unique<SimCore>(i, Rng(3000 + i));
+    suspect.truly_mercurial = rng.Bernoulli(0.7);
+    if (suspect.truly_mercurial) {
+      suspect.core->AddDefect(DrawRandomDefect(catalog, rng));
+    }
+    suspects.push_back(std::move(suspect));
+  }
+  return suspects;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E6 — confession rate of human-identified suspect cores\n");
+  std::printf("# paper: ~50%% proven mercurial; rest = false accusations + limited repro\n");
+
+  CsvWriter csv(stdout);
+  csv.Header({"battery_iters", "attempts", "suspects", "confessed_pct", "false_accusation_pct",
+              "limited_repro_pct", "truly_mercurial_pct"});
+
+  Rng population_rng(2025);
+  for (uint64_t iterations : {64u, 256u, 1024u, 4096u}) {
+    Rng rng = population_rng.Split(iterations);
+    std::vector<Suspect> suspects = BuildSuspectPopulation(200, rng);
+
+    ConfessionOptions options;
+    options.stress.iterations_per_unit = iterations;
+    options.max_attempts = 3;
+    ConfessionTester tester(options);
+
+    int confessed = 0;
+    int false_accusations = 0;
+    int limited_repro = 0;
+    int truly = 0;
+    for (Suspect& suspect : suspects) {
+      truly += suspect.truly_mercurial ? 1 : 0;
+      const Confession confession = tester.Interrogate(*suspect.core, rng);
+      if (confession.confessed) {
+        ++confessed;
+      } else if (suspect.truly_mercurial) {
+        ++limited_repro;  // guilty but evaded the finite interrogation
+      } else {
+        ++false_accusations;
+      }
+    }
+    const double n = static_cast<double>(suspects.size());
+    csv.Row({CsvWriter::Num(iterations), CsvWriter::Num(static_cast<uint64_t>(3)),
+             CsvWriter::Num(static_cast<uint64_t>(suspects.size())),
+             CsvWriter::Num(100.0 * confessed / n), CsvWriter::Num(100.0 * false_accusations / n),
+             CsvWriter::Num(100.0 * limited_repro / n), CsvWriter::Num(100.0 * truly / n)});
+  }
+
+  std::printf("# expected shape: at practical budgets (256-1024 iters), confessed ~= half of\n");
+  std::printf("# the suspects — the paper's 'roughly half ... are actually proven'; the rest\n");
+  std::printf("# splits between false accusations (healthy cores, ~30%% of the population)\n");
+  std::printf("# and limited reproducibility; bigger budgets shrink the limited-repro share\n");
+  std::printf("# but never reach the truly-mercurial ceiling.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E1 / Fig. 1: user-reported vs automatically-reported CEE incident rates per machine,
+// normalized to an arbitrary baseline, over three simulated years.
+//
+// Paper claim (§6, Fig. 1): both series exist at comparable magnitude; "the rate seen by our
+// automatic detector is gradually increasing" as the screening corpus expands, while the
+// user-reported rate stays comparatively flat/noisy.
+//
+// Output: a CSV of monthly normalized rates plus a trend summary. The absolute rates are
+// simulator-scale; the SHAPE (auto rising with corpus-coverage steps, user roughly flat) is
+// the reproduced result.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/csv.h"
+#include "src/core/fleet_study.h"
+
+using namespace mercurial;
+
+namespace {
+
+std::vector<double> MonthlyBins(const std::vector<double>& weekly) {
+  std::vector<double> monthly;
+  for (size_t i = 0; i < weekly.size(); i += 4) {
+    double sum = 0.0;
+    for (size_t j = i; j < std::min(weekly.size(), i + 4); ++j) {
+      sum += weekly[j];
+    }
+    monthly.push_back(sum);
+  }
+  return monthly;
+}
+
+double MeanOf(const std::vector<double>& values, size_t begin, size_t end) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (size_t i = begin; i < end && i < values.size(); ++i) {
+    sum += values[i];
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E1 / Fig. 1 — reported CEE incident rates (normalized)\n");
+
+  StudyOptions options;
+  options.seed = 31;
+  options.fleet.machine_count = 3000;
+  options.fleet.mercurial_rate_multiplier = 25.0;
+  // A live fleet: a third of the machines predate the study, the rest arrive continuously
+  // over its three years (hyperscale fleets grow; a static population would deplete as cores
+  // get retired and make every incident series decay).
+  options.fleet.install_spread = SimTime::Days(365);
+  options.fleet.future_install_spread = SimTime::Days(3 * 365);
+  options.duration = SimTime::Days(3 * 365);
+  options.work_units_per_core_day = 25;
+  options.workload.payload_bytes = 256;
+  // Trim the cold-start backlog (active defects that predate the detection infrastructure).
+  options.series_warmup = SimTime::Weeks(8);
+
+  FleetStudy study(options);
+  std::printf("# fleet: %zu machines, %zu cores, %zu mercurial (%.1f per 1000 machines)\n",
+              study.fleet().machine_count(), study.fleet().core_count(),
+              study.fleet().mercurial_cores().size(),
+              static_cast<double>(study.fleet().mercurial_cores().size()) * 1000.0 /
+                  static_cast<double>(study.fleet().machine_count()));
+  const StudyReport report = study.Run();
+
+  const std::vector<double> user = MonthlyBins(report.weekly_user_rate);
+  const std::vector<double> autos = MonthlyBins(report.weekly_auto_rate);
+
+  CsvWriter csv(stdout);
+  csv.Header({"month", "user_reported_rate", "auto_reported_rate"});
+  for (size_t m = 0; m < user.size(); ++m) {
+    csv.Row({CsvWriter::Num(static_cast<uint64_t>(m)), CsvWriter::Num(user[m]),
+             CsvWriter::Num(autos[m])});
+  }
+
+  const size_t n = autos.size();
+  const double auto_y1 = MeanOf(autos, 0, n / 3);
+  const double auto_y3 = MeanOf(autos, 2 * n / 3, n);
+  const double user_y1 = MeanOf(user, 0, n / 3);
+  const double user_y3 = MeanOf(user, 2 * n / 3, n);
+
+  std::printf("# trend: auto mean year1=%.3f year3=%.3f (%s)\n", auto_y1, auto_y3,
+              auto_y3 > auto_y1 ? "INCREASING — matches Fig. 1" : "not increasing");
+  std::printf("# trend: user mean year1=%.3f year3=%.3f\n", user_y1, user_y3);
+  std::printf("# paper shape: automatic rate gradually increases as the test corpus expands;\n");
+  std::printf("# coverage steps at days 150/300/470/650/820 add copy/vector/crc/atomic/aes "
+              "tests.\n");
+  return 0;
+}

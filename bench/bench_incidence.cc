@@ -1,0 +1,75 @@
+// E2: mercurial-core incidence — "we observe on the order of a few mercurial cores per several
+// thousand machines" (§1) — and how the *measured* incidence converges toward the planted
+// incidence as screening coverage/effort grows (§4's "depends on test coverage ... how many
+// cycles devoted to testing").
+//
+// Output: detected-vs-planted cores per thousand machines across screening-effort levels.
+
+#include <cstdio>
+
+#include "src/common/csv.h"
+#include "src/core/fleet_study.h"
+
+using namespace mercurial;
+
+int main() {
+  std::printf("# E2 — incidence measurement vs screening effort\n");
+  std::printf("# paper: 'a few mercurial cores per several thousand machines'\n");
+
+  CsvWriter csv(stdout);
+  csv.Header({"screening_effort", "offline_iters", "coverage", "planted_per_1000_machines",
+              "detected_per_1000_machines", "detected_fraction"});
+
+  struct Effort {
+    const char* label;
+    uint64_t offline_iterations;
+    bool full_coverage_from_start;
+  };
+  const Effort efforts[] = {
+      {"none", 0, false},
+      {"light", 256, false},
+      {"standard", 2048, false},
+      {"heavy", 8192, false},
+      {"heavy+full-coverage", 8192, true},
+  };
+
+  for (const Effort& effort : efforts) {
+    StudyOptions options;
+    options.seed = 77;
+    options.fleet.machine_count = 2000;
+    // At 1x product rates a 2000-machine fleet plants only a handful of cores; 12x gives
+    // measurable statistics while preserving "a few per several thousand" reporting below.
+    options.fleet.mercurial_rate_multiplier = 12.0;
+    options.duration = SimTime::Days(2 * 365);
+    options.work_units_per_core_day = 20;
+    options.workload.payload_bytes = 256;
+    options.screening.offline_enabled = effort.offline_iterations > 0;
+    options.screening.offline_iterations = effort.offline_iterations;
+    options.screening.online_enabled = effort.offline_iterations > 0;
+    if (effort.full_coverage_from_start) {
+      options.screening.initial_coverage.clear();
+      for (int u = 0; u < kExecUnitCount; ++u) {
+        options.screening.initial_coverage.push_back(static_cast<ExecUnit>(u));
+      }
+      options.screening.coverage_schedule.clear();
+    }
+
+    FleetStudy study(options);
+    const StudyReport report = study.Run();
+    const double fraction =
+        report.true_mercurial_cores == 0
+            ? 0.0
+            : static_cast<double>(report.quarantine.true_positive_retirements) /
+                  static_cast<double>(report.true_mercurial_cores);
+    csv.Row({effort.label, CsvWriter::Num(effort.offline_iterations),
+             effort.full_coverage_from_start ? "full" : "scheduled",
+             CsvWriter::Num(report.planted_per_thousand_machines),
+             CsvWriter::Num(report.detected_per_thousand_machines), CsvWriter::Num(fraction)});
+  }
+
+  std::printf("# expected shape: detected incidence rises monotonically with screening effort\n");
+  std::printf("# and coverage, approaching (but not reaching) the planted incidence —\n");
+  std::printf("# latent defects and narrow data triggers keep some cores undetected (§4's\n");
+  std::printf("# zero-day and age-until-onset challenges).\n");
+  return 0;
+}

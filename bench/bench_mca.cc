@@ -1,0 +1,72 @@
+// E17 (§7.1 extension): machine-check telemetry quality and root-cause attribution.
+//
+// Paper claim reproduced: "systems researchers can also help CPU designers to re-think the
+// machine-check architecture of modern processors, which today does not handle CEEs well, and
+// to improve CPU telemetry (and its documentation!) to make it far easier to detect and
+// root-cause mercurial cores."
+//
+// The study's MCA log carries a reporting bank per machine check; `mca_bank_confusion` is the
+// probability the hardware attributes the error to the wrong unit (bad bank mapping /
+// undocumented telemetry). Output: recidivist-detection precision and unit-attribution
+// accuracy as telemetry quality degrades — quantifying what better MCA buys.
+
+#include <cstdio>
+
+#include "src/common/csv.h"
+#include "src/core/fleet_study.h"
+
+using namespace mercurial;
+
+int main() {
+  std::printf("# E17 — MCA telemetry quality vs root-cause attribution\n");
+
+  CsvWriter csv(stdout);
+  csv.Header({"bank_confusion", "mca_recidivists", "truly_mercurial", "precision",
+              "unit_attribution_accuracy"});
+
+  for (double confusion : {0.0, 0.2, 0.5, 0.9}) {
+    StudyOptions options;
+    options.seed = 717;
+    options.fleet.machine_count = 800;
+    options.fleet.mercurial_rate_multiplier = 60.0;
+    options.duration = SimTime::Days(365);
+    options.work_units_per_core_day = 20;
+    options.workload.payload_bytes = 256;
+    options.mca_bank_confusion = confusion;
+    // A loud, MCE-heavy defect population, and a detection pipeline muzzled so cores stay in
+    // service and keep logging machine checks (this experiment grades telemetry, not
+    // quarantine).
+    CatalogOptions catalog;
+    catalog.p_latent = 0.0;
+    catalog.log10_rate_min = -4.0;
+    catalog.log10_rate_max = -2.5;
+    catalog.max_machine_check_fraction = 0.6;
+    options.fleet.catalog_override = catalog;
+    options.screening.offline_enabled = false;
+    options.screening.online_enabled = false;
+    options.report_service.min_score = 1e18;
+    options.report_service.direct_evidence_threshold = 1e18;
+
+    FleetStudy study(options);
+    const StudyReport report = study.Run();
+    const double precision =
+        report.mca_recidivists == 0
+            ? 0.0
+            : static_cast<double>(report.mca_true_mercurial) /
+                  static_cast<double>(report.mca_recidivists);
+    const double attribution =
+        report.mca_true_mercurial == 0
+            ? 0.0
+            : static_cast<double>(report.mca_unit_attribution_correct) /
+                  static_cast<double>(report.mca_true_mercurial);
+    csv.Row({CsvWriter::Num(confusion), CsvWriter::Num(report.mca_recidivists),
+             CsvWriter::Num(report.mca_true_mercurial), CsvWriter::Num(precision),
+             CsvWriter::Num(attribution)});
+  }
+
+  std::printf("# expected shape: recidivism precision stays high regardless (repeated MCEs on\n");
+  std::printf("# one core are damning however banks are labeled), but UNIT ATTRIBUTION decays\n");
+  std::printf("# with bank confusion — precisely the telemetry improvement §7.1 asks vendors\n");
+  std::printf("# for, since attribution is what routes a suspect into the right directed test.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E18 (§8 ablation): failure-oblivious computing under CEEs.
+//
+// "Rinard et al. [19] described 'failure-oblivious' techniques for systems to keep computing
+// across memory errors; it is not clear if these would work for CEEs."
+//
+// We answer the question with fault injection. A pointer-chasing task (the GC/index pattern)
+// runs on a core with a defective load unit, in three modes:
+//   crash-on-invalid      — an out-of-range pointer segfaults the task (fail-stop-ish)
+//   failure-oblivious     — invalid loads are replaced by a manufactured value and the task
+//                           keeps going (Rinard's discard/manufacture rule)
+//   validate-and-retry    — invalid loads are detected and the load is retried
+//
+// The interesting CEE-specific wrinkle: most corrupted loads are NOT invalid (a flipped bit
+// usually yields another in-range pointer), so obliviousness mostly never even triggers — and
+// when it does, it converts a loud crash into quiet wrong answers.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/csv.h"
+#include "src/common/rng.h"
+#include "src/sim/core.h"
+
+using namespace mercurial;
+
+namespace {
+
+constexpr size_t kNodes = 4096;
+constexpr int kHops = 256;
+constexpr int kTrials = 2000;
+
+enum class Mode { kCrash, kOblivious, kValidateRetry };
+
+struct Outcome {
+  int crashes = 0;
+  int wrong = 0;
+  int correct = 0;
+};
+
+Outcome RunMode(Mode mode, double defect_rate) {
+  SimCore core(1, Rng(11));
+  DefectSpec spec;
+  spec.unit = ExecUnit::kLoad;
+  spec.effect = DefectEffect::kBitFlip;
+  spec.bit_index = -1;  // random bit: occasionally lands outside the table
+  spec.fvt.base_rate = defect_rate;
+  core.AddDefect(spec);
+
+  Rng rng(22);
+  // A fixed pseudo-random successor table; the golden walk is recomputed per trial.
+  std::vector<uint64_t> next(kNodes);
+  for (size_t i = 0; i < kNodes; ++i) {
+    next[i] = Mix64(i * 0x9e3779b97f4a7c15ull) % kNodes;
+  }
+
+  Outcome outcome;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t start = rng.UniformInt(0, kNodes - 1);
+    // Golden walk.
+    uint64_t golden = start;
+    for (int h = 0; h < kHops; ++h) {
+      golden = next[golden];
+    }
+    // Core walk.
+    uint64_t node = start;
+    bool crashed = false;
+    for (int h = 0; h < kHops; ++h) {
+      uint64_t loaded = core.Load(next[node]);
+      if (loaded >= kNodes) {
+        switch (mode) {
+          case Mode::kCrash:
+            crashed = true;
+            break;
+          case Mode::kOblivious:
+            loaded = 0;  // manufacture a value, keep computing
+            break;
+          case Mode::kValidateRetry:
+            loaded = core.Load(next[node]);  // retry the load
+            if (loaded >= kNodes) {
+              crashed = true;  // two bad loads in a row: give up loudly
+            }
+            break;
+        }
+      }
+      if (crashed) {
+        break;
+      }
+      node = loaded;
+    }
+    if (crashed) {
+      ++outcome.crashes;
+    } else if (node != golden) {
+      ++outcome.wrong;
+    } else {
+      ++outcome.correct;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E18 — failure-oblivious computing vs CEEs (pointer-chase, defective loads)\n");
+
+  CsvWriter csv(stdout);
+  csv.Header({"mode", "defect_rate", "crashes_pct", "silent_wrong_pct", "correct_pct"});
+  for (double rate : {2e-4, 1e-3}) {
+    for (Mode mode : {Mode::kCrash, Mode::kOblivious, Mode::kValidateRetry}) {
+      const Outcome outcome = RunMode(mode, rate);
+      const char* label = mode == Mode::kCrash        ? "crash_on_invalid"
+                          : mode == Mode::kOblivious  ? "failure_oblivious"
+                                                      : "validate_and_retry";
+      csv.Row({label, CsvWriter::Num(rate), CsvWriter::Num(100.0 * outcome.crashes / kTrials),
+               CsvWriter::Num(100.0 * outcome.wrong / kTrials),
+               CsvWriter::Num(100.0 * outcome.correct / kTrials)});
+    }
+  }
+
+  std::printf("# expected shape (the paper's open question, answered by injection):\n");
+  std::printf("# failure-oblivious eliminates the crashes but converts them into MORE silent\n");
+  std::printf("# wrong answers — and most corrupted loads were in-range anyway, where\n");
+  std::printf("# obliviousness never triggers. It does not work for CEEs; validate-and-retry\n");
+  std::printf("# (which re-executes rather than fabricates) recovers most invalid loads\n");
+  std::printf("# without adding silent corruption.\n");
+  return 0;
+}

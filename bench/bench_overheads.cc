@@ -1,0 +1,183 @@
+// E4: detection/mitigation overhead factors (§3, §7).
+//
+// Paper claims reproduced:
+//   * "Detecting CEEs naively seems to imply a factor of two of extra work. Automatic
+//     correction seems to possibly require triple work (e.g. via triple modular redundancy)."
+//   * "Storage and networking can better tolerate low-level errors because they typically
+//     operate on relatively large chunks of data... This allows corruption-checking costs to
+//     be amortized, which seems harder to do at a per-instruction scale."
+//
+// Google-benchmark timings; the reported `ops` counter is the simulated-core micro-op count,
+// which is the paper's cost model (CPU work), independent of host noise.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mitigate/e2e_store.h"
+#include "src/mitigate/redundancy.h"
+#include "src/sim/core.h"
+#include "src/substrate/checksum.h"
+#include "src/workload/core_routines.h"
+
+namespace mercurial {
+namespace {
+
+struct Pool {
+  std::vector<std::unique_ptr<SimCore>> owned;
+  std::vector<SimCore*> ptrs;
+
+  explicit Pool(int n) {
+    for (int i = 0; i < n; ++i) {
+      owned.push_back(std::make_unique<SimCore>(i, Rng(10 + i)));
+      ptrs.push_back(owned.back().get());
+    }
+  }
+
+  uint64_t TotalOps() const {
+    uint64_t total = 0;
+    for (const auto& core : owned) {
+      total += core->counters().TotalOps();
+    }
+    return total;
+  }
+};
+
+Computation HashComputation(uint64_t seed) {
+  return [seed](SimCore& core) {
+    uint64_t x = seed;
+    for (int i = 0; i < 256; ++i) {
+      x = core.Mul(x | 1, 0x9e3779b97f4a7c15ull);
+      x = core.Alu(AluOp::kXor, x, core.Alu(AluOp::kShr, x, 29));
+    }
+    return x;
+  };
+}
+
+void BM_Simplex(benchmark::State& state) {
+  Pool pool(3);
+  RedundantExecutor executor(pool.ptrs);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.RunSimplex(HashComputation(seed++)));
+  }
+  state.counters["sim_ops_per_run"] =
+      static_cast<double>(pool.TotalOps()) / static_cast<double>(state.iterations());
+  state.counters["overhead_factor"] = static_cast<double>(executor.stats().executions) /
+                                      static_cast<double>(executor.stats().runs);
+}
+BENCHMARK(BM_Simplex);
+
+void BM_DualModularRedundancy(benchmark::State& state) {
+  Pool pool(3);
+  RedundantExecutor executor(pool.ptrs);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.RunDmr(HashComputation(seed++)));
+  }
+  state.counters["sim_ops_per_run"] =
+      static_cast<double>(pool.TotalOps()) / static_cast<double>(state.iterations());
+  state.counters["overhead_factor"] = static_cast<double>(executor.stats().executions) /
+                                      static_cast<double>(executor.stats().runs);
+}
+BENCHMARK(BM_DualModularRedundancy);
+
+void BM_TripleModularRedundancy(benchmark::State& state) {
+  Pool pool(3);
+  RedundantExecutor executor(pool.ptrs);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.RunTmr(HashComputation(seed++)));
+  }
+  state.counters["sim_ops_per_run"] =
+      static_cast<double>(pool.TotalOps()) / static_cast<double>(state.iterations());
+  state.counters["overhead_factor"] = static_cast<double>(executor.stats().executions) /
+                                      static_cast<double>(executor.stats().runs);
+}
+BENCHMARK(BM_TripleModularRedundancy);
+
+// Storage-style amortized checking: one CRC per 4 KiB block on the write path.
+void BM_StoreWrite_Unverified(benchmark::State& state) {
+  SimCore server(1, Rng(50));
+  ChecksummedStore store(&server, /*verify_on_write=*/false);
+  Rng rng(51);
+  std::vector<uint8_t> block(4096);
+  rng.FillBytes(block.data(), block.size());
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Write(key++ % 64, block));
+  }
+  state.counters["sim_ops_per_run"] =
+      static_cast<double>(server.counters().TotalOps()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_StoreWrite_Unverified);
+
+void BM_StoreWrite_EndToEndVerified(benchmark::State& state) {
+  SimCore server(1, Rng(52));
+  ChecksummedStore store(&server, /*verify_on_write=*/true);
+  Rng rng(53);
+  std::vector<uint8_t> block(4096);
+  rng.FillBytes(block.data(), block.size());
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Write(key++ % 64, block));
+  }
+  state.counters["sim_ops_per_run"] =
+      static_cast<double>(server.counters().TotalOps()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_StoreWrite_EndToEndVerified);
+
+// Per-instruction-scale checking: every micro-op is run twice and compared (the naive 2x).
+void BM_PerOpDuplicateChecking(benchmark::State& state) {
+  SimCore a(1, Rng(54));
+  SimCore b(2, Rng(55));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    uint64_t x = seed;
+    uint64_t y = seed++;
+    for (int i = 0; i < 256; ++i) {
+      x = a.Mul(x | 1, 0x9e3779b97f4a7c15ull);
+      y = b.Mul(y | 1, 0x9e3779b97f4a7c15ull);
+      benchmark::DoNotOptimize(x == y);
+      x = a.Alu(AluOp::kXor, x, a.Alu(AluOp::kShr, x, 29));
+      y = b.Alu(AluOp::kXor, y, b.Alu(AluOp::kShr, y, 29));
+      benchmark::DoNotOptimize(x == y);
+    }
+  }
+  state.counters["sim_ops_per_run"] =
+      static_cast<double>(a.counters().TotalOps() + b.counters().TotalOps()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PerOpDuplicateChecking);
+
+// Block-granularity checking of the same logical work: compute once, CRC the 2 KiB result
+// buffer (the storage/network trick the paper says is hard to apply per-instruction).
+void BM_BlockChecksumChecking(benchmark::State& state) {
+  SimCore core(1, Rng(56));
+  uint64_t seed = 1;
+  std::vector<uint8_t> result_buffer(2048);
+  for (auto _ : state) {
+    uint64_t x = seed++;
+    for (size_t i = 0; i < result_buffer.size() / 8; ++i) {
+      x = core.Mul(x | 1, 0x9e3779b97f4a7c15ull);
+      x = core.Alu(AluOp::kXor, x, core.Alu(AluOp::kShr, x, 29));
+      for (int byte = 0; byte < 8; ++byte) {
+        result_buffer[i * 8 + byte] = static_cast<uint8_t>(x >> (8 * byte));
+      }
+    }
+    benchmark::DoNotOptimize(
+        core.Crc32Block(Crc32Init(), result_buffer.data(), result_buffer.size()));
+  }
+  state.counters["sim_ops_per_run"] =
+      static_cast<double>(core.counters().TotalOps()) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_BlockChecksumChecking);
+
+}  // namespace
+}  // namespace mercurial
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// E7: offline vs online screening (§6).
+//
+// Paper claims reproduced:
+//   * offline screening "can be more intrusive and can be scheduled to ensure coverage of all
+//     cores, and could involve exposing CPUs to operating conditions (f, V, T) outside normal
+//     ranges. However, draining a workload from the core ... can be expensive";
+//   * online screening "is free (except for power costs), but cannot always provide complete
+//     coverage of all cores or all symptoms".
+//
+// Output: detection fraction, detection latency, screening compute, and drain/migration cost
+// across screening strategies and cadences.
+
+#include <cstdio>
+
+#include "src/common/csv.h"
+#include "src/core/fleet_study.h"
+
+using namespace mercurial;
+
+namespace {
+
+struct Strategy {
+  const char* label;
+  bool offline;
+  SimTime offline_period;
+  bool offline_sweep;
+  bool online;
+  double online_fraction;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("# E7 — offline vs online screening strategies\n");
+
+  const Strategy strategies[] = {
+      {"none", false, SimTime::Days(45), true, false, 0.0},
+      {"online-1pct", false, SimTime::Days(45), true, true, 0.01},
+      {"online-5pct", false, SimTime::Days(45), true, true, 0.05},
+      {"offline-90d", true, SimTime::Days(90), true, false, 0.0},
+      {"offline-45d", true, SimTime::Days(45), true, false, 0.0},
+      {"offline-45d-nosweep", true, SimTime::Days(45), false, false, 0.0},
+      {"offline-15d", true, SimTime::Days(15), true, false, 0.0},
+      {"offline-45d+online-2pct", true, SimTime::Days(45), true, true, 0.02},
+  };
+
+  CsvWriter csv(stdout);
+  csv.Header({"strategy", "caught_fraction", "latency_p50_days", "screen_failures",
+              "screening_gops", "drains", "migration_core_hours"});
+
+  for (const Strategy& strategy : strategies) {
+    StudyOptions options;
+    options.seed = 404;
+    options.fleet.machine_count = 1200;
+    options.fleet.mercurial_rate_multiplier = 40.0;
+    options.duration = SimTime::Days(540);
+    options.work_units_per_core_day = 15;
+    options.workload.payload_bytes = 256;
+    // Isolate the screening signal: disable the production-signal path's human reports so
+    // detection comes (almost) entirely from screening.
+    options.crash_human_report_probability = 0.0;
+    options.silent_human_notice_probability = 0.0;
+    options.app_report_probability = 0.0;
+    options.screening.offline_enabled = strategy.offline;
+    options.screening.offline_period = strategy.offline_period;
+    options.screening.offline_sweep_fvt = strategy.offline_sweep;
+    options.screening.online_enabled = strategy.online;
+    options.screening.online_fraction_per_day = strategy.online_fraction;
+
+    FleetStudy study(options);
+    const StudyReport report = study.Run();
+    const double caught =
+        report.true_mercurial_cores == 0
+            ? 0.0
+            : static_cast<double>(report.mercurial_retired) /
+                  static_cast<double>(report.true_mercurial_cores);
+    csv.Row({strategy.label, CsvWriter::Num(caught),
+             CsvWriter::Num(report.detection_latency_days.Quantile(0.5)),
+             CsvWriter::Num(report.screen_failures),
+             CsvWriter::Num(static_cast<double>(report.screening_ops) / 1e9),
+             CsvWriter::Num(report.scheduler.drains),
+             CsvWriter::Num(report.scheduler.migration_cost_core_seconds / 3600.0)});
+  }
+
+  std::printf("# expected shape: tighter offline cadence => higher caught fraction and lower\n");
+  std::printf("# latency, but proportionally more drains/migration cost; dropping the f/V/T\n");
+  std::printf("# sweep loses the corner-condition defects; online-only is cheap (no drains)\n");
+  std::printf("# but catches less at its current-operating-point coverage; the combined\n");
+  std::printf("# strategy dominates either alone.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// E14 (§9 extension): compiler-directed selective replication.
+//
+// Paper claim reproduced: "Perhaps compilers could detect blocks of code whose correct
+// execution is especially critical (via programmer annotations or impact analysis), and then
+// automatically replicate just these computations." Plus §7's observation that "certain
+// computations are critical enough that we are willing to pay the overheads of double or even
+// triple computation" — but not for everything.
+//
+// A program of 20 blocks (10% critical, 20% important, 70% ordinary) runs over a pool with
+// one mercurial core, under three policies. Output: corruption of critical/ordinary results
+// vs replication overhead.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/csv.h"
+#include "src/common/rng.h"
+#include "src/mitigate/selective.h"
+
+using namespace mercurial;
+
+namespace {
+
+struct Pool {
+  std::vector<std::unique_ptr<SimCore>> owned;
+  std::vector<SimCore*> ptrs;
+
+  explicit Pool(uint64_t seed) {
+    for (int i = 0; i < 4; ++i) {
+      owned.push_back(std::make_unique<SimCore>(i, Rng(seed + i)));
+      ptrs.push_back(owned.back().get());
+    }
+    DefectSpec defect;
+    defect.unit = ExecUnit::kIntMul;
+    defect.effect = DefectEffect::kRandomWrong;
+    defect.fvt.base_rate = 3e-3;
+    owned[2]->AddDefect(defect);
+  }
+};
+
+Block MakeBlock(int index, Criticality criticality) {
+  Block block;
+  block.label = "block" + std::to_string(index);
+  block.criticality = criticality;
+  block.body = [](SimCore& core, uint64_t state) {
+    uint64_t x = state;
+    for (int i = 0; i < 24; ++i) {
+      x = core.Mul(x | 1, 0x9e3779b97f4a7c15ull);
+      x = core.Alu(AluOp::kXor, x, core.Alu(AluOp::kShr, x, 29));
+    }
+    return x;
+  };
+  return block;
+}
+
+std::vector<Block> MakeProgram() {
+  std::vector<Block> program;
+  for (int i = 0; i < 20; ++i) {
+    Criticality criticality = Criticality::kOrdinary;
+    if (i % 10 == 0) {
+      criticality = Criticality::kCritical;  // 10%: e.g. the encryption-key derivation
+    } else if (i % 5 == 0) {
+      criticality = Criticality::kImportant;  // 10% more: e.g. metadata updates
+    }
+    program.push_back(MakeBlock(i, criticality));
+  }
+  return program;
+}
+
+uint64_t GoldenRun(const std::vector<Block>& program, uint64_t state) {
+  SimCore golden(99, Rng(99));
+  for (const Block& block : program) {
+    state = block.body(golden, state);
+  }
+  return state;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E14 — selective replication of critical blocks\n");
+  std::printf("# 20-block program: 2 critical, 2 important, 16 ordinary; 4-core pool, core 2\n");
+  std::printf("# mercurial\n");
+
+  constexpr int kTrials = 500;
+  const std::vector<Block> program = MakeProgram();
+
+  CsvWriter csv(stdout);
+  csv.Header({"policy", "wrong_final_pct", "disagreements_caught", "aborted",
+              "overhead_factor"});
+
+  struct PolicyCase {
+    const char* label;
+    ReplicationPolicy policy;
+  };
+  const PolicyCase policies[] = {
+      {"none", ReplicationPolicy::None()},
+      {"selective", ReplicationPolicy::Selective()},
+      {"full_tmr", ReplicationPolicy::FullTmr()},
+  };
+
+  for (const PolicyCase& p : policies) {
+    Pool pool(10);
+    SelectiveReplicator replicator(pool.ptrs, p.policy);
+    int wrong = 0;
+    int aborted = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const uint64_t initial = 7000 + trial;
+      const auto result = replicator.RunProgram(program, initial);
+      if (!result.ok()) {
+        ++aborted;
+      } else {
+        wrong += *result != GoldenRun(program, initial) ? 1 : 0;
+      }
+    }
+    csv.Row({p.label, CsvWriter::Num(100.0 * wrong / kTrials),
+             CsvWriter::Num(replicator.stats().detected_disagreements),
+             CsvWriter::Num(static_cast<uint64_t>(aborted)),
+             CsvWriter::Num(replicator.stats().OverheadFactor())});
+  }
+
+  std::printf("# expected shape: 'none' leaks wrong finals at ~1x cost; 'selective' removes\n");
+  std::printf("# the corruption of the protected 20%% at ~1.3x cost (ordinary blocks remain\n");
+  std::printf("# exposed, so the final state can still be wrong through them); 'full_tmr'\n");
+  std::printf("# drives corruption to ~0 at 3x. Selective replication buys protection where\n");
+  std::printf("# the annotation says the blast radius is, at a fraction of blanket TMR cost.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Accelerator CEE triage (§9): a defective SIMT lane corrupts an ML-style pipeline, the naive
+// run-twice check is blind to it, and rotation checking plus directed lane screening localize
+// the culprit — after which work is simply steered around the bad lane.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/accel/accelerator.h"
+#include "src/common/rng.h"
+
+using namespace mercurial;
+
+int main() {
+  std::printf("== accelerator CEE triage ==\n\n");
+
+  // A 64-lane device whose lane 37 deterministically miscomputes (the GPU analog of the
+  // paper's deterministic AES case: same inputs, same wrong answer, every time).
+  SimAccelerator device(64, Rng(7));
+  LaneDefectSpec defect;
+  defect.lane = 37;
+  defect.fire_rate = 1.0;
+  defect.bit_index = -1;  // deterministic wrong value
+  device.AddLaneDefect(defect);
+
+  Rng rng(2021);
+  const size_t dim = 32;
+  std::vector<double> activations(dim * dim);
+  std::vector<double> weights(dim * dim);
+  for (auto& v : activations) {
+    v = rng.NextDouble() * 2 - 1;
+  }
+  for (auto& v : weights) {
+    v = rng.NextDouble() * 2 - 1;
+  }
+
+  // 1. The layer computes; some output cells are silently wrong.
+  const auto out = device.TiledMatmul(activations, weights, dim, dim, dim);
+  int wrong_cells = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      double want = 0.0;
+      for (size_t x = 0; x < dim; ++x) {
+        want += activations[i * dim + x] * weights[x * dim + j];
+      }
+      wrong_cells += (out[i * dim + j] != want) ? 1 : 0;
+    }
+  }
+  std::printf("matmul: %d of %zu output cells silently corrupt (every cell lane 37 owns)\n",
+              wrong_cells, dim * dim);
+
+  // 2. Naive detection: run the kernel twice, same lane assignment. Blind.
+  std::vector<double> a(512);
+  std::vector<double> b(512);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  const AccelCheckResult repeat = CheckByRepeat(device, LaneOp::kMul, a, b);
+  std::printf("run-twice check:  %s  <- deterministic lane defects reproduce exactly\n",
+              repeat.corruption_detected ? "detected" : "PASSED (wrongly)");
+
+  // 3. Rotation detection: shift the work-to-lane mapping between runs. Caught + localized.
+  const AccelCheckResult rotation = CheckByRotation(device, LaneOp::kMul, a, b);
+  std::printf("rotation check:   %s, suspect lanes:", rotation.corruption_detected
+                                                          ? "DETECTED"
+                                                          : "passed");
+  // Dedup for display.
+  std::vector<uint32_t> lanes = rotation.suspect_lanes;
+  std::sort(lanes.begin(), lanes.end());
+  lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+  for (uint32_t lane : lanes) {
+    std::printf(" %u", lane);
+  }
+  std::printf("\n");
+
+  // 4. Directed screening pins down the exact lane.
+  const auto failed = ScreenLanes(device, rng, /*probes_per_lane=*/64);
+  std::printf("lane screening:   failed lanes:");
+  for (uint32_t lane : failed) {
+    std::printf(" %u", lane);
+  }
+  std::printf("\n");
+
+  std::printf("\ntriage result: quarantine lane %u (1/64 of device capacity) instead of the\n"
+              "whole accelerator — the lane-granularity version of §6.1's core isolation.\n",
+              failed.empty() ? 0 : failed[0]);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: plant a defect on a simulated core, watch a real computation go wrong, then
+// catch the core with a stress-test confession and quarantine it.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/detect/confession.h"
+#include "src/sched/scheduler.h"
+#include "src/sim/core.h"
+#include "src/sim/defect_catalog.h"
+#include "src/workload/core_routines.h"
+#include "src/workload/workload.h"
+
+using namespace mercurial;
+
+int main() {
+  std::printf("== mercurial quickstart ==\n\n");
+
+  // 1. A healthy core computes exactly like the golden substrate.
+  SimCore healthy(/*id=*/0, Rng(1));
+  Rng rng(42);
+  std::vector<uint8_t> payload(1024);
+  rng.FillBytes(payload.data(), payload.size());
+  const std::vector<uint8_t> copy = CoreMemcpy(healthy, payload);
+  std::printf("healthy core memcpy correct: %s\n", copy == payload ? "yes" : "NO");
+
+  // 2. Plant a "mercurial" defect: a stuck bit in the data-copy engine, the paper's
+  //    "repeated bit-flips in strings at a particular bit position".
+  SimCore mercurial_core(/*id=*/1, Rng(2));
+  DefectSpec defect;
+  defect.label = "copy-stuck-bit";
+  defect.unit = ExecUnit::kCopy;
+  defect.effect = DefectEffect::kStuckSet;
+  defect.bit_index = 17;
+  defect.fvt.base_rate = 0.02;  // fires on ~2% of 8-byte copy chunks
+  mercurial_core.AddDefect(defect);
+
+  int corrupted_copies = 0;
+  for (int i = 0; i < 100; ++i) {
+    rng.FillBytes(payload.data(), payload.size());
+    if (CoreMemcpy(mercurial_core, payload) != payload) {
+      ++corrupted_copies;
+    }
+  }
+  std::printf("mercurial core corrupted %d of 100 copies (silently!)\n", corrupted_copies);
+
+  // 3. Run the production workload corpus on it and classify the symptoms (§2 taxonomy).
+  WorkloadOptions workload_options;
+  workload_options.check_probability = 0.5;
+  auto corpus = BuildStandardCorpus(workload_options);
+  int counts[kSymptomCount] = {};
+  for (int round = 0; round < 30; ++round) {
+    for (auto& workload : corpus) {
+      ++counts[static_cast<int>(workload->Run(mercurial_core, rng).symptom)];
+    }
+  }
+  std::printf("\nsymptoms over %d corpus runs:\n", 30 * kWorkloadKindCount);
+  for (int s = 0; s < kSymptomCount; ++s) {
+    std::printf("  %-22s %d\n", SymptomName(static_cast<Symptom>(s)), counts[s]);
+  }
+
+  // 4. Extract a confession with a directed stress battery (f/V/T sweep included).
+  ConfessionTester tester(ConfessionOptions{});
+  const Confession confession = tester.Interrogate(mercurial_core, rng);
+  std::printf("\nconfession: %s", confession.confessed ? "CONFESSED, failed units:" : "evaded");
+  for (ExecUnit unit : confession.failed_units) {
+    std::printf(" %s", ExecUnitName(unit));
+  }
+  std::printf(" (%llu stress ops)\n", static_cast<unsigned long long>(confession.ops_used));
+
+  // 5. Quarantine and retire the core so the scheduler stops placing work on it.
+  CoreScheduler scheduler(/*core_count=*/2, SchedulerCosts{});
+  scheduler.Quarantine(1);
+  scheduler.Retire(1);
+  std::printf("core 1 state: %s; schedulable cores remaining: %zu\n",
+              CoreStateName(scheduler.state(1)), scheduler.active_count());
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Storage redundancy against mercurial servers (§3): the same blobs stored three ways —
+// 3x replication, RS(4+2) erasure coding, and a scrubbed replica set — all running over
+// servers whose copy engines sporadically corrupt data in flight and at rest.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mitigate/ec_store.h"
+#include "src/mitigate/scrub_store.h"
+#include "src/sim/core.h"
+
+using namespace mercurial;
+
+namespace {
+
+constexpr int kBlobs = 300;
+constexpr size_t kBlobBytes = 512;
+
+std::vector<std::unique_ptr<SimCore>> MakeServers(int n, double defect_rate, uint64_t seed) {
+  std::vector<std::unique_ptr<SimCore>> servers;
+  for (int i = 0; i < n; ++i) {
+    servers.push_back(std::make_unique<SimCore>(i, Rng(seed + i)));
+    DefectSpec spec;
+    spec.label = "copy-bit-flip";
+    spec.unit = ExecUnit::kCopy;
+    spec.effect = DefectEffect::kBitFlip;
+    spec.fvt.base_rate = defect_rate;
+    servers.back()->AddDefect(spec);
+  }
+  return servers;
+}
+
+std::vector<SimCore*> Ptrs(const std::vector<std::unique_ptr<SimCore>>& owned) {
+  std::vector<SimCore*> ptrs;
+  for (const auto& core : owned) {
+    ptrs.push_back(core.get());
+  }
+  return ptrs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== storage redundancy vs mercurial servers ==\n");
+  std::printf("every server corrupts ~0.5%% of 8-byte copy chunks; %d blobs of %zu bytes\n\n",
+              kBlobs, kBlobBytes);
+
+  Rng data_rng(2021);
+  std::vector<std::vector<uint8_t>> blobs(kBlobs, std::vector<uint8_t>(kBlobBytes));
+  for (auto& blob : blobs) {
+    data_rng.FillBytes(blob.data(), blob.size());
+  }
+
+  // --- 3x replication ----------------------------------------------------------------------
+  {
+    auto servers = MakeServers(3, 0.005, 100);
+    ReplicatedBlobStore store(Ptrs(servers));
+    for (int b = 0; b < kBlobs; ++b) {
+      store.Write(static_cast<uint64_t>(b), blobs[b]);
+    }
+    int intact = 0;
+    for (int b = 0; b < kBlobs; ++b) {
+      const auto read = store.Read(static_cast<uint64_t>(b));
+      intact += read.ok() && *read == blobs[b] ? 1 : 0;
+    }
+    std::printf("replication 3x      : %3d/%d intact reads, %llu failovers, 3.0x storage\n",
+                intact, kBlobs,
+                static_cast<unsigned long long>(store.stats().read_failovers));
+  }
+
+  // --- RS(4+2) erasure coding --------------------------------------------------------------
+  {
+    auto servers = MakeServers(6, 0.005, 200);
+    ErasureCodedStore store(Ptrs(servers), 4, 2);
+    for (int b = 0; b < kBlobs; ++b) {
+      store.Write(static_cast<uint64_t>(b), blobs[b]);
+    }
+    int intact = 0;
+    for (int b = 0; b < kBlobs; ++b) {
+      const auto read = store.Read(static_cast<uint64_t>(b));
+      intact += read.ok() && *read == blobs[b] ? 1 : 0;
+    }
+    std::printf("erasure RS(4+2)     : %3d/%d intact reads, %llu shards discarded, %llu "
+                "reconstructions, %.1fx storage\n",
+                intact, kBlobs,
+                static_cast<unsigned long long>(store.stats().shards_discarded),
+                static_cast<unsigned long long>(store.stats().reconstructions),
+                store.storage_overhead());
+  }
+
+  // --- replication + background scrubbing ---------------------------------------------------
+  {
+    auto servers = MakeServers(3, 0.005, 300);
+    ReplicatedBlobStore store(Ptrs(servers));
+    for (int b = 0; b < kBlobs; ++b) {
+      store.Write(static_cast<uint64_t>(b), blobs[b]);
+    }
+    const uint64_t repairs = store.Scrub() + store.Scrub();
+    int intact = 0;
+    for (int b = 0; b < kBlobs; ++b) {
+      const auto read = store.Read(static_cast<uint64_t>(b));
+      intact += read.ok() && *read == blobs[b] ? 1 : 0;
+    }
+    std::printf("replication+scrub   : %3d/%d intact reads, %llu latent corruptions repaired "
+                "before any client saw them\n",
+                intact, kBlobs, static_cast<unsigned long long>(repairs));
+  }
+
+  std::printf("\n§3's point, demonstrated: for STORAGE, 'the right result is obvious and\n"
+              "simple to check — it's the identity function', so coding and scrubbing buy\n"
+              "tolerance cheaply. Computation gets no such discount (see bench_overheads).\n");
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "src/accel/accelerator.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+namespace {
+
+double GoldenLane(LaneOp op, double a, double b, double c) {
+  switch (op) {
+    case LaneOp::kAdd:
+      return a + b;
+    case LaneOp::kMul:
+      return a * b;
+    case LaneOp::kFma:
+      return a * b + c;
+    case LaneOp::kRelu:
+      return a > 0.0 ? a : 0.0;
+    case LaneOp::kMac:
+      return c + a * b;
+  }
+  return 0.0;
+}
+
+double CorruptDouble(double value, int bit_index, uint64_t operand_sig) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  if (bit_index >= 0) {
+    bits ^= 1ull << (bit_index % 64);
+  } else {
+    // Deterministic wrong value: a fixed function of the operands.
+    bits ^= Mix64(operand_sig) | 1;
+  }
+  double out;
+  std::memcpy(&out, &bits, 8);
+  return out;
+}
+
+}  // namespace
+
+const char* LaneOpName(LaneOp op) {
+  switch (op) {
+    case LaneOp::kAdd:
+      return "add";
+    case LaneOp::kMul:
+      return "mul";
+    case LaneOp::kFma:
+      return "fma";
+    case LaneOp::kRelu:
+      return "relu";
+    case LaneOp::kMac:
+      return "mac";
+  }
+  return "unknown";
+}
+
+SimAccelerator::SimAccelerator(uint32_t lane_count, Rng rng)
+    : lane_count_(lane_count), rng_(rng), defect_of_lane_(lane_count, -1) {
+  MERCURIAL_CHECK_GT(lane_count, 0u);
+}
+
+void SimAccelerator::AddLaneDefect(LaneDefectSpec spec) {
+  MERCURIAL_CHECK_LT(spec.lane, lane_count_);
+  defects_.push_back(spec);
+  defect_of_lane_[spec.lane] = static_cast<int32_t>(defects_.size() - 1);
+}
+
+double SimAccelerator::LaneCompute(uint32_t lane, LaneOp op, double a, double b, double c) {
+  ++counters_.lane_ops;
+  double result = GoldenLane(op, a, b, c);
+  const int32_t defect_index = defect_of_lane_[lane];
+  if (defect_index >= 0) {
+    const LaneDefectSpec& defect = defects_[static_cast<size_t>(defect_index)];
+    if ((defect.op_mask & (1ull << static_cast<int>(op))) != 0 &&
+        rng_.Bernoulli(defect.fire_rate)) {
+      uint64_t a_bits;
+      uint64_t b_bits;
+      std::memcpy(&a_bits, &a, 8);
+      std::memcpy(&b_bits, &b, 8);
+      result = CorruptDouble(result, defect.bit_index, a_bits ^ (b_bits << 1));
+      ++counters_.corruptions;
+    }
+  }
+  return result;
+}
+
+std::vector<double> SimAccelerator::Elementwise(LaneOp op, const std::vector<double>& a,
+                                                const std::vector<double>& b,
+                                                uint32_t lane_offset) {
+  MERCURIAL_CHECK_EQ(a.size(), b.size());
+  ++counters_.kernels_launched;
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const uint32_t lane = static_cast<uint32_t>((i + lane_offset) % lane_count_);
+    out[i] = LaneCompute(lane, op, a[i], b[i], 0.0);
+  }
+  return out;
+}
+
+std::vector<double> SimAccelerator::TiledMatmul(const std::vector<double>& a,
+                                                const std::vector<double>& b, size_t m, size_t k,
+                                                size_t n, uint32_t lane_offset) {
+  MERCURIAL_CHECK_EQ(a.size(), m * k);
+  MERCURIAL_CHECK_EQ(b.size(), k * n);
+  ++counters_.kernels_launched;
+  std::vector<double> c(m * n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const uint32_t lane = static_cast<uint32_t>((i * n + j + lane_offset) % lane_count_);
+      double acc = 0.0;
+      for (size_t x = 0; x < k; ++x) {
+        acc = LaneCompute(lane, LaneOp::kMac, a[i * k + x], b[x * n + j], acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+double SimAccelerator::ReduceSum(const std::vector<double>& values, uint32_t lane_offset) {
+  ++counters_.kernels_launched;
+  std::vector<double> level = values;
+  uint32_t lane_cursor = lane_offset;
+  while (level.size() > 1) {
+    std::vector<double> next((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      const uint32_t lane = lane_cursor++ % lane_count_;
+      next[i / 2] = LaneCompute(lane, LaneOp::kAdd, level[i], level[i + 1], 0.0);
+    }
+    if (level.size() % 2 == 1) {
+      next.back() = level.back();
+    }
+    level = std::move(next);
+  }
+  return level.empty() ? 0.0 : level[0];
+}
+
+namespace {
+
+// Bitwise comparison: corrupted results can be NaN, and NaN != NaN would make two
+// bit-identical corrupt runs look different.
+bool BitsDiffer(double x, double y) {
+  uint64_t xb;
+  uint64_t yb;
+  std::memcpy(&xb, &x, 8);
+  std::memcpy(&yb, &y, 8);
+  return xb != yb;
+}
+
+}  // namespace
+
+AccelCheckResult CheckByRepeat(SimAccelerator& device, LaneOp op, const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  AccelCheckResult result;
+  const uint64_t before = device.counters().lane_ops;
+  const std::vector<double> first = device.Elementwise(op, a, b, /*lane_offset=*/0);
+  const std::vector<double> second = device.Elementwise(op, a, b, /*lane_offset=*/0);
+  result.extra_ops = device.counters().lane_ops - before;
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (BitsDiffer(first[i], second[i])) {
+      result.corruption_detected = true;
+      result.suspect_lanes.push_back(static_cast<uint32_t>(i % device.lane_count()));
+    }
+  }
+  return result;
+}
+
+AccelCheckResult CheckByRotation(SimAccelerator& device, LaneOp op, const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  AccelCheckResult result;
+  const uint64_t before = device.counters().lane_ops;
+  const std::vector<double> first = device.Elementwise(op, a, b, /*lane_offset=*/0);
+  // Shift by one lane: element i moves from lane i%L to lane (i+1)%L, so a single defective
+  // lane cannot corrupt the same element in both runs.
+  const std::vector<double> second = device.Elementwise(op, a, b, /*lane_offset=*/1);
+  result.extra_ops = device.counters().lane_ops - before;
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (BitsDiffer(first[i], second[i])) {
+      result.corruption_detected = true;
+      // Either assignment could be the corrupt one; implicate both candidate lanes. Repeated
+      // checks intersect these sets down to the true culprit.
+      result.suspect_lanes.push_back(static_cast<uint32_t>(i % device.lane_count()));
+      result.suspect_lanes.push_back(static_cast<uint32_t>((i + 1) % device.lane_count()));
+    }
+  }
+  return result;
+}
+
+std::vector<uint32_t> ScreenLanes(SimAccelerator& device, Rng& rng, uint64_t probes_per_lane) {
+  std::vector<uint32_t> failed;
+  const size_t batch = device.lane_count();
+  std::vector<double> a(batch);
+  std::vector<double> b(batch);
+  std::vector<uint64_t> mismatches(batch, 0);
+  for (uint64_t probe = 0; probe < probes_per_lane; ++probe) {
+    for (size_t i = 0; i < batch; ++i) {
+      a[i] = rng.NextDouble() * 100.0 - 50.0;
+      b[i] = rng.NextDouble() * 100.0 - 50.0;
+    }
+    const auto op = static_cast<LaneOp>(rng.UniformInt(0, 4));
+    const std::vector<double> out = device.Elementwise(op, a, b, /*lane_offset=*/0);
+    for (size_t i = 0; i < batch; ++i) {
+      double golden = 0.0;
+      switch (op) {
+        case LaneOp::kAdd:
+          golden = a[i] + b[i];
+          break;
+        case LaneOp::kMul:
+          golden = a[i] * b[i];
+          break;
+        case LaneOp::kFma:
+        case LaneOp::kMac:
+          golden = a[i] * b[i] + 0.0;
+          break;
+        case LaneOp::kRelu:
+          golden = a[i] > 0.0 ? a[i] : 0.0;
+          break;
+      }
+      if (BitsDiffer(out[i], golden)) {
+        ++mismatches[i];
+      }
+    }
+  }
+  for (uint32_t lane = 0; lane < device.lane_count(); ++lane) {
+    if (mismatches[lane] > 0) {
+      failed.push_back(lane);
+    }
+  }
+  return failed;
+}
+
+}  // namespace mercurial

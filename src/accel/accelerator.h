@@ -1,0 +1,109 @@
+// Accelerator CEEs (§9).
+//
+// "Much computation is now done not just on traditional CPUs, but on accelerator silicon such
+// as GPUs, ML accelerators, P4 switches, NICs, etc. Often these accelerators push the limits
+// of scale, complexity, and power, so one might expect to see CEEs in these devices as well.
+// There might be novel challenges in detecting and mitigating CEEs in non-CPU settings."
+//
+// SimAccelerator models a SIMT-style device: a grid of lanes that execute elementwise kernels
+// and tiled reductions. Defects attach to individual lanes (the accelerator analog of "just
+// one core fails" is "just one lane / one MAC column fails"), which creates the novel
+// detection problem the paper anticipates: a defective lane only corrupts the elements it is
+// assigned, so corruption is *strided* — and a checker must either cover every lane or
+// permute work across lanes between repetitions.
+
+#ifndef MERCURIAL_SRC_ACCEL_ACCELERATOR_H_
+#define MERCURIAL_SRC_ACCEL_ACCELERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace mercurial {
+
+enum class LaneOp : uint8_t { kAdd, kMul, kFma, kRelu, kMac };
+
+const char* LaneOpName(LaneOp op);
+
+// A defect confined to one lane of the device.
+struct LaneDefectSpec {
+  uint32_t lane = 0;
+  // Which ops malfunction (bitmask over LaneOp). ~0 = all.
+  uint64_t op_mask = ~0ull;
+  // Per-op firing probability.
+  double fire_rate = 1e-4;
+  // Effect: flip this bit of the result's binary64 representation (-1 = deterministic wrong
+  // value derived from the operands — the GPU analog of §2's deterministic cases).
+  int bit_index = 40;
+};
+
+struct AcceleratorCounters {
+  uint64_t lane_ops = 0;
+  uint64_t corruptions = 0;
+  uint64_t kernels_launched = 0;
+};
+
+class SimAccelerator {
+ public:
+  // A device with `lane_count` lanes; `rng` drives probabilistic defect firing.
+  SimAccelerator(uint32_t lane_count, Rng rng);
+
+  uint32_t lane_count() const { return lane_count_; }
+
+  void AddLaneDefect(LaneDefectSpec spec);
+  bool healthy() const { return defects_.empty(); }
+
+  // Elementwise kernels: out[i] = op(a[i], b[i]), element i executed by lane (i + offset) %
+  // lane_count. `lane_offset` models work redistribution between launches — the lever that
+  // turns a fixed-stride corruption into a detectable one.
+  std::vector<double> Elementwise(LaneOp op, const std::vector<double>& a,
+                                  const std::vector<double>& b, uint32_t lane_offset = 0);
+
+  // Tiled matrix multiply: C = A * B with the MAC for C(i, j) executed by lane
+  // ((i * cols + j + offset) % lane_count). Matrices in row-major flat form.
+  std::vector<double> TiledMatmul(const std::vector<double>& a, const std::vector<double>& b,
+                                  size_t m, size_t k, size_t n, uint32_t lane_offset = 0);
+
+  // Tree reduction (sum) with each partial executed by a lane.
+  double ReduceSum(const std::vector<double>& values, uint32_t lane_offset = 0);
+
+  const AcceleratorCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = AcceleratorCounters{}; }
+
+ private:
+  double LaneCompute(uint32_t lane, LaneOp op, double a, double b, double c);
+
+  uint32_t lane_count_;
+  Rng rng_;
+  std::vector<LaneDefectSpec> defects_;
+  // Index of the first defect per lane (or -1): most lanes are healthy, skip fast.
+  std::vector<int32_t> defect_of_lane_;
+  AcceleratorCounters counters_;
+};
+
+// Detection strategies for accelerator CEEs (the §9 "novel challenges").
+struct AccelCheckResult {
+  bool corruption_detected = false;
+  uint64_t extra_ops = 0;
+  std::vector<uint32_t> suspect_lanes;  // lanes implicated (empty if undetected/untargeted)
+};
+
+// Repeat the kernel with the SAME lane assignment and compare: blind to deterministic lane
+// defects (both runs corrupt identically) — the accelerator analog of same-core AES checking.
+AccelCheckResult CheckByRepeat(SimAccelerator& device, LaneOp op, const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+// Repeat with a shifted lane assignment: a fixed defective lane now corrupts different
+// elements, so deterministic lane defects are caught, and differencing the two runs localizes
+// the suspect lanes.
+AccelCheckResult CheckByRotation(SimAccelerator& device, LaneOp op, const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+// Directed per-lane screening: every lane computes a golden-checked probe battery.
+// Returns the lanes that failed.
+std::vector<uint32_t> ScreenLanes(SimAccelerator& device, Rng& rng, uint64_t probes_per_lane);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_ACCEL_ACCELERATOR_H_

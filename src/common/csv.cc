@@ -1,0 +1,38 @@
+#include "src/common/csv.h"
+
+#include <cinttypes>
+
+namespace mercurial {
+
+void CsvWriter::Row(std::initializer_list<std::string> cells) {
+  Row(std::vector<std::string>(cells));
+}
+
+void CsvWriter::Row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    std::fprintf(stream_, "%s%s", first ? "" : ",", cell.c_str());
+    first = false;
+  }
+  std::fprintf(stream_, "\n");
+}
+
+std::string CsvWriter::Num(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+std::string CsvWriter::Num(uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+std::string CsvWriter::Num(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  return buffer;
+}
+
+}  // namespace mercurial

@@ -1,0 +1,37 @@
+// Tiny CSV emitter for bench output.
+//
+// Benches print human-readable tables to stdout and optionally mirror them as CSV so that
+// EXPERIMENTS.md rows can be regenerated mechanically.
+
+#ifndef MERCURIAL_SRC_COMMON_CSV_H_
+#define MERCURIAL_SRC_COMMON_CSV_H_
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mercurial {
+
+class CsvWriter {
+ public:
+  // Writes to the given stream (not owned); pass stdout for console output.
+  explicit CsvWriter(std::FILE* stream) : stream_(stream) {}
+
+  void Header(std::initializer_list<std::string> columns) { Row(columns); }
+
+  void Row(std::initializer_list<std::string> cells);
+  void Row(const std::vector<std::string>& cells);
+
+  // Formats a double with enough precision for plotting.
+  static std::string Num(double value);
+  static std::string Num(uint64_t value);
+  static std::string Num(int64_t value);
+
+ private:
+  std::FILE* stream_;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_COMMON_CSV_H_

@@ -1,0 +1,59 @@
+// Minimal CHECK/LOG facility for the mercurial libraries.
+//
+// The simulator is deterministic and single-process; invariant violations are programming
+// errors, so CHECK aborts with a source location rather than unwinding. LOG writes to stderr
+// and is intended for examples and benches, not hot paths.
+
+#ifndef MERCURIAL_SRC_COMMON_LOGGING_H_
+#define MERCURIAL_SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mercurial {
+namespace internal {
+
+// Accumulates a message and aborts the process when destroyed. Used by CHECK macros so that
+// callers can stream extra context: CHECK(x) << "details".
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << ": CHECK failed: " << condition << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mercurial
+
+#define MERCURIAL_CHECK(condition)                                             \
+  if (condition) {                                                             \
+  } else                                                                       \
+    ::mercurial::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define MERCURIAL_CHECK_EQ(a, b) MERCURIAL_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MERCURIAL_CHECK_NE(a, b) MERCURIAL_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MERCURIAL_CHECK_LT(a, b) MERCURIAL_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MERCURIAL_CHECK_LE(a, b) MERCURIAL_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MERCURIAL_CHECK_GT(a, b) MERCURIAL_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MERCURIAL_CHECK_GE(a, b) MERCURIAL_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // MERCURIAL_SRC_COMMON_LOGGING_H_

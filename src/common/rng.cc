@@ -1,0 +1,132 @@
+#include "src/common/rng.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix64(uint64_t value) {
+  uint64_t state = value;
+  return SplitMix64(state);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+  identity_ = Mix64(seed ^ 0x6a09e667f3bcc908ull);
+}
+
+Rng Rng::Split(uint64_t label) const {
+  // Children are derived from the parent's construction-time identity mixed with the label;
+  // the parent stream position is irrelevant, keeping the tree of streams reproducible.
+  return Rng(Mix64(identity_ ^ Mix64(label)));
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformInt(uint64_t lo, uint64_t hi) {
+  MERCURIAL_CHECK_LE(lo, hi);
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return NextU64();
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t draw;
+  do {
+    draw = NextU64();
+  } while (draw >= limit);
+  return lo + draw % span;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double lambda) {
+  MERCURIAL_CHECK_GT(lambda, 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    const double draw = Normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<uint64_t>(draw + 0.5);
+  }
+  // Knuth inversion.
+  const double threshold = std::exp(-mean);
+  uint64_t count = 0;
+  double product = NextDouble();
+  while (product > threshold) {
+    ++count;
+    product *= NextDouble();
+  }
+  return count;
+}
+
+void Rng::FillBytes(void* out, size_t n) {
+  auto* bytes = static_cast<unsigned char*>(out);
+  while (n >= 8) {
+    const uint64_t word = NextU64();
+    std::memcpy(bytes, &word, 8);
+    bytes += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    const uint64_t word = NextU64();
+    std::memcpy(bytes, &word, n);
+  }
+}
+
+}  // namespace mercurial

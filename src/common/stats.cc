@@ -1,0 +1,52 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+double LogFactorial(uint64_t n) { return std::lgamma(static_cast<double>(n) + 1.0); }
+
+double LogBinomialCoefficient(uint64_t n, uint64_t k) {
+  MERCURIAL_CHECK_LE(k, n);
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double BinomialUpperTail(uint64_t k, uint64_t n, double p) {
+  if (k == 0) {
+    return 1.0;
+  }
+  if (k > n || p <= 0.0) {
+    return 0.0;
+  }
+  if (p >= 1.0) {
+    return 1.0;
+  }
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  double tail = 0.0;
+  for (uint64_t i = k; i <= n; ++i) {
+    const double log_term = LogBinomialCoefficient(n, i) + static_cast<double>(i) * log_p +
+                            static_cast<double>(n - i) * log_q;
+    tail += std::exp(log_term);
+  }
+  return std::min(tail, 1.0);
+}
+
+double WilsonLowerBound(uint64_t successes, uint64_t trials) {
+  if (trials == 0) {
+    return 0.0;
+  }
+  constexpr double kZ = 1.96;
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = kZ * kZ;
+  const double denom = 1.0 + z2 / n;
+  const double center = phat + z2 / (2.0 * n);
+  const double margin = kZ * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  return std::max(0.0, (center - margin) / denom);
+}
+
+}  // namespace mercurial

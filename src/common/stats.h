@@ -1,0 +1,26 @@
+// Statistical helpers shared by the detection subsystem and benches.
+
+#ifndef MERCURIAL_SRC_COMMON_STATS_H_
+#define MERCURIAL_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+
+namespace mercurial {
+
+// Natural log of n! via lgamma.
+double LogFactorial(uint64_t n);
+
+// log of C(n, k).
+double LogBinomialCoefficient(uint64_t n, uint64_t k);
+
+// P[X >= k] for X ~ Binomial(n, p). Exact summation in log space; stable for the small n
+// (report counts per core) this project uses. Returns 1.0 for k == 0.
+double BinomialUpperTail(uint64_t k, uint64_t n, double p);
+
+// Wilson score interval half-width helper: returns the lower bound of the 1-alpha confidence
+// interval for a proportion with `successes` out of `trials` (z fixed at 1.96 for alpha=0.05).
+double WilsonLowerBound(uint64_t successes, uint64_t trials);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_COMMON_STATS_H_

@@ -1,0 +1,317 @@
+#include "src/core/fleet_study.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/substrate/checksum.h"
+
+namespace mercurial {
+namespace {
+
+// Signal sink that records incidents into the Fig. 1 series. kUserReport counts as
+// user-reported; kScreenFail counts as automatically-reported; the rest feed suspicion only.
+constexpr const char* kUserSeries = "incidents.user_reported";
+constexpr const char* kAutoSeries = "incidents.auto_reported";
+
+}  // namespace
+
+FleetStudy::FleetStudy(StudyOptions options)
+    : options_(options),
+      rng_(options.seed),
+      fleet_(Fleet::Build(options.fleet)),
+      scheduler_(fleet_.core_count(), options.scheduler_costs),
+      service_(options.report_service,
+               [this](uint64_t machine) {
+                 return static_cast<uint32_t>(fleet_.machine(machine).core_count());
+               }),
+      screening_(options.screening, fleet_.core_count(), rng_.Split(0x5c12)),
+      quarantine_(options.quarantine, rng_.Split(0x9a44)),
+      corpus_(BuildStandardCorpus(options.workload)),
+      mca_log_(options.mca_log_capacity) {
+  report_.machines = fleet_.machine_count();
+  report_.cores = fleet_.core_count();
+  report_.true_mercurial_cores = fleet_.mercurial_cores().size();
+}
+
+void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom) {
+  ++report_.symptom_counts[static_cast<int>(symptom)];
+  if (symptom == Symptom::kNone) {
+    return;
+  }
+  const CoreId id = fleet_.core_id(core_index);
+  switch (symptom) {
+    case Symptom::kCrash: {
+      service_.Report(Signal{now, id.machine, core_index, SignalType::kCrash});
+      metrics_.Increment("signals.crash");
+      if (rng_.Bernoulli(options_.sanitizer_probability)) {
+        service_.Report(Signal{now, id.machine, core_index, SignalType::kSanitizer});
+        metrics_.Increment("signals.sanitizer");
+      }
+      if (rng_.Bernoulli(options_.crash_human_report_probability)) {
+        const SimTime delay = SimTime::Seconds(static_cast<int64_t>(
+            rng_.Exponential(1.0 / static_cast<double>(options_.human_report_mean_delay.seconds()))));
+        pending_human_reports_.push_back(
+            {now + delay, Signal{now + delay, id.machine, core_index, SignalType::kUserReport}});
+      }
+      break;
+    }
+    case Symptom::kMachineCheck: {
+      service_.Report(Signal{now, id.machine, core_index, SignalType::kMachineCheck});
+      metrics_.Increment("signals.machine_check");
+      // Structured MCA telemetry: the reporting bank is the defective unit, unless the
+      // hardware's bank mapping scrambles it.
+      McaRecord record;
+      record.time = now;
+      record.machine = id.machine;
+      record.core_global = core_index;
+      const SimCore& core = fleet_.core(core_index);
+      ExecUnit bank = ExecUnit::kIntAlu;
+      uint64_t syndrome = 0;
+      if (!core.defects().empty()) {
+        const Defect& defect = core.defects()[0];
+        bank = defect.unit();
+        syndrome = Mix64(Fnv1a64(defect.spec().label.data(), defect.spec().label.size())) & 0xffff;
+      }
+      if (rng_.Bernoulli(options_.mca_bank_confusion)) {
+        bank = static_cast<ExecUnit>(rng_.UniformInt(0, kExecUnitCount - 1));
+      }
+      record.bank = bank;
+      record.syndrome = syndrome;
+      mca_log_.Append(record);
+      break;
+    }
+    case Symptom::kDetectedImmediately:
+    case Symptom::kDetectedLate:
+      if (rng_.Bernoulli(options_.app_report_probability)) {
+        service_.Report(Signal{now, id.machine, core_index, SignalType::kAppReport});
+        metrics_.Increment("signals.app_report");
+      }
+      if (symptom == Symptom::kDetectedLate &&
+          rng_.Bernoulli(options_.silent_human_notice_probability)) {
+        const SimTime delay = SimTime::Seconds(static_cast<int64_t>(
+            rng_.Exponential(1.0 / static_cast<double>(options_.human_report_mean_delay.seconds()))));
+        pending_human_reports_.push_back(
+            {now + delay, Signal{now + delay, id.machine, core_index, SignalType::kUserReport}});
+      }
+      break;
+    case Symptom::kSilentCorruption: {
+      ++report_.silent_corruptions;
+      metrics_.Increment("corruption.silent");
+      // "Wrong answers that are never detected" — except when a downstream consumer
+      // eventually notices something impossible and a human investigates.
+      if (rng_.Bernoulli(options_.silent_human_notice_probability)) {
+        const SimTime delay = SimTime::Seconds(static_cast<int64_t>(
+            rng_.Exponential(1.0 / static_cast<double>(options_.human_report_mean_delay.seconds()))));
+        pending_human_reports_.push_back(
+            {now + delay, Signal{now + delay, id.machine, core_index, SignalType::kUserReport}});
+      }
+      break;
+    }
+    case Symptom::kNone:
+      break;
+  }
+}
+
+void FleetStudy::RunProductionTick(SimTime now) {
+  const double busy_units = static_cast<double>(options_.work_units_per_core_day) *
+                            options_.tick.days();
+  for (uint64_t core_index : fleet_.mercurial_cores()) {
+    if (!scheduler_.Schedulable(core_index) || !fleet_.Installed(core_index, now)) {
+      continue;
+    }
+    SimCore& core = fleet_.core(core_index);
+    if (!core.AnyDefectActive()) {
+      // Latent defect, not yet past onset: behaves exactly like a healthy core; skip.
+      continue;
+    }
+    const uint64_t units = rng_.Poisson(busy_units);
+    for (uint64_t u = 0; u < units; ++u) {
+      Workload& workload = *corpus_[rng_.UniformInt(0, corpus_.size() - 1)];
+      const WorkloadResult result = workload.Run(core, rng_);
+      ++report_.work_units_executed;
+      HandleSymptom(now, core_index, result.symptom);
+    }
+  }
+}
+
+void FleetStudy::EmitBackgroundNoise(SimTime now, SimTime dt) {
+  // Ordinary software bugs: crashes and sanitizer reports spread evenly over the fleet
+  // ("reports that are evenly spread across cores probably are not CEEs").
+  const double expected = static_cast<double>(fleet_.core_count()) *
+                          options_.background_signal_rate_per_core_day * dt.days();
+  const uint64_t events = rng_.Poisson(expected);
+  for (uint64_t e = 0; e < events; ++e) {
+    const uint64_t core_index = rng_.UniformInt(0, fleet_.core_count() - 1);
+    if (!fleet_.Installed(core_index, now)) {
+      continue;  // not racked yet; thins the noise rate in proportion to fleet growth
+    }
+    const CoreId id = fleet_.core_id(core_index);
+    const double draw = rng_.NextDouble();
+    SignalType type = SignalType::kCrash;
+    if (draw < 0.15) {
+      type = SignalType::kSanitizer;
+    } else if (draw < 0.30) {
+      type = SignalType::kAppReport;
+    }
+    service_.Report(Signal{now, id.machine, core_index, type});
+    metrics_.Increment("signals.background");
+  }
+}
+
+void FleetStudy::FlushHumanReports(SimTime now) {
+  auto due = std::partition(pending_human_reports_.begin(), pending_human_reports_.end(),
+                            [now](const PendingHumanReport& r) { return r.due > now; });
+  for (auto it = due; it != pending_human_reports_.end(); ++it) {
+    service_.Report(it->signal);
+    metrics_.Increment("signals.user_report");
+    metrics_.Series(kUserSeries).Add(now, 1.0);
+  }
+  pending_human_reports_.erase(due, pending_human_reports_.end());
+}
+
+StudyReport FleetStudy::Run() {
+  MERCURIAL_CHECK(!ran_) << "FleetStudy::Run can only be called once";
+  ran_ = true;
+
+  SimClock clock;
+  fleet_.SetAges(clock.now());
+
+  // Activation time per mercurial core (study-relative), for latency metrics.
+  std::unordered_map<uint64_t, SimTime> activation_time;
+  for (uint64_t core_index : fleet_.mercurial_cores()) {
+    const Machine& machine = fleet_.machine(fleet_.core_id(core_index).machine);
+    SimTime earliest = SimTime::Days(1 << 20);
+    for (const Defect& defect : fleet_.core(core_index).defects()) {
+      const SimTime active_at = machine.install_time() + defect.spec().aging.onset;
+      earliest = std::min(earliest, active_at);
+    }
+    activation_time[core_index] = std::max(SimTime::Seconds(0), earliest);
+  }
+
+  if (options_.burn_in) {
+    // Pre-deployment acceptance testing: one thorough screen of every core at t=0 with
+    // whatever corpus coverage exists at t=0.
+    auto emit = [&](const Signal& signal) {
+      metrics_.Series(kAutoSeries).Add(signal.time, 1.0);
+      metrics_.Increment("signals.screen_fail");
+      ++report_.screen_failures;
+      service_.Report(signal);
+    };
+    ScreeningOptions burn_in_options = options_.screening;
+    burn_in_options.online_enabled = false;
+    // Zero period => every core is due immediately, and t=0 coverage applies.
+    burn_in_options.offline_period = SimTime::Seconds(0);
+    ScreeningOrchestrator burn_in(burn_in_options, fleet_.core_count(), rng_.Split(0xb124));
+    burn_in.Tick(SimTime::Seconds(0), options_.tick, fleet_, scheduler_, emit);
+  }
+
+  const int64_t ticks = options_.duration.seconds() / options_.tick.seconds();
+  for (int64_t t = 0; t < ticks; ++t) {
+    clock.Advance(options_.tick);
+    const SimTime now = clock.now();
+    fleet_.SetAges(now);
+
+    RunProductionTick(now);
+    EmitBackgroundNoise(now, options_.tick);
+    FlushHumanReports(now);
+
+    const ScreeningTickStats screen_stats = screening_.Tick(
+        now, options_.tick, fleet_, scheduler_, [&](const Signal& signal) {
+          metrics_.Series(kAutoSeries).Add(now, 1.0);
+          metrics_.Increment("signals.screen_fail");
+          service_.Report(signal);
+        });
+    report_.screen_failures += screen_stats.screen_failures;
+    report_.screening_ops += screen_stats.ops_spent;
+
+    const std::vector<SuspectCore> suspects = service_.Suspects(now);
+    const auto verdicts = quarantine_.Process(now, suspects, fleet_, scheduler_, service_);
+    for (const QuarantineVerdict& verdict : verdicts) {
+      if (verdict.retired && fleet_.IsMercurial(verdict.core_global)) {
+        ++report_.mercurial_retired;
+        const SimTime activated = activation_time[verdict.core_global];
+        const double latency_days = std::max(0.0, (now - activated).days());
+        report_.detection_latency_days.Add(latency_days);
+        metrics_.Increment("quarantine.true_retirements");
+      }
+    }
+
+    scheduler_.AccumulateStranding(options_.tick);
+  }
+
+  // §7.1 telemetry quality: analyze the MCA log and grade its root-cause attribution
+  // against ground truth.
+  const McaAnalysis mca = AnalyzeMcaLog(mca_log_, /*recidivism_threshold=*/3);
+  report_.mca_recidivists = mca.recidivists.size();
+  for (const McaCoreFinding& finding : mca.recidivists) {
+    if (!fleet_.IsMercurial(finding.core_global)) {
+      continue;
+    }
+    ++report_.mca_true_mercurial;
+    for (const Defect& defect : fleet_.core(finding.core_global).defects()) {
+      if (defect.unit() == finding.dominant_bank) {
+        ++report_.mca_unit_attribution_correct;
+        break;
+      }
+    }
+  }
+
+  report_.quarantine = quarantine_.stats();
+  report_.scheduler = scheduler_.stats();
+  const double thousands = static_cast<double>(fleet_.machine_count()) / 1000.0;
+  report_.planted_per_thousand_machines =
+      static_cast<double>(report_.true_mercurial_cores) / thousands;
+  report_.detected_per_thousand_machines =
+      static_cast<double>(report_.quarantine.true_positive_retirements) / thousands;
+
+  const double machines = static_cast<double>(fleet_.machine_count());
+  if (const TimeSeries* user = metrics_.FindSeries(kUserSeries)) {
+    report_.weekly_user_rate = user->Rates(machines, /*normalize_to_first=*/false);
+  }
+  if (const TimeSeries* autos = metrics_.FindSeries(kAutoSeries)) {
+    report_.weekly_auto_rate = autos->Rates(machines, /*normalize_to_first=*/false);
+  }
+  // Pad both series to the full study duration so they plot on a common axis.
+  const size_t weeks = static_cast<size_t>(options_.duration.seconds() /
+                                           SimTime::Weeks(1).seconds()) +
+                       1;
+  report_.weekly_user_rate.resize(std::max(weeks, report_.weekly_user_rate.size()), 0.0);
+  report_.weekly_auto_rate.resize(std::max(weeks, report_.weekly_auto_rate.size()), 0.0);
+  // Steady-state trim: drop the warm-up prefix.
+  const size_t warmup_weeks = static_cast<size_t>(options_.series_warmup.seconds() /
+                                                  SimTime::Weeks(1).seconds());
+  if (warmup_weeks > 0 && warmup_weeks < report_.weekly_user_rate.size()) {
+    report_.weekly_user_rate.erase(report_.weekly_user_rate.begin(),
+                                   report_.weekly_user_rate.begin() + warmup_weeks);
+    report_.weekly_auto_rate.erase(report_.weekly_auto_rate.begin(),
+                                   report_.weekly_auto_rate.begin() + warmup_weeks);
+  }
+  // Normalize both series to the same arbitrary baseline (first non-zero user rate), matching
+  // the presentation of Fig. 1.
+  double baseline = 0.0;
+  for (double rate : report_.weekly_user_rate) {
+    if (rate > 0.0) {
+      baseline = rate;
+      break;
+    }
+  }
+  if (baseline == 0.0) {
+    for (double rate : report_.weekly_auto_rate) {
+      if (rate > 0.0) {
+        baseline = rate;
+        break;
+      }
+    }
+  }
+  if (baseline > 0.0) {
+    for (double& rate : report_.weekly_user_rate) {
+      rate /= baseline;
+    }
+    for (double& rate : report_.weekly_auto_rate) {
+      rate /= baseline;
+    }
+  }
+  return report_;
+}
+
+}  // namespace mercurial

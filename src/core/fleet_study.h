@@ -1,0 +1,152 @@
+// FleetStudy: the end-to-end CEE lifecycle simulation — the library's primary public API.
+//
+// A study wires together the whole stack the paper describes:
+//
+//   fleet of machines with planted mercurial cores  (src/fleet, src/sim)
+//     -> production workload corpus running on cores (src/workload)
+//       -> symptoms: crashes, MCEs, detected/late/silent corruptions (§2 taxonomy)
+//         -> signals: crash logs, MCE logs, sanitizers, app reports, human reports (§6)
+//           -> suspect-core report service + concentration test (§6)
+//             -> confession testing, quarantine, retirement (§6, §6.1)
+//
+// and produces the metrics of §4, including the two normalized incident-rate series of Fig. 1.
+// Everything is deterministic under StudyOptions::seed.
+
+#ifndef MERCURIAL_SRC_CORE_FLEET_STUDY_H_
+#define MERCURIAL_SRC_CORE_FLEET_STUDY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/detect/mca_log.h"
+#include "src/detect/quarantine.h"
+#include "src/detect/report_service.h"
+#include "src/detect/screening.h"
+#include "src/fleet/fleet.h"
+#include "src/sched/scheduler.h"
+#include "src/telemetry/metrics.h"
+#include "src/workload/workload.h"
+
+namespace mercurial {
+
+struct StudyOptions {
+  uint64_t seed = 42;
+  FleetOptions fleet;
+  WorkloadOptions workload;
+  ReportServiceOptions report_service;
+  ScreeningOptions screening;
+  QuarantinePolicy quarantine;
+  SchedulerCosts scheduler_costs;
+
+  SimTime tick = SimTime::Days(1);
+  SimTime duration = SimTime::Days(3 * 365);
+
+  // Production-load model: logical work units each busy core runs per day. Only mercurial
+  // cores execute real work (healthy cores cannot produce CEEs; their load is accounted, not
+  // executed — DESIGN.md decision 1).
+  uint64_t work_units_per_core_day = 50;
+
+  // Signal model.
+  double app_report_probability = 0.6;    // detected corruption -> suspect-core RPC
+  double sanitizer_probability = 0.25;    // crash also yields a sanitizer signal
+  double crash_human_report_probability = 0.08;  // triage files a human suspicion per crash
+  double silent_human_notice_probability = 0.08; // silent/late corruption eventually noticed
+  SimTime human_report_mean_delay = SimTime::Days(10);
+  // Background false-accusation rate from ordinary software bugs, per core per day; these are
+  // evenly spread, which is exactly what the concentration test discounts.
+  double background_signal_rate_per_core_day = 5e-4;
+
+  // Run one full-coverage offline screen of every core before production (burn-in analog).
+  bool burn_in = false;
+
+  // MCA telemetry: capacity of the machine-check log ring and the probability that a record's
+  // reporting bank is scrambled to an unrelated unit (§5: "the mapping of instructions to
+  // possibly-defective hardware is non-obvious"; §7.1 asks for better telemetry).
+  size_t mca_log_capacity = 4096;
+  double mca_bank_confusion = 0.2;
+
+  // Incidents earlier than this are excluded from the Fig. 1 series (steady-state trim: at
+  // t=0 the backlog of never-screened active defects produces a cold-start spike that a
+  // long-running fleet would not show).
+  SimTime series_warmup = SimTime::Days(0);
+};
+
+struct StudyReport {
+  size_t machines = 0;
+  size_t cores = 0;
+  size_t true_mercurial_cores = 0;
+
+  // Fig. 1: weekly incident rates per machine, normalized to the first non-empty user bucket.
+  std::vector<double> weekly_user_rate;
+  std::vector<double> weekly_auto_rate;
+
+  // §2 taxonomy counts over all executed work units (mercurial cores only).
+  uint64_t symptom_counts[kSymptomCount] = {};
+  uint64_t work_units_executed = 0;
+  uint64_t silent_corruptions = 0;
+
+  // Detection outcomes.
+  QuarantineStats quarantine;
+  SchedulerStats scheduler;
+  uint64_t screen_failures = 0;
+  uint64_t screening_ops = 0;
+  // Of the truly-mercurial cores whose defects activated during the study, how many were
+  // retired, and with what latency from activation (days).
+  uint64_t mercurial_retired = 0;
+  Histogram detection_latency_days{0.0, 1200.0, 60};
+
+  // §4 metric: detected mercurial cores per thousand machines vs planted.
+  double detected_per_thousand_machines = 0.0;
+  double planted_per_thousand_machines = 0.0;
+
+  // §7.1 MCA telemetry quality: of the recidivist cores the machine-check analyzer surfaced,
+  // how many were truly mercurial, and how often the dominant bank matched a truly defective
+  // unit. Root-cause attribution is what the paper says today's MCA cannot deliver.
+  uint64_t mca_recidivists = 0;
+  uint64_t mca_true_mercurial = 0;
+  uint64_t mca_unit_attribution_correct = 0;
+};
+
+class FleetStudy {
+ public:
+  explicit FleetStudy(StudyOptions options);
+
+  // Runs the configured duration and returns the report. Can only be called once.
+  StudyReport Run();
+
+  // Access for examples/tests (valid after construction).
+  Fleet& fleet() { return fleet_; }
+  CoreScheduler& scheduler() { return scheduler_; }
+  MetricRegistry& metrics() { return metrics_; }
+
+ private:
+  struct PendingHumanReport {
+    SimTime due;
+    Signal signal;
+  };
+
+  void RunProductionTick(SimTime now);
+  void EmitBackgroundNoise(SimTime now, SimTime dt);
+  void FlushHumanReports(SimTime now);
+  void HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom);
+
+  StudyOptions options_;
+  Rng rng_;
+  Fleet fleet_;
+  CoreScheduler scheduler_;
+  CeeReportService service_;
+  ScreeningOrchestrator screening_;
+  QuarantineManager quarantine_;
+  std::vector<std::unique_ptr<Workload>> corpus_;
+  MetricRegistry metrics_;
+  std::vector<PendingHumanReport> pending_human_reports_;
+  McaLog mca_log_;
+  StudyReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_CORE_FLEET_STUDY_H_

@@ -1,0 +1,49 @@
+#include "src/core/tradeoff.h"
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+CostBreakdown EvaluateStudyCost(const StudyReport& report, const CostModel& model) {
+  CostBreakdown bill;
+
+  const auto count = [&report](Symptom symptom) {
+    return static_cast<double>(report.symptom_counts[static_cast<int>(symptom)]);
+  };
+
+  bill.corruption = count(Symptom::kSilentCorruption) * model.silent_corruption_cost +
+                    count(Symptom::kDetectedLate) * model.late_detection_cost;
+  bill.disruption = count(Symptom::kDetectedImmediately) * model.detected_error_cost +
+                    count(Symptom::kCrash) * model.crash_cost +
+                    count(Symptom::kMachineCheck) * model.machine_check_cost;
+  bill.screening =
+      (static_cast<double>(report.screening_ops) +
+       static_cast<double>(report.quarantine.interrogation_ops)) /
+      1e9 * model.screening_cost_per_gop;
+  bill.capacity = report.scheduler.stranded_core_seconds / 86400.0 *
+                      model.stranded_core_day_cost +
+                  report.scheduler.migration_cost_core_seconds / 3600.0 *
+                      model.migration_cost_per_core_hour +
+                  report.scheduler.lost_work_core_seconds / 3600.0 *
+                      model.lost_work_cost_per_core_hour;
+  return bill;
+}
+
+double AcceptableCeeRate(double software_bug_failure_rate, double dominance_margin) {
+  MERCURIAL_CHECK_GE(software_bug_failure_rate, 0.0);
+  MERCURIAL_CHECK_GT(dominance_margin, 0.0);
+  return software_bug_failure_rate * dominance_margin;
+}
+
+double MeasuredCeeRate(const StudyReport& report) {
+  if (report.work_units_executed == 0) {
+    return 0.0;
+  }
+  uint64_t failures = 0;
+  for (int s = 1; s < kSymptomCount; ++s) {
+    failures += report.symptom_counts[s];
+  }
+  return static_cast<double>(failures) / static_cast<double>(report.work_units_executed);
+}
+
+}  // namespace mercurial

@@ -1,0 +1,64 @@
+// Economic tradeoff model for CEE management (§4, §6).
+//
+// §4 asks: "Can we develop a model for reasoning about acceptable rates of CEEs for different
+// classes of software, and a model for trading off the inaccuracies in our measurements of
+// these rates against the costs of measurement? ... Many applications might not require
+// zero-failure hardware, but then, what is the right target rate? Could we set this so that
+// the probability of CEE is dominated by the inherent rate of software bugs or undetected
+// memory errors?"
+//
+// CostModel prices the four currencies a fleet operator actually pays — silent corruption,
+// detected errors, screening compute, and stranded/migrated capacity — and EvaluateStudyCost
+// folds a StudyReport into a single comparable bill. AcceptableCeeRate implements the §4
+// dominance criterion. bench_tradeoff sweeps screening cadence and exhibits the interior
+// optimum (screen too little: corruption dominates; screen too much: detection costs dominate).
+
+#ifndef MERCURIAL_SRC_CORE_TRADEOFF_H_
+#define MERCURIAL_SRC_CORE_TRADEOFF_H_
+
+#include "src/common/sim_time.h"
+#include "src/core/fleet_study.h"
+
+namespace mercurial {
+
+// Relative prices (arbitrary currency). Defaults reflect the paper's qualitative ordering:
+// one silent corruption can cost arbitrarily more than the compute spent preventing it
+// ("bad metadata can cause the loss of an entire file system").
+struct CostModel {
+  double silent_corruption_cost = 500.0;   // per silent-corruption event that escaped
+  double late_detection_cost = 100.0;      // per wrong answer detected after externalization
+  double detected_error_cost = 2.0;        // per immediately detected error (retry)
+  double crash_cost = 10.0;                // per process/kernel crash
+  double machine_check_cost = 5.0;         // per MCE (disruptive reset)
+  double screening_cost_per_gop = 1.0;     // per 1e9 screening/interrogation micro-ops
+  double stranded_core_day_cost = 1.0;     // per stranded core-day (quarantined/retired)
+  double migration_cost_per_core_hour = 0.5;
+  double lost_work_cost_per_core_hour = 1.0;
+};
+
+struct CostBreakdown {
+  double corruption = 0.0;   // silent + late
+  double disruption = 0.0;   // crashes, MCEs, immediate detections
+  double screening = 0.0;    // screening + interrogation compute
+  double capacity = 0.0;     // stranding + migration + lost work
+
+  double total() const { return corruption + disruption + screening + capacity; }
+};
+
+// Prices a finished study. Deterministic: same report + model => same bill.
+CostBreakdown EvaluateStudyCost(const StudyReport& report, const CostModel& model);
+
+// §4's dominance criterion: the highest CEE failure rate (per work unit) that keeps
+// CEE-caused failures at most `dominance_margin` times the inherent software-bug failure
+// rate. With margin 0.1, CEEs stay an order of magnitude below the bug noise floor — i.e.
+// software engineers would never notice them, which is the paper's operational definition of
+// "acceptable".
+double AcceptableCeeRate(double software_bug_failure_rate, double dominance_margin = 0.1);
+
+// Measured CEE failure rate of a study: observable failures + silent corruption per executed
+// work unit (0 when no work ran).
+double MeasuredCeeRate(const StudyReport& report);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_CORE_TRADEOFF_H_

@@ -1,0 +1,26 @@
+#include "src/detect/confession.h"
+
+namespace mercurial {
+
+ConfessionTester::ConfessionTester(ConfessionOptions options) : options_(std::move(options)) {
+  if (options_.stress.sweep.empty()) {
+    options_.stress.sweep = StandardScreeningSweep();
+  }
+}
+
+Confession ConfessionTester::Interrogate(SimCore& core, Rng& rng) const {
+  Confession confession;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    ++confession.attempts;
+    const StressReport report = RunStressBattery(core, rng, options_.stress);
+    confession.ops_used += report.total_ops;
+    if (!report.passed()) {
+      confession.confessed = true;
+      confession.failed_units = report.FailedUnits();
+      return confession;
+    }
+  }
+  return confession;
+}
+
+}  // namespace mercurial

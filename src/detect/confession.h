@@ -1,0 +1,48 @@
+// Confession testing (§6).
+//
+// "We must extract 'confessions' via further testing (often after first developing a new
+// automatable test). The other half is a mix of false accusations and limited
+// reproducibility." A ConfessionTester interrogates one suspect core with repeated directed
+// stress batteries across an f/V/T sweep. Data-pattern-triggered and corner-condition defects
+// may evade a finite interrogation — those suspects look like false accusations even when
+// ground truth says otherwise, which is exactly the paper's "limited reproducibility".
+
+#ifndef MERCURIAL_SRC_DETECT_CONFESSION_H_
+#define MERCURIAL_SRC_DETECT_CONFESSION_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/core.h"
+#include "src/workload/stress.h"
+
+namespace mercurial {
+
+struct ConfessionOptions {
+  ConfessionOptions() { stress.iterations_per_unit = 1024; }
+
+  StressOptions stress;     // per-attempt battery configuration
+  int max_attempts = 3;     // batteries run before giving up
+};
+
+struct Confession {
+  bool confessed = false;
+  std::vector<ExecUnit> failed_units;  // units that produced mismatches or machine checks
+  int attempts = 0;
+  uint64_t ops_used = 0;
+};
+
+class ConfessionTester {
+ public:
+  explicit ConfessionTester(ConfessionOptions options);
+
+  // Interrogates the core; stops at the first failing battery.
+  Confession Interrogate(SimCore& core, Rng& rng) const;
+
+ private:
+  ConfessionOptions options_;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_DETECT_CONFESSION_H_

@@ -1,0 +1,84 @@
+// Machine-check telemetry and root-cause attribution (§6, §7.1).
+//
+// The paper exploits "analysis of our existing logs of machine checks" as a detection signal,
+// and asks hardware designers to "re-think the machine-check architecture of modern
+// processors, which today does not handle CEEs well, and to improve CPU telemetry (and its
+// documentation!) to make it far easier to detect and root-cause mercurial cores."
+//
+// McaLog models the improved telemetry: structured records carrying the reporting bank (which
+// maps, imperfectly, to an execution unit) and a syndrome word. AnalyzeMcaLog clusters records
+// per core, scores recidivism, and attributes a likely defective unit — turning raw MCE spam
+// into the per-core, per-unit attribution §7.1 wants.
+
+#ifndef MERCURIAL_SRC_DETECT_MCA_LOG_H_
+#define MERCURIAL_SRC_DETECT_MCA_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/sim/exec_unit.h"
+
+namespace mercurial {
+
+struct McaRecord {
+  SimTime time;
+  uint64_t machine = 0;
+  uint64_t core_global = 0;
+  // The reporting "bank": on real hardware the bank->unit mapping is partial and
+  // underdocumented; here it is the unit, optionally scrambled by the emitter.
+  ExecUnit bank = ExecUnit::kIntAlu;
+  uint64_t syndrome = 0;  // opaque error signature
+  bool corrected = false; // corrected (CE) vs uncorrected (UE) machine check
+};
+
+// Fixed-capacity ring buffer, like a hardware MCA bank log: old records are overwritten,
+// which is itself a telemetry deficiency the analyzer must live with.
+class McaLog {
+ public:
+  explicit McaLog(size_t capacity);
+
+  void Append(const McaRecord& record);
+
+  size_t size() const { return records_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total_appended() const { return total_appended_; }
+  uint64_t overwritten() const { return total_appended_ - records_.size(); }
+
+  // Records in arrival order (oldest first).
+  std::vector<McaRecord> Snapshot() const;
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  // next slot to write
+  std::vector<McaRecord> records_;
+  uint64_t total_appended_ = 0;
+};
+
+struct McaCoreFinding {
+  uint64_t core_global = 0;
+  uint64_t machine = 0;
+  uint64_t record_count = 0;
+  // Most frequent reporting bank and its share of the core's records; the attributed unit.
+  ExecUnit dominant_bank = ExecUnit::kIntAlu;
+  double bank_concentration = 0.0;
+  // True when the same syndrome repeats — the signature of a specific defect rather than
+  // random transient errors.
+  bool repeated_syndrome = false;
+  SimTime first_seen;
+  SimTime last_seen;
+};
+
+struct McaAnalysis {
+  std::vector<McaCoreFinding> recidivists;  // cores at/above the recidivism threshold
+  uint64_t records_analyzed = 0;
+  uint64_t distinct_cores = 0;
+};
+
+// Clusters the log per core; cores with >= `recidivism_threshold` records become findings,
+// ranked by record count (most suspicious first).
+McaAnalysis AnalyzeMcaLog(const McaLog& log, uint64_t recidivism_threshold = 3);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_DETECT_MCA_LOG_H_

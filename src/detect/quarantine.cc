@@ -1,0 +1,82 @@
+#include "src/detect/quarantine.h"
+
+namespace mercurial {
+
+QuarantineManager::QuarantineManager(QuarantinePolicy policy, Rng rng)
+    : policy_(policy), tester_(policy.confession), rng_(rng) {}
+
+std::vector<QuarantineVerdict> QuarantineManager::Process(SimTime now,
+                                                          const std::vector<SuspectCore>& suspects,
+                                                          Fleet& fleet, CoreScheduler& scheduler,
+                                                          CeeReportService& service) {
+  std::vector<QuarantineVerdict> verdicts;
+  for (const SuspectCore& suspect : suspects) {
+    const uint64_t core_index = suspect.core_global;
+    if (scheduler.state(core_index) == CoreState::kRetired ||
+        scheduler.state(core_index) == CoreState::kQuarantined) {
+      continue;
+    }
+    ++stats_.suspects_processed;
+    const int accusations = ++accusation_counts_[core_index];
+
+    QuarantineVerdict verdict;
+    verdict.core_global = core_index;
+
+    scheduler.Quarantine(core_index);
+    SimCore& core = fleet.core(core_index);
+    const bool truly_mercurial = fleet.IsMercurial(core_index);
+
+    bool retire;
+    if (!policy_.require_confession) {
+      retire = true;
+    } else if (core.healthy()) {
+      // Healthy cores cannot confess (fast path; identical outcome to running the battery).
+      stats_.interrogation_ops +=
+          policy_.confession.stress.iterations_per_unit * kExecUnitCount *
+          static_cast<uint64_t>(policy_.confession.max_attempts);
+      retire = false;
+    } else {
+      const Confession confession = tester_.Interrogate(core, rng_);
+      stats_.interrogation_ops += confession.ops_used;
+      if (confession.confessed) {
+        ++stats_.confessions;
+        verdict.confessed = true;
+        verdict.failed_units = confession.failed_units;
+        failed_units_[core_index] = confession.failed_units;
+      }
+      retire = confession.confessed;
+    }
+
+    // Recidivism: repeated accusations retire a core even without a confession.
+    if (!retire && policy_.recidivism_retire_after > 0 &&
+        accusations >= policy_.recidivism_retire_after) {
+      retire = true;
+      ++stats_.recidivism_retirements;
+    }
+
+    if (retire) {
+      scheduler.Retire(core_index);
+      retirement_times_.emplace(core_index, now);
+      ++stats_.retirements;
+      if (truly_mercurial) {
+        ++stats_.true_positive_retirements;
+      } else {
+        ++stats_.false_positive_retirements;
+      }
+    } else {
+      scheduler.Release(core_index);
+      ++stats_.releases;
+      if (truly_mercurial) {
+        ++stats_.missed_confessions;
+      }
+    }
+    // Either way, clear accumulated report mass so old evidence is not double-counted.
+    service.Forget(core_index);
+
+    verdict.retired = retire;
+    verdicts.push_back(verdict);
+  }
+  return verdicts;
+}
+
+}  // namespace mercurial

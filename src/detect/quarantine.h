@@ -1,0 +1,88 @@
+// Quarantine policy: suspicion -> interrogation -> verdict (§6, §6.1).
+//
+// The manager consumes suspect cores (from the report service or screening failures), drains
+// and quarantines them, interrogates them with a ConfessionTester, and either retires the core
+// (confession) or releases it (no confession: false accusation OR limited reproducibility).
+// It tracks the tradeoff the paper emphasizes: false negatives / delayed positives cause
+// corruption, false positives strand capacity, and detection itself costs cycles.
+
+#ifndef MERCURIAL_SRC_DETECT_QUARANTINE_H_
+#define MERCURIAL_SRC_DETECT_QUARANTINE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/detect/confession.h"
+#include "src/detect/report_service.h"
+#include "src/fleet/fleet.h"
+#include "src/sched/scheduler.h"
+
+namespace mercurial {
+
+struct QuarantinePolicy {
+  ConfessionOptions confession;
+  // If false, suspects are retired on suspicion alone (aggressive isolation: zero interrogation
+  // cost, maximal false-positive stranding). Ablation knob for E8.
+  bool require_confession = true;
+  // A released (non-confessing) core must be re-accused this many times before it is retired
+  // anyway ("recidivism ... increases our confidence", §6). 0 disables.
+  int recidivism_retire_after = 3;
+};
+
+struct QuarantineStats {
+  uint64_t suspects_processed = 0;
+  uint64_t confessions = 0;
+  uint64_t releases = 0;
+  uint64_t retirements = 0;
+  uint64_t recidivism_retirements = 0;
+  uint64_t interrogation_ops = 0;
+  // Ground-truth bookkeeping (metrics only):
+  uint64_t true_positive_retirements = 0;   // retired cores that really were mercurial
+  uint64_t false_positive_retirements = 0;  // retired healthy cores
+  uint64_t missed_confessions = 0;  // truly mercurial suspects that did not confess
+};
+
+struct QuarantineVerdict {
+  uint64_t core_global = 0;
+  bool confessed = false;
+  bool retired = false;
+  std::vector<ExecUnit> failed_units;
+};
+
+class QuarantineManager {
+ public:
+  QuarantineManager(QuarantinePolicy policy, Rng rng);
+
+  // Handles one batch of suspects. Already-retired cores are ignored. Returns the verdicts.
+  std::vector<QuarantineVerdict> Process(SimTime now, const std::vector<SuspectCore>& suspects,
+                                         Fleet& fleet, CoreScheduler& scheduler,
+                                         CeeReportService& service);
+
+  const QuarantineStats& stats() const { return stats_; }
+
+  // Known-bad units per retired core (for §6.1 safe-task placement studies).
+  const std::unordered_map<uint64_t, std::vector<ExecUnit>>& failed_units() const {
+    return failed_units_;
+  }
+
+  // Time each core was first retired (for detection-latency metrics).
+  const std::unordered_map<uint64_t, SimTime>& retirement_times() const {
+    return retirement_times_;
+  }
+
+ private:
+  QuarantinePolicy policy_;
+  ConfessionTester tester_;
+  Rng rng_;
+  QuarantineStats stats_;
+  std::unordered_map<uint64_t, int> accusation_counts_;
+  std::unordered_map<uint64_t, std::vector<ExecUnit>> failed_units_;
+  std::unordered_map<uint64_t, SimTime> retirement_times_;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_DETECT_QUARANTINE_H_

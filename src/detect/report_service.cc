@@ -1,0 +1,112 @@
+#include "src/detect/report_service.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+
+namespace mercurial {
+
+const char* SignalTypeName(SignalType type) {
+  switch (type) {
+    case SignalType::kUserReport:
+      return "user_report";
+    case SignalType::kAppReport:
+      return "app_report";
+    case SignalType::kCrash:
+      return "crash";
+    case SignalType::kMachineCheck:
+      return "machine_check";
+    case SignalType::kSanitizer:
+      return "sanitizer";
+    case SignalType::kScreenFail:
+      return "screen_fail";
+  }
+  return "unknown";
+}
+
+void CeeReportService::DecayedScore::DecayTo(SimTime now, double half_life_days) {
+  if (now <= last_update) {
+    return;
+  }
+  const double dt_days = (now - last_update).days();
+  score *= std::exp2(-dt_days / half_life_days);
+  last_update = now;
+}
+
+void CeeReportService::CoreRecord::DecayTo(SimTime now, double half_life_days) {
+  if (now <= last_update) {
+    return;
+  }
+  const double factor = std::exp2(-(now - last_update).days() / half_life_days);
+  score *= factor;
+  raw_count *= factor;
+  direct_score *= factor;
+  last_update = now;
+}
+
+CeeReportService::CeeReportService(ReportServiceOptions options,
+                                   std::function<uint32_t(uint64_t)> cores_on_machine)
+    : options_(options), cores_on_machine_(std::move(cores_on_machine)) {
+  MERCURIAL_CHECK(cores_on_machine_ != nullptr);
+}
+
+void CeeReportService::Report(const Signal& signal) {
+  ++total_reports_;
+  const double weight = options_.type_weight[static_cast<int>(signal.type)];
+
+  CoreRecord& core = core_records_[signal.core_global];
+  core.machine = signal.machine;
+  core.DecayTo(signal.time, options_.half_life_days);
+  core.score += weight;
+  core.raw_count += 1.0;
+  if (signal.type == SignalType::kScreenFail) {
+    core.direct_score += weight;
+  }
+
+  DecayedScore& machine = machine_records_[signal.machine];
+  machine.DecayTo(signal.time, options_.half_life_days);
+  machine.score += 1.0;
+}
+
+std::vector<SuspectCore> CeeReportService::Suspects(SimTime now) {
+  std::vector<SuspectCore> suspects;
+  // Decay machine records first so the binomial n is current.
+  for (auto& [machine_id, record] : machine_records_) {
+    record.DecayTo(now, options_.half_life_days);
+  }
+  for (auto it = core_records_.begin(); it != core_records_.end();) {
+    CoreRecord& record = it->second;
+    record.DecayTo(now, options_.half_life_days);
+    if (record.score < options_.prune_below) {
+      it = core_records_.erase(it);
+      continue;
+    }
+    if (record.direct_score >= options_.direct_evidence_threshold) {
+      suspects.push_back(SuspectCore{it->first, record.machine, record.score, 0.0});
+      ++it;
+      continue;
+    }
+    if (record.score >= options_.min_score) {
+      const uint32_t core_count = cores_on_machine_(record.machine);
+      MERCURIAL_CHECK_GT(core_count, 0u);
+      const auto machine_it = machine_records_.find(record.machine);
+      const double machine_mass =
+          machine_it == machine_records_.end() ? 0.0 : machine_it->second.score;
+      // Null hypothesis: the machine's reports are spread uniformly over its cores.
+      const auto k = static_cast<uint64_t>(std::lround(std::max(record.raw_count, 1.0)));
+      const auto n = static_cast<uint64_t>(
+          std::lround(std::max(machine_mass, static_cast<double>(k))));
+      const double p_value = BinomialUpperTail(k, n, 1.0 / core_count);
+      if (p_value < options_.p_value_threshold) {
+        suspects.push_back(SuspectCore{it->first, record.machine, record.score, p_value});
+      }
+    }
+    ++it;
+  }
+  return suspects;
+}
+
+void CeeReportService::Forget(uint64_t core_global) { core_records_.erase(core_global); }
+
+}  // namespace mercurial

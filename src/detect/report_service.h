@@ -1,0 +1,93 @@
+// The suspect-core report service (§6).
+//
+// "One of our particularly useful tools is a simple RPC service that allows an application to
+// report a suspect core or CPU. Reports that are evenly spread across cores probably are not
+// CEEs; reports from multiple applications that appear to be concentrated on a few cores might
+// well be CEEs, and become grounds for quarantining those cores, followed by more careful
+// checking."
+//
+// The service keeps exponentially-decayed per-core and per-machine report scores. A core is a
+// suspect when (a) its decayed score passes a floor, and (b) the binomial tail probability of
+// seeing that concentration under the uniform null hypothesis (reports land on the machine's
+// cores uniformly, i.e. ordinary software bugs) is below a p-value threshold — recidivism
+// raises the score, even spread keeps the p-value high.
+
+#ifndef MERCURIAL_SRC_DETECT_REPORT_SERVICE_H_
+#define MERCURIAL_SRC_DETECT_REPORT_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/detect/signal.h"
+
+namespace mercurial {
+
+struct ReportServiceOptions {
+  double half_life_days = 14.0;    // decay of report scores
+  double min_score = 2.0;          // minimum decayed per-core score to even consider
+  double p_value_threshold = 1e-3; // concentration test significance
+  double prune_below = 0.05;       // drop records whose score decayed to noise
+  // Signal-type weights: a machine check or screen fail is stronger evidence than one crash.
+  double type_weight[kSignalTypeCount] = {1.0, 1.0, 1.0, 2.0, 1.5, 4.0};
+  // Screening failures are direct, core-attributed evidence (the battery compared results
+  // against golden on that very core); they bypass the concentration test once this much
+  // decayed direct mass accumulates.
+  double direct_evidence_threshold = 3.0;
+};
+
+struct SuspectCore {
+  uint64_t core_global = 0;
+  uint64_t machine = 0;
+  double score = 0.0;     // decayed weighted report mass on this core
+  double p_value = 1.0;   // concentration-test tail probability
+};
+
+class CeeReportService {
+ public:
+  // `cores_on_machine` maps a machine id to its core count (for the uniform null).
+  CeeReportService(ReportServiceOptions options,
+                   std::function<uint32_t(uint64_t)> cores_on_machine);
+
+  void Report(const Signal& signal);
+
+  // Cores whose concentration is significant at `now`. Decays scores as a side effect.
+  std::vector<SuspectCore> Suspects(SimTime now);
+
+  // Forgets a core's accumulated score (call after quarantining/clearing it, so stale mass
+  // doesn't immediately re-trigger suspicion).
+  void Forget(uint64_t core_global);
+
+  uint64_t total_reports() const { return total_reports_; }
+  size_t tracked_cores() const { return core_records_.size(); }
+
+ private:
+  struct DecayedScore {
+    double score = 0.0;
+    SimTime last_update;
+
+    void DecayTo(SimTime now, double half_life_days);
+  };
+
+  struct CoreRecord {
+    double score = 0.0;         // decayed weighted report mass
+    double raw_count = 0.0;     // decayed unweighted count, for the binomial k
+    double direct_score = 0.0;  // decayed weighted mass from direct-evidence signals
+    SimTime last_update;
+    uint64_t machine = 0;
+
+    void DecayTo(SimTime now, double half_life_days);
+  };
+
+  ReportServiceOptions options_;
+  std::function<uint32_t(uint64_t)> cores_on_machine_;
+  std::unordered_map<uint64_t, CoreRecord> core_records_;
+  std::unordered_map<uint64_t, DecayedScore> machine_records_;  // unweighted count per machine
+  uint64_t total_reports_ = 0;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_DETECT_REPORT_SERVICE_H_

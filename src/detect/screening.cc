@@ -1,0 +1,108 @@
+#include "src/detect/screening.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+ScreeningOrchestrator::ScreeningOrchestrator(ScreeningOptions options, size_t core_count,
+                                             Rng rng)
+    : options_(std::move(options)), rng_(rng), next_offline_due_(core_count) {
+  // Stagger first offline screens uniformly over one period so the load is smooth.
+  for (auto& due : next_offline_due_) {
+    due = SimTime::Seconds(static_cast<int64_t>(
+        rng_.NextDouble() * static_cast<double>(options_.offline_period.seconds())));
+  }
+}
+
+std::vector<ExecUnit> ScreeningOrchestrator::CoveredUnits(SimTime now) const {
+  std::vector<ExecUnit> units = options_.initial_coverage;
+  for (const auto& [when, unit] : options_.coverage_schedule) {
+    if (now >= when) {
+      units.push_back(unit);
+    }
+  }
+  return units;
+}
+
+uint64_t ScreeningOrchestrator::OfflineBatteryOps(SimTime now) const {
+  return options_.offline_iterations * CoveredUnits(now).size();
+}
+
+uint64_t ScreeningOrchestrator::OnlineBatteryOps(SimTime now) const {
+  return options_.online_iterations * CoveredUnits(now).size();
+}
+
+bool ScreeningOrchestrator::ScreenOne(SimTime now, uint64_t core_index, bool offline,
+                                      Fleet& fleet,
+                                      const std::function<void(const Signal&)>& emit,
+                                      ScreeningTickStats& stats) {
+  SimCore& core = fleet.core(core_index);
+  if (core.healthy()) {
+    // Fast path: a defect-free core cannot fail (sound per DESIGN.md decision 1); charge the
+    // battery's cost without executing it.
+    stats.ops_spent += offline ? OfflineBatteryOps(now) : OnlineBatteryOps(now);
+    return false;
+  }
+  StressOptions stress;
+  stress.units = CoveredUnits(now);
+  stress.iterations_per_unit = offline ? options_.offline_iterations : options_.online_iterations;
+  if (offline && options_.offline_sweep_fvt) {
+    stress.sweep = StandardScreeningSweep();
+  }
+  const StressReport report = RunStressBattery(core, rng_, stress);
+  stats.ops_spent += report.total_ops;
+  if (report.passed()) {
+    return false;
+  }
+  ++stats.screen_failures;
+  const CoreId id = fleet.core_id(core_index);
+  emit(Signal{now, id.machine, core_index, SignalType::kScreenFail});
+  return true;
+}
+
+ScreeningTickStats ScreeningOrchestrator::Tick(SimTime now, SimTime dt, Fleet& fleet,
+                                               CoreScheduler& scheduler,
+                                               const std::function<void(const Signal&)>& emit) {
+  ScreeningTickStats stats;
+
+  if (options_.offline_enabled) {
+    for (uint64_t core = 0; core < next_offline_due_.size(); ++core) {
+      if (next_offline_due_[core] > now) {
+        continue;
+      }
+      if (!fleet.Installed(core, now)) {
+        next_offline_due_[core] = now;  // not racked yet; first screen once installed
+        continue;
+      }
+      next_offline_due_[core] = now + options_.offline_period;
+      if (!scheduler.Schedulable(core)) {
+        continue;  // quarantined/retired cores are handled by the confession path
+      }
+      // Offline screening requires vacating the core, then it returns to service.
+      scheduler.Drain(core);
+      ++stats.offline_screens;
+      ScreenOne(now, core, /*offline=*/true, fleet, emit, stats);
+      scheduler.Release(core);
+    }
+  }
+
+  if (options_.online_enabled && scheduler.active_count() > 0) {
+    const double expected =
+        static_cast<double>(next_offline_due_.size()) * options_.online_fraction_per_day *
+        dt.days();
+    const uint64_t samples = rng_.Poisson(expected);
+    for (uint64_t s = 0; s < samples; ++s) {
+      const uint64_t core = rng_.UniformInt(0, next_offline_due_.size() - 1);
+      if (!scheduler.Schedulable(core) || !fleet.Installed(core, now)) {
+        continue;
+      }
+      ++stats.online_screens;
+      ScreenOne(now, core, /*offline=*/false, fleet, emit, stats);
+    }
+  }
+  return stats;
+}
+
+}  // namespace mercurial

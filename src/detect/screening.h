@@ -1,0 +1,86 @@
+// Fleet screening orchestration (§6's four axes).
+//
+// Offline screening drains a core (paying migration costs), then runs a thorough battery with
+// a full f/V/T sweep on a fixed per-core cadence. Online screening borrows spare cycles — a
+// cheap battery at the current operating point on a random sample of cores each tick, free of
+// drain costs but with partial coverage.
+//
+// Corpus coverage grows over time: a unit whose failure modes are unknown is not tested at
+// all (its defects are "zero-days", §4), and new unit tests come online per a schedule —
+// "our regular fleet-wide testing has expanded to new classes of CEEs as we and our CPU
+// vendors discover them, still a few times per year". This growth is what produces the rising
+// automatic-detection series of Fig. 1.
+
+#ifndef MERCURIAL_SRC_DETECT_SCREENING_H_
+#define MERCURIAL_SRC_DETECT_SCREENING_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/detect/signal.h"
+#include "src/fleet/fleet.h"
+#include "src/sched/scheduler.h"
+#include "src/workload/stress.h"
+
+namespace mercurial {
+
+struct ScreeningOptions {
+  bool offline_enabled = true;
+  SimTime offline_period = SimTime::Days(45);  // per-core cadence
+  uint64_t offline_iterations = 2048;
+  bool offline_sweep_fvt = true;
+
+  bool online_enabled = true;
+  double online_fraction_per_day = 0.02;  // expected fraction of cores sampled per day
+  uint64_t online_iterations = 256;
+
+  // Units covered at t=0 and when additional units' tests come online.
+  std::vector<ExecUnit> initial_coverage = {ExecUnit::kIntAlu, ExecUnit::kIntMul,
+                                            ExecUnit::kIntDiv, ExecUnit::kLoad,
+                                            ExecUnit::kStore,  ExecUnit::kFp};
+  std::vector<std::pair<SimTime, ExecUnit>> coverage_schedule = {
+      {SimTime::Days(150), ExecUnit::kCopy},    {SimTime::Days(300), ExecUnit::kVector},
+      {SimTime::Days(470), ExecUnit::kCrc},     {SimTime::Days(650), ExecUnit::kAtomic},
+      {SimTime::Days(820), ExecUnit::kAes},
+  };
+};
+
+struct ScreeningTickStats {
+  uint64_t offline_screens = 0;
+  uint64_t online_screens = 0;
+  uint64_t screen_failures = 0;
+  uint64_t ops_spent = 0;
+};
+
+class ScreeningOrchestrator {
+ public:
+  ScreeningOrchestrator(ScreeningOptions options, size_t core_count, Rng rng);
+
+  // Units the corpus can test at `now`.
+  std::vector<ExecUnit> CoveredUnits(SimTime now) const;
+
+  // Runs screening due in (now - dt, now]. Failures are emitted through `emit` as kScreenFail
+  // signals. Cores that are not schedulable are skipped (quarantined cores are tested by the
+  // confession path instead). The fleet's healthy cores are fast-pathed: a defect-free core
+  // cannot fail a battery (DESIGN.md decision 1), so only its cost is accounted.
+  ScreeningTickStats Tick(SimTime now, SimTime dt, Fleet& fleet, CoreScheduler& scheduler,
+                          const std::function<void(const Signal&)>& emit);
+
+  // Estimated micro-ops one offline (resp. online) battery costs, for capacity accounting.
+  uint64_t OfflineBatteryOps(SimTime now) const;
+  uint64_t OnlineBatteryOps(SimTime now) const;
+
+ private:
+  bool ScreenOne(SimTime now, uint64_t core_index, bool offline, Fleet& fleet,
+                 const std::function<void(const Signal&)>& emit, ScreeningTickStats& stats);
+
+  ScreeningOptions options_;
+  Rng rng_;
+  std::vector<SimTime> next_offline_due_;  // staggered per core
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_DETECT_SCREENING_H_

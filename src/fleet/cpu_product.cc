@@ -1,0 +1,34 @@
+#include "src/fleet/cpu_product.h"
+
+namespace mercurial {
+
+std::vector<CpuProduct> StandardProducts() {
+  std::vector<CpuProduct> products(3);
+
+  products[0].name = "orion-gen2";
+  products[0].vendor = "vendor-a";
+  products[0].cores_per_machine = 32;
+  products[0].dvfs = DvfsCurve{1.0, 3.2, 0.70, 1.05};
+  products[0].mercurial_core_rate = 1.2e-5;
+  products[0].mean_extra_defects = 0.3;
+
+  products[1].name = "orion-gen3";
+  products[1].vendor = "vendor-a";
+  products[1].cores_per_machine = 48;
+  products[1].dvfs = DvfsCurve{1.0, 3.5, 0.65, 1.10};
+  products[1].mercurial_core_rate = 3.0e-5;
+  products[1].mean_extra_defects = 0.4;
+
+  // Newest, densest process: highest rate and more latent (aged-onset) defects.
+  products[2].name = "cygnus-gen1";
+  products[2].vendor = "vendor-b";
+  products[2].cores_per_machine = 64;
+  products[2].dvfs = DvfsCurve{0.8, 3.8, 0.60, 1.15};
+  products[2].mercurial_core_rate = 6.0e-5;
+  products[2].mean_extra_defects = 0.6;
+  products[2].catalog.p_latent = 0.5;
+
+  return products;
+}
+
+}  // namespace mercurial

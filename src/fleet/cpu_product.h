@@ -1,0 +1,42 @@
+// CPU products and vendors.
+//
+// §2: "CEEs appear to be an industry-wide problem, not specific to any vendor, but the rate is
+// not uniform across CPU products." A CpuProduct carries its own mercurial-core incidence,
+// DVFS curve, and defect-catalog tuning, so a mixed fleet reproduces per-product rate
+// differences (§4: "How can we assess the risks to a large fleet, with various CPU types, from
+// several vendors, and of various ages?").
+
+#ifndef MERCURIAL_SRC_FLEET_CPU_PRODUCT_H_
+#define MERCURIAL_SRC_FLEET_CPU_PRODUCT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/defect_catalog.h"
+#include "src/sim/operating_point.h"
+
+namespace mercurial {
+
+struct CpuProduct {
+  std::string name;
+  std::string vendor;
+  int cores_per_machine = 48;
+  DvfsCurve dvfs;
+  // Probability that any given core of this product is mercurial (carries >= 1 defect).
+  // The paper reports "a few mercurial cores per several thousand machines"; with ~48-core
+  // machines that is on the order of 1e-5..1e-4 per core.
+  double mercurial_core_rate = 2e-5;
+  // Mean number of defects on a mercurial core (>= 1; extra defects are Poisson). §5: "the
+  // same mercurial core manifests CEEs both with certain data-copy operations and with certain
+  // vector operations" — multi-defect cores model shared defective logic.
+  double mean_extra_defects = 0.4;
+  CatalogOptions catalog;
+};
+
+// A three-product, two-vendor mix with rates spanning ~5x, newest product worst (smallest
+// feature size).
+std::vector<CpuProduct> StandardProducts();
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_FLEET_CPU_PRODUCT_H_

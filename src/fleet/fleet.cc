@@ -1,0 +1,124 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+Machine::Machine(uint64_t id, const CpuProduct* product, SimTime install_time)
+    : id_(id), product_(product), install_time_(install_time) {}
+
+Fleet Fleet::Build(const FleetOptions& options) {
+  return Build(options, StandardProducts());
+}
+
+Fleet Fleet::Build(const FleetOptions& options, const std::vector<CpuProduct>& products) {
+  MERCURIAL_CHECK_GT(products.size(), 0u);
+  Fleet fleet;
+  fleet.options_ = options;
+  fleet.products_ = products;
+  if (options.catalog_override.has_value()) {
+    for (CpuProduct& product : fleet.products_) {
+      product.catalog = *options.catalog_override;
+    }
+  }
+
+  Rng rng(options.seed);
+  Rng placement_rng = rng.Split(0x1001);
+  Rng defect_rng = rng.Split(0x1002);
+
+  // Normalize product mix against however many products we have.
+  std::vector<double> mix = options.product_mix;
+  mix.resize(products.size(), mix.empty() ? 1.0 : 0.0);
+  double mix_total = 0.0;
+  for (double w : mix) {
+    mix_total += w;
+  }
+  MERCURIAL_CHECK_GT(mix_total, 0.0);
+
+  uint64_t global_index = 0;
+  for (size_t m = 0; m < options.machine_count; ++m) {
+    // Pick a product by weight.
+    double draw = placement_rng.NextDouble() * mix_total;
+    size_t product_index = 0;
+    for (size_t p = 0; p < mix.size(); ++p) {
+      draw -= mix[p];
+      if (draw <= 0.0) {
+        product_index = p;
+        break;
+      }
+    }
+    const CpuProduct& product = fleet.products_[product_index];
+
+    const double window = static_cast<double>(options.install_spread.seconds() +
+                                              options.future_install_spread.seconds());
+    const auto install_offset = static_cast<int64_t>(placement_rng.NextDouble() * window);
+    const SimTime install =
+        SimTime::Seconds(install_offset - options.install_spread.seconds());
+
+    auto machine = std::make_unique<Machine>(m, &fleet.products_[product_index], install);
+    const double core_rate = product.mercurial_core_rate * options.mercurial_rate_multiplier;
+
+    for (int c = 0; c < product.cores_per_machine; ++c) {
+      auto core = std::make_unique<SimCore>(global_index, defect_rng.Split(global_index));
+      core->set_dvfs(product.dvfs);
+      if (placement_rng.Bernoulli(core_rate)) {
+        Rng core_defect_rng = defect_rng.Split(0x2000'0000ull ^ global_index);
+        const uint64_t defect_count = 1 + core_defect_rng.Poisson(product.mean_extra_defects);
+        for (uint64_t d = 0; d < defect_count; ++d) {
+          core->AddDefect(DrawRandomDefect(product.catalog, core_defect_rng));
+        }
+        fleet.mercurial_cores_.push_back(global_index);
+      }
+      fleet.core_index_.push_back(CoreId{global_index, m, static_cast<uint32_t>(c)});
+      machine->AddCore(std::move(core));
+      ++global_index;
+    }
+    fleet.machines_.push_back(std::move(machine));
+  }
+  return fleet;
+}
+
+SimCore& Fleet::core(uint64_t global_index) {
+  MERCURIAL_CHECK_LT(global_index, core_index_.size());
+  const CoreId& id = core_index_[global_index];
+  return machines_[id.machine]->core(id.core);
+}
+
+bool Fleet::IsMercurial(uint64_t global_index) const {
+  return std::binary_search(mercurial_cores_.begin(), mercurial_cores_.end(), global_index);
+}
+
+bool Fleet::Installed(uint64_t global_index, SimTime now) const {
+  MERCURIAL_CHECK_LT(global_index, core_index_.size());
+  return machines_[core_index_[global_index].machine]->install_time() <= now;
+}
+
+size_t Fleet::InstalledMachines(SimTime now) const {
+  size_t count = 0;
+  for (const auto& machine : machines_) {
+    if (machine->install_time() <= now) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Fleet::SetAges(SimTime now) {
+  // Only defective cores ever read their age (defect gates are the sole consumer), so updating
+  // the mercurial subset keeps the per-tick cost independent of fleet size.
+  for (uint64_t index : mercurial_cores_) {
+    const Machine& m = *machines_[core_index_[index].machine];
+    const int64_t age_seconds = std::max<int64_t>(0, (now - m.install_time()).seconds());
+    core(index).set_age(SimTime::Seconds(age_seconds));
+  }
+}
+
+void Fleet::ForEachCore(const std::function<void(uint64_t, SimCore&)>& fn) {
+  for (uint64_t i = 0; i < core_index_.size(); ++i) {
+    fn(i, core(i));
+  }
+}
+
+}  // namespace mercurial

@@ -1,0 +1,116 @@
+// Fleet population: machines of mixed CPU products with planted mercurial cores.
+//
+// The builder is fully deterministic under a seed: which cores are mercurial, what defects
+// they carry (drawn from the sim defect catalog), when machines were installed, everything.
+// Ground truth (which cores are actually defective) is exposed for metric computation only —
+// detection code must not consult it.
+
+#ifndef MERCURIAL_SRC_FLEET_FLEET_H_
+#define MERCURIAL_SRC_FLEET_FLEET_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/fleet/cpu_product.h"
+#include "src/sim/core.h"
+
+namespace mercurial {
+
+// Identifies a core within a fleet. `global_index` is dense over all cores; machine/core pairs
+// are for reporting.
+struct CoreId {
+  uint64_t global_index = 0;
+  uint64_t machine = 0;
+  uint32_t core = 0;
+};
+
+class Machine {
+ public:
+  Machine(uint64_t id, const CpuProduct* product, SimTime install_time);
+
+  uint64_t id() const { return id_; }
+  const CpuProduct& product() const { return *product_; }
+  SimTime install_time() const { return install_time_; }
+
+  size_t core_count() const { return cores_.size(); }
+  SimCore& core(size_t index) { return *cores_[index]; }
+  const SimCore& core(size_t index) const { return *cores_[index]; }
+
+  void AddCore(std::unique_ptr<SimCore> core) { cores_.push_back(std::move(core)); }
+
+ private:
+  uint64_t id_;
+  const CpuProduct* product_;
+  SimTime install_time_;
+  std::vector<std::unique_ptr<SimCore>> cores_;
+};
+
+struct FleetOptions {
+  size_t machine_count = 1000;
+  uint64_t seed = 20210531;  // HotOS '21 opening day
+  // Relative weights per product in StandardProducts() order; resized/normalized as needed.
+  std::vector<double> product_mix = {0.35, 0.40, 0.25};
+  // Machines are installed uniformly over [-install_spread, future_install_spread): the fleet
+  // has age diversity at simulation start, and (when future_install_spread > 0) keeps growing
+  // during the study — machines with a future install time contribute nothing until then.
+  SimTime install_spread = SimTime::Days(2 * 365);
+  SimTime future_install_spread = SimTime::Days(0);
+  // Global multiplier over each product's mercurial_core_rate (for incidence sweeps).
+  double mercurial_rate_multiplier = 1.0;
+  // When set, replaces every product's defect-catalog tuning (for benches that need a
+  // specific defect population, e.g. louder machine-check fractions).
+  std::optional<CatalogOptions> catalog_override;
+};
+
+class Fleet {
+ public:
+  static Fleet Build(const FleetOptions& options, const std::vector<CpuProduct>& products);
+  static Fleet Build(const FleetOptions& options);  // StandardProducts()
+
+  size_t machine_count() const { return machines_.size(); }
+  size_t core_count() const { return core_index_.size(); }
+
+  Machine& machine(size_t index) { return *machines_[index]; }
+  const Machine& machine(size_t index) const { return *machines_[index]; }
+
+  SimCore& core(uint64_t global_index);
+  CoreId core_id(uint64_t global_index) const { return core_index_[global_index]; }
+
+  // Ground truth for metrics: global indices of cores that carry defects.
+  const std::vector<uint64_t>& mercurial_cores() const { return mercurial_cores_; }
+  bool IsMercurial(uint64_t global_index) const;
+
+  // True once the core's machine has been installed (install times can be in the future when
+  // FleetOptions::future_install_spread > 0).
+  bool Installed(uint64_t global_index, SimTime now) const;
+
+  // Number of machines installed by `now`.
+  size_t InstalledMachines(SimTime now) const;
+
+  // Updates every core's age to (now - machine install time), clamped at 0. Call once per
+  // simulation tick so aging defects see the right age.
+  void SetAges(SimTime now);
+
+  // Iterates (global_index, core) over all cores.
+  void ForEachCore(const std::function<void(uint64_t, SimCore&)>& fn);
+
+  const FleetOptions& options() const { return options_; }
+  const std::vector<CpuProduct>& products() const { return products_; }
+
+ private:
+  Fleet() = default;
+
+  FleetOptions options_;
+  std::vector<CpuProduct> products_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<CoreId> core_index_;
+  std::vector<uint64_t> mercurial_cores_;  // sorted global indices
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_FLEET_FLEET_H_

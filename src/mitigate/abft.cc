@@ -1,0 +1,214 @@
+#include "src/mitigate/abft.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/substrate/checksum.h"
+#include "src/workload/core_routines.h"
+
+namespace mercurial {
+
+AbftMatmulResult AbftMatmul(SimCore& core, const Matrix& a, const Matrix& b, double tolerance) {
+  MERCURIAL_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+
+  // Augment: A gets a checksum row (column sums), B a checksum column (row sums). The
+  // augmentation sums are computed host-side — they are the cheap, trusted encoding step.
+  Matrix a_ext(m + 1, k);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      a_ext.at(i, j) = a.at(i, j);
+      a_ext.at(m, j) += a.at(i, j);
+    }
+  }
+  Matrix b_ext(k, n + 1);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      b_ext.at(i, j) = b.at(i, j);
+      b_ext.at(i, n) += b.at(i, j);
+    }
+  }
+
+  // The expensive product runs on the (possibly defective) core.
+  Matrix c_ext = CoreMatmul(core, a_ext, b_ext);
+
+  AbftMatmulResult result;
+  const double scale = std::max(1.0, c_ext.FrobeniusNorm());
+  const double threshold = tolerance * scale;
+
+  // Row residuals: sum of row i of C vs the checksum column.
+  std::vector<size_t> bad_rows;
+  std::vector<double> row_residuals;
+  for (size_t i = 0; i < m; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      sum += c_ext.at(i, j);
+    }
+    const double residual = c_ext.at(i, n) - sum;
+    if (std::fabs(residual) > threshold) {
+      bad_rows.push_back(i);
+      row_residuals.push_back(residual);
+    }
+  }
+  // Column residuals.
+  std::vector<size_t> bad_cols;
+  for (size_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      sum += c_ext.at(i, j);
+    }
+    if (std::fabs(c_ext.at(m, j) - sum) > threshold) {
+      bad_cols.push_back(j);
+    }
+  }
+
+  result.bad_rows = static_cast<int>(bad_rows.size());
+  result.bad_cols = static_cast<int>(bad_cols.size());
+  result.corruption_detected = !bad_rows.empty() || !bad_cols.empty();
+
+  if (bad_rows.size() == 1 && bad_cols.size() == 1) {
+    // Single-cell corruption: the row residual is exactly the error at (bad_row, bad_col).
+    c_ext.at(bad_rows[0], bad_cols[0]) += row_residuals[0];
+    result.corrected = true;
+  }
+
+  result.product = Matrix(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      result.product.at(i, j) = c_ext.at(i, j);
+    }
+  }
+  return result;
+}
+
+bool FreivaldsCheck(const Matrix& a, const Matrix& b, const Matrix& c, int rounds, Rng& rng,
+                    double tolerance) {
+  MERCURIAL_CHECK_EQ(a.cols(), b.rows());
+  MERCURIAL_CHECK_EQ(c.rows(), a.rows());
+  MERCURIAL_CHECK_EQ(c.cols(), b.cols());
+  const size_t n = b.cols();
+  const double scale = std::max(1.0, a.FrobeniusNorm() * b.FrobeniusNorm());
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<double> x(n);
+    for (double& v : x) {
+      v = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    }
+    // bx = B*x, abx = A*bx, cx = C*x; all host-side O(n^2).
+    std::vector<double> bx(b.rows(), 0.0);
+    for (size_t i = 0; i < b.rows(); ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        bx[i] += b.at(i, j) * x[j];
+      }
+    }
+    std::vector<double> abx(a.rows(), 0.0);
+    for (size_t i = 0; i < a.rows(); ++i) {
+      for (size_t j = 0; j < a.cols(); ++j) {
+        abx[i] += a.at(i, j) * bx[j];
+      }
+    }
+    for (size_t i = 0; i < c.rows(); ++i) {
+      double cx = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        cx += c.at(i, j) * x[j];
+      }
+      if (std::fabs(cx - abx[i]) > tolerance * scale) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+StatusOr<std::vector<uint64_t>> CheckedSort(const std::vector<uint64_t>& keys,
+                                            const std::vector<SimCore*>& pool, int max_retries,
+                                            CheckedSortStats* stats) {
+  MERCURIAL_CHECK_GE(pool.size(), 1u);
+  if (stats != nullptr) {
+    ++stats->runs;
+  }
+  const uint64_t input_digest = MultisetDigest(keys.data(), keys.size());
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    SimCore& core = *pool[attempt % pool.size()];
+    std::vector<uint64_t> sorted = CoreMergeSort(core, keys);
+    const bool order_ok = std::is_sorted(sorted.begin(), sorted.end());
+    const bool content_ok = MultisetDigest(sorted.data(), sorted.size()) == input_digest;
+    if (order_ok && content_ok) {
+      return sorted;
+    }
+    if (stats != nullptr) {
+      ++stats->check_failures;
+      ++stats->retries;
+    }
+  }
+  return AbortedError("checked sort failed on every core attempt");
+}
+
+StatusOr<LuFactors> CoreLuFactorize(SimCore& core, const Matrix& a) {
+  MERCURIAL_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  Matrix u = a;
+  Matrix l = Matrix::Identity(n);
+  std::vector<size_t> pivots(n);
+  for (size_t i = 0; i < n; ++i) {
+    pivots[i] = i;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    size_t pivot_row = k;
+    double pivot_value = std::fabs(u.at(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      const double candidate = std::fabs(u.at(i, k));
+      if (candidate > pivot_value) {
+        pivot_value = candidate;
+        pivot_row = i;
+      }
+    }
+    if (pivot_value < 1e-12) {
+      return FailedPreconditionError("matrix is singular to working precision");
+    }
+    if (pivot_row != k) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(u.at(k, j), u.at(pivot_row, j));
+      }
+      for (size_t j = 0; j < k; ++j) {
+        std::swap(l.at(k, j), l.at(pivot_row, j));
+      }
+      std::swap(pivots[k], pivots[pivot_row]);
+    }
+    for (size_t i = k + 1; i < n; ++i) {
+      const double factor = core.Fp(FpOp::kDiv, u.at(i, k), u.at(k, k));
+      l.at(i, k) = factor;
+      for (size_t j = k; j < n; ++j) {
+        const double product = core.Fp(FpOp::kMul, factor, u.at(k, j));
+        u.at(i, j) = core.Fp(FpOp::kSub, u.at(i, j), product);
+      }
+    }
+  }
+  return LuFactors{std::move(l), std::move(u), std::move(pivots)};
+}
+
+StatusOr<LuFactors> CheckedLuFactorize(const Matrix& a, const std::vector<SimCore*>& pool,
+                                       int max_retries, double tolerance) {
+  MERCURIAL_CHECK_GE(pool.size(), 1u);
+  const double scale = std::max(1.0, a.FrobeniusNorm());
+  Status last_error = AbortedError("checked LU failed on every core attempt");
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    SimCore& core = *pool[attempt % pool.size()];
+    auto factors = CoreLuFactorize(core, a);
+    if (!factors.ok()) {
+      last_error = factors.status();
+      continue;
+    }
+    // Checker: reconstruct L*U and compare against the pivoted input (host-side, trusted).
+    const Matrix reconstructed = LuReconstruct(*factors);
+    const Matrix pivoted = PermuteRows(a, factors->pivots);
+    if (reconstructed.MaxAbsDiff(pivoted) <= tolerance * scale) {
+      return std::move(*factors);
+    }
+  }
+  return last_error;
+}
+
+}  // namespace mercurial

@@ -1,0 +1,69 @@
+// Algorithm-based fault tolerance and result checkers (§7, §9).
+//
+// "Blum and Kannan [2] discussed some classes of algorithms for which efficient checkers
+// exist." / "can we extend the class of SDC-resilient algorithms beyond sorting and matrix
+// factorization [11, 27]?"
+//
+// This module implements the two families the paper cites:
+//   * checked sorting (order + multiset-digest checker, retry on a different core), and
+//   * ABFT matrix multiplication with row/column checksums that can detect AND correct a
+//     single corrupted cell, plus a Freivalds-style randomized checker and a checked LU
+//     factorization built on it.
+
+#ifndef MERCURIAL_SRC_MITIGATE_ABFT_H_
+#define MERCURIAL_SRC_MITIGATE_ABFT_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/sim/core.h"
+#include "src/substrate/matrix.h"
+
+namespace mercurial {
+
+struct AbftMatmulResult {
+  Matrix product;            // m x n result (corrected when possible)
+  bool corruption_detected = false;
+  bool corrected = false;    // single-cell corruption located and repaired
+  int bad_rows = 0;
+  int bad_cols = 0;
+};
+
+// Computes A*B on `core` with checksum row/column augmentation. Detects any corruption that
+// perturbs checksums beyond `tolerance`; corrects exactly-one-cell corruption in place.
+AbftMatmulResult AbftMatmul(SimCore& core, const Matrix& a, const Matrix& b,
+                            double tolerance = 1e-6);
+
+// Freivalds' randomized checker: verifies C == A*B with `rounds` random ±1 probe vectors in
+// O(rounds * n^2) host-side arithmetic (the checker is assumed reliable, mirroring the paper's
+// reliance on a trusted voter). False-accept probability <= 2^-rounds.
+bool FreivaldsCheck(const Matrix& a, const Matrix& b, const Matrix& c, int rounds, Rng& rng,
+                    double tolerance = 1e-6);
+
+// Checked sorting: CoreMergeSort plus the order/multiset checker, retried on the next core
+// from `pool` on failure. Returns ABORTED when every core's attempt failed the check.
+struct CheckedSortStats {
+  uint64_t runs = 0;
+  uint64_t check_failures = 0;
+  uint64_t retries = 0;
+};
+
+StatusOr<std::vector<uint64_t>> CheckedSort(const std::vector<uint64_t>& keys,
+                                            const std::vector<SimCore*>& pool,
+                                            int max_retries = 3,
+                                            CheckedSortStats* stats = nullptr);
+
+// Checked LU: factorizes on `core` using FP micro-ops, then validates the factors by
+// reconstruction against the pivoted input (max elementwise error <= tolerance * scale).
+// Retries on the next pool core; ABORTED when all attempts fail.
+StatusOr<LuFactors> CheckedLuFactorize(const Matrix& a, const std::vector<SimCore*>& pool,
+                                       int max_retries = 3, double tolerance = 1e-6);
+
+// LU factorization with every FP operation routed through the core (exposed for tests and
+// fault-injection studies).
+StatusOr<LuFactors> CoreLuFactorize(SimCore& core, const Matrix& a);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_MITIGATE_ABFT_H_

@@ -1,0 +1,71 @@
+#include "src/mitigate/checkpoint.h"
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+CheckpointRunner::CheckpointRunner(std::vector<SimCore*> pool) : pool_(std::move(pool)) {
+  MERCURIAL_CHECK_GE(pool_.size(), 1u);
+  for (SimCore* core : pool_) {
+    MERCURIAL_CHECK(core != nullptr);
+  }
+}
+
+SimCore& CheckpointRunner::NextCore() {
+  SimCore& core = *pool_[cursor_ % pool_.size()];
+  ++cursor_;
+  return core;
+}
+
+StatusOr<uint64_t> CheckpointRunner::Run(const GranuleFn& granule, const GranuleChecker& checker,
+                                         uint64_t initial_state, int granules,
+                                         int max_retries_per_granule) {
+  uint64_t state = initial_state;  // the committed checkpoint
+  for (int g = 0; g < granules; ++g) {
+    bool committed = false;
+    for (int attempt = 0; attempt <= max_retries_per_granule; ++attempt) {
+      const uint64_t next = granule(NextCore(), state);
+      ++stats_.granule_executions;
+      if (checker(state, next)) {
+        state = next;
+        committed = true;
+        ++stats_.granules_committed;
+        break;
+      }
+      ++stats_.rollbacks;
+    }
+    if (!committed) {
+      ++stats_.failures;
+      return AbortedError("granule exhausted its retry budget");
+    }
+  }
+  return state;
+}
+
+StatusOr<uint64_t> CheckpointRunner::RunPaired(const GranuleFn& granule, uint64_t initial_state,
+                                               int granules, int max_retries_per_granule) {
+  MERCURIAL_CHECK_GE(pool_.size(), 2u);
+  uint64_t state = initial_state;
+  for (int g = 0; g < granules; ++g) {
+    bool committed = false;
+    for (int attempt = 0; attempt <= max_retries_per_granule; ++attempt) {
+      const uint64_t a = granule(NextCore(), state);
+      const uint64_t b = granule(NextCore(), state);
+      stats_.granule_executions += 2;
+      if (a == b) {
+        state = a;
+        committed = true;
+        ++stats_.granules_committed;
+        break;
+      }
+      ++stats_.rollbacks;
+    }
+    if (!committed) {
+      ++stats_.failures;
+      return AbortedError("paired granule exhausted its retry budget");
+    }
+  }
+  return state;
+}
+
+}  // namespace mercurial

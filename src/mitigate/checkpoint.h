@@ -1,0 +1,65 @@
+// Checkpointed execution with restart-on-a-different-core (§7).
+//
+// "System support for efficient checkpointing, to recover from a failed computation by
+// restarting on a different core" combined with "cost-effective, application-specific
+// detection methods, to decide whether to continue past a checkpoint or to retry".
+//
+// A computation is a chain of granules; each granule maps a 64-bit state digest to the next.
+// After each granule an application-supplied checker decides whether to commit the checkpoint
+// or to roll back and re-run the granule on a different core. The built-in checker mode runs
+// the granule pairwise on two cores (the paper's pair-and-restart construction).
+
+#ifndef MERCURIAL_SRC_MITIGATE_CHECKPOINT_H_
+#define MERCURIAL_SRC_MITIGATE_CHECKPOINT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/core.h"
+
+namespace mercurial {
+
+// One granule: state in, state out, computed on the given core. Must be deterministic.
+using GranuleFn = std::function<uint64_t(SimCore&, uint64_t state)>;
+
+// Application-specific checker: true if `state_out` looks valid for `state_in`. A checker may
+// be cheap and imperfect (e.g. an invariant over a database record).
+using GranuleChecker = std::function<bool(uint64_t state_in, uint64_t state_out)>;
+
+struct CheckpointStats {
+  uint64_t granules_committed = 0;
+  uint64_t granule_executions = 0;  // includes re-runs and pair replicas
+  uint64_t rollbacks = 0;
+  uint64_t failures = 0;  // granules that exhausted their retry budget
+};
+
+class CheckpointRunner {
+ public:
+  // Cores are drawn round-robin; a rollback automatically moves to the next core.
+  explicit CheckpointRunner(std::vector<SimCore*> pool);
+
+  // Runs `granules` chained granule executions starting from `initial_state`, validating each
+  // with `checker`. Returns the final state, or ABORTED if some granule failed
+  // `max_retries_per_granule` times.
+  StatusOr<uint64_t> Run(const GranuleFn& granule, const GranuleChecker& checker,
+                         uint64_t initial_state, int granules, int max_retries_per_granule = 3);
+
+  // The pair-and-compare variant: each granule runs on two cores; disagreement rolls back to
+  // the checkpoint and restarts on a different pair. No application checker needed.
+  StatusOr<uint64_t> RunPaired(const GranuleFn& granule, uint64_t initial_state, int granules,
+                               int max_retries_per_granule = 3);
+
+  const CheckpointStats& stats() const { return stats_; }
+
+ private:
+  SimCore& NextCore();
+
+  std::vector<SimCore*> pool_;
+  size_t cursor_ = 0;
+  CheckpointStats stats_;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_MITIGATE_CHECKPOINT_H_

@@ -1,0 +1,52 @@
+#include "src/mitigate/e2e_store.h"
+
+#include "src/common/logging.h"
+#include "src/substrate/checksum.h"
+#include "src/workload/core_routines.h"
+
+namespace mercurial {
+
+ChecksummedStore::ChecksummedStore(SimCore* server_core, bool verify_on_write)
+    : server_core_(server_core), verify_on_write_(verify_on_write) {
+  MERCURIAL_CHECK(server_core_ != nullptr);
+}
+
+Status ChecksummedStore::Write(uint64_t key, const std::vector<uint8_t>& data) {
+  ++stats_.writes;
+  // End-to-end: the CLIENT computes the checksum before the data enters the server path.
+  const uint32_t client_crc = Crc32(data);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Blob blob;
+    blob.crc = client_crc;
+    blob.bytes = CoreMemcpy(*server_core_, data);  // the corruptible server write path
+    if (!verify_on_write_) {
+      blobs_[key] = std::move(blob);
+      return Status::Ok();
+    }
+    if (Crc32(blob.bytes) == client_crc) {
+      blobs_[key] = std::move(blob);
+      return Status::Ok();
+    }
+    ++stats_.write_corruptions_caught;
+    ++stats_.write_retries;
+  }
+  return DataLossError("write-path corruption persisted across retry");
+}
+
+StatusOr<std::vector<uint8_t>> ChecksummedStore::Read(uint64_t key) {
+  ++stats_.reads;
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return NotFoundError("no such key");
+  }
+  // The read path also flows through the server core.
+  std::vector<uint8_t> out = CoreMemcpy(*server_core_, it->second.bytes);
+  if (Crc32(out) != it->second.crc) {
+    ++stats_.read_corruptions_caught;
+    return DataLossError("payload failed end-to-end checksum at read");
+  }
+  return out;
+}
+
+}  // namespace mercurial

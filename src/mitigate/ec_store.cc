@@ -1,0 +1,97 @@
+#include "src/mitigate/ec_store.h"
+
+#include "src/common/logging.h"
+#include "src/substrate/checksum.h"
+#include "src/substrate/reed_solomon.h"
+#include "src/workload/core_routines.h"
+
+namespace mercurial {
+
+ErasureCodedStore::ErasureCodedStore(std::vector<SimCore*> servers, int data_shards,
+                                     int parity_shards)
+    : servers_(std::move(servers)), data_shards_(data_shards), parity_shards_(parity_shards) {
+  MERCURIAL_CHECK_GE(data_shards_, 1);
+  MERCURIAL_CHECK_GE(parity_shards_, 0);
+  MERCURIAL_CHECK_EQ(servers_.size(), static_cast<size_t>(data_shards_ + parity_shards_));
+  for (SimCore* server : servers_) {
+    MERCURIAL_CHECK(server != nullptr);
+  }
+}
+
+void ErasureCodedStore::Write(uint64_t key, const std::vector<uint8_t>& data) {
+  ++stats_.writes;
+  Blob blob;
+  blob.original_bytes = data.size();
+  blob.blob_crc = Crc32(data);
+
+  // Split into k equal shards (zero-padded).
+  const size_t shard_bytes =
+      (data.size() + static_cast<size_t>(data_shards_) - 1) / static_cast<size_t>(data_shards_);
+  std::vector<std::vector<uint8_t>> data_shards(static_cast<size_t>(data_shards_),
+                                                std::vector<uint8_t>(shard_bytes, 0));
+  for (size_t i = 0; i < data.size(); ++i) {
+    data_shards[i / shard_bytes][i % shard_bytes] = data[i];
+  }
+  std::vector<std::vector<uint8_t>> parity = RsEncode(data_shards, parity_shards_);
+
+  // Per-shard CRCs are computed CLIENT-side (end-to-end), then each shard travels through its
+  // server's corruptible copy engine.
+  blob.shards.reserve(servers_.size());
+  blob.shard_crcs.reserve(servers_.size());
+  size_t slot = 0;
+  for (auto* source : {&data_shards, &parity}) {
+    for (auto& shard : *source) {
+      blob.shard_crcs.push_back(Crc32(shard));
+      blob.shards.push_back(CoreMemcpy(*servers_[slot], shard));
+      ++slot;
+    }
+  }
+  blobs_[key] = std::move(blob);
+}
+
+StatusOr<std::vector<uint8_t>> ErasureCodedStore::Read(uint64_t key) {
+  ++stats_.reads;
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return NotFoundError("no such key");
+  }
+  const Blob& blob = it->second;
+
+  // Fetch every shard through its server; CRC-invalid ones become erasures.
+  std::vector<std::optional<std::vector<uint8_t>>> shards(blob.shards.size());
+  bool any_data_shard_bad = false;
+  for (size_t s = 0; s < blob.shards.size(); ++s) {
+    std::vector<uint8_t> fetched = CoreMemcpy(*servers_[s], blob.shards[s]);
+    if (Crc32(fetched) == blob.shard_crcs[s]) {
+      shards[s] = std::move(fetched);
+    } else {
+      ++stats_.shards_discarded;
+      if (s < static_cast<size_t>(data_shards_)) {
+        any_data_shard_bad = true;
+      }
+    }
+  }
+
+  auto reconstructed = RsReconstruct(shards, data_shards_);
+  if (!reconstructed.ok()) {
+    ++stats_.read_data_loss;
+    return reconstructed.status();
+  }
+  if (any_data_shard_bad) {
+    ++stats_.reconstructions;
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(blob.original_bytes);
+  for (const auto& shard : *reconstructed) {
+    out.insert(out.end(), shard.begin(), shard.end());
+  }
+  out.resize(blob.original_bytes);
+  if (Crc32(out) != blob.blob_crc) {
+    ++stats_.read_data_loss;
+    return DataLossError("reassembled payload failed the end-to-end checksum");
+  }
+  return out;
+}
+
+}  // namespace mercurial

@@ -1,0 +1,98 @@
+#include "src/mitigate/redundancy.h"
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+RedundantExecutor::RedundantExecutor(std::vector<SimCore*> pool) : pool_(std::move(pool)) {
+  MERCURIAL_CHECK_GE(pool_.size(), 1u);
+  for (SimCore* core : pool_) {
+    MERCURIAL_CHECK(core != nullptr);
+  }
+}
+
+SimCore& RedundantExecutor::NextCore() {
+  SimCore& core = *pool_[cursor_ % pool_.size()];
+  ++cursor_;
+  return core;
+}
+
+uint64_t RedundantExecutor::RunSimplex(const Computation& computation) {
+  ++stats_.runs;
+  ++stats_.executions;
+  return computation(NextCore());
+}
+
+StatusOr<uint64_t> RedundantExecutor::RunDmr(const Computation& computation, int max_retries) {
+  MERCURIAL_CHECK_GE(pool_.size(), 2u);
+  ++stats_.runs;
+  for (int round = 0; round <= max_retries; ++round) {
+    const uint64_t a = computation(NextCore());
+    const uint64_t b = computation(NextCore());
+    stats_.executions += 2;
+    if (a == b) {
+      return a;
+    }
+    ++stats_.mismatches;
+    ++stats_.retries;
+  }
+  ++stats_.unresolved;
+  return AbortedError("DMR retries exhausted without agreement");
+}
+
+StatusOr<uint64_t> RedundantExecutor::RunTmr(const Computation& computation) {
+  MERCURIAL_CHECK_GE(pool_.size(), 3u);
+  ++stats_.runs;
+  const uint64_t a = computation(NextCore());
+  const uint64_t b = computation(NextCore());
+  const uint64_t c = computation(NextCore());
+  stats_.executions += 3;
+  if (a == b && b == c) {
+    return a;
+  }
+  ++stats_.mismatches;
+  if (a == b || a == c) {
+    ++stats_.vote_corrections;
+    return a;
+  }
+  if (b == c) {
+    ++stats_.vote_corrections;
+    return b;
+  }
+  ++stats_.unresolved;
+  return AbortedError("TMR: all three replicas disagree");
+}
+
+StatusOr<uint64_t> RedundantExecutor::RunTmrVotedOn(const Computation& computation,
+                                                    SimCore& voter) {
+  MERCURIAL_CHECK_GE(pool_.size(), 3u);
+  ++stats_.runs;
+  const uint64_t a = computation(NextCore());
+  const uint64_t b = computation(NextCore());
+  const uint64_t c = computation(NextCore());
+  stats_.executions += 3;
+
+  // The vote's data path runs on the voter core: XOR-equality tests, then the winning digest
+  // is loaded out through the voter.
+  const bool ab_equal = voter.Alu(AluOp::kXor, a, b) == 0;
+  const bool ac_equal = voter.Alu(AluOp::kXor, a, c) == 0;
+  const bool bc_equal = voter.Alu(AluOp::kXor, b, c) == 0;
+
+  if (!(ab_equal && ac_equal)) {
+    ++stats_.mismatches;
+  }
+  if (ab_equal || ac_equal) {
+    if (!(ab_equal && ac_equal)) {
+      ++stats_.vote_corrections;
+    }
+    return voter.Load(a);
+  }
+  if (bc_equal) {
+    ++stats_.vote_corrections;
+    return voter.Load(b);
+  }
+  ++stats_.unresolved;
+  return AbortedError("TMR: voter saw all three replicas disagree");
+}
+
+}  // namespace mercurial

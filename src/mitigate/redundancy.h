@@ -1,0 +1,71 @@
+// Redundant execution (§7).
+//
+// "One could run a computation on two cores, and if they disagree, restart on a different pair
+// of cores from a checkpoint. One well-known approach is triple modular redundancy [15]."
+//
+// A Computation runs on a given core and returns a 64-bit digest of its output; redundancy
+// compares digests. DMR detects (two cores disagree -> retry elsewhere); TMR corrects
+// (majority vote). Costs are measured in core micro-ops so E4 can report the 1x / ~2x / ~3x
+// overhead shape.
+
+#ifndef MERCURIAL_SRC_MITIGATE_REDUNDANCY_H_
+#define MERCURIAL_SRC_MITIGATE_REDUNDANCY_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/core.h"
+
+namespace mercurial {
+
+// A deterministic computation: same inputs, same digest — on a correct core. (Replication for
+// CEE requires deterministic replay granules, §7; non-determinism is the caller's problem.)
+using Computation = std::function<uint64_t(SimCore&)>;
+
+struct RedundancyStats {
+  uint64_t runs = 0;             // logical computations requested
+  uint64_t executions = 0;       // physical executions across all cores
+  uint64_t mismatches = 0;       // disagreements observed
+  uint64_t retries = 0;          // DMR retry rounds
+  uint64_t vote_corrections = 0; // TMR votes that overruled one replica
+  uint64_t unresolved = 0;       // gave up (no majority / retries exhausted)
+};
+
+class RedundantExecutor {
+ public:
+  // `pool` must contain >= 2 distinct cores for DMR, >= 3 for TMR. Cores are used round-robin
+  // so retries land on different cores.
+  explicit RedundantExecutor(std::vector<SimCore*> pool);
+
+  // Plain single-core execution (the 1x baseline).
+  uint64_t RunSimplex(const Computation& computation);
+
+  // Dual modular redundancy: run on two cores; on disagreement, retry on the next pair, up to
+  // `max_retries` rounds. Returns ABORTED if every round disagreed.
+  StatusOr<uint64_t> RunDmr(const Computation& computation, int max_retries = 2);
+
+  // Triple modular redundancy: majority of three. Returns ABORTED when all three digests
+  // differ (no majority).
+  StatusOr<uint64_t> RunTmr(const Computation& computation);
+
+  // TMR whose VOTE is itself computed on `voter` (§7: "this relies on the voting mechanism
+  // itself being reliable"): the equality tests run through the voter's ALU and the winning
+  // digest is routed through its load path. A defective voter can therefore declare phantom
+  // disagreements (availability loss) or — worse — corrupt the agreed digest on its way out
+  // (silent wrong result despite three healthy replicas). Measured in bench_voter.
+  StatusOr<uint64_t> RunTmrVotedOn(const Computation& computation, SimCore& voter);
+
+  const RedundancyStats& stats() const { return stats_; }
+
+ private:
+  SimCore& NextCore();
+
+  std::vector<SimCore*> pool_;
+  size_t cursor_ = 0;
+  RedundancyStats stats_;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_MITIGATE_REDUNDANCY_H_

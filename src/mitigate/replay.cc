@@ -1,0 +1,82 @@
+#include "src/mitigate/replay.h"
+
+#include <map>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+uint64_t ReplayLog::Record(const InputSource& source) {
+  const uint64_t value = source();
+  inputs_.push_back(value);
+  return value;
+}
+
+StatusOr<uint64_t> ReplayLog::Next() {
+  if (cursor_ >= inputs_.size()) {
+    return DataLossError("replica consumed more inputs than were recorded");
+  }
+  return inputs_[cursor_++];
+}
+
+ReplayingExecutor::ReplayingExecutor(std::vector<SimCore*> pool) : pool_(std::move(pool)) {
+  MERCURIAL_CHECK_GE(pool_.size(), 2u);
+  for (SimCore* core : pool_) {
+    MERCURIAL_CHECK(core != nullptr);
+  }
+}
+
+SimCore& ReplayingExecutor::NextCore() {
+  SimCore& core = *pool_[cursor_ % pool_.size()];
+  ++cursor_;
+  return core;
+}
+
+StatusOr<uint64_t> ReplayingExecutor::Run(const NonDeterministicComputation& computation,
+                                          const InputSource& source, int max_replays) {
+  ++stats_.runs;
+  ReplayLog log;
+
+  // Recording pass on the primary core.
+  const auto recording_provider = [&log, &source]() -> StatusOr<uint64_t> {
+    return log.Record(source);
+  };
+  const StatusOr<uint64_t> primary = computation(NextCore(), recording_provider);
+  stats_.recorded_inputs += log.size();
+  if (!primary.ok()) {
+    return primary.status();
+  }
+
+  // Replay passes: find agreement among digests (the recording pass counts as one vote).
+  std::map<uint64_t, int> votes;
+  ++votes[*primary];
+  for (int replay = 0; replay < max_replays; ++replay) {
+    log.Rewind();
+    bool control_divergence = false;
+    const auto replay_provider = [&log, &control_divergence]() -> StatusOr<uint64_t> {
+      StatusOr<uint64_t> next = log.Next();
+      if (!next.ok()) {
+        control_divergence = true;
+      }
+      return next;
+    };
+    const StatusOr<uint64_t> replica = computation(NextCore(), replay_provider);
+    if (!replica.ok() || control_divergence) {
+      // The replica wandered off the recorded control path: corrupt replica, ignore its vote.
+      ++stats_.control_divergences;
+      ++stats_.retries;
+      continue;
+    }
+    if (*replica != *primary) {
+      ++stats_.divergences;
+    }
+    const int count = ++votes[*replica];
+    if (count >= 2) {
+      return replica;  // two independent replicas agree on this digest
+    }
+    ++stats_.retries;
+  }
+  return AbortedError("no two replicas agreed within the replay budget");
+}
+
+}  // namespace mercurial

@@ -1,0 +1,92 @@
+// Deterministic replay for replicated execution (§7).
+//
+// "Perhaps a compiler could automatically replicate computations to three cores, and use
+// techniques from the deterministic-replay literature [4] to choose the largest possible
+// computation granules (i.e., to cope with non-deterministic inputs and to avoid externalizing
+// unreliable outputs)."
+//
+// Redundant execution requires replicas to see identical inputs. ReplayLog records every
+// non-deterministic input (clock reads, RPC payloads, random draws) consumed by the primary
+// execution; replicas then replay the log instead of re-sampling, so replica divergence can
+// only come from a CEE — never from ordinary non-determinism. ReplayingExecutor wraps
+// RedundantExecutor with exactly this record/replay protocol.
+
+#ifndef MERCURIAL_SRC_MITIGATE_REPLAY_H_
+#define MERCURIAL_SRC_MITIGATE_REPLAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mitigate/redundancy.h"
+#include "src/sim/core.h"
+
+namespace mercurial {
+
+// Source of non-deterministic inputs during recording (e.g. a wrapped RNG, a clock, a socket).
+using InputSource = std::function<uint64_t()>;
+
+// Records on first use, replays verbatim afterwards. A replica that asks for MORE inputs than
+// were recorded indicates control-flow divergence — itself evidence of a CEE (the corrupted
+// replica took a different branch); Next() then fails.
+class ReplayLog {
+ public:
+  ReplayLog() = default;
+
+  // Recording pass: append and return a fresh input.
+  uint64_t Record(const InputSource& source);
+
+  // Replay pass: rewind the cursor.
+  void Rewind() { cursor_ = 0; }
+
+  // Replay pass: next recorded input; DATA_LOSS when the replica over-consumes.
+  StatusOr<uint64_t> Next();
+
+  size_t size() const { return inputs_.size(); }
+  bool Exhausted() const { return cursor_ >= inputs_.size(); }
+
+ private:
+  std::vector<uint64_t> inputs_;
+  size_t cursor_ = 0;
+};
+
+// A computation with non-deterministic inputs: reads them through the provider, computes on
+// the core, returns an output digest. The provider either records or replays.
+using NonDeterministicComputation =
+    std::function<StatusOr<uint64_t>(SimCore&, const std::function<StatusOr<uint64_t>()>&)>;
+
+struct ReplayStats {
+  uint64_t runs = 0;
+  uint64_t recorded_inputs = 0;
+  uint64_t divergences = 0;        // replica digest mismatches
+  uint64_t control_divergences = 0; // replicas that over-consumed the log
+  uint64_t retries = 0;
+};
+
+class ReplayingExecutor {
+ public:
+  // `pool` needs >= 2 cores for paired execution.
+  explicit ReplayingExecutor(std::vector<SimCore*> pool);
+
+  // Record-then-replay DMR: run once on a primary core recording inputs from `source`, then
+  // replay on a second core and compare digests. On mismatch, replay on further cores until
+  // two replicas agree (majority-of-replays), up to `max_replays`. Because all replicas see
+  // the recorded inputs, agreement certifies the digest even though the computation itself is
+  // non-deterministic.
+  StatusOr<uint64_t> Run(const NonDeterministicComputation& computation,
+                         const InputSource& source, int max_replays = 4);
+
+  const ReplayStats& stats() const { return stats_; }
+
+ private:
+  SimCore& NextCore();
+
+  std::vector<SimCore*> pool_;
+  size_t cursor_ = 0;
+  ReplayStats stats_;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_MITIGATE_REPLAY_H_

@@ -1,0 +1,58 @@
+// Replicated update log with digest cross-checking (Spanner analog, §6).
+//
+// "Other systems execute the same update logic, in parallel, at several replicas ... and we
+// can exploit these dual computations to detect CEEs."
+//
+// Each replica applies every update to its own state using its own core. After each update the
+// replicas' state digests are compared: a divergent minority replica indicates a CEE on its
+// core; the replica is repaired from the majority state and the suspect core is reported.
+
+#ifndef MERCURIAL_SRC_MITIGATE_REPLICATED_LOG_H_
+#define MERCURIAL_SRC_MITIGATE_REPLICATED_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/core.h"
+
+namespace mercurial {
+
+struct ReplicatedLogStats {
+  uint64_t updates_applied = 0;
+  uint64_t divergences_detected = 0;
+  uint64_t repairs = 0;
+  uint64_t unresolved = 0;  // no majority (more than one replica diverged)
+};
+
+class ReplicatedLog {
+ public:
+  // One replica per core; >= 3 cores required for majority repair. All replicas start from
+  // `initial_state` (a 64-byte register file digested per update).
+  ReplicatedLog(std::vector<SimCore*> replica_cores, uint64_t initial_state);
+
+  // Applies one update (a 64-bit command) at every replica: each replica mixes the command
+  // into its state with core-routed ALU ops. Returns the agreed state digest, detecting and
+  // repairing a divergent minority. ABORTED if no majority exists.
+  StatusOr<uint64_t> Apply(uint64_t command);
+
+  // Replica whose core most recently diverged, or -1. (Feeds the suspect-core report service.)
+  int last_divergent_replica() const { return last_divergent_replica_; }
+
+  uint64_t agreed_state() const { return agreed_state_; }
+  const ReplicatedLogStats& stats() const { return stats_; }
+
+ private:
+  uint64_t ApplyAt(size_t replica, uint64_t command);
+
+  std::vector<SimCore*> cores_;
+  std::vector<uint64_t> states_;
+  uint64_t agreed_state_;
+  int last_divergent_replica_ = -1;
+  ReplicatedLogStats stats_;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_MITIGATE_REPLICATED_LOG_H_

@@ -1,0 +1,84 @@
+#include "src/mitigate/scrub_store.h"
+
+#include "src/common/logging.h"
+#include "src/substrate/checksum.h"
+#include "src/workload/core_routines.h"
+
+namespace mercurial {
+
+ReplicatedBlobStore::ReplicatedBlobStore(std::vector<SimCore*> server_cores)
+    : servers_(std::move(server_cores)) {
+  MERCURIAL_CHECK_GE(servers_.size(), 1u);
+  for (SimCore* server : servers_) {
+    MERCURIAL_CHECK(server != nullptr);
+  }
+}
+
+void ReplicatedBlobStore::Write(uint64_t key, const std::vector<uint8_t>& data) {
+  ++stats_.writes;
+  Blob blob;
+  blob.crc = Crc32(data);  // end-to-end: computed by the client before the data leaves it
+  blob.replicas.reserve(servers_.size());
+  for (SimCore* server : servers_) {
+    blob.replicas.push_back(CoreMemcpy(*server, data));
+  }
+  blobs_[key] = std::move(blob);
+}
+
+StatusOr<std::vector<uint8_t>> ReplicatedBlobStore::Read(uint64_t key) {
+  ++stats_.reads;
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return NotFoundError("no such key");
+  }
+  Blob& blob = it->second;
+  for (size_t r = 0; r < blob.replicas.size(); ++r) {
+    // The read path flows through the serving replica's core too.
+    std::vector<uint8_t> out = CoreMemcpy(*servers_[r], blob.replicas[r]);
+    if (Crc32(out) == blob.crc) {
+      stats_.read_failovers += r;  // corrupt replicas skipped before this one
+      return out;
+    }
+  }
+  // Every replica failed its checksum (or was corrupted on its way out).
+  stats_.read_failovers += blob.replicas.size() - 1;
+  ++stats_.read_data_loss;
+  return DataLossError("all replicas failed the end-to-end checksum");
+}
+
+uint64_t ReplicatedBlobStore::Scrub() {
+  uint64_t repairs = 0;
+  for (auto& [key, blob] : blobs_) {
+    // Pass 1: verify at-rest bytes directly (the scrubber reads media, not the serving path).
+    std::vector<bool> good(blob.replicas.size());
+    int first_good = -1;
+    for (size_t r = 0; r < blob.replicas.size(); ++r) {
+      ++stats_.scrubbed_replicas;
+      good[r] = Crc32(blob.replicas[r]) == blob.crc;
+      if (good[r] && first_good < 0) {
+        first_good = static_cast<int>(r);
+      }
+      if (!good[r]) {
+        ++stats_.scrub_corruptions_found;
+      }
+    }
+    if (first_good < 0) {
+      ++stats_.scrub_unrepairable;
+      continue;
+    }
+    // Pass 2: repair corrupt replicas from a good one, through the destination server's core
+    // (the repair itself can be corrupted and will be re-found by the next scrub).
+    for (size_t r = 0; r < blob.replicas.size(); ++r) {
+      if (good[r]) {
+        continue;
+      }
+      blob.replicas[r] =
+          CoreMemcpy(*servers_[r], blob.replicas[static_cast<size_t>(first_good)]);
+      ++stats_.scrub_repairs;
+      ++repairs;
+    }
+  }
+  return repairs;
+}
+
+}  // namespace mercurial

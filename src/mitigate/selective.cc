@@ -1,0 +1,77 @@
+#include "src/mitigate/selective.h"
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+const char* CriticalityName(Criticality criticality) {
+  switch (criticality) {
+    case Criticality::kOrdinary:
+      return "ordinary";
+    case Criticality::kImportant:
+      return "important";
+    case Criticality::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+ReplicationMode ReplicationPolicy::ModeFor(Criticality criticality) const {
+  switch (criticality) {
+    case Criticality::kOrdinary:
+      return ordinary;
+    case Criticality::kImportant:
+      return important;
+    case Criticality::kCritical:
+      return critical;
+  }
+  return ReplicationMode::kSimplex;
+}
+
+SelectiveReplicator::SelectiveReplicator(std::vector<SimCore*> pool, ReplicationPolicy policy)
+    : executor_(std::move(pool)), policy_(policy) {}
+
+StatusOr<uint64_t> SelectiveReplicator::RunProgram(const std::vector<Block>& program,
+                                                   uint64_t initial_state) {
+  uint64_t state = initial_state;
+  for (const Block& block : program) {
+    MERCURIAL_CHECK(block.body != nullptr) << "block '" << block.label << "' has no body";
+    ++stats_.blocks_run;
+    const Computation computation = [&block, state](SimCore& core) {
+      return block.body(core, state);
+    };
+    const uint64_t executions_before = executor_.stats().executions;
+    const uint64_t mismatches_before = executor_.stats().mismatches;
+
+    switch (policy_.ModeFor(block.criticality)) {
+      case ReplicationMode::kSimplex:
+        state = executor_.RunSimplex(computation);
+        break;
+      case ReplicationMode::kDmr: {
+        const StatusOr<uint64_t> result = executor_.RunDmr(computation);
+        if (!result.ok()) {
+          ++stats_.unresolved;
+          stats_.block_executions += executor_.stats().executions - executions_before;
+          return AbortedError("block '" + block.label + "': " + result.status().message());
+        }
+        state = *result;
+        break;
+      }
+      case ReplicationMode::kTmr: {
+        const StatusOr<uint64_t> result = executor_.RunTmr(computation);
+        if (!result.ok()) {
+          ++stats_.unresolved;
+          stats_.block_executions += executor_.stats().executions - executions_before;
+          return AbortedError("block '" + block.label + "': " + result.status().message());
+        }
+        state = *result;
+        break;
+      }
+    }
+    stats_.block_executions += executor_.stats().executions - executions_before;
+    stats_.detected_disagreements += executor_.stats().mismatches - mismatches_before;
+  }
+  return state;
+}
+
+}  // namespace mercurial

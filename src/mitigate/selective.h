@@ -1,0 +1,92 @@
+// Compiler-directed selective replication (§9).
+//
+// "Perhaps compilers could detect blocks of code whose correct execution is especially
+// critical (via programmer annotations or impact analysis), and then automatically replicate
+// just these computations."
+//
+// A program is a sequence of Blocks, each carrying a criticality annotation (what the
+// compiler pass would infer or the programmer would write). SelectiveReplicator executes the
+// program over a core pool, replicating only blocks at or above a criticality threshold:
+// kCritical blocks get TMR, kImportant blocks get DMR-with-retry, kOrdinary blocks run
+// simplex. This reproduces the paper's cost argument: full TMR triples everything, while
+// annotation-directed replication concentrates the overhead where the blast radius is.
+
+#ifndef MERCURIAL_SRC_MITIGATE_SELECTIVE_H_
+#define MERCURIAL_SRC_MITIGATE_SELECTIVE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mitigate/redundancy.h"
+#include "src/sim/core.h"
+
+namespace mercurial {
+
+enum class Criticality : uint8_t {
+  kOrdinary = 0,  // wrong output is tolerable / caught downstream
+  kImportant,     // wrong output is costly: detect and retry (DMR)
+  kCritical,      // wrong output has a large blast radius: correct outright (TMR)
+};
+
+const char* CriticalityName(Criticality criticality);
+
+// One block of the program: state in -> state out on a given core. Must be deterministic.
+struct Block {
+  std::string label;
+  Criticality criticality = Criticality::kOrdinary;
+  std::function<uint64_t(SimCore&, uint64_t)> body;
+};
+
+// How to protect each criticality level under a given policy.
+enum class ReplicationMode : uint8_t { kSimplex = 0, kDmr, kTmr };
+
+struct ReplicationPolicy {
+  ReplicationMode ordinary = ReplicationMode::kSimplex;
+  ReplicationMode important = ReplicationMode::kDmr;
+  ReplicationMode critical = ReplicationMode::kTmr;
+
+  static ReplicationPolicy None() {
+    return {ReplicationMode::kSimplex, ReplicationMode::kSimplex, ReplicationMode::kSimplex};
+  }
+  static ReplicationPolicy Selective() { return {}; }
+  static ReplicationPolicy FullTmr() {
+    return {ReplicationMode::kTmr, ReplicationMode::kTmr, ReplicationMode::kTmr};
+  }
+
+  ReplicationMode ModeFor(Criticality criticality) const;
+};
+
+struct SelectiveStats {
+  uint64_t blocks_run = 0;
+  uint64_t block_executions = 0;  // physical executions across replicas/retries
+  uint64_t detected_disagreements = 0;
+  uint64_t unresolved = 0;
+
+  double OverheadFactor() const {
+    return blocks_run == 0 ? 0.0
+                           : static_cast<double>(block_executions) /
+                                 static_cast<double>(blocks_run);
+  }
+};
+
+class SelectiveReplicator {
+ public:
+  SelectiveReplicator(std::vector<SimCore*> pool, ReplicationPolicy policy);
+
+  // Runs the program, threading the state through every block. Returns the final state or
+  // ABORTED if a protected block could not reach agreement.
+  StatusOr<uint64_t> RunProgram(const std::vector<Block>& program, uint64_t initial_state);
+
+  const SelectiveStats& stats() const { return stats_; }
+
+ private:
+  RedundantExecutor executor_;
+  ReplicationPolicy policy_;
+  SelectiveStats stats_;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_MITIGATE_SELECTIVE_H_

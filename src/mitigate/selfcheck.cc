@@ -1,0 +1,81 @@
+#include "src/mitigate/selfcheck.h"
+
+#include "src/common/logging.h"
+#include "src/substrate/checksum.h"
+#include "src/substrate/lz.h"
+#include "src/workload/core_routines.h"
+
+namespace mercurial {
+
+SelfCheckingAes::SelfCheckingAes(SimCore* primary, SimCore* checker, CryptoCheckMode mode)
+    : primary_(primary), checker_(checker), mode_(mode) {
+  MERCURIAL_CHECK(primary_ != nullptr);
+  if (mode_ == CryptoCheckMode::kCrossCoreRoundTrip) {
+    MERCURIAL_CHECK(checker_ != nullptr) << "cross-core checking requires a checker core";
+    MERCURIAL_CHECK_NE(primary_->id(), checker_->id());
+  }
+}
+
+StatusOr<std::vector<uint8_t>> SelfCheckingAes::Encrypt(const uint8_t key[kAesKeyBytes],
+                                                        uint64_t nonce,
+                                                        const std::vector<uint8_t>& plaintext) {
+  ++stats_.operations;
+  std::vector<uint8_t> ciphertext = CoreAesCtr(*primary_, key, nonce, plaintext);
+
+  switch (mode_) {
+    case CryptoCheckMode::kNone:
+      return ciphertext;
+    case CryptoCheckMode::kSameCoreRoundTrip: {
+      const std::vector<uint8_t> roundtrip = CoreAesCtr(*primary_, key, nonce, ciphertext);
+      if (roundtrip == plaintext) {
+        return ciphertext;  // NOTE: also succeeds under a self-inverting key schedule!
+      }
+      break;
+    }
+    case CryptoCheckMode::kCrossCoreRoundTrip: {
+      const std::vector<uint8_t> roundtrip = CoreAesCtr(*checker_, key, nonce, ciphertext);
+      if (roundtrip == plaintext) {
+        return ciphertext;
+      }
+      break;
+    }
+  }
+
+  // Check failed: a corruption was caught before the ciphertext escaped. Retry once on the
+  // checker core (or the primary, if there is no checker).
+  ++stats_.corruptions_caught;
+  ++stats_.retries;
+  SimCore& retry_core = checker_ != nullptr ? *checker_ : *primary_;
+  ciphertext = CoreAesCtr(retry_core, key, nonce, plaintext);
+  const std::vector<uint8_t> roundtrip = CoreAesCtr(retry_core, key, nonce, ciphertext);
+  if (roundtrip == plaintext) {
+    return ciphertext;
+  }
+  return DataLossError("encryption failed verification after retry");
+}
+
+StatusOr<std::vector<uint8_t>> CompressVerified(SimCore& core, const std::vector<uint8_t>& data,
+                                                SelfCheckStats* stats) {
+  if (stats != nullptr) {
+    ++stats->operations;
+  }
+  const std::vector<uint8_t> compressed = LzCompress(data);
+  const uint32_t want_crc = Crc32(data);
+  auto roundtrip = CoreLzDecompress(core, compressed);
+  if (roundtrip.ok() && Crc32(*roundtrip) == want_crc) {
+    return compressed;
+  }
+  if (stats != nullptr) {
+    ++stats->corruptions_caught;
+    ++stats->retries;
+  }
+  // The encoder output is host-golden, so a failed verify indicts the core's decode path;
+  // verify once more to distinguish persistent from sporadic corruption.
+  auto retry = CoreLzDecompress(core, compressed);
+  if (retry.ok() && Crc32(*retry) == want_crc) {
+    return compressed;
+  }
+  return DataLossError("compressed stream failed round-trip verification");
+}
+
+}  // namespace mercurial

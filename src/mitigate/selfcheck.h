@@ -1,0 +1,61 @@
+// Self-checking library functions (§7).
+//
+// "We have developed a few libraries with self-checking implementations of critical functions,
+// such as encryption and compression, where one CEE could have a large blast radius."
+//
+// SelfCheckingAes demonstrates why the *choice* of check matters: a same-core round trip
+// catches sporadic datapath corruption but is provably blind to the self-inverting
+// key-schedule defect (E10); a cross-core round trip catches both.
+
+#ifndef MERCURIAL_SRC_MITIGATE_SELFCHECK_H_
+#define MERCURIAL_SRC_MITIGATE_SELFCHECK_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/core.h"
+#include "src/substrate/aes.h"
+
+namespace mercurial {
+
+enum class CryptoCheckMode : uint8_t {
+  kNone = 0,           // no verification (fast, blind)
+  kSameCoreRoundTrip,  // decrypt on the SAME core and compare (blind to self-inverting AES)
+  kCrossCoreRoundTrip, // decrypt on a DIFFERENT core and compare
+};
+
+struct SelfCheckStats {
+  uint64_t operations = 0;
+  uint64_t corruptions_caught = 0;
+  uint64_t retries = 0;
+};
+
+class SelfCheckingAes {
+ public:
+  // `primary` encrypts; `checker` (may be null for kNone/kSameCoreRoundTrip) is the
+  // independent core used for cross-core verification.
+  SelfCheckingAes(SimCore* primary, SimCore* checker, CryptoCheckMode mode);
+
+  // AES-128-CTR encrypt with verification per `mode`. On a failed check, retries once on the
+  // checker core before giving up with DATA_LOSS.
+  StatusOr<std::vector<uint8_t>> Encrypt(const uint8_t key[kAesKeyBytes], uint64_t nonce,
+                                         const std::vector<uint8_t>& plaintext);
+
+  const SelfCheckStats& stats() const { return stats_; }
+
+ private:
+  SimCore* primary_;
+  SimCore* checker_;
+  CryptoCheckMode mode_;
+  SelfCheckStats stats_;
+};
+
+// Verified compression: compress (host-side encoder), then decode ON THE GIVEN CORE and
+// compare a CRC of the round trip before the compressed bytes are allowed to leave the
+// process. Catches decode-path corruption before externalization.
+StatusOr<std::vector<uint8_t>> CompressVerified(SimCore& core, const std::vector<uint8_t>& data,
+                                                SelfCheckStats* stats);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_MITIGATE_SELFCHECK_H_

@@ -1,0 +1,121 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+const char* CoreStateName(CoreState state) {
+  switch (state) {
+    case CoreState::kActive:
+      return "active";
+    case CoreState::kDraining:
+      return "draining";
+    case CoreState::kQuarantined:
+      return "quarantined";
+    case CoreState::kRetired:
+      return "retired";
+  }
+  return "unknown";
+}
+
+CoreScheduler::CoreScheduler(size_t core_count, SchedulerCosts costs)
+    : states_(core_count, CoreState::kActive), costs_(costs), active_count_(core_count) {}
+
+void CoreScheduler::SetState(uint64_t core, CoreState next) {
+  MERCURIAL_CHECK_LT(core, states_.size());
+  const CoreState prev = states_[core];
+  if (prev == next) {
+    return;
+  }
+  if (prev == CoreState::kActive) {
+    --active_count_;
+  }
+  if (prev == CoreState::kQuarantined) {
+    --quarantined_count_;
+  }
+  if (next == CoreState::kActive) {
+    ++active_count_;
+  }
+  if (next == CoreState::kQuarantined) {
+    ++quarantined_count_;
+  }
+  if (next == CoreState::kRetired) {
+    ++retired_count_;
+  }
+  states_[core] = next;
+}
+
+bool CoreScheduler::Drain(uint64_t core) {
+  if (states_[core] != CoreState::kActive) {
+    return false;
+  }
+  ++stats_.drains;
+  stats_.migration_cost_core_seconds += costs_.migrate_task_core_seconds * costs_.tasks_per_core;
+  SetState(core, CoreState::kDraining);
+  return true;
+}
+
+bool CoreScheduler::SurpriseRemove(uint64_t core) {
+  if (states_[core] != CoreState::kActive && states_[core] != CoreState::kDraining) {
+    return false;
+  }
+  ++stats_.surprise_removals;
+  stats_.lost_work_core_seconds += costs_.surprise_kill_core_seconds;
+  SetState(core, CoreState::kDraining);
+  return true;
+}
+
+void CoreScheduler::Quarantine(uint64_t core) {
+  MERCURIAL_CHECK(states_[core] == CoreState::kDraining || states_[core] == CoreState::kActive)
+      << "quarantining core in state " << CoreStateName(states_[core]);
+  if (states_[core] == CoreState::kActive) {
+    Drain(core);
+  }
+  ++stats_.quarantines;
+  SetState(core, CoreState::kQuarantined);
+}
+
+void CoreScheduler::Release(uint64_t core) {
+  MERCURIAL_CHECK(states_[core] == CoreState::kQuarantined || states_[core] == CoreState::kDraining)
+      << "releasing core in state " << CoreStateName(states_[core]);
+  ++stats_.releases;
+  SetState(core, CoreState::kActive);
+}
+
+void CoreScheduler::Retire(uint64_t core) {
+  MERCURIAL_CHECK_NE(static_cast<int>(states_[core]), static_cast<int>(CoreState::kRetired));
+  SetState(core, CoreState::kRetired);
+}
+
+void CoreScheduler::AccumulateStranding(SimTime dt) {
+  const double stranded = static_cast<double>(quarantined_count_ + retired_count_);
+  stats_.stranded_core_seconds += stranded * static_cast<double>(dt.seconds());
+}
+
+std::optional<uint64_t> CoreScheduler::NextActiveCore() {
+  if (active_count_ == 0) {
+    return std::nullopt;
+  }
+  for (size_t probe = 0; probe < states_.size(); ++probe) {
+    const uint64_t core = (rr_cursor_ + probe) % states_.size();
+    if (states_[core] == CoreState::kActive) {
+      rr_cursor_ = core + 1;
+      return core;
+    }
+  }
+  return std::nullopt;
+}
+
+bool TaskSafeOnCore(const std::vector<ExecUnit>& units_exercised,
+                    const std::vector<ExecUnit>& failed_units) {
+  for (ExecUnit used : units_exercised) {
+    if (std::find(failed_units.begin(), failed_units.end(), used) != failed_units.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mercurial

@@ -1,0 +1,105 @@
+// Core-granularity scheduling and isolation (§6.1).
+//
+// The paper notes that removing a whole machine is easy for existing schedulers, while
+// isolating a single core "undermines a scheduler assumption that all machines of a specific
+// type have identical resources". CoreScheduler tracks per-core schedulability, supports
+// core-surprise-removal (immediate, kills the running task: Shalev et al. [23]) and graceful
+// drain (migrates tasks first, at a cost), and accounts the capacity lost to quarantine —
+// the "wasted cores that are inappropriately isolated" side of the detection tradeoff.
+
+#ifndef MERCURIAL_SRC_SCHED_SCHEDULER_H_
+#define MERCURIAL_SRC_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/sim/exec_unit.h"
+
+namespace mercurial {
+
+enum class CoreState : uint8_t {
+  kActive = 0,     // schedulable
+  kDraining,       // being vacated for offline screening or quarantine
+  kQuarantined,    // isolated pending deeper analysis; can be released (false positive)
+  kRetired,        // permanently removed (confirmed mercurial)
+};
+
+const char* CoreStateName(CoreState state);
+
+struct SchedulerCosts {
+  // Core-seconds of capacity spent migrating one task off a core (checkpoint + move).
+  double migrate_task_core_seconds = 30.0;
+  // Tasks resident per core (how many migrations a drain costs).
+  double tasks_per_core = 2.0;
+  // Core-seconds of work lost when a core is surprise-removed (no checkpoint).
+  double surprise_kill_core_seconds = 600.0;
+};
+
+struct SchedulerStats {
+  uint64_t drains = 0;
+  uint64_t surprise_removals = 0;
+  uint64_t quarantines = 0;
+  uint64_t releases = 0;        // quarantined cores put back (false accusations cleared)
+  uint64_t retirements = 0;
+  double migration_cost_core_seconds = 0.0;
+  double lost_work_core_seconds = 0.0;
+  // Integral of (quarantined + retired cores) over time, in core-seconds: stranded capacity.
+  double stranded_core_seconds = 0.0;
+};
+
+class CoreScheduler {
+ public:
+  CoreScheduler(size_t core_count, SchedulerCosts costs);
+
+  size_t core_count() const { return states_.size(); }
+  CoreState state(uint64_t core) const { return states_[core]; }
+  bool Schedulable(uint64_t core) const { return states_[core] == CoreState::kActive; }
+  size_t active_count() const { return active_count_; }
+  size_t quarantined_count() const { return quarantined_count_; }
+  size_t retired_count() const { return retired_count_; }
+
+  // Graceful drain: pays migration costs, then the core is off the schedule. Returns false if
+  // the core is not active.
+  bool Drain(uint64_t core);
+
+  // Core surprise removal: immediate, loses in-flight work.
+  bool SurpriseRemove(uint64_t core);
+
+  // Drained/removed core -> quarantine (awaiting confession testing).
+  void Quarantine(uint64_t core);
+
+  // Quarantine verdicts.
+  void Release(uint64_t core);  // cleared: back to active
+  void Retire(uint64_t core);   // confirmed mercurial: permanent
+
+  // Accumulates stranded-capacity accounting for a tick of length `dt`.
+  void AccumulateStranding(SimTime dt);
+
+  const SchedulerStats& stats() const { return stats_; }
+
+  // Round-robin pick of the next active core, if any.
+  std::optional<uint64_t> NextActiveCore();
+
+ private:
+  void SetState(uint64_t core, CoreState next);
+
+  std::vector<CoreState> states_;
+  SchedulerCosts costs_;
+  SchedulerStats stats_;
+  size_t active_count_;
+  size_t quarantined_count_ = 0;
+  size_t retired_count_ = 0;
+  uint64_t rr_cursor_ = 0;
+};
+
+// §6.1's speculative placement: "identify a set of tasks that can run safely on a given
+// mercurial core (if these tasks avoid a defective execution unit)". True if the workload's
+// exercised units are disjoint from the core's known-failed units.
+bool TaskSafeOnCore(const std::vector<ExecUnit>& units_exercised,
+                    const std::vector<ExecUnit>& failed_units);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_SCHED_SCHEDULER_H_

@@ -1,0 +1,354 @@
+#include "src/sim/core.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/substrate/checksum.h"
+
+namespace mercurial {
+namespace {
+
+// Operand signature for data-pattern triggers: combines both operands so a trigger can key on
+// either; rotation keeps a/b asymmetric.
+inline uint64_t Signature(uint64_t a, uint64_t b) { return a ^ std::rotl(b, 1); }
+
+}  // namespace
+
+const char* ExecUnitName(ExecUnit unit) {
+  switch (unit) {
+    case ExecUnit::kIntAlu:
+      return "int_alu";
+    case ExecUnit::kIntMul:
+      return "int_mul";
+    case ExecUnit::kIntDiv:
+      return "int_div";
+    case ExecUnit::kLoad:
+      return "load";
+    case ExecUnit::kStore:
+      return "store";
+    case ExecUnit::kVector:
+      return "vector";
+    case ExecUnit::kAes:
+      return "aes";
+    case ExecUnit::kCrc:
+      return "crc";
+    case ExecUnit::kCopy:
+      return "copy";
+    case ExecUnit::kAtomic:
+      return "atomic";
+    case ExecUnit::kFp:
+      return "fp";
+  }
+  return "unknown";
+}
+
+uint64_t CoreCounters::TotalOps() const {
+  uint64_t total = 0;
+  for (uint64_t n : ops_per_unit) {
+    total += n;
+  }
+  return total;
+}
+
+SimCore::SimCore(uint64_t id, Rng rng) : id_(id), rng_(rng) {}
+
+void SimCore::AddDefect(DefectSpec spec) {
+  const auto unit_index = static_cast<size_t>(spec.unit);
+  MERCURIAL_CHECK_LT(unit_index, static_cast<size_t>(kExecUnitCount));
+  defects_.emplace_back(std::move(spec));
+  defects_by_unit_[unit_index].push_back(static_cast<uint16_t>(defects_.size() - 1));
+}
+
+bool SimCore::AnyDefectActive() const {
+  const Environment env = CurrentEnvironment();
+  for (const Defect& defect : defects_) {
+    if (defect.Active(env)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double SimCore::UnitFireProbability(ExecUnit unit) const {
+  const Environment env = CurrentEnvironment();
+  double max_p = 0.0;
+  for (uint16_t index : defects_by_unit_[static_cast<size_t>(unit)]) {
+    max_p = std::max(max_p, defects_[index].FireProbability(env));
+  }
+  return max_p;
+}
+
+Environment SimCore::CurrentEnvironment() const {
+  Environment env;
+  env.point = point_;
+  env.voltage = voltage();
+  env.age_years = age_.years();
+  return env;
+}
+
+void SimCore::Dispatch(const OpInfo& op, uint8_t* result, size_t size) {
+  ++counters_.ops_per_unit[static_cast<size_t>(op.unit)];
+  const auto& unit_defects = defects_by_unit_[static_cast<size_t>(op.unit)];
+  if (unit_defects.empty()) {
+    return;
+  }
+  const Environment env = CurrentEnvironment();
+  for (uint16_t index : unit_defects) {
+    const Defect& defect = defects_[index];
+    if (!defect.ShouldFire(op, env, rng_)) {
+      continue;
+    }
+    if (defect.spec().machine_check_fraction > 0.0 &&
+        rng_.Bernoulli(defect.spec().machine_check_fraction)) {
+      pending_machine_check_ = true;
+      ++counters_.machine_checks;
+      continue;
+    }
+    defect.CorruptBytes(op, result, size, rng_);
+    ++counters_.corruptions;
+  }
+}
+
+uint64_t SimCore::Alu(AluOp op, uint64_t a, uint64_t b) {
+  uint64_t result = 0;
+  switch (op) {
+    case AluOp::kAdd:
+      result = a + b;
+      break;
+    case AluOp::kSub:
+      result = a - b;
+      break;
+    case AluOp::kAnd:
+      result = a & b;
+      break;
+    case AluOp::kOr:
+      result = a | b;
+      break;
+    case AluOp::kXor:
+      result = a ^ b;
+      break;
+    case AluOp::kShl:
+      result = a << (b & 63);
+      break;
+    case AluOp::kShr:
+      result = a >> (b & 63);
+      break;
+    case AluOp::kRotl:
+      result = std::rotl(a, static_cast<int>(b & 63));
+      break;
+  }
+  Dispatch({ExecUnit::kIntAlu, static_cast<uint8_t>(op), Signature(a, b)},
+           reinterpret_cast<uint8_t*>(&result), sizeof(result));
+  return result;
+}
+
+uint64_t SimCore::Mul(uint64_t a, uint64_t b) {
+  uint64_t result = a * b;
+  Dispatch({ExecUnit::kIntMul, kMulOp, Signature(a, b)}, reinterpret_cast<uint8_t*>(&result),
+           sizeof(result));
+  return result;
+}
+
+uint64_t SimCore::Div(uint64_t a, uint64_t b) {
+  if (b == 0) {
+    pending_machine_check_ = true;
+    ++counters_.machine_checks;
+    return ~0ull;
+  }
+  uint64_t result = a / b;
+  Dispatch({ExecUnit::kIntDiv, kDivOp, Signature(a, b)}, reinterpret_cast<uint8_t*>(&result),
+           sizeof(result));
+  return result;
+}
+
+uint64_t SimCore::Load(uint64_t value) {
+  uint64_t result = value;
+  Dispatch({ExecUnit::kLoad, kMemOpWord, value}, reinterpret_cast<uint8_t*>(&result),
+           sizeof(result));
+  return result;
+}
+
+uint64_t SimCore::Store(uint64_t value) {
+  uint64_t result = value;
+  Dispatch({ExecUnit::kStore, kMemOpWord, value}, reinterpret_cast<uint8_t*>(&result),
+           sizeof(result));
+  return result;
+}
+
+Vec128 SimCore::Vector(VecOp op, Vec128 a, Vec128 b) {
+  Vec128 result;
+  switch (op) {
+    case VecOp::kXor:
+      result = {a.lo ^ b.lo, a.hi ^ b.hi};
+      break;
+    case VecOp::kAnd:
+      result = {a.lo & b.lo, a.hi & b.hi};
+      break;
+    case VecOp::kOr:
+      result = {a.lo | b.lo, a.hi | b.hi};
+      break;
+    case VecOp::kAdd64:
+      result = {a.lo + b.lo, a.hi + b.hi};
+      break;
+    case VecOp::kSub64:
+      result = {a.lo - b.lo, a.hi - b.hi};
+      break;
+  }
+  Dispatch({ExecUnit::kVector, static_cast<uint8_t>(op), Signature(a.lo ^ a.hi, b.lo ^ b.hi)},
+           reinterpret_cast<uint8_t*>(&result), sizeof(result));
+  return result;
+}
+
+double SimCore::Fp(FpOp op, double a, double b) {
+  double result = 0.0;
+  switch (op) {
+    case FpOp::kAdd:
+      result = a + b;
+      break;
+    case FpOp::kSub:
+      result = a - b;
+      break;
+    case FpOp::kMul:
+      result = a * b;
+      break;
+    case FpOp::kDiv:
+      result = a / b;
+      break;
+  }
+  uint64_t a_bits;
+  uint64_t b_bits;
+  std::memcpy(&a_bits, &a, 8);
+  std::memcpy(&b_bits, &b, 8);
+  Dispatch({ExecUnit::kFp, static_cast<uint8_t>(op), Signature(a_bits, b_bits)},
+           reinterpret_cast<uint8_t*>(&result), sizeof(result));
+  return result;
+}
+
+AesBlock SimCore::AesEnc(const AesBlock& state, const AesBlock& round_key, bool last) {
+  AesBlock result = AesEncRound(state, round_key, last);
+  uint64_t sig;
+  std::memcpy(&sig, state.data(), 8);
+  Dispatch({ExecUnit::kAes, kAesOpEncRound, sig}, result.data(), result.size());
+  return result;
+}
+
+AesBlock SimCore::AesDec(const AesBlock& state, const AesBlock& round_key, bool last) {
+  AesBlock result = AesDecRound(state, round_key, last);
+  uint64_t sig;
+  std::memcpy(&sig, state.data(), 8);
+  Dispatch({ExecUnit::kAes, kAesOpDecRound, sig}, result.data(), result.size());
+  return result;
+}
+
+uint8_t SimCore::AesRcon(int round) {
+  uint8_t rcon = StandardAesRcon(round);
+  ++counters_.ops_per_unit[static_cast<size_t>(ExecUnit::kAes)];
+  const auto& unit_defects = defects_by_unit_[static_cast<size_t>(ExecUnit::kAes)];
+  if (!unit_defects.empty()) {
+    const Environment env = CurrentEnvironment();
+    const OpInfo op{ExecUnit::kAes, kAesOpRcon, static_cast<uint64_t>(round)};
+    for (uint16_t index : unit_defects) {
+      const Defect& defect = defects_[index];
+      if (defect.spec().effect != DefectEffect::kRconCorrupt) {
+        continue;
+      }
+      if (defect.ShouldFire(op, env, rng_)) {
+        rcon = defect.CorruptRcon(rcon);
+        ++counters_.corruptions;
+      }
+    }
+  }
+  return rcon;
+}
+
+AesKeySchedule SimCore::ExpandKey(const uint8_t key[kAesKeyBytes]) {
+  return ExpandAesKey(key, [this](int round) { return AesRcon(round); });
+}
+
+uint32_t SimCore::Crc32Block(uint32_t crc, const uint8_t* data, size_t n) {
+  uint32_t result = crc;
+  for (size_t i = 0; i < n; ++i) {
+    result = Crc32Update(result, data[i]);
+  }
+  uint64_t sig = n == 0 ? 0 : Signature(data[0], n);
+  Dispatch({ExecUnit::kCrc, kCrcOpBlock, sig}, reinterpret_cast<uint8_t*>(&result),
+           sizeof(result));
+  return result;
+}
+
+void SimCore::Copy(uint8_t* dst, const uint8_t* src, size_t n) {
+  const auto& unit_defects = defects_by_unit_[static_cast<size_t>(ExecUnit::kCopy)];
+  const size_t chunks = (n + 7) / 8;
+  counters_.ops_per_unit[static_cast<size_t>(ExecUnit::kCopy)] += chunks;
+  if (unit_defects.empty()) {
+    std::memmove(dst, src, n);
+    return;
+  }
+  const Environment env = CurrentEnvironment();
+  size_t offset = 0;
+  while (offset < n) {
+    const size_t chunk = std::min<size_t>(8, n - offset);
+    uint8_t buffer[8];
+    std::memcpy(buffer, src + offset, chunk);
+    uint64_t sig = 0;
+    std::memcpy(&sig, buffer, chunk);
+    const OpInfo op{ExecUnit::kCopy, kCopyOpChunk, sig};
+    for (uint16_t index : unit_defects) {
+      const Defect& defect = defects_[index];
+      if (!defect.ShouldFire(op, env, rng_)) {
+        continue;
+      }
+      if (defect.spec().machine_check_fraction > 0.0 &&
+          rng_.Bernoulli(defect.spec().machine_check_fraction)) {
+        pending_machine_check_ = true;
+        ++counters_.machine_checks;
+        continue;
+      }
+      defect.CorruptBytes(op, buffer, chunk, rng_);
+      ++counters_.corruptions;
+    }
+    std::memcpy(dst + offset, buffer, chunk);
+    offset += chunk;
+  }
+}
+
+bool SimCore::Cas(uint64_t& target, uint64_t expected, uint64_t desired) {
+  ++counters_.ops_per_unit[static_cast<size_t>(ExecUnit::kAtomic)];
+  const bool would_succeed = target == expected;
+  const auto& unit_defects = defects_by_unit_[static_cast<size_t>(ExecUnit::kAtomic)];
+  if (!unit_defects.empty()) {
+    const Environment env = CurrentEnvironment();
+    const OpInfo op{ExecUnit::kAtomic, kAtomicOpCas, Signature(expected, desired)};
+    for (uint16_t index : unit_defects) {
+      const Defect& defect = defects_[index];
+      if (!defect.ShouldFire(op, env, rng_)) {
+        continue;
+      }
+      if (defect.spec().effect == DefectEffect::kCasDropStore && would_succeed) {
+        // Lock appears acquired/updated but memory never changed.
+        ++counters_.corruptions;
+        return true;
+      }
+      if (defect.spec().effect == DefectEffect::kCasPhantomStore && !would_succeed) {
+        // Store happens even though the compare failed.
+        target = desired;
+        ++counters_.corruptions;
+        return false;
+      }
+    }
+  }
+  if (would_succeed) {
+    target = desired;
+    return true;
+  }
+  return false;
+}
+
+bool SimCore::TakePendingMachineCheck() {
+  const bool pending = pending_machine_check_;
+  pending_machine_check_ = false;
+  return pending;
+}
+
+}  // namespace mercurial

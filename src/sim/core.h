@@ -1,0 +1,129 @@
+// SimCore: a simulated CPU core with injectable defects.
+//
+// Computations that must be corruptible are written against this micro-op API instead of raw
+// C++: each call dispatches to a named execution unit, the correct result is computed by the
+// golden substrate, and any defects planted on that unit get a chance to corrupt it. A core
+// with no defects is "healthy" and behaves exactly like the golden implementation (this is the
+// soundness basis for the fleet simulator's healthy-core fast path, see DESIGN.md §decision 1).
+//
+// Threading: a SimCore is confined to one thread (the whole simulator is single-threaded and
+// deterministic).
+
+#ifndef MERCURIAL_SRC_SIM_CORE_H_
+#define MERCURIAL_SRC_SIM_CORE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/sim/defect.h"
+#include "src/sim/exec_unit.h"
+#include "src/sim/operating_point.h"
+#include "src/substrate/aes.h"
+
+namespace mercurial {
+
+// Opcodes for units whose ops are not already enumerated in exec_unit.h.
+inline constexpr uint8_t kAesOpEncRound = 0;
+inline constexpr uint8_t kAesOpDecRound = 1;
+inline constexpr uint8_t kAesOpRcon = 2;
+inline constexpr uint8_t kMemOpWord = 0;
+inline constexpr uint8_t kCopyOpChunk = 0;
+inline constexpr uint8_t kCrcOpBlock = 0;
+inline constexpr uint8_t kAtomicOpCas = 0;
+inline constexpr uint8_t kMulOp = 0;
+inline constexpr uint8_t kDivOp = 0;
+
+struct CoreCounters {
+  std::array<uint64_t, kExecUnitCount> ops_per_unit{};
+  uint64_t corruptions = 0;      // silent wrong results produced
+  uint64_t machine_checks = 0;   // firings escalated to machine checks
+
+  uint64_t TotalOps() const;
+};
+
+class SimCore {
+ public:
+  // `id` is a fleet-unique identifier; `rng` should be an independent stream (Rng::Split).
+  SimCore(uint64_t id, Rng rng);
+
+  uint64_t id() const { return id_; }
+
+  // --- Defect management (fleet builder / tests) ------------------------------------------
+  void AddDefect(DefectSpec spec);
+  bool healthy() const { return defects_.empty(); }
+  const std::vector<Defect>& defects() const { return defects_; }
+  // True if any defect is past onset at the current age.
+  bool AnyDefectActive() const;
+  // Max per-op firing probability over defects afflicting `unit` in the current environment.
+  double UnitFireProbability(ExecUnit unit) const;
+
+  // --- Operating conditions ----------------------------------------------------------------
+  void set_operating_point(OperatingPoint point) { point_ = point; }
+  OperatingPoint operating_point() const { return point_; }
+  void set_dvfs(DvfsCurve curve) { dvfs_ = curve; }
+  double voltage() const { return dvfs_.VoltageAt(point_.frequency_ghz); }
+  void set_age(SimTime age) { age_ = age; }
+  SimTime age() const { return age_; }
+
+  // --- Micro-ops -----------------------------------------------------------------------------
+  uint64_t Alu(AluOp op, uint64_t a, uint64_t b);
+  uint64_t Mul(uint64_t a, uint64_t b);
+  // Division by zero returns all-ones and raises a machine check (fail-noisy, not UB).
+  uint64_t Div(uint64_t a, uint64_t b);
+  uint64_t Load(uint64_t value);
+  uint64_t Store(uint64_t value);
+  Vec128 Vector(VecOp op, Vec128 a, Vec128 b);
+  double Fp(FpOp op, double a, double b);
+
+  // AES unit. Enc/Dec match substrate AesEncRound/AesDecRound; Rcon is the key-expansion
+  // round-constant computation (the hook for the self-inverting defect).
+  AesBlock AesEnc(const AesBlock& state, const AesBlock& round_key, bool last);
+  AesBlock AesDec(const AesBlock& state, const AesBlock& round_key, bool last);
+  uint8_t AesRcon(int round);
+  // Convenience: key expansion with the rcon computation routed through this core.
+  AesKeySchedule ExpandKey(const uint8_t key[kAesKeyBytes]);
+
+  // CRC unit: one gated op per call over the whole block (correct value from the substrate).
+  uint32_t Crc32Block(uint32_t crc, const uint8_t* data, size_t n);
+
+  // Copy unit: copies `n` bytes in 8-byte chunks; a defect gets a chance per chunk, which is
+  // how "repeated bit-flips in strings at a particular bit position" arise.
+  void Copy(uint8_t* dst, const uint8_t* src, size_t n);
+
+  // Atomic unit: compare-and-swap on `target` with lock-semantics defects applied.
+  bool Cas(uint64_t& target, uint64_t expected, uint64_t desired);
+
+  // --- Telemetry -----------------------------------------------------------------------------
+  const CoreCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = CoreCounters{}; }
+
+  // Machine-check delivery: set when a defect escalates; consumed by the running task's
+  // harness (which typically kills the task and logs an MCE signal).
+  bool TakePendingMachineCheck();
+
+  Environment CurrentEnvironment() const;
+
+ private:
+  // Computes correct-result bookkeeping and (for defective cores) runs the defect gates.
+  // `result`/`size` point at the already-computed correct result bytes.
+  void Dispatch(const OpInfo& op, uint8_t* result, size_t size);
+
+  uint64_t id_;
+  Rng rng_;
+  std::vector<Defect> defects_;
+  // Indices into defects_ by unit, so healthy units skip the gate loop.
+  std::array<std::vector<uint16_t>, kExecUnitCount> defects_by_unit_;
+  OperatingPoint point_;
+  DvfsCurve dvfs_;
+  SimTime age_;
+  CoreCounters counters_;
+  bool pending_machine_check_ = false;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_SIM_CORE_H_

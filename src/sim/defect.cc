@@ -1,0 +1,99 @@
+#include "src/sim/defect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+bool Defect::Active(const Environment& env) const {
+  return env.age_years * 365.0 * 86400.0 >= static_cast<double>(spec_.aging.onset.seconds());
+}
+
+double Defect::FireProbability(const Environment& env) const {
+  if (!Active(env)) {
+    return 0.0;
+  }
+  const FvtSensitivity& s = spec_.fvt;
+  double rate = s.base_rate;
+  rate *= std::exp(s.freq_slope * (env.point.frequency_ghz - s.nominal_f));
+  rate *= std::exp(s.volt_slope * (s.nominal_v - env.voltage));
+  rate *= std::exp(s.temp_slope * (env.point.temperature_c - s.nominal_t) / 10.0);
+  const double onset_years =
+      static_cast<double>(spec_.aging.onset.seconds()) / (365.0 * 86400.0);
+  const double years_past_onset = env.age_years - onset_years;
+  if (years_past_onset > 0.0 && spec_.aging.growth_per_year != 0.0) {
+    rate *= std::pow(1.0 + spec_.aging.growth_per_year, years_past_onset);
+  }
+  return std::clamp(rate, 0.0, 1.0);
+}
+
+bool Defect::ShouldFire(const OpInfo& op, const Environment& env, Rng& rng) const {
+  if (op.unit != spec_.unit) {
+    return false;
+  }
+  if ((spec_.opcode_mask & (1ull << op.opcode)) == 0) {
+    return false;
+  }
+  if (!spec_.trigger.Matches(op.operand_signature)) {
+    return false;
+  }
+  const double p = FireProbability(env);
+  if (p <= 0.0) {
+    return false;
+  }
+  return rng.Bernoulli(p);
+}
+
+void Defect::CorruptBytes(const OpInfo& op, uint8_t* result, size_t size, Rng& rng) const {
+  MERCURIAL_CHECK_GT(size, 0u);
+  const size_t total_bits = size * 8;
+  switch (spec_.effect) {
+    case DefectEffect::kBitFlip:
+    case DefectEffect::kStuckSet:
+    case DefectEffect::kStuckClear: {
+      size_t bit = spec_.bit_index >= 0 ? static_cast<size_t>(spec_.bit_index) % total_bits
+                                        : static_cast<size_t>(rng.UniformInt(0, total_bits - 1));
+      const size_t byte = bit / 8;
+      const uint8_t mask = static_cast<uint8_t>(1u << (bit % 8));
+      if (spec_.effect == DefectEffect::kBitFlip) {
+        result[byte] ^= mask;
+      } else if (spec_.effect == DefectEffect::kStuckSet) {
+        result[byte] |= mask;
+      } else {
+        result[byte] &= static_cast<uint8_t>(~mask);
+      }
+      break;
+    }
+    case DefectEffect::kDeterministicWrong: {
+      // Same operands -> same wrong answer: derive the corruption from the operand signature
+      // and the defect's salt, never from the RNG.
+      uint64_t noise = Mix64(op.operand_signature ^ spec_.xor_mask ^ 0x5bd1e995u);
+      for (size_t i = 0; i < size; ++i) {
+        if (i % 8 == 0 && i != 0) {
+          noise = Mix64(noise);
+        }
+        result[i] ^= static_cast<uint8_t>(noise >> (8 * (i % 8)));
+      }
+      break;
+    }
+    case DefectEffect::kRandomWrong: {
+      uint64_t noise = rng.NextU64() | 1;  // never a no-op
+      for (size_t i = 0; i < size; ++i) {
+        if (i % 8 == 0 && i != 0) {
+          noise = rng.NextU64();
+        }
+        result[i] ^= static_cast<uint8_t>(noise >> (8 * (i % 8)));
+      }
+      break;
+    }
+    case DefectEffect::kCasDropStore:
+    case DefectEffect::kCasPhantomStore:
+    case DefectEffect::kRconCorrupt:
+      // Behavioral effects; handled by the core at the call site, not via byte corruption.
+      break;
+  }
+}
+
+}  // namespace mercurial

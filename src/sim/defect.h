@@ -1,0 +1,128 @@
+// Defect models — the mechanism by which a simulated core becomes "mercurial".
+//
+// A Defect is data-driven: a gate (which unit, which opcodes, which data patterns, and a
+// probability surface over f/V/T and age) plus an effect (how the result is corrupted). The
+// taxonomy mirrors §2 and §5 of the paper:
+//
+//   kBitFlip / kStuckSet / kStuckClear   "repeated bit-flips in strings at a particular bit
+//                                         position"
+//   kDeterministicWrong                  "in just a few cases, we can reproduce the errors
+//                                         deterministically" — same operands, same wrong answer
+//   kRandomWrong                         non-deterministic wrong results (most cases)
+//   kCasDropStore / kCasPhantomStore     "violations of lock semantics"
+//   kRconCorrupt                         the self-inverting AES miscomputation: the key
+//                                        expansion unit computes wrong round constants, so
+//                                        enc+dec on the same core is the identity while the
+//                                        ciphertext is gibberish to every other core
+//
+// Every gate evaluation is deterministic given the core's RNG stream, so whole-fleet studies
+// replay exactly.
+
+#ifndef MERCURIAL_SRC_SIM_DEFECT_H_
+#define MERCURIAL_SRC_SIM_DEFECT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/sim/exec_unit.h"
+#include "src/sim/operating_point.h"
+
+namespace mercurial {
+
+// Fires only when (operand_signature & mask) == value. mask == 0 fires on any operands —
+// data-pattern-dependent corruption (§2 "data patterns can affect corruption rates").
+struct DataTrigger {
+  uint64_t mask = 0;
+  uint64_t value = 0;
+
+  bool Matches(uint64_t signature) const { return (signature & mask) == value; }
+};
+
+// Log-linear probability surface over the environment. The per-op firing probability is
+//
+//   p = base_rate
+//       * exp(freq_slope * (f - nominal_f))        // >0: faster clock, more failures
+//       * exp(volt_slope * (nominal_v - v))        // >0: lower voltage, more failures
+//       * exp(temp_slope * (T - nominal_t) / 10)   // >0: hotter, more failures
+//       * aging multiplier
+//
+// clamped to [0, 1]. A frequency-insensitive defect sets all slopes to 0; the inverse-
+// frequency case is volt_slope > 0 combined with DVFS (§5).
+struct FvtSensitivity {
+  double base_rate = 1e-6;
+  double freq_slope = 0.0;
+  double volt_slope = 0.0;
+  double temp_slope = 0.0;
+  double nominal_f = 2.5;
+  double nominal_v = 0.9;
+  double nominal_t = 60.0;
+};
+
+// Latent-defect onset and wear-out (§2 "often get worse with time; we have some evidence that
+// aging is a factor"). Before `onset` the defect never fires; after, the rate is multiplied by
+// (1 + growth_per_year)^(years since onset).
+struct AgingProfile {
+  SimTime onset = SimTime::Seconds(0);
+  double growth_per_year = 0.0;
+};
+
+enum class DefectEffect : uint8_t {
+  kBitFlip,             // flip bit `bit_index` of the result (or a random bit if < 0)
+  kStuckSet,            // force bit `bit_index` to 1
+  kStuckClear,          // force bit `bit_index` to 0
+  kDeterministicWrong,  // replace result with a fixed wrong function of the operands
+  kRandomWrong,         // replace result with noise
+  kCasDropStore,        // CAS reports success but the store is lost
+  kCasPhantomStore,     // CAS reports failure but the store happened
+  kRconCorrupt,         // AES key expansion: rcon ^= xor_mask (deterministic)
+};
+
+struct DefectSpec {
+  std::string label;  // human-readable, e.g. "vector-bitflip-17"
+  ExecUnit unit = ExecUnit::kIntAlu;
+  // Opcode filter: fires only on ops whose opcode bit is set here. ~0 = all opcodes.
+  uint64_t opcode_mask = ~0ull;
+  DataTrigger trigger;
+  FvtSensitivity fvt;
+  AgingProfile aging;
+  DefectEffect effect = DefectEffect::kBitFlip;
+  int bit_index = -1;        // for bit effects; -1 draws a random bit per firing
+  uint64_t xor_mask = 0x10;  // for kRconCorrupt / kDeterministicWrong salt
+  // Fraction of firings that escalate to a machine check instead of silently corrupting
+  // (§2: "defective cores appear to exhibit both wrong results and exceptions").
+  double machine_check_fraction = 0.0;
+};
+
+// A planted defect: evaluates its gate and applies its effect. Stateless apart from the spec;
+// randomness comes from the owning core's stream.
+class Defect {
+ public:
+  explicit Defect(DefectSpec spec) : spec_(std::move(spec)) {}
+
+  const DefectSpec& spec() const { return spec_; }
+  ExecUnit unit() const { return spec_.unit; }
+
+  // True if the defect is active (past onset) in this environment.
+  bool Active(const Environment& env) const;
+
+  // Per-op firing probability in this environment (0 before onset).
+  double FireProbability(const Environment& env) const;
+
+  // Gate: opcode/data filters plus a Bernoulli draw on FireProbability.
+  bool ShouldFire(const OpInfo& op, const Environment& env, Rng& rng) const;
+
+  // Effect application for ordinary (byte-result) micro-ops.
+  void CorruptBytes(const OpInfo& op, uint8_t* result, size_t size, Rng& rng) const;
+
+  // Effect application for AES round-constant computation.
+  uint8_t CorruptRcon(uint8_t correct) const { return correct ^ static_cast<uint8_t>(spec_.xor_mask); }
+
+ private:
+  DefectSpec spec_;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_SIM_DEFECT_H_

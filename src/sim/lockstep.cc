@@ -1,0 +1,45 @@
+#include "src/sim/lockstep.h"
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+LockstepPair::LockstepPair(SimCore* primary, SimCore* shadow)
+    : primary_(primary), shadow_(shadow) {
+  MERCURIAL_CHECK(primary_ != nullptr);
+  MERCURIAL_CHECK(shadow_ != nullptr);
+  MERCURIAL_CHECK_NE(primary_->id(), shadow_->id());
+}
+
+uint64_t LockstepPair::Compare(uint64_t primary_result, uint64_t shadow_result) {
+  ++stats_.ops;
+  if (primary_result != shadow_result) {
+    ++stats_.divergences;
+    divergence_pending_ = true;
+  }
+  return primary_result;
+}
+
+uint64_t LockstepPair::Alu(AluOp op, uint64_t a, uint64_t b) {
+  return Compare(primary_->Alu(op, a, b), shadow_->Alu(op, a, b));
+}
+
+uint64_t LockstepPair::Mul(uint64_t a, uint64_t b) {
+  return Compare(primary_->Mul(a, b), shadow_->Mul(a, b));
+}
+
+uint64_t LockstepPair::Load(uint64_t value) {
+  return Compare(primary_->Load(value), shadow_->Load(value));
+}
+
+uint64_t LockstepPair::Store(uint64_t value) {
+  return Compare(primary_->Store(value), shadow_->Store(value));
+}
+
+bool LockstepPair::TakeDivergence() {
+  const bool pending = divergence_pending_;
+  divergence_pending_ = false;
+  return pending;
+}
+
+}  // namespace mercurial

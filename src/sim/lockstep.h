@@ -1,0 +1,56 @@
+// Lockstep core pairs (§6).
+//
+// "Hardware-based detection can work; e.g., some systems use pairs of cores in 'lockstep' to
+// detect if one fails, on the assumption that both failing at once is unlikely [26]."
+//
+// LockstepPair wraps two SimCores and executes every micro-op on both, comparing results
+// per-op — the hardware analog of DMR at instruction granularity. Detection is immediate
+// (the op that diverged is known exactly), coverage is total, and the cost is the §7.1 one:
+// every op is paid for twice, permanently. A detected divergence raises a machine-check on
+// the pair (fail-noisy, never silent), which is precisely the property the paper says CEEs
+// broke: lockstep restores fail-stop at 2x area/power.
+
+#ifndef MERCURIAL_SRC_SIM_LOCKSTEP_H_
+#define MERCURIAL_SRC_SIM_LOCKSTEP_H_
+
+#include <cstdint>
+
+#include "src/sim/core.h"
+
+namespace mercurial {
+
+struct LockstepStats {
+  uint64_t ops = 0;          // logical ops (each costs two physical executions)
+  uint64_t divergences = 0;  // per-op mismatches detected
+};
+
+class LockstepPair {
+ public:
+  // Neither core is owned. The cores should be configured identically (same DVFS/point).
+  LockstepPair(SimCore* primary, SimCore* shadow);
+
+  // Mirrored micro-ops: execute on both cores; on agreement return the value, on divergence
+  // record it, raise the pair's machine-check line, and return the primary's value (the
+  // hardware would halt; the caller observes the MCE via TakeDivergence).
+  uint64_t Alu(AluOp op, uint64_t a, uint64_t b);
+  uint64_t Mul(uint64_t a, uint64_t b);
+  uint64_t Load(uint64_t value);
+  uint64_t Store(uint64_t value);
+
+  // True when a divergence fired since the last call (consumes the flag, like a MCE line).
+  bool TakeDivergence();
+
+  const LockstepStats& stats() const { return stats_; }
+
+ private:
+  uint64_t Compare(uint64_t primary_result, uint64_t shadow_result);
+
+  SimCore* primary_;
+  SimCore* shadow_;
+  LockstepStats stats_;
+  bool divergence_pending_ = false;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_SIM_LOCKSTEP_H_

@@ -1,0 +1,50 @@
+// Operating conditions: frequency, voltage, temperature.
+//
+// Per the paper (§2 footnote 1), modern CPUs tightly couple frequency and voltage through
+// DVFS; users adjust (f, T) while V follows a product-specific curve. The simulator therefore
+// exposes an OperatingPoint of (frequency, temperature) and derives voltage from a DvfsCurve.
+// This coupling is what produces the paper's "surprising" §5 observation that *lowering*
+// frequency sometimes increases the failure rate: low f ⇒ low V ⇒ less margin for
+// voltage-sensitive defects.
+
+#ifndef MERCURIAL_SRC_SIM_OPERATING_POINT_H_
+#define MERCURIAL_SRC_SIM_OPERATING_POINT_H_
+
+namespace mercurial {
+
+struct OperatingPoint {
+  double frequency_ghz = 2.5;
+  double temperature_c = 60.0;
+
+  bool operator==(const OperatingPoint&) const = default;
+};
+
+// Linear V(f) between (f_min, v_min) and (f_max, v_max); clamped outside the range.
+struct DvfsCurve {
+  double f_min_ghz = 1.0;
+  double f_max_ghz = 3.5;
+  double v_min = 0.65;
+  double v_max = 1.10;
+
+  double VoltageAt(double frequency_ghz) const {
+    if (frequency_ghz <= f_min_ghz) {
+      return v_min;
+    }
+    if (frequency_ghz >= f_max_ghz) {
+      return v_max;
+    }
+    const double t = (frequency_ghz - f_min_ghz) / (f_max_ghz - f_min_ghz);
+    return v_min + t * (v_max - v_min);
+  }
+};
+
+// Everything a defect's probability surface may depend on, assembled by the core per op batch.
+struct Environment {
+  OperatingPoint point;
+  double voltage = 0.9;
+  double age_years = 0.0;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_SIM_OPERATING_POINT_H_

@@ -1,0 +1,315 @@
+#include "src/substrate/btree.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+namespace {
+
+// CLRS minimum degree t: nodes hold t-1..2t-1 keys.
+constexpr int kMinDegree = (BTree::kMaxKeys + 1) / 2;  // 4
+
+}  // namespace
+
+BTree::BTree() : root_(std::make_unique<Node>()) {}
+
+int BTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[0].get();
+    ++h;
+  }
+  return h;
+}
+
+void BTree::SplitChild(Node& parent, size_t index) {
+  Node& child = *parent.children[index];
+  MERCURIAL_CHECK_EQ(child.keys.size(), static_cast<size_t>(kMaxKeys));
+  auto right = std::make_unique<Node>();
+  right->leaf = child.leaf;
+
+  const size_t median = kMinDegree - 1;  // key that moves up
+  // Right node takes keys after the median.
+  right->keys.assign(child.keys.begin() + median + 1, child.keys.end());
+  right->values.assign(child.values.begin() + median + 1, child.values.end());
+  const uint64_t up_key = child.keys[median];
+  const uint64_t up_value = child.values[median];
+  child.keys.resize(median);
+  child.values.resize(median);
+  if (!child.leaf) {
+    for (size_t c = median + 1; c < child.children.size(); ++c) {
+      right->children.push_back(std::move(child.children[c]));
+    }
+    child.children.resize(median + 1);
+  }
+  parent.keys.insert(parent.keys.begin() + index, up_key);
+  parent.values.insert(parent.values.begin() + index, up_value);
+  parent.children.insert(parent.children.begin() + index + 1, std::move(right));
+}
+
+void BTree::InsertNonFull(Node& node, uint64_t key, uint64_t value) {
+  size_t idx = std::lower_bound(node.keys.begin(), node.keys.end(), key) - node.keys.begin();
+  if (idx < node.keys.size() && node.keys[idx] == key) {
+    node.values[idx] = value;  // overwrite
+    --size_;                   // caller pre-incremented
+    return;
+  }
+  if (node.leaf) {
+    node.keys.insert(node.keys.begin() + idx, key);
+    node.values.insert(node.values.begin() + idx, value);
+    return;
+  }
+  if (node.children[idx]->keys.size() == static_cast<size_t>(kMaxKeys)) {
+    SplitChild(node, idx);
+    if (key == node.keys[idx]) {
+      node.values[idx] = value;
+      --size_;
+      return;
+    }
+    if (key > node.keys[idx]) {
+      ++idx;
+    }
+  }
+  InsertNonFull(*node.children[idx], key, value);
+}
+
+void BTree::Insert(uint64_t key, uint64_t value) {
+  ++size_;
+  if (root_->keys.size() == static_cast<size_t>(kMaxKeys)) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(*root_, 0);
+  }
+  InsertNonFull(*root_, key, value);
+}
+
+std::optional<uint64_t> BTree::Lookup(uint64_t key) const {
+  return LookupThrough(key, [](uint64_t k) { return k; });
+}
+
+std::optional<uint64_t> BTree::LookupThrough(
+    uint64_t key, const std::function<uint64_t(uint64_t)>& probe) const {
+  const Node* node = root_.get();
+  while (true) {
+    size_t idx = 0;
+    while (idx < node->keys.size()) {
+      const uint64_t probed = probe(node->keys[idx]);
+      if (key == probed) {
+        return node->values[idx];
+      }
+      if (key < probed) {
+        break;
+      }
+      ++idx;
+    }
+    if (node->leaf) {
+      return std::nullopt;
+    }
+    node = node->children[idx].get();
+  }
+}
+
+void BTree::FillChild(Node& node, size_t index) {
+  Node& child = *node.children[index];
+  // Borrow from the left sibling.
+  if (index > 0 && node.children[index - 1]->keys.size() >= static_cast<size_t>(kMinDegree)) {
+    Node& left = *node.children[index - 1];
+    child.keys.insert(child.keys.begin(), node.keys[index - 1]);
+    child.values.insert(child.values.begin(), node.values[index - 1]);
+    node.keys[index - 1] = left.keys.back();
+    node.values[index - 1] = left.values.back();
+    left.keys.pop_back();
+    left.values.pop_back();
+    if (!child.leaf) {
+      child.children.insert(child.children.begin(), std::move(left.children.back()));
+      left.children.pop_back();
+    }
+    return;
+  }
+  // Borrow from the right sibling.
+  if (index + 1 < node.children.size() &&
+      node.children[index + 1]->keys.size() >= static_cast<size_t>(kMinDegree)) {
+    Node& right = *node.children[index + 1];
+    child.keys.push_back(node.keys[index]);
+    child.values.push_back(node.values[index]);
+    node.keys[index] = right.keys.front();
+    node.values[index] = right.values.front();
+    right.keys.erase(right.keys.begin());
+    right.values.erase(right.values.begin());
+    if (!child.leaf) {
+      child.children.push_back(std::move(right.children.front()));
+      right.children.erase(right.children.begin());
+    }
+    return;
+  }
+  // Merge with a sibling: fold node.keys[i] plus the right child into the left child.
+  const size_t merge_index = index + 1 < node.children.size() ? index : index - 1;
+  Node& left = *node.children[merge_index];
+  Node& right = *node.children[merge_index + 1];
+  left.keys.push_back(node.keys[merge_index]);
+  left.values.push_back(node.values[merge_index]);
+  left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+  left.values.insert(left.values.end(), right.values.begin(), right.values.end());
+  if (!left.leaf) {
+    for (auto& grandchild : right.children) {
+      left.children.push_back(std::move(grandchild));
+    }
+  }
+  node.keys.erase(node.keys.begin() + merge_index);
+  node.values.erase(node.values.begin() + merge_index);
+  node.children.erase(node.children.begin() + merge_index + 1);
+}
+
+bool BTree::EraseFrom(Node& node, uint64_t key) {
+  size_t idx = std::lower_bound(node.keys.begin(), node.keys.end(), key) - node.keys.begin();
+  if (idx < node.keys.size() && node.keys[idx] == key) {
+    if (node.leaf) {
+      node.keys.erase(node.keys.begin() + idx);
+      node.values.erase(node.values.begin() + idx);
+      return true;
+    }
+    Node& left = *node.children[idx];
+    Node& right = *node.children[idx + 1];
+    if (left.keys.size() >= static_cast<size_t>(kMinDegree)) {
+      // Replace with the in-order predecessor, then erase it below.
+      const Node* cur = &left;
+      while (!cur->leaf) {
+        cur = cur->children.back().get();
+      }
+      node.keys[idx] = cur->keys.back();
+      node.values[idx] = cur->values.back();
+      return EraseFrom(left, node.keys[idx]);
+    }
+    if (right.keys.size() >= static_cast<size_t>(kMinDegree)) {
+      const Node* cur = &right;
+      while (!cur->leaf) {
+        cur = cur->children.front().get();
+      }
+      node.keys[idx] = cur->keys.front();
+      node.values[idx] = cur->values.front();
+      return EraseFrom(right, node.keys[idx]);
+    }
+    // Both siblings minimal: merge around the key and erase from the merged child.
+    left.keys.push_back(node.keys[idx]);
+    left.values.push_back(node.values[idx]);
+    left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+    left.values.insert(left.values.end(), right.values.begin(), right.values.end());
+    if (!left.leaf) {
+      for (auto& grandchild : right.children) {
+        left.children.push_back(std::move(grandchild));
+      }
+    }
+    node.keys.erase(node.keys.begin() + idx);
+    node.values.erase(node.values.begin() + idx);
+    node.children.erase(node.children.begin() + idx + 1);
+    return EraseFrom(*node.children[idx], key);
+  }
+  if (node.leaf) {
+    return false;
+  }
+  const bool was_last = idx == node.keys.size();
+  if (node.children[idx]->keys.size() < static_cast<size_t>(kMinDegree)) {
+    FillChild(node, idx);
+  }
+  // A merge may have shifted the target child left.
+  if (was_last && idx > node.keys.size()) {
+    return EraseFrom(*node.children[idx - 1], key);
+  }
+  return EraseFrom(*node.children[std::min(idx, node.children.size() - 1)], key);
+}
+
+bool BTree::Erase(uint64_t key) {
+  const bool erased = EraseFrom(*root_, key);
+  if (erased) {
+    --size_;
+  }
+  if (!root_->leaf && root_->keys.empty()) {
+    root_ = std::move(root_->children[0]);
+  }
+  return erased;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> BTree::Scan(uint64_t lo, uint64_t hi) const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  // In-order traversal; subtree i (keys strictly between keys[i-1] and keys[i]) is pruned
+  // when it cannot intersect [lo, hi].
+  const std::function<void(const Node&)> visit = [&](const Node& node) {
+    for (size_t i = 0; i <= node.keys.size(); ++i) {
+      if (!node.leaf) {
+        const bool not_all_above = i == 0 || node.keys[i - 1] <= hi;
+        const bool not_all_below = i == node.keys.size() || node.keys[i] >= lo;
+        if (not_all_above && not_all_below) {
+          visit(*node.children[i]);
+        }
+      }
+      if (i < node.keys.size() && node.keys[i] >= lo && node.keys[i] <= hi) {
+        out.emplace_back(node.keys[i], node.values[i]);
+      }
+    }
+  };
+  visit(*root_);
+  return out;
+}
+
+Status BTree::CheckNode(const Node& node, bool is_root, int depth, int leaf_depth,
+                        std::optional<uint64_t> lo, std::optional<uint64_t> hi) const {
+  if (node.keys.size() > static_cast<size_t>(kMaxKeys)) {
+    return InternalError("node exceeds kMaxKeys");
+  }
+  if (!is_root && node.keys.size() < static_cast<size_t>(kMinKeys)) {
+    return InternalError("non-root node below kMinKeys");
+  }
+  if (node.keys.size() != node.values.size()) {
+    return InternalError("keys/values size mismatch");
+  }
+  for (size_t i = 0; i + 1 < node.keys.size(); ++i) {
+    if (node.keys[i] >= node.keys[i + 1]) {
+      return InternalError("keys not strictly increasing within node");
+    }
+  }
+  for (uint64_t key : node.keys) {
+    if ((lo.has_value() && key <= *lo) || (hi.has_value() && key >= *hi)) {
+      return InternalError("key escapes its subtree bounds");
+    }
+  }
+  if (node.leaf) {
+    if (depth != leaf_depth) {
+      return InternalError("leaves at differing depths");
+    }
+    if (!node.children.empty()) {
+      return InternalError("leaf with children");
+    }
+    return Status::Ok();
+  }
+  if (node.children.size() != node.keys.size() + 1) {
+    return InternalError("interior node child count != keys + 1");
+  }
+  for (size_t c = 0; c < node.children.size(); ++c) {
+    const std::optional<uint64_t> child_lo = c == 0 ? lo : std::optional<uint64_t>(node.keys[c - 1]);
+    const std::optional<uint64_t> child_hi =
+        c == node.keys.size() ? hi : std::optional<uint64_t>(node.keys[c]);
+    const Status status =
+        CheckNode(*node.children[c], false, depth + 1, leaf_depth, child_lo, child_hi);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BTree::CheckInvariants() const {
+  // Compute the leaf depth from the leftmost path, then verify everything against it.
+  int leaf_depth = 0;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[0].get();
+    ++leaf_depth;
+  }
+  return CheckNode(*root_, /*is_root=*/true, 0, leaf_depth, std::nullopt, std::nullopt);
+}
+
+}  // namespace mercurial

@@ -1,0 +1,81 @@
+// A B-tree ordered index (golden implementation).
+//
+// The paper's §2 incident list includes "database index corruption leading to some queries,
+// depending on which replica (core) serves them, being non-deterministically corrupted". This
+// is the index that corruption afflicts: a classic disk-style B-tree with fixed fanout,
+// uint64 keys and values, supporting insert, point lookup, deletion-by-tombstone, and ordered
+// range scans. The db_index workload walks it with core-routed loads so a defective load unit
+// misroutes real searches.
+//
+// Structural invariants (checked by CheckInvariants, used by property tests):
+//   * every node except the root has >= kMinKeys keys; all nodes have <= kMaxKeys;
+//   * keys within a node are strictly increasing;
+//   * child subtree key ranges nest strictly between their separators;
+//   * all leaves are at the same depth.
+
+#ifndef MERCURIAL_SRC_SUBSTRATE_BTREE_H_
+#define MERCURIAL_SRC_SUBSTRATE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mercurial {
+
+class BTree {
+ public:
+  static constexpr int kMaxKeys = 7;   // fanout 8
+  static constexpr int kMinKeys = kMaxKeys / 2;
+
+  BTree();
+
+  // Inserts or overwrites.
+  void Insert(uint64_t key, uint64_t value);
+
+  // Point lookup.
+  std::optional<uint64_t> Lookup(uint64_t key) const;
+
+  // Removes a key; returns true if it was present. (Tombstone-free: real rebalancing.)
+  bool Erase(uint64_t key);
+
+  // Ordered scan of [lo, hi] inclusive.
+  std::vector<std::pair<uint64_t, uint64_t>> Scan(uint64_t lo, uint64_t hi) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+
+  // Validates all structural invariants; returns the violation as a status message.
+  Status CheckInvariants() const;
+
+  // Instrumented lookup: every visited key is first passed through `probe` (the hook the
+  // core-routed workload uses to send comparisons through a SimCore's load unit). A corrupted
+  // probe value misdirects the descent exactly like corrupted index metadata would.
+  std::optional<uint64_t> LookupThrough(uint64_t key,
+                                        const std::function<uint64_t(uint64_t)>& probe) const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> values;                 // payloads, parallel to keys (all nodes)
+    std::vector<std::unique_ptr<Node>> children;  // interior: keys.size() + 1 children
+  };
+
+  void SplitChild(Node& parent, size_t index);
+  void InsertNonFull(Node& node, uint64_t key, uint64_t value);
+  bool EraseFrom(Node& node, uint64_t key);
+  void FillChild(Node& node, size_t index);
+  Status CheckNode(const Node& node, bool is_root, int depth, int leaf_depth,
+                   std::optional<uint64_t> lo, std::optional<uint64_t> hi) const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_SUBSTRATE_BTREE_H_

@@ -1,0 +1,136 @@
+#include "src/substrate/lz.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mercurial {
+namespace {
+
+constexpr size_t kHashBits = 13;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr int kMaxProbes = 16;
+
+inline uint32_t Hash3(const uint8_t* p) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(const std::vector<uint8_t>& input, size_t start, size_t end,
+                  std::vector<uint8_t>& out) {
+  size_t i = start;
+  while (i < end) {
+    const size_t run = std::min<size_t>(end - i, 128);
+    out.push_back(static_cast<uint8_t>(run - 1));
+    out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(i),
+               input.begin() + static_cast<ptrdiff_t>(i + run));
+    i += run;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  const size_t n = input.size();
+  if (n < kLzMinMatch) {
+    EmitLiterals(input, 0, n, out);
+    return out;
+  }
+
+  // head[h] = most recent position with hash h; chain[pos % window] = previous position.
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> chain(std::min<size_t>(n, kLzWindow + 1), -1);
+
+  auto insert = [&](size_t pos) {
+    const uint32_t h = Hash3(&input[pos]);
+    chain[pos % chain.size()] = head[h];
+    head[h] = static_cast<int64_t>(pos);
+  };
+
+  size_t literal_start = 0;
+  size_t i = 0;
+  while (i + kLzMinMatch <= n) {
+    // Find the best match at i among recent positions with the same 3-byte hash.
+    size_t best_len = 0;
+    size_t best_offset = 0;
+    int64_t candidate = head[Hash3(&input[i])];
+    for (int probe = 0; probe < kMaxProbes && candidate >= 0; ++probe) {
+      const size_t cand = static_cast<size_t>(candidate);
+      if (i - cand > kLzWindow) {
+        break;
+      }
+      const size_t limit = std::min(n - i, kLzMaxMatch);
+      size_t len = 0;
+      while (len < limit && input[cand + len] == input[i + len]) {
+        ++len;
+      }
+      if (len >= kLzMinMatch && len > best_len) {
+        best_len = len;
+        best_offset = i - cand;
+        if (len == kLzMaxMatch) {
+          break;
+        }
+      }
+      candidate = chain[cand % chain.size()];
+    }
+
+    if (best_len >= kLzMinMatch) {
+      EmitLiterals(input, literal_start, i, out);
+      out.push_back(static_cast<uint8_t>(0x80 | (best_len - kLzMinMatch)));
+      out.push_back(static_cast<uint8_t>(best_offset & 0xff));
+      out.push_back(static_cast<uint8_t>(best_offset >> 8));
+      const size_t match_end = i + best_len;
+      while (i < match_end && i + kLzMinMatch <= n) {
+        insert(i);
+        ++i;
+      }
+      i = match_end;
+      literal_start = i;
+    } else {
+      insert(i);
+      ++i;
+    }
+  }
+  EmitLiterals(input, literal_start, n, out);
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> LzDecompress(const std::vector<uint8_t>& compressed) {
+  std::vector<uint8_t> out;
+  out.reserve(compressed.size() * 2);
+  size_t i = 0;
+  const size_t n = compressed.size();
+  while (i < n) {
+    const uint8_t token = compressed[i++];
+    if (token < 0x80) {
+      const size_t run = static_cast<size_t>(token) + 1;
+      if (i + run > n) {
+        return DataLossError("literal run overflows stream");
+      }
+      out.insert(out.end(), compressed.begin() + static_cast<ptrdiff_t>(i),
+                 compressed.begin() + static_cast<ptrdiff_t>(i + run));
+      i += run;
+    } else {
+      if (i + 2 > n) {
+        return DataLossError("truncated match token");
+      }
+      const size_t length = static_cast<size_t>(token & 0x7f) + kLzMinMatch;
+      const size_t offset =
+          static_cast<size_t>(compressed[i]) | (static_cast<size_t>(compressed[i + 1]) << 8);
+      i += 2;
+      if (offset == 0 || offset > out.size()) {
+        return DataLossError("match offset out of range");
+      }
+      // Byte-by-byte copy supports overlapping matches (RLE-style).
+      const size_t start = out.size() - offset;
+      for (size_t k = 0; k < length; ++k) {
+        out.push_back(out[start + k]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mercurial

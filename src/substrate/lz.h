@@ -1,0 +1,39 @@
+// A small, self-contained LZ77-family byte compressor (golden implementation).
+//
+// The format is deliberately simple so the core-routed variant in src/workload can mirror it
+// op-for-op:
+//
+//   token byte T:
+//     T < 0x80  -> literal run: the next (T + 1) bytes are literals        (runs of 1..128)
+//     T >= 0x80 -> match: length = (T & 0x7f) + kMinMatch, followed by a little-endian 2-byte
+//                  offset D (1 <= D <= 65535) meaning "copy length bytes from output-D"
+//
+// Compression uses a 3-byte hash head table with bounded chain probing; it is greedy and
+// deterministic. Decompression validates offsets/lengths and reports corruption as a Status,
+// which is exactly the property the compression workload exploits: a corrupted compressed
+// stream is usually *detected* (decode error), while corruption of literals is *silent* until
+// a checksum is consulted.
+
+#ifndef MERCURIAL_SRC_SUBSTRATE_LZ_H_
+#define MERCURIAL_SRC_SUBSTRATE_LZ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mercurial {
+
+inline constexpr size_t kLzMinMatch = 4;
+inline constexpr size_t kLzMaxMatch = 0x7f + kLzMinMatch;
+inline constexpr size_t kLzWindow = 65535;
+
+// Compresses `input`; always succeeds (worst case ~1/128 expansion plus token bytes).
+std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input);
+
+// Decompresses; returns DATA_LOSS on any malformed token/offset/length.
+StatusOr<std::vector<uint8_t>> LzDecompress(const std::vector<uint8_t>& compressed);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_SUBSTRATE_LZ_H_

@@ -1,0 +1,109 @@
+#include "src/substrate/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    m.at(i, i) = 1.0;
+  }
+  return m;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  MERCURIAL_CHECK(SameShape(other));
+  double max_diff = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) {
+    sum += v * v;
+  }
+  return std::sqrt(sum);
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  MERCURIAL_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+StatusOr<LuFactors> LuFactorize(const Matrix& a) {
+  MERCURIAL_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  Matrix u = a;
+  Matrix l = Matrix::Identity(n);
+  std::vector<size_t> pivots(n);
+  for (size_t i = 0; i < n; ++i) {
+    pivots[i] = i;
+  }
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivot: find the largest |u(i,k)| for i >= k.
+    size_t pivot_row = k;
+    double pivot_value = std::fabs(u.at(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      const double candidate = std::fabs(u.at(i, k));
+      if (candidate > pivot_value) {
+        pivot_value = candidate;
+        pivot_row = i;
+      }
+    }
+    if (pivot_value < 1e-12) {
+      return FailedPreconditionError("matrix is singular to working precision");
+    }
+    if (pivot_row != k) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(u.at(k, j), u.at(pivot_row, j));
+      }
+      for (size_t j = 0; j < k; ++j) {
+        std::swap(l.at(k, j), l.at(pivot_row, j));
+      }
+      std::swap(pivots[k], pivots[pivot_row]);
+    }
+    for (size_t i = k + 1; i < n; ++i) {
+      const double factor = u.at(i, k) / u.at(k, k);
+      l.at(i, k) = factor;
+      for (size_t j = k; j < n; ++j) {
+        u.at(i, j) -= factor * u.at(k, j);
+      }
+    }
+  }
+  return LuFactors{std::move(l), std::move(u), std::move(pivots)};
+}
+
+Matrix LuReconstruct(const LuFactors& factors) { return Multiply(factors.lower, factors.upper); }
+
+Matrix PermuteRows(const Matrix& a, const std::vector<size_t>& pivots) {
+  MERCURIAL_CHECK_EQ(a.rows(), pivots.size());
+  Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      out.at(i, j) = a.at(pivots[i], j);
+    }
+  }
+  return out;
+}
+
+}  // namespace mercurial

@@ -1,0 +1,68 @@
+// Dense double-precision matrix kernels (golden implementations) used by the ABFT
+// (algorithm-based fault tolerance) mitigation layer and by the matmul workload.
+
+#ifndef MERCURIAL_SRC_SUBSTRATE_MATRIX_H_
+#define MERCURIAL_SRC_SUBSTRATE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mercurial {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // Max absolute elementwise difference; CHECKs on shape mismatch.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  double FrobeniusNorm() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+// C = A * B (naive triple loop). CHECKs on dimension mismatch.
+Matrix Multiply(const Matrix& a, const Matrix& b);
+
+// Result of LU factorization with partial pivoting: P*A = L*U, `pivots` holds the row
+// permutation (pivots[i] = source row of row i).
+struct LuFactors {
+  Matrix lower;
+  Matrix upper;
+  std::vector<size_t> pivots;
+};
+
+// Doolittle LU with partial pivoting; returns FAILED_PRECONDITION for (near-)singular input.
+StatusOr<LuFactors> LuFactorize(const Matrix& a);
+
+// Reconstructs P*A from factors (for verification).
+Matrix LuReconstruct(const LuFactors& factors);
+
+// Applies factors.pivots to a matrix's rows: out.row(i) = a.row(pivots[i]).
+Matrix PermuteRows(const Matrix& a, const std::vector<size_t>& pivots);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_SUBSTRATE_MATRIX_H_

@@ -1,0 +1,144 @@
+#include "src/substrate/reed_solomon.h"
+
+#include "src/common/logging.h"
+#include "src/substrate/aes.h"
+
+namespace mercurial {
+namespace {
+
+// exp/log tables over the AES field; 0x03 generates the multiplicative group.
+struct Gf256Tables {
+  uint8_t exp[512];
+  uint8_t log[256];
+
+  Gf256Tables() {
+    uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = x;
+      log[x] = static_cast<uint8_t>(i);
+      x = AesGfMul(x, 0x03);
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[i] = exp[i - 255];
+    }
+    log[0] = 0;  // never consulted: multiplication by zero short-circuits
+  }
+};
+
+const Gf256Tables kTables;
+
+// Evaluates the Lagrange basis polynomial L_i over points xs at x:
+//   L_i(x) = prod_{j != i} (x - xs[j]) / (xs[i] - xs[j])      (subtraction == XOR in GF(2^8))
+uint8_t LagrangeBasisAt(const std::vector<uint8_t>& xs, size_t i, uint8_t x) {
+  uint8_t numerator = 1;
+  uint8_t denominator = 1;
+  for (size_t j = 0; j < xs.size(); ++j) {
+    if (j == i) {
+      continue;
+    }
+    numerator = Gf256Mul(numerator, x ^ xs[j]);
+    denominator = Gf256Mul(denominator, xs[i] ^ xs[j]);
+  }
+  return Gf256Mul(numerator, Gf256Inv(denominator));
+}
+
+}  // namespace
+
+uint8_t Gf256Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return kTables.exp[kTables.log[a] + kTables.log[b]];
+}
+
+uint8_t Gf256Inv(uint8_t a) {
+  MERCURIAL_CHECK_NE(static_cast<int>(a), 0) << "zero has no inverse in GF(2^8)";
+  return kTables.exp[255 - kTables.log[a]];
+}
+
+std::vector<std::vector<uint8_t>> RsEncode(const std::vector<std::vector<uint8_t>>& data_shards,
+                                           int parity_count) {
+  const int k = static_cast<int>(data_shards.size());
+  MERCURIAL_CHECK_GE(k, 1);
+  MERCURIAL_CHECK_GE(parity_count, 0);
+  MERCURIAL_CHECK_LE(k + parity_count, 255);
+  const size_t shard_bytes = data_shards[0].size();
+  for (const auto& shard : data_shards) {
+    MERCURIAL_CHECK_EQ(shard.size(), shard_bytes) << "shards must be equal length";
+  }
+
+  std::vector<uint8_t> xs(k);
+  for (int i = 0; i < k; ++i) {
+    xs[i] = static_cast<uint8_t>(i);
+  }
+
+  std::vector<std::vector<uint8_t>> parity(parity_count,
+                                           std::vector<uint8_t>(shard_bytes, 0));
+  for (int j = 0; j < parity_count; ++j) {
+    const auto x = static_cast<uint8_t>(k + j);
+    // Precompute the Lagrange coefficients once per parity shard; they are byte-independent.
+    std::vector<uint8_t> coefficients(k);
+    for (int i = 0; i < k; ++i) {
+      coefficients[i] = LagrangeBasisAt(xs, static_cast<size_t>(i), x);
+    }
+    for (size_t b = 0; b < shard_bytes; ++b) {
+      uint8_t acc = 0;
+      for (int i = 0; i < k; ++i) {
+        acc ^= Gf256Mul(coefficients[i], data_shards[i][b]);
+      }
+      parity[j][b] = acc;
+    }
+  }
+  return parity;
+}
+
+StatusOr<std::vector<std::vector<uint8_t>>> RsReconstruct(
+    const std::vector<std::optional<std::vector<uint8_t>>>& shards, int data_count) {
+  const int n = static_cast<int>(shards.size());
+  MERCURIAL_CHECK_GE(data_count, 1);
+  MERCURIAL_CHECK_LE(data_count, n);
+
+  // Gather the first k surviving shards (any k suffice).
+  std::vector<uint8_t> xs;
+  std::vector<const std::vector<uint8_t>*> known;
+  for (int i = 0; i < n && static_cast<int>(known.size()) < data_count; ++i) {
+    if (shards[i].has_value()) {
+      xs.push_back(static_cast<uint8_t>(i));
+      known.push_back(&*shards[i]);
+    }
+  }
+  if (static_cast<int>(known.size()) < data_count) {
+    return DataLossError("fewer surviving shards than data shards");
+  }
+  const size_t shard_bytes = known[0]->size();
+  for (const auto* shard : known) {
+    if (shard->size() != shard_bytes) {
+      return DataLossError("surviving shards have mismatched lengths");
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> data(data_count);
+  for (int target = 0; target < data_count; ++target) {
+    if (shards[target].has_value()) {
+      data[target] = *shards[target];  // systematic shard survived: no math needed
+      continue;
+    }
+    const auto x = static_cast<uint8_t>(target);
+    std::vector<uint8_t> coefficients(known.size());
+    for (size_t i = 0; i < known.size(); ++i) {
+      coefficients[i] = LagrangeBasisAt(xs, i, x);
+    }
+    std::vector<uint8_t> shard(shard_bytes, 0);
+    for (size_t b = 0; b < shard_bytes; ++b) {
+      uint8_t acc = 0;
+      for (size_t i = 0; i < known.size(); ++i) {
+        acc ^= Gf256Mul(coefficients[i], (*known[i])[b]);
+      }
+      shard[b] = acc;
+    }
+    data[target] = std::move(shard);
+  }
+  return data;
+}
+
+}  // namespace mercurial

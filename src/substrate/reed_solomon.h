@@ -1,0 +1,45 @@
+// Reed-Solomon erasure coding over GF(2^8) (golden implementation).
+//
+// §3: "We have solved storage-failure problems via redundancy, using techniques such as
+// erasure coding, ECC, or end-to-end checksums." This is the erasure-coding leg: a systematic
+// RS code with k data shards and m parity shards that reconstructs the data from ANY k intact
+// shards — tolerating m corrupt/missing shards at (k+m)/k storage overhead, versus r-way
+// replication's r overhead.
+//
+// Construction: byte position b across the shards defines the unique polynomial p_b of degree
+// < k with p_b(x_i) = data_i[b] at evaluation points x_i = i for i < k (systematic by
+// construction); parity shard j stores p_b(x_{k+j}). Reconstruction is Lagrange interpolation
+// from any k known points. Erasure decoding only: corrupt-but-present shards must be screened
+// out by their per-shard CRC first (which is how storage systems actually use RS).
+//
+// The field uses the AES polynomial (0x11B) so GF arithmetic is shared with src/substrate/aes.
+
+#ifndef MERCURIAL_SRC_SUBSTRATE_REED_SOLOMON_H_
+#define MERCURIAL_SRC_SUBSTRATE_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mercurial {
+
+// GF(2^8) helpers (AES polynomial), table-driven.
+uint8_t Gf256Mul(uint8_t a, uint8_t b);
+uint8_t Gf256Inv(uint8_t a);  // CHECKs a != 0
+
+// Encodes `data_shards` (k equal-length shards) into `parity_count` parity shards. Requires
+// 1 <= k, 0 <= m, k + m <= 255.
+std::vector<std::vector<uint8_t>> RsEncode(const std::vector<std::vector<uint8_t>>& data_shards,
+                                           int parity_count);
+
+// Reconstructs the k data shards from any k present shards. `shards` has k + m entries in
+// index order (data first, then parity); absent/corrupt shards are nullopt. Returns
+// DATA_LOSS when fewer than k shards survive.
+StatusOr<std::vector<std::vector<uint8_t>>> RsReconstruct(
+    const std::vector<std::optional<std::vector<uint8_t>>>& shards, int data_count);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_SUBSTRATE_REED_SOLOMON_H_

@@ -1,0 +1,54 @@
+#include "src/telemetry/metrics.h"
+
+namespace mercurial {
+
+void MetricRegistry::Increment(const std::string& name, uint64_t delta) {
+  counters_[name] += delta;
+}
+
+uint64_t MetricRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+TimeSeries& MetricRegistry::Series(const std::string& name, SimTime period) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(period)).first;
+  }
+  return it->second;
+}
+
+const TimeSeries* MetricRegistry::FindSeries(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+Histogram& MetricRegistry::Histo(const std::string& name, double lo, double hi, size_t buckets) {
+  auto it = histos_.find(name);
+  if (it == histos_.end()) {
+    it = histos_.emplace(name, Histogram(lo, hi, buckets)).first;
+  }
+  return it->second;
+}
+
+const Histogram* MetricRegistry::FindHisto(const std::string& name) const {
+  auto it = histos_.find(name);
+  return it == histos_.end() ? nullptr : &it->second;
+}
+
+void MetricRegistry::Dump(std::FILE* stream) const {
+  for (const auto& [name, value] : counters_) {
+    std::fprintf(stream, "counter %-48s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, histo] : histos_) {
+    std::fprintf(stream, "histo   %-48s %s\n", name.c_str(), histo.ToString().c_str());
+  }
+  for (const auto& [name, ts] : series_) {
+    std::fprintf(stream, "series  %-48s buckets=%zu total=%.4g\n", name.c_str(),
+                 ts.bucket_count(), ts.total());
+  }
+}
+
+}  // namespace mercurial

@@ -1,0 +1,50 @@
+// Metric registry: named counters, histograms, and time series (§4).
+//
+// "Improvements in system reliability are often driven by metrics, but we have struggled to
+// define useful metrics for CEE." The registry implements the candidates §4 proposes: the
+// fraction of cores/machines exhibiting CEEs, age until onset, and the rate/nature of
+// application-visible corruptions — all exported by FleetStudy.
+
+#ifndef MERCURIAL_SRC_TELEMETRY_METRICS_H_
+#define MERCURIAL_SRC_TELEMETRY_METRICS_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/sim_time.h"
+
+namespace mercurial {
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Monotonic counter; created on first use.
+  void Increment(const std::string& name, uint64_t delta = 1);
+  uint64_t counter(const std::string& name) const;
+
+  // Time series with the given bucket period (period fixed at first use).
+  TimeSeries& Series(const std::string& name, SimTime period = SimTime::Weeks(1));
+  const TimeSeries* FindSeries(const std::string& name) const;
+
+  // Histogram with fixed range (shape fixed at first use).
+  Histogram& Histo(const std::string& name, double lo, double hi, size_t buckets);
+  const Histogram* FindHisto(const std::string& name) const;
+
+  // Human-readable dump of every metric.
+  void Dump(std::FILE* stream) const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, TimeSeries> series_;
+  std::map<std::string, Histogram> histos_;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_TELEMETRY_METRICS_H_

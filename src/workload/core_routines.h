@@ -1,0 +1,61 @@
+// Core-routed computation kernels.
+//
+// These are the "real code snippets" of the corpus: each routine performs a genuine
+// computation but routes its data-touching operations through a SimCore's micro-ops, so a
+// defective unit corrupts real intermediate state and the corruption propagates the way it
+// would in production code. On a healthy core every routine is bit-identical to its golden
+// substrate counterpart (tested in tests/workload_test.cc).
+
+#ifndef MERCURIAL_SRC_WORKLOAD_CORE_ROUTINES_H_
+#define MERCURIAL_SRC_WORKLOAD_CORE_ROUTINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/core.h"
+#include "src/substrate/aes.h"
+#include "src/substrate/matrix.h"
+
+namespace mercurial {
+
+// memcpy through the copy engine.
+std::vector<uint8_t> CoreMemcpy(SimCore& core, const std::vector<uint8_t>& src);
+
+// FNV-1a over 8-byte words using the load/ALU/multiply units.
+uint64_t CoreFnv1a64(SimCore& core, const std::vector<uint8_t>& data);
+
+// CRC-32 through the CRC unit, in `block_size`-byte gated blocks.
+uint32_t CoreCrc32(SimCore& core, const std::vector<uint8_t>& data, size_t block_size = 64);
+
+// AES-128-CTR transform with the key schedule expanded on `core` (hook for the self-inverting
+// defect) and every round executed on the AES unit.
+std::vector<uint8_t> CoreAesCtr(SimCore& core, const uint8_t key[kAesKeyBytes], uint64_t nonce,
+                                const std::vector<uint8_t>& data);
+
+// Block encrypt/decrypt on the core with a caller-provided schedule.
+AesBlock CoreAesEncryptBlock(SimCore& core, const AesKeySchedule& schedule,
+                             const AesBlock& plaintext);
+AesBlock CoreAesDecryptBlock(SimCore& core, const AesKeySchedule& schedule,
+                             const AesBlock& ciphertext);
+
+// LZ decompression where every output byte (literal and match copies) flows through the copy
+// engine. Token parsing is host-side control flow. Returns DATA_LOSS on malformed streams,
+// which on a defective core is itself a corruption *symptom* (detected immediately).
+StatusOr<std::vector<uint8_t>> CoreLzDecompress(SimCore& core,
+                                                const std::vector<uint8_t>& compressed);
+
+// Bottom-up merge sort of u64 keys; element moves go through load/store units, merges compare
+// host-side (control flow is not corruptible, data is).
+std::vector<uint64_t> CoreMergeSort(SimCore& core, const std::vector<uint64_t>& keys);
+
+// Dense matmul with every multiply-accumulate on the FP unit.
+Matrix CoreMatmul(SimCore& core, const Matrix& a, const Matrix& b);
+
+// Vectorized XOR-fold of a buffer (two 64-bit lanes), exercising the vector unit the way
+// checksum/scan loops do. Returns lane_lo ^ lane_hi folded to 64 bits.
+uint64_t CoreVectorXorFold(SimCore& core, const std::vector<uint8_t>& data);
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_WORKLOAD_CORE_ROUTINES_H_

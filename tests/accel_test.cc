@@ -1,0 +1,223 @@
+// Tests for src/accel: the SIMT accelerator model and its CEE detection strategies.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/accel/accelerator.h"
+#include "src/common/rng.h"
+
+namespace mercurial {
+namespace {
+
+std::vector<double> RandomVector(Rng& rng, size_t n) {
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = rng.NextDouble() * 10.0 - 5.0;
+  }
+  return v;
+}
+
+LaneDefectSpec DeterministicLaneDefect(uint32_t lane, int bit = 42) {
+  LaneDefectSpec spec;
+  spec.lane = lane;
+  spec.fire_rate = 1.0;
+  spec.bit_index = bit;
+  return spec;
+}
+
+TEST(AcceleratorTest, HealthyElementwiseMatchesGolden) {
+  SimAccelerator device(32, Rng(1));
+  Rng rng(2);
+  const auto a = RandomVector(rng, 100);
+  const auto b = RandomVector(rng, 100);
+  const auto sum = device.Elementwise(LaneOp::kAdd, a, b);
+  const auto prod = device.Elementwise(LaneOp::kMul, a, b);
+  const auto relu = device.Elementwise(LaneOp::kRelu, a, b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sum[i], a[i] + b[i]);
+    EXPECT_DOUBLE_EQ(prod[i], a[i] * b[i]);
+    EXPECT_DOUBLE_EQ(relu[i], a[i] > 0.0 ? a[i] : 0.0);
+  }
+  EXPECT_EQ(device.counters().kernels_launched, 3u);
+  EXPECT_EQ(device.counters().lane_ops, 300u);
+  EXPECT_EQ(device.counters().corruptions, 0u);
+}
+
+TEST(AcceleratorTest, HealthyMatmulMatchesGolden) {
+  SimAccelerator device(16, Rng(3));
+  Rng rng(4);
+  const size_t m = 4, k = 5, n = 3;
+  const auto a = RandomVector(rng, m * k);
+  const auto b = RandomVector(rng, k * n);
+  const auto c = device.TiledMatmul(a, b, m, k, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double want = 0.0;
+      for (size_t x = 0; x < k; ++x) {
+        want += a[i * k + x] * b[x * n + j];
+      }
+      EXPECT_NEAR(c[i * n + j], want, 1e-12);
+    }
+  }
+}
+
+TEST(AcceleratorTest, HealthyReduceMatchesGolden) {
+  SimAccelerator device(8, Rng(5));
+  Rng rng(6);
+  for (size_t n : {1u, 2u, 3u, 7u, 8u, 100u}) {
+    const auto values = RandomVector(rng, n);
+    double want = 0.0;
+    // Golden: same pairwise tree order as the device (FP addition is not associative).
+    std::vector<double> level = values;
+    while (level.size() > 1) {
+      std::vector<double> next((level.size() + 1) / 2);
+      for (size_t i = 0; i + 1 < level.size(); i += 2) {
+        next[i / 2] = level[i] + level[i + 1];
+      }
+      if (level.size() % 2 == 1) {
+        next.back() = level.back();
+      }
+      level = std::move(next);
+    }
+    want = level.empty() ? 0.0 : level[0];
+    EXPECT_DOUBLE_EQ(device.ReduceSum(values), want) << "n=" << n;
+  }
+}
+
+TEST(AcceleratorTest, DefectiveLaneCorruptsOnlyItsStride) {
+  SimAccelerator device(8, Rng(7));
+  device.AddLaneDefect(DeterministicLaneDefect(/*lane=*/3));
+  Rng rng(8);
+  const auto a = RandomVector(rng, 64);
+  const auto b = RandomVector(rng, 64);
+  const auto out = device.Elementwise(LaneOp::kAdd, a, b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i % 8 == 3) {
+      EXPECT_NE(out[i], a[i] + b[i]) << "element " << i << " runs on the defective lane";
+    } else {
+      EXPECT_DOUBLE_EQ(out[i], a[i] + b[i]) << "element " << i << " runs on healthy lanes";
+    }
+  }
+}
+
+TEST(AcceleratorTest, LaneOffsetShiftsTheStride) {
+  SimAccelerator device(8, Rng(9));
+  device.AddLaneDefect(DeterministicLaneDefect(3));
+  Rng rng(10);
+  const auto a = RandomVector(rng, 32);
+  const auto b = RandomVector(rng, 32);
+  const auto out = device.Elementwise(LaneOp::kAdd, a, b, /*lane_offset=*/1);
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool on_bad_lane = (i + 1) % 8 == 3;
+    EXPECT_EQ(out[i] != a[i] + b[i], on_bad_lane) << "element " << i;
+  }
+}
+
+TEST(AcceleratorTest, OpMaskRestrictsDefect) {
+  SimAccelerator device(4, Rng(11));
+  LaneDefectSpec spec = DeterministicLaneDefect(0);
+  spec.op_mask = 1ull << static_cast<int>(LaneOp::kMul);  // only multiplies are broken
+  device.AddLaneDefect(spec);
+  Rng rng(12);
+  const auto a = RandomVector(rng, 16);
+  const auto b = RandomVector(rng, 16);
+  const auto sums = device.Elementwise(LaneOp::kAdd, a, b);
+  const auto products = device.Elementwise(LaneOp::kMul, a, b);
+  EXPECT_DOUBLE_EQ(sums[0], a[0] + b[0]);
+  EXPECT_NE(products[0], a[0] * b[0]);
+}
+
+TEST(AcceleratorTest, RepeatCheckBlindToDeterministicLaneDefect) {
+  // The accelerator analog of the same-core AES check: re-running with the same lane
+  // assignment reproduces the same corruption bit-for-bit.
+  SimAccelerator device(8, Rng(13));
+  device.AddLaneDefect(DeterministicLaneDefect(5, /*bit=*/-1));  // deterministic wrong value
+  Rng rng(14);
+  const auto a = RandomVector(rng, 64);
+  const auto b = RandomVector(rng, 64);
+  const AccelCheckResult result = CheckByRepeat(device, LaneOp::kMul, a, b);
+  EXPECT_FALSE(result.corruption_detected);
+}
+
+TEST(AcceleratorTest, RotationCheckCatchesDeterministicLaneDefect) {
+  SimAccelerator device(8, Rng(15));
+  device.AddLaneDefect(DeterministicLaneDefect(5, /*bit=*/-1));
+  Rng rng(16);
+  const auto a = RandomVector(rng, 64);
+  const auto b = RandomVector(rng, 64);
+  const AccelCheckResult result = CheckByRotation(device, LaneOp::kMul, a, b);
+  EXPECT_TRUE(result.corruption_detected);
+  // The true culprit (lane 5) must be among the implicated lanes.
+  EXPECT_TRUE(std::find(result.suspect_lanes.begin(), result.suspect_lanes.end(), 5u) !=
+              result.suspect_lanes.end());
+}
+
+TEST(AcceleratorTest, RotationCheckQuietOnHealthyDevice) {
+  SimAccelerator device(8, Rng(17));
+  Rng rng(18);
+  const auto a = RandomVector(rng, 64);
+  const auto b = RandomVector(rng, 64);
+  EXPECT_FALSE(CheckByRotation(device, LaneOp::kFma, a, b).corruption_detected);
+  EXPECT_FALSE(CheckByRepeat(device, LaneOp::kFma, a, b).corruption_detected);
+}
+
+TEST(AcceleratorTest, ScreenLanesFindsExactlyTheDefectiveLanes) {
+  SimAccelerator device(32, Rng(19));
+  device.AddLaneDefect(DeterministicLaneDefect(7));
+  device.AddLaneDefect(DeterministicLaneDefect(21));
+  Rng rng(20);
+  const auto failed = ScreenLanes(device, rng, /*probes_per_lane=*/32);
+  EXPECT_EQ(failed, (std::vector<uint32_t>{7, 21}));
+}
+
+TEST(AcceleratorTest, ScreenLanesCleanOnHealthyDevice) {
+  SimAccelerator device(32, Rng(21));
+  Rng rng(22);
+  EXPECT_TRUE(ScreenLanes(device, rng, 16).empty());
+}
+
+TEST(AcceleratorTest, SporadicDefectNeedsEnoughProbes) {
+  SimAccelerator device(16, Rng(23));
+  LaneDefectSpec spec;
+  spec.lane = 4;
+  spec.fire_rate = 0.05;
+  device.AddLaneDefect(spec);
+  Rng rng(24);
+  // 200 probes at 5% miss with probability ~3e-5.
+  const auto failed = ScreenLanes(device, rng, 200);
+  EXPECT_EQ(failed, std::vector<uint32_t>{4});
+}
+
+TEST(AcceleratorTest, MatmulCorruptionConfinedToDefectiveLaneCells) {
+  SimAccelerator device(8, Rng(25));
+  device.AddLaneDefect(DeterministicLaneDefect(2, /*bit=*/50));
+  Rng rng(26);
+  const size_t m = 8, k = 4, n = 8;
+  const auto a = RandomVector(rng, m * k);
+  const auto b = RandomVector(rng, k * n);
+  const auto c = device.TiledMatmul(a, b, m, k, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double want = 0.0;
+      for (size_t x = 0; x < k; ++x) {
+        want += a[i * k + x] * b[x * n + j];
+      }
+      const bool defective_cell = (i * n + j) % 8 == 2;
+      if (!defective_cell) {
+        EXPECT_NEAR(c[i * n + j], want, 1e-12) << "healthy cell (" << i << "," << j << ")";
+      }
+    }
+  }
+  EXPECT_GT(device.counters().corruptions, 0u);
+}
+
+TEST(AcceleratorTest, LaneOpNames) {
+  for (int op = 0; op <= 4; ++op) {
+    EXPECT_STRNE(LaneOpName(static_cast<LaneOp>(op)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace mercurial

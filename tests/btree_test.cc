@@ -1,0 +1,212 @@
+// Tests for src/substrate/btree.h: the ordered index the db_index workload corrupts.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/core.h"
+#include "src/substrate/btree.h"
+
+namespace mercurial {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_FALSE(tree.Lookup(42).has_value());
+  EXPECT_FALSE(tree.Erase(42));
+  EXPECT_TRUE(tree.Scan(0, ~0ull).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTree tree;
+  for (uint64_t k = 0; k < 100; ++k) {
+    tree.Insert(k * 3, k * 30);
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    const auto value = tree.Lookup(k * 3);
+    ASSERT_TRUE(value.has_value()) << "key " << k * 3;
+    EXPECT_EQ(*value, k * 30);
+    EXPECT_FALSE(tree.Lookup(k * 3 + 1).has_value());
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_GT(tree.height(), 1) << "100 keys at fanout 8 must have split";
+}
+
+TEST(BTreeTest, OverwriteKeepsSize) {
+  BTree tree;
+  tree.Insert(5, 50);
+  tree.Insert(5, 51);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Lookup(5), 51u);
+}
+
+TEST(BTreeTest, ScanReturnsSortedRange) {
+  BTree tree;
+  Rng rng(1);
+  std::set<uint64_t> keys;
+  while (keys.size() < 300) {
+    keys.insert(rng.UniformInt(0, 10000));
+  }
+  for (uint64_t k : keys) {
+    tree.Insert(k, k + 1);
+  }
+  const auto all = tree.Scan(0, 10000);
+  ASSERT_EQ(all.size(), keys.size());
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+
+  const auto mid = tree.Scan(2500, 7500);
+  size_t expected = 0;
+  for (uint64_t k : keys) {
+    expected += (k >= 2500 && k <= 7500) ? 1 : 0;
+  }
+  EXPECT_EQ(mid.size(), expected);
+  for (const auto& [k, v] : mid) {
+    EXPECT_GE(k, 2500u);
+    EXPECT_LE(k, 7500u);
+    EXPECT_EQ(v, k + 1);
+  }
+}
+
+TEST(BTreeTest, EraseSimple) {
+  BTree tree;
+  for (uint64_t k = 0; k < 50; ++k) {
+    tree.Insert(k, k);
+  }
+  EXPECT_TRUE(tree.Erase(25));
+  EXPECT_FALSE(tree.Lookup(25).has_value());
+  EXPECT_FALSE(tree.Erase(25));
+  EXPECT_EQ(tree.size(), 49u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, EraseEverythingAscending) {
+  BTree tree;
+  for (uint64_t k = 0; k < 200; ++k) {
+    tree.Insert(k, k);
+  }
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(tree.Erase(k)) << "key " << k;
+    const Status invariants = tree.CheckInvariants();
+    ASSERT_TRUE(invariants.ok()) << "after erasing " << k << ": " << invariants.ToString();
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(BTreeTest, EraseEverythingDescending) {
+  BTree tree;
+  for (uint64_t k = 0; k < 200; ++k) {
+    tree.Insert(k, k);
+  }
+  for (uint64_t k = 200; k-- > 0;) {
+    ASSERT_TRUE(tree.Erase(k)) << "key " << k;
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << "after erasing " << k;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(BTreeTest, RandomizedAgainstStdMap) {
+  // Differential test: a long random op sequence against std::map, with invariants verified
+  // along the way.
+  BTree tree;
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(7);
+  for (int op = 0; op < 5000; ++op) {
+    const uint64_t key = rng.UniformInt(0, 499);
+    switch (rng.UniformInt(0, 2)) {
+      case 0: {  // insert
+        const uint64_t value = rng.NextU64();
+        tree.Insert(key, value);
+        model[key] = value;
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(tree.Erase(key), model.erase(key) > 0) << "op " << op << " key " << key;
+        break;
+      }
+      case 2: {  // lookup
+        const auto got = tree.Lookup(key);
+        const auto want = model.find(key);
+        ASSERT_EQ(got.has_value(), want != model.end()) << "op " << op << " key " << key;
+        if (got.has_value()) {
+          EXPECT_EQ(*got, want->second);
+        }
+        break;
+      }
+    }
+    if (op % 250 == 0) {
+      const Status invariants = tree.CheckInvariants();
+      ASSERT_TRUE(invariants.ok()) << "op " << op << ": " << invariants.ToString();
+      ASSERT_EQ(tree.size(), model.size()) << "op " << op;
+    }
+  }
+  // Final full comparison via scan.
+  const auto scanned = tree.Scan(0, ~0ull);
+  ASSERT_EQ(scanned.size(), model.size());
+  size_t i = 0;
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(scanned[i].first, k);
+    EXPECT_EQ(scanned[i].second, v);
+    ++i;
+  }
+}
+
+TEST(BTreeTest, HeightStaysLogarithmic) {
+  BTree tree;
+  for (uint64_t k = 0; k < 4096; ++k) {
+    tree.Insert(k, k);
+  }
+  // Fanout 8 => height <= ~log4(4096)+1 = 7 even with minimum-fill nodes.
+  EXPECT_LE(tree.height(), 7);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, LookupThroughIdentityProbeMatchesLookup) {
+  BTree tree;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(rng.UniformInt(0, 5000), i);
+  }
+  for (uint64_t k = 0; k <= 5000; k += 13) {
+    EXPECT_EQ(tree.LookupThrough(k, [](uint64_t x) { return x; }), tree.Lookup(k));
+  }
+}
+
+TEST(BTreeTest, CorruptedProbeMisroutesLookups) {
+  // The §2 incident: "database index corruption leading to some queries... being
+  // non-deterministically corrupted". A defective load unit corrupts probed separators.
+  BTree tree;
+  for (uint64_t k = 0; k < 2000; ++k) {
+    tree.Insert(k * 2, k);
+  }
+  SimCore core(1, Rng(11));
+  DefectSpec spec;
+  spec.unit = ExecUnit::kLoad;
+  spec.effect = DefectEffect::kBitFlip;
+  spec.fvt.base_rate = 0.02;
+  core.AddDefect(spec);
+
+  int wrong = 0;
+  for (uint64_t k = 0; k < 2000; ++k) {
+    const auto got = tree.LookupThrough(k * 2, [&core](uint64_t x) { return core.Load(x); });
+    if (!got.has_value() || *got != k) {
+      ++wrong;
+    }
+  }
+  EXPECT_GT(wrong, 0) << "corrupted probes must misroute some queries";
+  EXPECT_LT(wrong, 2000) << "...but not all of them";
+  // The tree itself is untouched: clean lookups still succeed for every key.
+  for (uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_EQ(*tree.Lookup(k * 2), k);
+  }
+}
+
+}  // namespace
+}  // namespace mercurial

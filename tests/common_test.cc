@@ -1,0 +1,405 @@
+// Tests for src/common: RNG, status, time, histograms, statistics helpers.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/csv.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+
+namespace mercurial {
+namespace {
+
+// --- Rng ---------------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitIsDeterministicAndIndependentOfParentPosition) {
+  Rng parent(77);
+  Rng child1 = parent.Split(5);
+  parent.NextU64();  // advance the parent
+  Rng child2 = parent.Split(5);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child1.NextU64(), child2.NextU64());
+  }
+}
+
+TEST(RngTest, SplitLabelsProduceDistinctStreams) {
+  Rng parent(77);
+  Rng a = parent.Split(1);
+  Rng b = parent.Split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(11);
+  EXPECT_EQ(rng.UniformInt(42, 42), 42u);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(14);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(0.5);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(15);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.15);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.15);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(16);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(2.5));
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(200.0));
+  }
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(18);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+  EXPECT_EQ(rng.Poisson(-1.0), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, FillBytesCoversTailSizes) {
+  Rng rng(20);
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 31u}) {
+    std::vector<uint8_t> buffer(n + 2, 0xAB);
+    rng.FillBytes(buffer.data(), n);
+    // Guard bytes untouched.
+    EXPECT_EQ(buffer[n], 0xAB);
+    EXPECT_EQ(buffer[n + 1], 0xAB);
+  }
+}
+
+TEST(RngTest, Mix64IsStatelessAndNonTrivial) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+  EXPECT_NE(Mix64(42), 42u);
+}
+
+// --- Status ------------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = DataLossError("corrupted block");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "corrupted block");
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: corrupted block");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "ALREADY_EXISTS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition), "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "ABORTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  std::vector<int> out = std::move(v).value();
+  EXPECT_EQ(out.size(), 3u);
+}
+
+// --- SimTime -----------------------------------------------------------------------------
+
+TEST(SimTimeTest, UnitConversions) {
+  EXPECT_EQ(SimTime::Minutes(2).seconds(), 120);
+  EXPECT_EQ(SimTime::Hours(1).seconds(), 3600);
+  EXPECT_EQ(SimTime::Days(1).seconds(), 86400);
+  EXPECT_EQ(SimTime::Weeks(1).seconds(), 7 * 86400);
+  EXPECT_DOUBLE_EQ(SimTime::Days(365).years(), 1.0);
+  EXPECT_DOUBLE_EQ(SimTime::Days(7).weeks(), 1.0);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::Hours(2);
+  const SimTime b = SimTime::Hours(3);
+  EXPECT_EQ((a + b).seconds(), SimTime::Hours(5).seconds());
+  EXPECT_EQ((b - a).seconds(), SimTime::Hours(1).seconds());
+  EXPECT_EQ((a * 3).seconds(), SimTime::Hours(6).seconds());
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, SimTime::Minutes(120));
+}
+
+TEST(SimTimeTest, ToStringFormat) {
+  EXPECT_EQ(SimTime::Days(2).ToString(), "2d 00:00:00");
+  EXPECT_EQ((SimTime::Days(1) + SimTime::Hours(3) + SimTime::Minutes(4) + SimTime::Seconds(5))
+                .ToString(),
+            "1d 03:04:05");
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now().seconds(), 0);
+  clock.Advance(SimTime::Hours(5));
+  EXPECT_EQ(clock.now(), SimTime::Hours(5));
+  clock.AdvanceTo(SimTime::Days(1));
+  EXPECT_EQ(clock.now(), SimTime::Days(1));
+}
+
+// --- Histogram ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h(0.0, 10.0, 10);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_NEAR(h.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);
+  h.Add(11.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+// --- TimeSeries --------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, Bucketing) {
+  TimeSeries ts(SimTime::Weeks(1));
+  ts.Add(SimTime::Days(0), 1.0);
+  ts.Add(SimTime::Days(6), 2.0);
+  ts.Add(SimTime::Days(7), 5.0);
+  ASSERT_EQ(ts.bucket_count(), 2u);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_sum(1), 5.0);
+  EXPECT_EQ(ts.bucket_samples(0), 2u);
+  EXPECT_DOUBLE_EQ(ts.bucket_mean(0), 1.5);
+  EXPECT_DOUBLE_EQ(ts.total(), 8.0);
+}
+
+TEST(TimeSeriesTest, RatesNormalization) {
+  TimeSeries ts(SimTime::Weeks(1));
+  ts.Add(SimTime::Days(1), 10.0);
+  ts.Add(SimTime::Days(8), 30.0);
+  const std::vector<double> raw = ts.Rates(10.0, /*normalize_to_first=*/false);
+  ASSERT_EQ(raw.size(), 2u);
+  EXPECT_DOUBLE_EQ(raw[0], 1.0);
+  EXPECT_DOUBLE_EQ(raw[1], 3.0);
+  const std::vector<double> norm = ts.Rates(10.0, /*normalize_to_first=*/true);
+  EXPECT_DOUBLE_EQ(norm[0], 1.0);
+  EXPECT_DOUBLE_EQ(norm[1], 3.0);
+}
+
+TEST(TimeSeriesTest, NormalizationSkipsLeadingZeros) {
+  TimeSeries ts(SimTime::Weeks(1));
+  ts.Add(SimTime::Days(8), 4.0);   // bucket 1; bucket 0 empty
+  ts.Add(SimTime::Days(15), 8.0);  // bucket 2
+  const std::vector<double> norm = ts.Rates(1.0, true);
+  EXPECT_DOUBLE_EQ(norm[0], 0.0);
+  EXPECT_DOUBLE_EQ(norm[1], 1.0);
+  EXPECT_DOUBLE_EQ(norm[2], 2.0);
+}
+
+// --- Stats -------------------------------------------------------------------------------
+
+TEST(StatsTest, LogFactorial) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-9);
+}
+
+TEST(StatsTest, BinomialCoefficient) {
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(10, 0)), 1.0, 1e-9);
+}
+
+TEST(StatsTest, BinomialUpperTailExactSmallCases) {
+  // P[X >= 1], X ~ Bin(2, 0.5) = 1 - 0.25 = 0.75.
+  EXPECT_NEAR(BinomialUpperTail(1, 2, 0.5), 0.75, 1e-12);
+  // P[X >= 2], X ~ Bin(2, 0.5) = 0.25.
+  EXPECT_NEAR(BinomialUpperTail(2, 2, 0.5), 0.25, 1e-12);
+  // k = 0 is certain.
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(0, 10, 0.1), 1.0);
+  // k > n impossible.
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(11, 10, 0.5), 0.0);
+}
+
+TEST(StatsTest, BinomialUpperTailEdgeProbabilities) {
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(3, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(3, 10, 1.0), 1.0);
+}
+
+TEST(StatsTest, ConcentrationIsSignificant) {
+  // 5 of a machine's 6 reports on one of 48 cores: extremely unlikely under uniform spread.
+  const double p = BinomialUpperTail(5, 6, 1.0 / 48.0);
+  EXPECT_LT(p, 1e-6);
+  // 2 of 96 reports on one of 48 cores: exactly what uniform spread predicts.
+  const double q = BinomialUpperTail(2, 96, 1.0 / 48.0);
+  EXPECT_GT(q, 0.3);
+}
+
+TEST(StatsTest, WilsonLowerBound) {
+  EXPECT_DOUBLE_EQ(WilsonLowerBound(0, 0), 0.0);
+  const double lb = WilsonLowerBound(50, 100);
+  EXPECT_GT(lb, 0.35);
+  EXPECT_LT(lb, 0.5);
+  EXPECT_GT(WilsonLowerBound(99, 100), WilsonLowerBound(50, 100));
+}
+
+// --- Csv ---------------------------------------------------------------------------------
+
+TEST(CsvTest, NumberFormatting) {
+  EXPECT_EQ(CsvWriter::Num(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::Num(static_cast<uint64_t>(42)), "42");
+  EXPECT_EQ(CsvWriter::Num(static_cast<int64_t>(-7)), "-7");
+}
+
+}  // namespace
+}  // namespace mercurial

@@ -1,0 +1,386 @@
+// Tests for src/detect: report service, confession testing, screening, quarantine policy.
+
+#include <gtest/gtest.h>
+
+#include "src/detect/confession.h"
+#include "src/detect/quarantine.h"
+#include "src/detect/report_service.h"
+#include "src/detect/screening.h"
+#include "src/fleet/fleet.h"
+#include "src/sched/scheduler.h"
+
+namespace mercurial {
+namespace {
+
+constexpr uint32_t kCoresPerMachine = 48;
+
+CeeReportService MakeService(ReportServiceOptions options = {}) {
+  return CeeReportService(options, [](uint64_t) { return kCoresPerMachine; });
+}
+
+Signal At(SimTime t, uint64_t machine, uint64_t core,
+          SignalType type = SignalType::kAppReport) {
+  return Signal{t, machine, core, type};
+}
+
+DefectSpec AlwaysFire(ExecUnit unit, DefectEffect effect, double rate = 1.0) {
+  DefectSpec spec;
+  spec.unit = unit;
+  spec.effect = effect;
+  spec.fvt.base_rate = rate;
+  spec.machine_check_fraction = 0.0;
+  return spec;
+}
+
+// --- Report service ---------------------------------------------------------------------------
+
+TEST(ReportServiceTest, ConcentratedReportsBecomeSuspects) {
+  CeeReportService service = MakeService();
+  const SimTime t = SimTime::Days(1);
+  for (int i = 0; i < 5; ++i) {
+    service.Report(At(t, /*machine=*/3, /*core=*/77));
+  }
+  const auto suspects = service.Suspects(t);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].core_global, 77u);
+  EXPECT_EQ(suspects[0].machine, 3u);
+  EXPECT_LT(suspects[0].p_value, 1e-3);
+  EXPECT_GE(suspects[0].score, 5.0);
+}
+
+TEST(ReportServiceTest, EvenlySpreadReportsAreNotSuspects) {
+  // "Reports that are evenly spread across cores probably are not CEEs."
+  CeeReportService service = MakeService();
+  const SimTime t = SimTime::Days(1);
+  for (uint64_t core = 0; core < kCoresPerMachine; ++core) {
+    service.Report(At(t, 3, core));
+    service.Report(At(t, 3, core));
+    service.Report(At(t, 3, core));
+  }
+  EXPECT_TRUE(service.Suspects(t).empty());
+}
+
+TEST(ReportServiceTest, MixedSpreadStillFlagsTheHotCore) {
+  CeeReportService service = MakeService();
+  const SimTime t = SimTime::Days(1);
+  // Background: one report on each of 20 cores; hot core gets 6.
+  for (uint64_t core = 0; core < 20; ++core) {
+    service.Report(At(t, 5, core));
+  }
+  for (int i = 0; i < 6; ++i) {
+    service.Report(At(t, 5, 7));
+  }
+  const auto suspects = service.Suspects(t);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].core_global, 7u);
+}
+
+TEST(ReportServiceTest, ScoresDecayOverTime) {
+  ReportServiceOptions options;
+  options.half_life_days = 7.0;
+  CeeReportService service = MakeService(options);
+  for (int i = 0; i < 5; ++i) {
+    service.Report(At(SimTime::Days(0), 1, 10));
+  }
+  // After 10 half-lives the mass is gone (also pruned).
+  EXPECT_TRUE(service.Suspects(SimTime::Days(70)).empty());
+  EXPECT_EQ(service.tracked_cores(), 0u) << "decayed records must be pruned";
+}
+
+TEST(ReportServiceTest, FreshReportsSurviveDecay) {
+  CeeReportService service = MakeService();
+  for (int day = 0; day < 5; ++day) {
+    service.Report(At(SimTime::Days(day), 1, 10, SignalType::kMachineCheck));
+  }
+  const auto suspects = service.Suspects(SimTime::Days(5));
+  ASSERT_EQ(suspects.size(), 1u) << "recidivism within the half-life accumulates";
+}
+
+TEST(ReportServiceTest, SignalWeightsMatter) {
+  // Screen failures (weight 4) reach the suspicion floor faster than crashes (weight 1).
+  CeeReportService service = MakeService();
+  const SimTime t = SimTime::Days(1);
+  service.Report(At(t, 1, 10, SignalType::kScreenFail));
+  const auto suspects = service.Suspects(t);
+  ASSERT_EQ(suspects.size(), 1u) << "one screen failure alone is grounds for suspicion";
+  CeeReportService service2 = MakeService();
+  service2.Report(At(t, 1, 11, SignalType::kCrash));
+  EXPECT_TRUE(service2.Suspects(t).empty()) << "one crash alone is not";
+}
+
+TEST(ReportServiceTest, ForgetClearsCore) {
+  CeeReportService service = MakeService();
+  const SimTime t = SimTime::Days(1);
+  for (int i = 0; i < 5; ++i) {
+    service.Report(At(t, 1, 10));
+  }
+  service.Forget(10);
+  EXPECT_TRUE(service.Suspects(t).empty());
+}
+
+TEST(ReportServiceTest, TotalReportsCounted) {
+  CeeReportService service = MakeService();
+  for (int i = 0; i < 7; ++i) {
+    service.Report(At(SimTime::Days(1), 1, static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(service.total_reports(), 7u);
+}
+
+// --- Confession -----------------------------------------------------------------------------
+
+TEST(ConfessionTest, MercurialCoreConfesses) {
+  SimCore core(1, Rng(1));
+  core.AddDefect(AlwaysFire(ExecUnit::kVector, DefectEffect::kBitFlip, 0.3));
+  ConfessionOptions options;
+  options.stress.iterations_per_unit = 128;
+  ConfessionTester tester(options);
+  Rng rng(2);
+  const Confession confession = tester.Interrogate(core, rng);
+  EXPECT_TRUE(confession.confessed);
+  ASSERT_FALSE(confession.failed_units.empty());
+  EXPECT_EQ(static_cast<int>(confession.failed_units[0]), static_cast<int>(ExecUnit::kVector));
+  EXPECT_EQ(confession.attempts, 1);
+  EXPECT_GT(confession.ops_used, 0u);
+}
+
+TEST(ConfessionTest, HealthyCoreNeverConfesses) {
+  SimCore core(1, Rng(1));
+  ConfessionOptions options;
+  options.stress.iterations_per_unit = 64;
+  options.max_attempts = 2;
+  ConfessionTester tester(options);
+  Rng rng(3);
+  const Confession confession = tester.Interrogate(core, rng);
+  EXPECT_FALSE(confession.confessed);
+  EXPECT_EQ(confession.attempts, 2);
+}
+
+TEST(ConfessionTest, LimitedReproducibility) {
+  // A defect with a narrow data trigger and a tiny budget often evades interrogation — the
+  // paper's "limited reproducibility" half.
+  SimCore core(1, Rng(4));
+  DefectSpec spec = AlwaysFire(ExecUnit::kIntAlu, DefectEffect::kBitFlip, 1.0);
+  spec.trigger.mask = 0xffff;  // 1 in 65536 operand patterns
+  spec.trigger.value = 0x1234;
+  core.AddDefect(spec);
+  ConfessionOptions options;
+  options.stress.iterations_per_unit = 16;
+  options.max_attempts = 1;
+  ConfessionTester tester(options);
+  Rng rng(5);
+  const Confession confession = tester.Interrogate(core, rng);
+  EXPECT_FALSE(confession.confessed) << "narrow triggers evade small interrogation budgets";
+}
+
+// --- Screening ------------------------------------------------------------------------------
+
+TEST(ScreeningTest, CoverageGrowsOnSchedule) {
+  ScreeningOptions options;
+  options.initial_coverage = {ExecUnit::kIntAlu};
+  options.coverage_schedule = {{SimTime::Days(100), ExecUnit::kCopy},
+                               {SimTime::Days(200), ExecUnit::kAes}};
+  ScreeningOrchestrator orchestrator(options, 16, Rng(1));
+  EXPECT_EQ(orchestrator.CoveredUnits(SimTime::Days(0)).size(), 1u);
+  EXPECT_EQ(orchestrator.CoveredUnits(SimTime::Days(150)).size(), 2u);
+  EXPECT_EQ(orchestrator.CoveredUnits(SimTime::Days(365)).size(), 3u);
+}
+
+TEST(ScreeningTest, OfflineScreeningFindsCoveredDefect) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 4;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  // Plant a deterministic copy defect by hand on core 5.
+  fleet.core(5).AddDefect(AlwaysFire(ExecUnit::kCopy, DefectEffect::kStuckSet, 0.5));
+
+  ScreeningOptions options;
+  options.initial_coverage = {ExecUnit::kCopy};
+  options.coverage_schedule.clear();
+  options.offline_period = SimTime::Days(1);
+  options.online_enabled = false;
+  ScreeningOrchestrator orchestrator(options, fleet.core_count(), Rng(2));
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+
+  std::vector<Signal> emitted;
+  // Two ticks: staggering spreads first screens over one period.
+  orchestrator.Tick(SimTime::Days(1), SimTime::Days(1), fleet, scheduler,
+                    [&](const Signal& s) { emitted.push_back(s); });
+  orchestrator.Tick(SimTime::Days(2), SimTime::Days(1), fleet, scheduler,
+                    [&](const Signal& s) { emitted.push_back(s); });
+  ASSERT_FALSE(emitted.empty());
+  EXPECT_EQ(emitted[0].core_global, 5u);
+  EXPECT_EQ(static_cast<int>(emitted[0].type), static_cast<int>(SignalType::kScreenFail));
+  // NOTE: the defect fleet.IsMercurial does not know about hand-planted defects; that is fine
+  // for the screening path, which consults core.healthy() only.
+}
+
+TEST(ScreeningTest, UncoveredDefectIsAZeroDay) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  fleet.core(3).AddDefect(AlwaysFire(ExecUnit::kAes, DefectEffect::kRandomWrong, 1.0));
+
+  ScreeningOptions options;
+  options.initial_coverage = {ExecUnit::kIntAlu, ExecUnit::kCopy};
+  options.coverage_schedule.clear();
+  options.offline_period = SimTime::Days(1);
+  options.online_enabled = false;
+  ScreeningOrchestrator orchestrator(options, fleet.core_count(), Rng(3));
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+
+  int failures = 0;
+  for (int day = 1; day <= 3; ++day) {
+    const auto stats = orchestrator.Tick(SimTime::Days(day), SimTime::Days(1), fleet, scheduler,
+                                         [&](const Signal&) { ++failures; });
+    (void)stats;
+  }
+  EXPECT_EQ(failures, 0) << "no AES test in the corpus yet -> defect invisible to screening";
+}
+
+TEST(ScreeningTest, ScreeningChargesOpsForHealthyCores) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  ScreeningOptions options;
+  options.offline_period = SimTime::Days(1);
+  options.online_enabled = false;
+  ScreeningOrchestrator orchestrator(options, fleet.core_count(), Rng(4));
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  const auto stats = orchestrator.Tick(SimTime::Days(2), SimTime::Days(1), fleet, scheduler,
+                                       [](const Signal&) {});
+  EXPECT_GT(stats.offline_screens, 0u);
+  EXPECT_GT(stats.ops_spent, 0u) << "screening is not free even when nothing fails";
+  EXPECT_EQ(stats.screen_failures, 0u);
+}
+
+TEST(ScreeningTest, QuarantinedCoresAreSkipped) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 1;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  ScreeningOptions options;
+  options.offline_period = SimTime::Days(1);
+  options.online_enabled = false;
+  ScreeningOrchestrator orchestrator(options, fleet.core_count(), Rng(5));
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  for (uint64_t c = 0; c < fleet.core_count(); ++c) {
+    scheduler.Quarantine(c);
+  }
+  const auto stats = orchestrator.Tick(SimTime::Days(2), SimTime::Days(1), fleet, scheduler,
+                                       [](const Signal&) {});
+  EXPECT_EQ(stats.offline_screens, 0u);
+}
+
+// --- Quarantine manager -----------------------------------------------------------------------
+
+struct QuarantineHarness {
+  explicit QuarantineHarness(double rate_multiplier = 0.0)
+      : fleet(Fleet::Build([&] {
+          FleetOptions fleet_options;
+          fleet_options.machine_count = 4;
+          fleet_options.mercurial_rate_multiplier = rate_multiplier;
+          return fleet_options;
+        }())),
+        scheduler(fleet.core_count(), SchedulerCosts{}),
+        service(ReportServiceOptions{}, [this](uint64_t m) {
+          return static_cast<uint32_t>(fleet.machine(m).core_count());
+        }) {}
+
+  Fleet fleet;
+  CoreScheduler scheduler;
+  CeeReportService service;
+};
+
+TEST(QuarantineTest, DefectiveSuspectIsRetired) {
+  QuarantineHarness h;
+  h.fleet.core(9).AddDefect(AlwaysFire(ExecUnit::kVector, DefectEffect::kBitFlip, 0.3));
+
+  QuarantinePolicy policy;
+  policy.confession.stress.iterations_per_unit = 128;
+  QuarantineManager manager(policy, Rng(1));
+  const std::vector<SuspectCore> suspects{{9, h.fleet.core_id(9).machine, 6.0, 1e-6}};
+  const auto verdicts = manager.Process(SimTime::Days(3), suspects, h.fleet, h.scheduler,
+                                        h.service);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].confessed);
+  EXPECT_TRUE(verdicts[0].retired);
+  EXPECT_EQ(static_cast<int>(h.scheduler.state(9)), static_cast<int>(CoreState::kRetired));
+  EXPECT_EQ(manager.stats().confessions, 1u);
+  EXPECT_FALSE(manager.failed_units().at(9).empty());
+  EXPECT_EQ(manager.retirement_times().at(9), SimTime::Days(3));
+}
+
+TEST(QuarantineTest, HealthySuspectIsReleased) {
+  QuarantineHarness h;
+  QuarantinePolicy policy;
+  QuarantineManager manager(policy, Rng(2));
+  const std::vector<SuspectCore> suspects{{4, h.fleet.core_id(4).machine, 6.0, 1e-6}};
+  const auto verdicts = manager.Process(SimTime::Days(3), suspects, h.fleet, h.scheduler,
+                                        h.service);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].retired);
+  EXPECT_TRUE(h.scheduler.Schedulable(4));
+  EXPECT_EQ(manager.stats().releases, 1u);
+  EXPECT_EQ(manager.stats().false_positive_retirements, 0u);
+}
+
+TEST(QuarantineTest, RecidivismRetiresEvasiveCore) {
+  QuarantineHarness h;
+  // Evasive defect: narrow data trigger, tiny interrogation budget -> never confesses.
+  DefectSpec spec = AlwaysFire(ExecUnit::kIntAlu, DefectEffect::kBitFlip, 1.0);
+  spec.trigger.mask = 0xffffff;
+  spec.trigger.value = 0x123456;
+  h.fleet.core(2).AddDefect(spec);
+
+  QuarantinePolicy policy;
+  policy.confession.stress.iterations_per_unit = 8;
+  policy.confession.max_attempts = 1;
+  policy.recidivism_retire_after = 3;
+  QuarantineManager manager(policy, Rng(3));
+
+  const std::vector<SuspectCore> suspects{{2, h.fleet.core_id(2).machine, 6.0, 1e-6}};
+  manager.Process(SimTime::Days(1), suspects, h.fleet, h.scheduler, h.service);
+  EXPECT_TRUE(h.scheduler.Schedulable(2)) << "first accusation: released";
+  manager.Process(SimTime::Days(2), suspects, h.fleet, h.scheduler, h.service);
+  EXPECT_TRUE(h.scheduler.Schedulable(2)) << "second accusation: released";
+  manager.Process(SimTime::Days(3), suspects, h.fleet, h.scheduler, h.service);
+  EXPECT_EQ(static_cast<int>(h.scheduler.state(2)), static_cast<int>(CoreState::kRetired))
+      << "third accusation: recidivism retirement";
+  EXPECT_EQ(manager.stats().recidivism_retirements, 1u);
+}
+
+TEST(QuarantineTest, NoConfessionRequiredRetiresOnSuspicion) {
+  QuarantineHarness h;
+  QuarantinePolicy policy;
+  policy.require_confession = false;
+  QuarantineManager manager(policy, Rng(4));
+  const std::vector<SuspectCore> suspects{{4, h.fleet.core_id(4).machine, 6.0, 1e-6}};
+  manager.Process(SimTime::Days(1), suspects, h.fleet, h.scheduler, h.service);
+  EXPECT_EQ(static_cast<int>(h.scheduler.state(4)), static_cast<int>(CoreState::kRetired));
+  EXPECT_EQ(manager.stats().false_positive_retirements, 1u)
+      << "aggressive policy strands healthy capacity";
+}
+
+TEST(QuarantineTest, AlreadyRetiredSuspectsAreSkipped) {
+  QuarantineHarness h;
+  QuarantinePolicy policy;
+  policy.require_confession = false;
+  QuarantineManager manager(policy, Rng(5));
+  const std::vector<SuspectCore> suspects{{4, h.fleet.core_id(4).machine, 6.0, 1e-6}};
+  manager.Process(SimTime::Days(1), suspects, h.fleet, h.scheduler, h.service);
+  const auto verdicts =
+      manager.Process(SimTime::Days(2), suspects, h.fleet, h.scheduler, h.service);
+  EXPECT_TRUE(verdicts.empty());
+  EXPECT_EQ(manager.stats().retirements, 1u);
+}
+
+TEST(SignalTest, TypeNames) {
+  for (int t = 0; t < kSignalTypeCount; ++t) {
+    EXPECT_STRNE(SignalTypeName(static_cast<SignalType>(t)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace mercurial

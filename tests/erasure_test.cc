@@ -1,0 +1,230 @@
+// Tests for src/substrate/reed_solomon.h and src/mitigate/ec_store.h.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/mitigate/ec_store.h"
+#include "src/substrate/reed_solomon.h"
+
+namespace mercurial {
+namespace {
+
+std::vector<std::vector<uint8_t>> RandomShards(Rng& rng, int k, size_t bytes) {
+  std::vector<std::vector<uint8_t>> shards(k, std::vector<uint8_t>(bytes));
+  for (auto& shard : shards) {
+    rng.FillBytes(shard.data(), bytes);
+  }
+  return shards;
+}
+
+// --- GF(2^8) -----------------------------------------------------------------------------------
+
+TEST(Gf256Test, MulMatchesAesGf) {
+  // Spot checks against the AES GF multiply used to build the tables.
+  EXPECT_EQ(Gf256Mul(0x57, 0x83), 0xc1);
+  EXPECT_EQ(Gf256Mul(0x57, 0x13), 0xfe);
+  EXPECT_EQ(Gf256Mul(0, 0x42), 0);
+  EXPECT_EQ(Gf256Mul(0x42, 0), 0);
+  EXPECT_EQ(Gf256Mul(1, 0x42), 0x42);
+}
+
+TEST(Gf256Test, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const uint8_t inv = Gf256Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(Gf256Mul(static_cast<uint8_t>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256Test, MulIsCommutativeAndAssociative) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    const auto b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    const auto c = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    EXPECT_EQ(Gf256Mul(a, b), Gf256Mul(b, a));
+    EXPECT_EQ(Gf256Mul(Gf256Mul(a, b), c), Gf256Mul(a, Gf256Mul(b, c)));
+  }
+}
+
+// --- Reed-Solomon --------------------------------------------------------------------------------
+
+TEST(ReedSolomonTest, NoErasuresRoundTrip) {
+  Rng rng(2);
+  const auto data = RandomShards(rng, 4, 64);
+  const auto parity = RsEncode(data, 2);
+  ASSERT_EQ(parity.size(), 2u);
+
+  std::vector<std::optional<std::vector<uint8_t>>> shards;
+  for (const auto& shard : data) {
+    shards.emplace_back(shard);
+  }
+  for (const auto& shard : parity) {
+    shards.emplace_back(shard);
+  }
+  const auto reconstructed = RsReconstruct(shards, 4);
+  ASSERT_TRUE(reconstructed.ok());
+  EXPECT_EQ(*reconstructed, data);
+}
+
+TEST(ReedSolomonTest, RecoversFromAnyMErasures) {
+  // Exhaustive over all 2-erasure patterns of a (4+2) code.
+  Rng rng(3);
+  const auto data = RandomShards(rng, 4, 32);
+  const auto parity = RsEncode(data, 2);
+  for (int e1 = 0; e1 < 6; ++e1) {
+    for (int e2 = e1 + 1; e2 < 6; ++e2) {
+      std::vector<std::optional<std::vector<uint8_t>>> shards;
+      for (const auto& shard : data) {
+        shards.emplace_back(shard);
+      }
+      for (const auto& shard : parity) {
+        shards.emplace_back(shard);
+      }
+      shards[e1] = std::nullopt;
+      shards[e2] = std::nullopt;
+      const auto reconstructed = RsReconstruct(shards, 4);
+      ASSERT_TRUE(reconstructed.ok()) << "erasures " << e1 << "," << e2;
+      EXPECT_EQ(*reconstructed, data) << "erasures " << e1 << "," << e2;
+    }
+  }
+}
+
+TEST(ReedSolomonTest, TooManyErasuresIsDataLoss) {
+  Rng rng(4);
+  const auto data = RandomShards(rng, 3, 16);
+  const auto parity = RsEncode(data, 2);
+  std::vector<std::optional<std::vector<uint8_t>>> shards(5);
+  shards[0] = data[0];
+  shards[3] = parity[0];  // only 2 of 5 survive; k=3
+  const auto result = RsReconstruct(shards, 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ReedSolomonTest, ZeroParityDegeneratesToIdentity) {
+  Rng rng(5);
+  const auto data = RandomShards(rng, 4, 16);
+  EXPECT_TRUE(RsEncode(data, 0).empty());
+}
+
+TEST(ReedSolomonTest, SingleDataShard) {
+  Rng rng(6);
+  const auto data = RandomShards(rng, 1, 16);
+  const auto parity = RsEncode(data, 3);
+  // With k=1 every parity shard is a copy of the polynomial constant = the data.
+  std::vector<std::optional<std::vector<uint8_t>>> shards(4);
+  shards[2] = parity[1];  // recover from one parity shard alone
+  const auto reconstructed = RsReconstruct(shards, 1);
+  ASSERT_TRUE(reconstructed.ok());
+  EXPECT_EQ((*reconstructed)[0], data[0]);
+}
+
+TEST(ReedSolomonTest, WideCode) {
+  Rng rng(7);
+  const auto data = RandomShards(rng, 10, 40);
+  const auto parity = RsEncode(data, 4);
+  std::vector<std::optional<std::vector<uint8_t>>> shards;
+  for (const auto& shard : data) {
+    shards.emplace_back(shard);
+  }
+  for (const auto& shard : parity) {
+    shards.emplace_back(shard);
+  }
+  // Drop four scattered shards (the max).
+  shards[0] = shards[5] = shards[9] = shards[12] = std::nullopt;
+  const auto reconstructed = RsReconstruct(shards, 10);
+  ASSERT_TRUE(reconstructed.ok());
+  EXPECT_EQ(*reconstructed, data);
+}
+
+// --- ErasureCodedStore ----------------------------------------------------------------------------
+
+struct Servers {
+  std::vector<std::unique_ptr<SimCore>> owned;
+  std::vector<SimCore*> ptrs;
+
+  explicit Servers(int n) {
+    for (int i = 0; i < n; ++i) {
+      owned.push_back(std::make_unique<SimCore>(i, Rng(400 + i)));
+      ptrs.push_back(owned.back().get());
+    }
+  }
+
+  void Corrupt(int index, double rate) {
+    DefectSpec spec;
+    spec.unit = ExecUnit::kCopy;
+    spec.effect = DefectEffect::kBitFlip;
+    spec.fvt.base_rate = rate;
+    owned[index]->AddDefect(spec);
+  }
+};
+
+TEST(EcStoreTest, HealthyRoundTrip) {
+  Servers servers(6);
+  ErasureCodedStore store(servers.ptrs, 4, 2);
+  EXPECT_DOUBLE_EQ(store.storage_overhead(), 1.5);
+  Rng rng(8);
+  std::vector<uint8_t> data(1000);
+  rng.FillBytes(data.data(), data.size());
+  store.Write(1, data);
+  const auto read = store.Read(1);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  EXPECT_EQ(store.stats().shards_discarded, 0u);
+}
+
+TEST(EcStoreTest, PayloadNotMultipleOfShards) {
+  Servers servers(5);
+  ErasureCodedStore store(servers.ptrs, 3, 2);
+  Rng rng(9);
+  for (size_t n : {1u, 2u, 3u, 100u, 101u}) {
+    std::vector<uint8_t> data(n);
+    rng.FillBytes(data.data(), n);
+    store.Write(n, data);
+    const auto read = store.Read(n);
+    ASSERT_TRUE(read.ok()) << "n=" << n;
+    EXPECT_EQ(*read, data) << "n=" << n;
+  }
+}
+
+TEST(EcStoreTest, ToleratesUpToParityCountCorruptServers) {
+  Servers servers(6);
+  servers.Corrupt(1, 1.0);  // a data-shard server
+  servers.Corrupt(4, 1.0);  // a parity-shard server
+  ErasureCodedStore store(servers.ptrs, 4, 2);
+  Rng rng(10);
+  std::vector<uint8_t> data(800);
+  rng.FillBytes(data.data(), data.size());
+  store.Write(1, data);
+  const auto read = store.Read(1);
+  ASSERT_TRUE(read.ok()) << "two corrupt shards within a (4+2) code must reconstruct";
+  EXPECT_EQ(*read, data);
+  EXPECT_GT(store.stats().shards_discarded, 0u);
+  EXPECT_EQ(store.stats().reconstructions, 1u);
+}
+
+TEST(EcStoreTest, FailsClosedBeyondParityBudget) {
+  Servers servers(6);
+  servers.Corrupt(0, 1.0);
+  servers.Corrupt(1, 1.0);
+  servers.Corrupt(2, 1.0);  // three corrupt shards > m=2
+  ErasureCodedStore store(servers.ptrs, 4, 2);
+  Rng rng(11);
+  std::vector<uint8_t> data(400);
+  rng.FillBytes(data.data(), data.size());
+  store.Write(1, data);
+  const auto read = store.Read(1);
+  ASSERT_FALSE(read.ok()) << "beyond the parity budget the store must fail closed, not lie";
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(EcStoreTest, ReadMissingKey) {
+  Servers servers(3);
+  ErasureCodedStore store(servers.ptrs, 2, 1);
+  EXPECT_EQ(store.Read(404).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mercurial

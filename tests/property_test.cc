@@ -1,0 +1,245 @@
+// Cross-module property tests: invariants that must hold across the whole defect catalog and
+// detection stack, swept with parameterized suites.
+//
+//   P1. Healthy-core transparency: arbitrary op sequences on a defect-free core are
+//       bit-identical to golden (differential fuzzing).
+//   P2. Every catalog defect class, planted loudly, is caught by a full-coverage stress
+//       battery with an f/V/T sweep.
+//   P3. Every catalog defect class, planted loudly, produces observable symptoms or wrong
+//       outputs under the production corpus.
+//   P4. Determinism: a (seed, defect) pair replays the exact same corruption sequence.
+//   P5. Mitigation soundness: checked sorting and the e2e store never RETURN wrong data, for
+//       any defect class afflicting their units (they may abort, never lie).
+
+#include <algorithm>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/mitigate/abft.h"
+#include "src/mitigate/e2e_store.h"
+#include "src/sim/core.h"
+#include "src/sim/defect_catalog.h"
+#include "src/substrate/checksum.h"
+#include "src/workload/stress.h"
+#include "src/workload/workload.h"
+
+namespace mercurial {
+namespace {
+
+// Loud, always-active version of a catalog class so properties can be verified with bounded
+// work.
+DefectSpec LoudDefect(DefectClass klass, uint64_t seed) {
+  Rng rng(seed);
+  CatalogOptions options;
+  options.p_latent = 0.0;
+  options.p_data_triggered = 0.0;
+  options.log10_rate_min = -2.0;
+  options.log10_rate_max = -1.5;
+  options.max_machine_check_fraction = 0.0;
+  return DrawDefect(klass, options, rng);
+}
+
+// --- P1: differential fuzzing of healthy cores ------------------------------------------------
+
+TEST(PropertyTest, HealthyCoreDifferentialFuzz) {
+  SimCore core(1, Rng(1));
+  Rng rng(2);
+  for (int round = 0; round < 2000; ++round) {
+    const uint64_t a = rng.NextU64();
+    const uint64_t b = rng.NextU64();
+    switch (rng.UniformInt(0, 5)) {
+      case 0: {
+        const auto op = static_cast<AluOp>(rng.UniformInt(0, 7));
+        const uint64_t got = core.Alu(op, a, b);
+        SimCore fresh(2, Rng(3));
+        ASSERT_EQ(got, fresh.Alu(op, a, b)) << "op " << static_cast<int>(op);
+        break;
+      }
+      case 1:
+        ASSERT_EQ(core.Mul(a, b), a * b);
+        break;
+      case 2:
+        ASSERT_EQ(core.Div(a, b | 1), a / (b | 1));
+        break;
+      case 3:
+        ASSERT_EQ(core.Load(a), a);
+        ASSERT_EQ(core.Store(b), b);
+        break;
+      case 4: {
+        uint8_t src[24];
+        uint8_t dst[24];
+        std::memcpy(src, &a, 8);
+        std::memcpy(src + 8, &b, 8);
+        std::memcpy(src + 16, &a, 8);
+        core.Copy(dst, src, sizeof(src));
+        ASSERT_EQ(std::memcmp(src, dst, sizeof(src)), 0);
+        break;
+      }
+      case 5: {
+        uint64_t target = a;
+        ASSERT_TRUE(core.Cas(target, a, b));
+        ASSERT_EQ(target, b);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(core.counters().corruptions, 0u);
+  EXPECT_EQ(core.counters().machine_checks, 0u);
+}
+
+// --- P2/P3 parameterized over the catalog ------------------------------------------------------
+
+class DefectClassProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DefectClassProperty, FullBatteryCatchesLoudDefect) {
+  const auto klass = static_cast<DefectClass>(GetParam());
+  SimCore core(1, Rng(50 + GetParam()));
+  core.AddDefect(LoudDefect(klass, 60 + GetParam()));
+  Rng rng(70 + GetParam());
+  StressOptions options;
+  options.iterations_per_unit = 1024;
+  options.sweep = StandardScreeningSweep();
+  const StressReport report = RunStressBattery(core, rng, options);
+  EXPECT_FALSE(report.passed()) << DefectClassName(klass)
+                                << " evaded a loud full-coverage battery";
+  // The battery must implicate the right unit.
+  const auto failed = report.FailedUnits();
+  const ExecUnit expected_unit = core.defects()[0].unit();
+  EXPECT_TRUE(std::find(failed.begin(), failed.end(), expected_unit) != failed.end())
+      << DefectClassName(klass) << ": wrong unit implicated";
+}
+
+TEST_P(DefectClassProperty, CorpusSurfacesLoudDefect) {
+  const auto klass = static_cast<DefectClass>(GetParam());
+  SimCore core(1, Rng(80 + GetParam()));
+  core.AddDefect(LoudDefect(klass, 90 + GetParam()));
+  WorkloadOptions options;
+  options.payload_bytes = 512;
+  options.check_probability = 1.0;
+  auto corpus = BuildStandardCorpus(options);
+  Rng rng(100 + GetParam());
+  int troubled = 0;
+  for (int round = 0; round < 30; ++round) {
+    for (auto& workload : corpus) {
+      const WorkloadResult result = workload->Run(core, rng);
+      if (result.wrong_output || result.symptom != Symptom::kNone) {
+        ++troubled;
+      }
+    }
+  }
+  EXPECT_GT(troubled, 0) << DefectClassName(klass)
+                         << " produced zero symptoms across the whole corpus";
+}
+
+TEST_P(DefectClassProperty, CorruptionSequenceIsSeedDeterministic) {
+  const auto klass = static_cast<DefectClass>(GetParam());
+  auto run = [&](uint64_t seed) {
+    SimCore core(1, Rng(seed));
+    core.AddDefect(LoudDefect(klass, 123));
+    Rng rng(999);
+    std::vector<uint64_t> observations;
+    for (int i = 0; i < 200; ++i) {
+      observations.push_back(core.Alu(AluOp::kAdd, rng.NextU64(), rng.NextU64()));
+      observations.push_back(core.Mul(rng.NextU64(), rng.NextU64()));
+      uint64_t target = rng.NextU64();
+      core.Cas(target, target, rng.NextU64());
+      observations.push_back(target);
+    }
+    return observations;
+  };
+  EXPECT_EQ(run(42), run(42)) << "same seed must replay identical corruption";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, DefectClassProperty,
+                         ::testing::Range(0, kDefectClassCount));
+
+// --- P5: mitigation soundness across the catalog -----------------------------------------------
+
+class MitigationSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MitigationSoundness, CheckedSortNeverLies) {
+  const auto klass = static_cast<DefectClass>(GetParam());
+  SimCore bad(1, Rng(200 + GetParam()));
+  bad.AddDefect(LoudDefect(klass, 210 + GetParam()));
+  SimCore good(2, Rng(220));
+  std::vector<SimCore*> pool{&bad, &good};
+  Rng rng(230 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<uint64_t> keys(128);
+    for (auto& k : keys) {
+      k = rng.NextU64();
+    }
+    std::vector<uint64_t> golden = keys;
+    std::sort(golden.begin(), golden.end());
+    const auto result = CheckedSort(keys, pool, 4, nullptr);
+    if (result.ok()) {
+      EXPECT_EQ(*result, golden) << DefectClassName(klass)
+                                 << ": checked sort returned wrong data";
+    }
+    // Aborting is acceptable; lying is not.
+  }
+}
+
+TEST_P(MitigationSoundness, E2eStoreNeverReturnsWrongBytes) {
+  const auto klass = static_cast<DefectClass>(GetParam());
+  SimCore server(1, Rng(300 + GetParam()));
+  server.AddDefect(LoudDefect(klass, 310 + GetParam()));
+  ChecksummedStore store(&server, /*verify_on_write=*/true);
+  Rng rng(320 + GetParam());
+  for (uint64_t key = 0; key < 20; ++key) {
+    std::vector<uint8_t> data(128);
+    rng.FillBytes(data.data(), data.size());
+    if (!store.Write(key, data).ok()) {
+      continue;  // fail-closed is fine
+    }
+    const auto read = store.Read(key);
+    if (read.ok()) {
+      EXPECT_EQ(*read, data) << DefectClassName(klass) << ": store returned corrupt bytes";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, MitigationSoundness,
+                         ::testing::Range(0, kDefectClassCount));
+
+// --- Substrate round-trip properties under random sizes ----------------------------------------
+
+TEST(PropertyTest, MultisetDigestDetectsAnySingleSubstitution) {
+  Rng rng(400);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.UniformInt(0, 63);
+    std::vector<uint64_t> items(n);
+    for (auto& item : items) {
+      item = rng.NextU64();
+    }
+    const uint64_t digest = MultisetDigest(items.data(), n);
+    std::vector<uint64_t> mutated = items;
+    const size_t index = rng.UniformInt(0, n - 1);
+    mutated[index] ^= 1ull << rng.UniformInt(0, 63);
+    EXPECT_NE(MultisetDigest(mutated.data(), n), digest);
+  }
+}
+
+TEST(PropertyTest, AbftCorrectionNeverWorsensHealthyResult) {
+  SimCore core(1, Rng(500));
+  Rng rng(501);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.UniformInt(0, 8);
+    Matrix a(n, n);
+    Matrix b(n, n);
+    for (auto& v : a.data()) {
+      v = rng.NextDouble() * 2 - 1;
+    }
+    for (auto& v : b.data()) {
+      v = rng.NextDouble() * 2 - 1;
+    }
+    const AbftMatmulResult result = AbftMatmul(core, a, b);
+    EXPECT_FALSE(result.corruption_detected);
+    EXPECT_LT(result.product.MaxAbsDiff(Multiply(a, b)), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mercurial

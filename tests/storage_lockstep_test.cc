@@ -1,0 +1,223 @@
+// Tests for src/mitigate/scrub_store.h (replicated blobs + scrubbing, §3) and
+// src/sim/lockstep.h (lockstep core pairs, §6).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/mitigate/scrub_store.h"
+#include "src/sim/lockstep.h"
+
+namespace mercurial {
+namespace {
+
+DefectSpec CopyBitFlip(double rate) {
+  DefectSpec spec;
+  spec.unit = ExecUnit::kCopy;
+  spec.effect = DefectEffect::kBitFlip;
+  spec.fvt.base_rate = rate;
+  spec.machine_check_fraction = 0.0;
+  return spec;
+}
+
+struct Servers {
+  std::vector<std::unique_ptr<SimCore>> owned;
+  std::vector<SimCore*> ptrs;
+
+  explicit Servers(int n, int defective = -1, double rate = 0.01) {
+    for (int i = 0; i < n; ++i) {
+      owned.push_back(std::make_unique<SimCore>(i, Rng(600 + i)));
+      if (i == defective) {
+        owned.back()->AddDefect(CopyBitFlip(rate));
+      }
+      ptrs.push_back(owned.back().get());
+    }
+  }
+};
+
+std::vector<uint8_t> Payload(Rng& rng, size_t n = 256) {
+  std::vector<uint8_t> data(n);
+  rng.FillBytes(data.data(), n);
+  return data;
+}
+
+// --- ReplicatedBlobStore ------------------------------------------------------------------------
+
+TEST(ScrubStoreTest, HealthyRoundTrip) {
+  Servers servers(3);
+  ReplicatedBlobStore store(servers.ptrs);
+  Rng rng(1);
+  const auto data = Payload(rng);
+  store.Write(1, data);
+  const auto read = store.Read(1);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  EXPECT_EQ(store.stats().read_failovers, 0u);
+  EXPECT_EQ(store.Scrub(), 0u);
+}
+
+TEST(ScrubStoreTest, ReadMissing) {
+  Servers servers(2);
+  ReplicatedBlobStore store(servers.ptrs);
+  EXPECT_EQ(store.Read(9).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ScrubStoreTest, ReadFailsOverPastCorruptReplica) {
+  // Replica 0's server always corrupts copies; replicas 1 and 2 are clean.
+  Servers servers(3, /*defective=*/0, /*rate=*/1.0);
+  ReplicatedBlobStore store(servers.ptrs);
+  Rng rng(2);
+  const auto data = Payload(rng);
+  store.Write(1, data);
+  const auto read = store.Read(1);
+  ASSERT_TRUE(read.ok()) << "a healthy replica must serve the read";
+  EXPECT_EQ(*read, data);
+  EXPECT_GT(store.stats().read_failovers, 0u);
+}
+
+TEST(ScrubStoreTest, ScrubFindsAndRepairsLatentCorruption) {
+  Servers servers(3, /*defective=*/1, /*rate=*/0.05);
+  ReplicatedBlobStore store(servers.ptrs);
+  Rng rng(3);
+  for (uint64_t key = 0; key < 50; ++key) {
+    store.Write(key, Payload(rng));
+  }
+  const uint64_t repairs = store.Scrub();
+  EXPECT_GT(repairs, 0u) << "latent write-path corruption must exist at this rate";
+  EXPECT_EQ(store.stats().scrub_corruptions_found, repairs);
+  // Repairs of the defective server's replica flow through its own corrupting core, so the
+  // at-rest state need not converge to fully clean — but scrubbing keeps every blob
+  // READABLE: at least one good replica always exists for the healthy servers to serve.
+  for (int round = 0; round < 5; ++round) {
+    store.Scrub();
+  }
+  EXPECT_EQ(store.stats().scrub_unrepairable, 0u);
+  for (uint64_t key = 0; key < 50; ++key) {
+    EXPECT_TRUE(store.Read(key).ok()) << "key " << key;
+  }
+}
+
+TEST(ScrubStoreTest, ScrubPreventsReadTimeDataLoss) {
+  // With every server mildly defective, unscrubbed blobs eventually rot on all replicas; a
+  // scrub between write and read keeps reads serviceable.
+  Rng rng(4);
+  int loss_without_scrub = 0;
+  int loss_with_scrub = 0;
+  for (bool scrub : {false, true}) {
+    Servers servers(2);
+    servers.owned[0]->AddDefect(CopyBitFlip(0.02));
+    servers.owned[1]->AddDefect(CopyBitFlip(0.02));
+    ReplicatedBlobStore store(servers.ptrs);
+    for (uint64_t key = 0; key < 80; ++key) {
+      store.Write(key, Payload(rng));
+    }
+    if (scrub) {
+      for (int pass = 0; pass < 4; ++pass) {
+        store.Scrub();
+      }
+    }
+    int losses = 0;
+    for (uint64_t key = 0; key < 80; ++key) {
+      losses += store.Read(key).ok() ? 0 : 1;
+    }
+    (scrub ? loss_with_scrub : loss_without_scrub) = losses;
+  }
+  EXPECT_LE(loss_with_scrub, loss_without_scrub)
+      << "scrubbing must not increase read-time data loss";
+}
+
+TEST(ScrubStoreTest, AllReplicasCorruptIsUnrepairable) {
+  Servers servers(2, /*defective=*/-1);
+  servers.owned[0]->AddDefect(CopyBitFlip(1.0));
+  servers.owned[1]->AddDefect(CopyBitFlip(1.0));
+  ReplicatedBlobStore store(servers.ptrs);
+  Rng rng(5);
+  store.Write(1, Payload(rng));
+  store.Scrub();
+  EXPECT_EQ(store.stats().scrub_unrepairable, 1u);
+  EXPECT_EQ(store.Read(1).status().code(), StatusCode::kDataLoss);
+}
+
+// --- LockstepPair -------------------------------------------------------------------------------
+
+TEST(LockstepTest, HealthyPairAgreesAlways) {
+  SimCore primary(1, Rng(10));
+  SimCore shadow(2, Rng(11));
+  LockstepPair pair(&primary, &shadow);
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t a = rng.NextU64();
+    const uint64_t b = rng.NextU64();
+    EXPECT_EQ(pair.Alu(AluOp::kAdd, a, b), a + b);
+    EXPECT_EQ(pair.Mul(a, b), a * b);
+    EXPECT_EQ(pair.Load(a), a);
+    EXPECT_EQ(pair.Store(b), b);
+  }
+  EXPECT_EQ(pair.stats().divergences, 0u);
+  EXPECT_FALSE(pair.TakeDivergence());
+  EXPECT_EQ(pair.stats().ops, 2000u);
+}
+
+TEST(LockstepTest, DefectivePrimaryDetectedPerOp) {
+  SimCore primary(1, Rng(13));
+  DefectSpec spec;
+  spec.unit = ExecUnit::kIntMul;
+  spec.effect = DefectEffect::kRandomWrong;
+  spec.fvt.base_rate = 1.0;
+  primary.AddDefect(spec);
+  SimCore shadow(2, Rng(14));
+  LockstepPair pair(&primary, &shadow);
+  pair.Mul(3, 4);
+  EXPECT_EQ(pair.stats().divergences, 1u);
+  EXPECT_TRUE(pair.TakeDivergence()) << "the MCE line must be raised";
+  EXPECT_FALSE(pair.TakeDivergence()) << "...and consumed";
+}
+
+TEST(LockstepTest, DetectionIsImmediateNotEndOfGranule) {
+  // Unlike software DMR (which compares digests at granule end), lockstep flags the exact op.
+  SimCore primary(1, Rng(15));
+  DefectSpec spec;
+  spec.unit = ExecUnit::kIntAlu;
+  spec.effect = DefectEffect::kBitFlip;
+  spec.fvt.base_rate = 0.05;
+  primary.AddDefect(spec);
+  SimCore shadow(2, Rng(16));
+  LockstepPair pair(&primary, &shadow);
+  Rng rng(17);
+  int detected_at_op = -1;
+  for (int i = 0; i < 2000; ++i) {
+    pair.Alu(AluOp::kXor, rng.NextU64(), rng.NextU64());
+    if (pair.TakeDivergence()) {
+      detected_at_op = i;
+      break;
+    }
+  }
+  ASSERT_GE(detected_at_op, 0) << "a 5% defect must fire within 2000 ops";
+  EXPECT_EQ(pair.stats().divergences, 1u);
+}
+
+TEST(LockstepTest, SilentCorruptionImpossible) {
+  // The lockstep guarantee: a corrupted result is never returned without the divergence flag.
+  SimCore primary(1, Rng(18));
+  DefectSpec spec;
+  spec.unit = ExecUnit::kIntAlu;
+  spec.effect = DefectEffect::kBitFlip;
+  spec.fvt.base_rate = 0.1;
+  primary.AddDefect(spec);
+  SimCore shadow(2, Rng(19));
+  LockstepPair pair(&primary, &shadow);
+  Rng rng(20);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rng.NextU64();
+    const uint64_t b = rng.NextU64();
+    const uint64_t got = pair.Alu(AluOp::kAdd, a, b);
+    const bool diverged = pair.TakeDivergence();
+    if (got != a + b) {
+      EXPECT_TRUE(diverged) << "wrong result escaped without raising the MCE line";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mercurial

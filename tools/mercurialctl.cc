@@ -1,0 +1,239 @@
+// mercurialctl — command-line driver for the mercurial CEE study platform.
+//
+// Subcommands:
+//   study        run a full fleet lifecycle study and print the report
+//   interrogate  plant a catalog defect on one core and extract a confession
+//   screen       run the directed stress battery on a healthy or defective core
+//   defects      list the defect catalog
+//
+// Examples:
+//   mercurialctl study --machines=1000 --days=365 --multiplier=25
+//   mercurialctl interrogate --defect=self_inverting_aes --iterations=1024
+//   mercurialctl screen --defect=copy_stuck_bit --sweep=true
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/core/fleet_study.h"
+#include "src/core/tradeoff.h"
+#include "src/detect/confession.h"
+#include "src/sim/defect_catalog.h"
+#include "src/workload/stress.h"
+
+using namespace mercurial;
+
+namespace {
+
+int CmdDefects() {
+  std::printf("defect catalog (src/sim/defect_catalog.h):\n");
+  for (DefectClass klass : AllDefectClasses()) {
+    std::printf("  %s\n", DefectClassName(klass));
+  }
+  return 0;
+}
+
+StatusOr<DefectClass> FindDefectClass(const std::string& name) {
+  for (DefectClass klass : AllDefectClasses()) {
+    if (name == DefectClassName(klass)) {
+      return klass;
+    }
+  }
+  return NotFoundError("unknown defect class '" + name + "' (see `mercurialctl defects`)");
+}
+
+int CmdStudy(int argc, const char* const* argv) {
+  FlagSet flags;
+  flags.DefineInt("machines", 500, "fleet size in machines");
+  flags.DefineInt("days", 365, "simulated study duration");
+  flags.DefineInt("seed", 42, "master seed (fixes the whole study)");
+  flags.DefineDouble("multiplier", 25.0, "mercurial-core rate multiplier over product rates");
+  flags.DefineInt("work-units", 20, "work units per busy core-day");
+  flags.DefineInt("screening-period", 45, "offline screening cadence in days (0 = disabled)");
+  flags.DefineBool("burn-in", false, "screen every core once before production");
+  flags.DefineBool("fig1", false, "also print the weekly incident-rate series as CSV");
+  const Status status = flags.Parse(argc, argv, 2);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+
+  StudyOptions options;
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.fleet.machine_count = static_cast<size_t>(flags.GetInt("machines"));
+  options.fleet.mercurial_rate_multiplier = flags.GetDouble("multiplier");
+  options.duration = SimTime::Days(flags.GetInt("days"));
+  options.work_units_per_core_day = static_cast<uint64_t>(flags.GetInt("work-units"));
+  options.workload.payload_bytes = 256;
+  options.burn_in = flags.GetBool("burn-in");
+  const int64_t period = flags.GetInt("screening-period");
+  options.screening.offline_enabled = period > 0;
+  if (period > 0) {
+    options.screening.offline_period = SimTime::Days(period);
+  }
+
+  FleetStudy study(options);
+  std::printf("fleet: %zu machines / %zu cores / %zu mercurial cores planted\n",
+              study.fleet().machine_count(), study.fleet().core_count(),
+              study.fleet().mercurial_cores().size());
+  const StudyReport report = study.Run();
+
+  std::printf("\nsymptoms over %llu work units:\n",
+              static_cast<unsigned long long>(report.work_units_executed));
+  for (int s = 1; s < kSymptomCount; ++s) {
+    std::printf("  %-22s %llu\n", SymptomName(static_cast<Symptom>(s)),
+                static_cast<unsigned long long>(report.symptom_counts[s]));
+  }
+  std::printf("\ndetection:\n");
+  std::printf("  screen failures        %llu\n",
+              static_cast<unsigned long long>(report.screen_failures));
+  std::printf("  suspects processed     %llu\n",
+              static_cast<unsigned long long>(report.quarantine.suspects_processed));
+  std::printf("  retirements (TP/FP)    %llu (%llu/%llu)\n",
+              static_cast<unsigned long long>(report.quarantine.retirements),
+              static_cast<unsigned long long>(report.quarantine.true_positive_retirements),
+              static_cast<unsigned long long>(report.quarantine.false_positive_retirements));
+  std::printf("  mercurial caught       %llu of %zu\n",
+              static_cast<unsigned long long>(report.mercurial_retired),
+              report.true_mercurial_cores);
+  std::printf("  detection latency p50  %.0f days\n",
+              report.detection_latency_days.Quantile(0.5));
+  std::printf("  silent corruptions     %llu\n",
+              static_cast<unsigned long long>(report.silent_corruptions));
+
+  const CostBreakdown bill = EvaluateStudyCost(report, CostModel{});
+  std::printf("\ncost (default model): corruption=%.0f disruption=%.0f screening=%.1f "
+              "capacity=%.0f total=%.0f\n",
+              bill.corruption, bill.disruption, bill.screening, bill.capacity, bill.total());
+
+  if (flags.GetBool("fig1")) {
+    std::printf("\nweek,user_rate,auto_rate\n");
+    for (size_t w = 0; w < report.weekly_user_rate.size(); ++w) {
+      std::printf("%zu,%g,%g\n", w, report.weekly_user_rate[w], report.weekly_auto_rate[w]);
+    }
+  }
+  return 0;
+}
+
+int CmdInterrogate(int argc, const char* const* argv) {
+  FlagSet flags;
+  flags.DefineString("defect", "vector_bit_flip", "defect class to plant (see `defects`)");
+  flags.DefineInt("iterations", 1024, "stress iterations per unit per attempt");
+  flags.DefineInt("attempts", 3, "interrogation attempts");
+  flags.DefineInt("seed", 7, "seed");
+  const Status status = flags.Parse(argc, argv, 2);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+  const auto klass = FindDefectClass(flags.GetString("defect"));
+  if (!klass.ok()) {
+    std::fprintf(stderr, "%s\n", klass.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  SimCore core(1, rng.Split(1));
+  CatalogOptions catalog;
+  catalog.p_latent = 0.0;
+  const DefectSpec spec = DrawDefect(*klass, catalog, rng);
+  core.AddDefect(spec);
+  std::printf("planted: %s on unit %s (base rate %.2e)\n", spec.label.c_str(),
+              ExecUnitName(spec.unit), spec.fvt.base_rate);
+
+  ConfessionOptions options;
+  options.stress.iterations_per_unit = static_cast<uint64_t>(flags.GetInt("iterations"));
+  options.max_attempts = static_cast<int>(flags.GetInt("attempts"));
+  ConfessionTester tester(options);
+  const Confession confession = tester.Interrogate(core, rng);
+  if (confession.confessed) {
+    std::printf("CONFESSED after %d attempt(s), %llu ops; failed units:", confession.attempts,
+                static_cast<unsigned long long>(confession.ops_used));
+    for (ExecUnit unit : confession.failed_units) {
+      std::printf(" %s", ExecUnitName(unit));
+    }
+    std::printf("\n");
+    return 0;
+  }
+  std::printf("no confession after %d attempts (%llu ops) — limited reproducibility\n",
+              confession.attempts, static_cast<unsigned long long>(confession.ops_used));
+  return 0;
+}
+
+int CmdScreen(int argc, const char* const* argv) {
+  FlagSet flags;
+  flags.DefineString("defect", "", "defect class to plant (empty = healthy core)");
+  flags.DefineInt("iterations", 512, "iterations per unit");
+  flags.DefineBool("sweep", true, "sweep f/V/T corners");
+  flags.DefineInt("seed", 7, "seed");
+  const Status status = flags.Parse(argc, argv, 2);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  SimCore core(1, rng.Split(1));
+  const std::string defect_name = flags.GetString("defect");
+  if (!defect_name.empty()) {
+    const auto klass = FindDefectClass(defect_name);
+    if (!klass.ok()) {
+      std::fprintf(stderr, "%s\n", klass.status().ToString().c_str());
+      return 1;
+    }
+    CatalogOptions catalog;
+    catalog.p_latent = 0.0;
+    core.AddDefect(DrawDefect(*klass, catalog, rng));
+  }
+
+  StressOptions options;
+  options.iterations_per_unit = static_cast<uint64_t>(flags.GetInt("iterations"));
+  if (flags.GetBool("sweep")) {
+    options.sweep = StandardScreeningSweep();
+  }
+  const StressReport report = RunStressBattery(core, rng, options);
+  std::printf("battery: %s (%llu ops)\n", report.passed() ? "PASSED" : "FAILED",
+              static_cast<unsigned long long>(report.total_ops));
+  for (const UnitStressResult& unit : report.per_unit) {
+    if (!unit.passed()) {
+      std::printf("  unit %-8s mismatches=%llu machine_check=%s\n", ExecUnitName(unit.unit),
+                  static_cast<unsigned long long>(unit.mismatches),
+                  unit.machine_check ? "yes" : "no");
+    }
+  }
+  return report.passed() ? 0 : 2;
+}
+
+void PrintTopLevelUsage() {
+  std::printf("mercurialctl <command> [flags]\n\ncommands:\n"
+              "  study        run a fleet lifecycle study\n"
+              "  interrogate  plant a defect and extract a confession\n"
+              "  screen       run the stress battery on one core\n"
+              "  defects      list the defect catalog\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintTopLevelUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "study") {
+    return CmdStudy(argc, argv);
+  }
+  if (command == "interrogate") {
+    return CmdInterrogate(argc, argv);
+  }
+  if (command == "screen") {
+    return CmdScreen(argc, argv);
+  }
+  if (command == "defects") {
+    return CmdDefects();
+  }
+  std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+  PrintTopLevelUsage();
+  return 1;
+}
