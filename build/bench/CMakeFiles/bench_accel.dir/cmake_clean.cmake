@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accel.dir/bench_accel.cc.o"
+  "CMakeFiles/bench_accel.dir/bench_accel.cc.o.d"
+  "bench_accel"
+  "bench_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aes_case.dir/bench_aes_case.cc.o"
+  "CMakeFiles/bench_aes_case.dir/bench_aes_case.cc.o.d"
+  "bench_aes_case"
+  "bench_aes_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aes_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_aes_case.
+# This may be replaced when dependencies are built.

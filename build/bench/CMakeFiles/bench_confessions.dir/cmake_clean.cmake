@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_confessions.dir/bench_confessions.cc.o"
+  "CMakeFiles/bench_confessions.dir/bench_confessions.cc.o.d"
+  "bench_confessions"
+  "bench_confessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_confessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

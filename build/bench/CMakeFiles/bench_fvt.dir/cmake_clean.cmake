@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fvt.dir/bench_fvt.cc.o"
+  "CMakeFiles/bench_fvt.dir/bench_fvt.cc.o.d"
+  "bench_fvt"
+  "bench_fvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

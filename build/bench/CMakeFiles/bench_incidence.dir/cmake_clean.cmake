@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incidence.dir/bench_incidence.cc.o"
+  "CMakeFiles/bench_incidence.dir/bench_incidence.cc.o.d"
+  "bench_incidence"
+  "bench_incidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mca.dir/bench_mca.cc.o"
+  "CMakeFiles/bench_mca.dir/bench_mca.cc.o.d"
+  "bench_mca"
+  "bench_mca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oblivious.dir/bench_oblivious.cc.o"
+  "CMakeFiles/bench_oblivious.dir/bench_oblivious.cc.o.d"
+  "bench_oblivious"
+  "bench_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

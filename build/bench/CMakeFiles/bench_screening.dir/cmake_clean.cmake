@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_screening.dir/bench_screening.cc.o"
+  "CMakeFiles/bench_screening.dir/bench_screening.cc.o.d"
+  "bench_screening"
+  "bench_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdc_algos.dir/bench_sdc_algos.cc.o"
+  "CMakeFiles/bench_sdc_algos.dir/bench_sdc_algos.cc.o.d"
+  "bench_sdc_algos"
+  "bench_sdc_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdc_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

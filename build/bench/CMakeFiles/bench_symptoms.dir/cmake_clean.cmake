@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symptoms.dir/bench_symptoms.cc.o"
+  "CMakeFiles/bench_symptoms.dir/bench_symptoms.cc.o.d"
+  "bench_symptoms"
+  "bench_symptoms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symptoms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

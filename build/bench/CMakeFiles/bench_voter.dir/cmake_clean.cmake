@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_voter.dir/bench_voter.cc.o"
+  "CMakeFiles/bench_voter.dir/bench_voter.cc.o.d"
+  "bench_voter"
+  "bench_voter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

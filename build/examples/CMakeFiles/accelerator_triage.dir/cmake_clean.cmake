@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_triage.dir/accelerator_triage.cpp.o"
+  "CMakeFiles/accelerator_triage.dir/accelerator_triage.cpp.o.d"
+  "accelerator_triage"
+  "accelerator_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

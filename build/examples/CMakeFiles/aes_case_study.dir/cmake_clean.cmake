@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_case_study.dir/aes_case_study.cpp.o"
+  "CMakeFiles/aes_case_study.dir/aes_case_study.cpp.o.d"
+  "aes_case_study"
+  "aes_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_redundancy.dir/storage_redundancy.cpp.o"
+  "CMakeFiles/storage_redundancy.dir/storage_redundancy.cpp.o.d"
+  "storage_redundancy"
+  "storage_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

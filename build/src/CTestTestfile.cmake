@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("substrate")
+subdirs("accel")
+subdirs("sim")
+subdirs("workload")
+subdirs("fleet")
+subdirs("sched")
+subdirs("detect")
+subdirs("mitigate")
+subdirs("telemetry")
+subdirs("core")

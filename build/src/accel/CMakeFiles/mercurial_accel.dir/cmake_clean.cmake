@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_accel.dir/accelerator.cc.o"
+  "CMakeFiles/mercurial_accel.dir/accelerator.cc.o.d"
+  "libmercurial_accel.a"
+  "libmercurial_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_common.dir/csv.cc.o"
+  "CMakeFiles/mercurial_common.dir/csv.cc.o.d"
+  "CMakeFiles/mercurial_common.dir/flags.cc.o"
+  "CMakeFiles/mercurial_common.dir/flags.cc.o.d"
+  "CMakeFiles/mercurial_common.dir/histogram.cc.o"
+  "CMakeFiles/mercurial_common.dir/histogram.cc.o.d"
+  "CMakeFiles/mercurial_common.dir/rng.cc.o"
+  "CMakeFiles/mercurial_common.dir/rng.cc.o.d"
+  "CMakeFiles/mercurial_common.dir/sim_time.cc.o"
+  "CMakeFiles/mercurial_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/mercurial_common.dir/stats.cc.o"
+  "CMakeFiles/mercurial_common.dir/stats.cc.o.d"
+  "CMakeFiles/mercurial_common.dir/status.cc.o"
+  "CMakeFiles/mercurial_common.dir/status.cc.o.d"
+  "libmercurial_common.a"
+  "libmercurial_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

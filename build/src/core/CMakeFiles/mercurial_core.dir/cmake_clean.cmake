@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_core.dir/fleet_study.cc.o"
+  "CMakeFiles/mercurial_core.dir/fleet_study.cc.o.d"
+  "CMakeFiles/mercurial_core.dir/tradeoff.cc.o"
+  "CMakeFiles/mercurial_core.dir/tradeoff.cc.o.d"
+  "libmercurial_core.a"
+  "libmercurial_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

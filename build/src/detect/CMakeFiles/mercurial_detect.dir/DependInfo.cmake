@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/confession.cc" "src/detect/CMakeFiles/mercurial_detect.dir/confession.cc.o" "gcc" "src/detect/CMakeFiles/mercurial_detect.dir/confession.cc.o.d"
+  "/root/repo/src/detect/mca_log.cc" "src/detect/CMakeFiles/mercurial_detect.dir/mca_log.cc.o" "gcc" "src/detect/CMakeFiles/mercurial_detect.dir/mca_log.cc.o.d"
+  "/root/repo/src/detect/quarantine.cc" "src/detect/CMakeFiles/mercurial_detect.dir/quarantine.cc.o" "gcc" "src/detect/CMakeFiles/mercurial_detect.dir/quarantine.cc.o.d"
+  "/root/repo/src/detect/report_service.cc" "src/detect/CMakeFiles/mercurial_detect.dir/report_service.cc.o" "gcc" "src/detect/CMakeFiles/mercurial_detect.dir/report_service.cc.o.d"
+  "/root/repo/src/detect/screening.cc" "src/detect/CMakeFiles/mercurial_detect.dir/screening.cc.o" "gcc" "src/detect/CMakeFiles/mercurial_detect.dir/screening.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fleet/CMakeFiles/mercurial_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mercurial_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mercurial_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercurial_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mercurial_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/substrate/CMakeFiles/mercurial_substrate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

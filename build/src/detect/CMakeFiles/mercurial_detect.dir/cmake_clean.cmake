@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_detect.dir/confession.cc.o"
+  "CMakeFiles/mercurial_detect.dir/confession.cc.o.d"
+  "CMakeFiles/mercurial_detect.dir/mca_log.cc.o"
+  "CMakeFiles/mercurial_detect.dir/mca_log.cc.o.d"
+  "CMakeFiles/mercurial_detect.dir/quarantine.cc.o"
+  "CMakeFiles/mercurial_detect.dir/quarantine.cc.o.d"
+  "CMakeFiles/mercurial_detect.dir/report_service.cc.o"
+  "CMakeFiles/mercurial_detect.dir/report_service.cc.o.d"
+  "CMakeFiles/mercurial_detect.dir/screening.cc.o"
+  "CMakeFiles/mercurial_detect.dir/screening.cc.o.d"
+  "libmercurial_detect.a"
+  "libmercurial_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_fleet.dir/cpu_product.cc.o"
+  "CMakeFiles/mercurial_fleet.dir/cpu_product.cc.o.d"
+  "CMakeFiles/mercurial_fleet.dir/fleet.cc.o"
+  "CMakeFiles/mercurial_fleet.dir/fleet.cc.o.d"
+  "libmercurial_fleet.a"
+  "libmercurial_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

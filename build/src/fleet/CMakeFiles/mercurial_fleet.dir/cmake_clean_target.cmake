@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmercurial_fleet.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mitigate/abft.cc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/abft.cc.o" "gcc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/abft.cc.o.d"
+  "/root/repo/src/mitigate/checkpoint.cc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/checkpoint.cc.o" "gcc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/checkpoint.cc.o.d"
+  "/root/repo/src/mitigate/e2e_store.cc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/e2e_store.cc.o" "gcc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/e2e_store.cc.o.d"
+  "/root/repo/src/mitigate/ec_store.cc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/ec_store.cc.o" "gcc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/ec_store.cc.o.d"
+  "/root/repo/src/mitigate/redundancy.cc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/redundancy.cc.o" "gcc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/redundancy.cc.o.d"
+  "/root/repo/src/mitigate/replay.cc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/replay.cc.o" "gcc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/replay.cc.o.d"
+  "/root/repo/src/mitigate/replicated_log.cc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/replicated_log.cc.o" "gcc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/replicated_log.cc.o.d"
+  "/root/repo/src/mitigate/scrub_store.cc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/scrub_store.cc.o" "gcc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/scrub_store.cc.o.d"
+  "/root/repo/src/mitigate/selective.cc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/selective.cc.o" "gcc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/selective.cc.o.d"
+  "/root/repo/src/mitigate/selfcheck.cc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/selfcheck.cc.o" "gcc" "src/mitigate/CMakeFiles/mercurial_mitigate.dir/selfcheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mercurial_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercurial_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/substrate/CMakeFiles/mercurial_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mercurial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

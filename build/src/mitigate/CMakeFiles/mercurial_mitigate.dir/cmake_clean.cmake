@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_mitigate.dir/abft.cc.o"
+  "CMakeFiles/mercurial_mitigate.dir/abft.cc.o.d"
+  "CMakeFiles/mercurial_mitigate.dir/checkpoint.cc.o"
+  "CMakeFiles/mercurial_mitigate.dir/checkpoint.cc.o.d"
+  "CMakeFiles/mercurial_mitigate.dir/e2e_store.cc.o"
+  "CMakeFiles/mercurial_mitigate.dir/e2e_store.cc.o.d"
+  "CMakeFiles/mercurial_mitigate.dir/ec_store.cc.o"
+  "CMakeFiles/mercurial_mitigate.dir/ec_store.cc.o.d"
+  "CMakeFiles/mercurial_mitigate.dir/redundancy.cc.o"
+  "CMakeFiles/mercurial_mitigate.dir/redundancy.cc.o.d"
+  "CMakeFiles/mercurial_mitigate.dir/replay.cc.o"
+  "CMakeFiles/mercurial_mitigate.dir/replay.cc.o.d"
+  "CMakeFiles/mercurial_mitigate.dir/replicated_log.cc.o"
+  "CMakeFiles/mercurial_mitigate.dir/replicated_log.cc.o.d"
+  "CMakeFiles/mercurial_mitigate.dir/scrub_store.cc.o"
+  "CMakeFiles/mercurial_mitigate.dir/scrub_store.cc.o.d"
+  "CMakeFiles/mercurial_mitigate.dir/selective.cc.o"
+  "CMakeFiles/mercurial_mitigate.dir/selective.cc.o.d"
+  "CMakeFiles/mercurial_mitigate.dir/selfcheck.cc.o"
+  "CMakeFiles/mercurial_mitigate.dir/selfcheck.cc.o.d"
+  "libmercurial_mitigate.a"
+  "libmercurial_mitigate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_mitigate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/placement.cc" "src/sched/CMakeFiles/mercurial_sched.dir/placement.cc.o" "gcc" "src/sched/CMakeFiles/mercurial_sched.dir/placement.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/mercurial_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/mercurial_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mercurial_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mercurial_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/substrate/CMakeFiles/mercurial_substrate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

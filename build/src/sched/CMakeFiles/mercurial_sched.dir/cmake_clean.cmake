@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_sched.dir/placement.cc.o"
+  "CMakeFiles/mercurial_sched.dir/placement.cc.o.d"
+  "CMakeFiles/mercurial_sched.dir/scheduler.cc.o"
+  "CMakeFiles/mercurial_sched.dir/scheduler.cc.o.d"
+  "libmercurial_sched.a"
+  "libmercurial_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

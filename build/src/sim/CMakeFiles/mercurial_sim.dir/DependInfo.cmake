@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/mercurial_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/mercurial_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/defect.cc" "src/sim/CMakeFiles/mercurial_sim.dir/defect.cc.o" "gcc" "src/sim/CMakeFiles/mercurial_sim.dir/defect.cc.o.d"
+  "/root/repo/src/sim/defect_catalog.cc" "src/sim/CMakeFiles/mercurial_sim.dir/defect_catalog.cc.o" "gcc" "src/sim/CMakeFiles/mercurial_sim.dir/defect_catalog.cc.o.d"
+  "/root/repo/src/sim/lockstep.cc" "src/sim/CMakeFiles/mercurial_sim.dir/lockstep.cc.o" "gcc" "src/sim/CMakeFiles/mercurial_sim.dir/lockstep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/substrate/CMakeFiles/mercurial_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mercurial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

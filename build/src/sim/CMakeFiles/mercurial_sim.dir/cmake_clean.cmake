@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_sim.dir/core.cc.o"
+  "CMakeFiles/mercurial_sim.dir/core.cc.o.d"
+  "CMakeFiles/mercurial_sim.dir/defect.cc.o"
+  "CMakeFiles/mercurial_sim.dir/defect.cc.o.d"
+  "CMakeFiles/mercurial_sim.dir/defect_catalog.cc.o"
+  "CMakeFiles/mercurial_sim.dir/defect_catalog.cc.o.d"
+  "CMakeFiles/mercurial_sim.dir/lockstep.cc.o"
+  "CMakeFiles/mercurial_sim.dir/lockstep.cc.o.d"
+  "libmercurial_sim.a"
+  "libmercurial_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

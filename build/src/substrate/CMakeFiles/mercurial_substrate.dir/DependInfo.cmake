@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/substrate/aes.cc" "src/substrate/CMakeFiles/mercurial_substrate.dir/aes.cc.o" "gcc" "src/substrate/CMakeFiles/mercurial_substrate.dir/aes.cc.o.d"
+  "/root/repo/src/substrate/btree.cc" "src/substrate/CMakeFiles/mercurial_substrate.dir/btree.cc.o" "gcc" "src/substrate/CMakeFiles/mercurial_substrate.dir/btree.cc.o.d"
+  "/root/repo/src/substrate/checksum.cc" "src/substrate/CMakeFiles/mercurial_substrate.dir/checksum.cc.o" "gcc" "src/substrate/CMakeFiles/mercurial_substrate.dir/checksum.cc.o.d"
+  "/root/repo/src/substrate/lz.cc" "src/substrate/CMakeFiles/mercurial_substrate.dir/lz.cc.o" "gcc" "src/substrate/CMakeFiles/mercurial_substrate.dir/lz.cc.o.d"
+  "/root/repo/src/substrate/matrix.cc" "src/substrate/CMakeFiles/mercurial_substrate.dir/matrix.cc.o" "gcc" "src/substrate/CMakeFiles/mercurial_substrate.dir/matrix.cc.o.d"
+  "/root/repo/src/substrate/reed_solomon.cc" "src/substrate/CMakeFiles/mercurial_substrate.dir/reed_solomon.cc.o" "gcc" "src/substrate/CMakeFiles/mercurial_substrate.dir/reed_solomon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mercurial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_substrate.dir/aes.cc.o"
+  "CMakeFiles/mercurial_substrate.dir/aes.cc.o.d"
+  "CMakeFiles/mercurial_substrate.dir/btree.cc.o"
+  "CMakeFiles/mercurial_substrate.dir/btree.cc.o.d"
+  "CMakeFiles/mercurial_substrate.dir/checksum.cc.o"
+  "CMakeFiles/mercurial_substrate.dir/checksum.cc.o.d"
+  "CMakeFiles/mercurial_substrate.dir/lz.cc.o"
+  "CMakeFiles/mercurial_substrate.dir/lz.cc.o.d"
+  "CMakeFiles/mercurial_substrate.dir/matrix.cc.o"
+  "CMakeFiles/mercurial_substrate.dir/matrix.cc.o.d"
+  "CMakeFiles/mercurial_substrate.dir/reed_solomon.cc.o"
+  "CMakeFiles/mercurial_substrate.dir/reed_solomon.cc.o.d"
+  "libmercurial_substrate.a"
+  "libmercurial_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

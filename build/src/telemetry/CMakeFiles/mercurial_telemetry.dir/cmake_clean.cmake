@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_telemetry.dir/metrics.cc.o"
+  "CMakeFiles/mercurial_telemetry.dir/metrics.cc.o.d"
+  "libmercurial_telemetry.a"
+  "libmercurial_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurial_workload.dir/core_routines.cc.o"
+  "CMakeFiles/mercurial_workload.dir/core_routines.cc.o.d"
+  "CMakeFiles/mercurial_workload.dir/stress.cc.o"
+  "CMakeFiles/mercurial_workload.dir/stress.cc.o.d"
+  "CMakeFiles/mercurial_workload.dir/workloads.cc.o"
+  "CMakeFiles/mercurial_workload.dir/workloads.cc.o.d"
+  "libmercurial_workload.a"
+  "libmercurial_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurial_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

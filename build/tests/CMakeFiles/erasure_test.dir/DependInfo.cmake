@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/erasure_test.cc" "tests/CMakeFiles/erasure_test.dir/erasure_test.cc.o" "gcc" "tests/CMakeFiles/erasure_test.dir/erasure_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mercurial_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mercurial_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigate/CMakeFiles/mercurial_mitigate.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/mercurial_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mercurial_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/mercurial_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mercurial_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mercurial_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/substrate/CMakeFiles/mercurial_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/mercurial_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mercurial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercurialctl.dir/mercurialctl.cc.o"
+  "CMakeFiles/mercurialctl.dir/mercurialctl.cc.o.d"
+  "mercurialctl"
+  "mercurialctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercurialctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
