@@ -1,0 +1,151 @@
+// Parallel-scaling benchmark for the sharded fleet-study engine.
+//
+// Runs one fleet study at a fixed shard count across a ladder of thread counts and reports
+// wall-clock speedup over (a) the legacy serial engine (shards=1) and (b) the sharded engine
+// at threads=1. Because the engine is bit-deterministic in the shard count and independent of
+// the thread count, every row of the ladder computes the *same* StudyReport — the work-unit
+// total is printed per row so a scheduling bug that drops work shows up immediately.
+//
+// The reference configuration (defaults) is a 20k-machine, 3-year study — the scale at which
+// a serial run stops being interactive and the ladder should show >=3x at 4 threads on a
+// 4-core runner. `hardware_concurrency` is recorded in the JSON so results from a small
+// container (this repo's CI runner has 1 CPU, where no speedup is physically possible) are
+// interpretable next to results from a real multi-core machine.
+//
+//   bench_parallel_scaling --machines=20000 --days=1095 --json=BENCH_parallel.json
+//
+// Output: human-readable table on stdout plus a JSON artifact with raw wall-clocks.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/core/fleet_study.h"
+
+using namespace mercurial;
+
+namespace {
+
+struct LadderRow {
+  std::string label;
+  int shards = 1;
+  int threads = 1;
+  double seconds = 0.0;
+  uint64_t work_units = 0;
+  uint64_t screen_failures = 0;
+};
+
+StudyOptions BaseOptions(uint64_t seed, size_t machines, int days) {
+  StudyOptions options;
+  options.seed = seed;
+  options.fleet.machine_count = machines;
+  options.fleet.mercurial_rate_multiplier = 25.0;
+  options.duration = SimTime::Days(days);
+  options.work_units_per_core_day = 20;
+  options.workload.payload_bytes = 256;
+  return options;
+}
+
+LadderRow RunOnce(const std::string& label, const StudyOptions& base, int shards, int threads) {
+  StudyOptions options = base;
+  options.shards = shards;
+  options.threads = threads;
+  FleetStudy study(options);
+  const auto start = std::chrono::steady_clock::now();
+  const StudyReport report = study.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  LadderRow row;
+  row.label = label;
+  row.shards = shards;
+  row.threads = threads;
+  row.seconds = std::chrono::duration<double>(stop - start).count();
+  row.work_units = report.work_units_executed;
+  row.screen_failures = report.screen_failures;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineInt("machines", 20000, "fleet size in machines");
+  flags.DefineInt("days", 1095, "simulated study duration (3 years)");
+  flags.DefineInt("seed", 42, "master seed");
+  flags.DefineInt("shards", 32, "shard count for the parallel rows (fixed across the ladder)");
+  flags.DefineString("json", "BENCH_parallel.json", "path for the JSON artifact ('' = skip)");
+  const Status status = flags.Parse(argc, argv, 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+
+  const size_t machines = static_cast<size_t>(flags.GetInt("machines"));
+  const int days = static_cast<int>(flags.GetInt("days"));
+  const int shards = static_cast<int>(flags.GetInt("shards"));
+  const unsigned hw = std::thread::hardware_concurrency();
+  const StudyOptions base = BaseOptions(static_cast<uint64_t>(flags.GetInt("seed")), machines, days);
+
+  std::printf("# parallel scaling — %zu machines, %d days, %d shards, %u hardware threads\n",
+              machines, days, shards, hw);
+
+  std::vector<LadderRow> rows;
+  rows.push_back(RunOnce("serial (legacy engine)", base, /*shards=*/1, /*threads=*/1));
+  for (const int threads : {1, 2, 4}) {
+    rows.push_back(RunOnce("sharded t=" + std::to_string(threads), base, shards, threads));
+  }
+
+  const double serial_s = rows[0].seconds;
+  const double sharded_t1_s = rows[1].seconds;
+  std::printf("%-24s %8s %8s %12s %10s %10s\n", "config", "shards", "threads", "wall_s",
+              "vs_serial", "vs_t1");
+  for (const LadderRow& row : rows) {
+    std::printf("%-24s %8d %8d %12.3f %9.2fx %9.2fx\n", row.label.c_str(), row.shards,
+                row.threads, row.seconds, serial_s / row.seconds, sharded_t1_s / row.seconds);
+  }
+
+  // Determinism cross-check: all sharded rows must agree with each other (thread-count
+  // invariance); the serial row is a different stream layout and may legitimately differ.
+  bool deterministic = true;
+  for (size_t i = 2; i < rows.size(); ++i) {
+    if (rows[i].work_units != rows[1].work_units ||
+        rows[i].screen_failures != rows[1].screen_failures) {
+      deterministic = false;
+    }
+  }
+  std::printf("# sharded rows bit-consistent: %s\n", deterministic ? "yes" : "NO — BUG");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"parallel_scaling\",\n");
+    std::fprintf(f, "  \"machines\": %zu,\n", machines);
+    std::fprintf(f, "  \"days\": %d,\n", days);
+    std::fprintf(f, "  \"shards\": %d,\n", shards);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+    std::fprintf(f, "  \"sharded_rows_bit_consistent\": %s,\n", deterministic ? "true" : "false");
+    std::fprintf(f, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const LadderRow& row = rows[i];
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"shards\": %d, \"threads\": %d, "
+                   "\"wall_seconds\": %.6f, \"speedup_vs_serial\": %.4f, "
+                   "\"speedup_vs_threads1\": %.4f, \"work_units\": %llu}%s\n",
+                   row.label.c_str(), row.shards, row.threads, row.seconds,
+                   serial_s / row.seconds, sharded_t1_s / row.seconds,
+                   static_cast<unsigned long long>(row.work_units),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return deterministic ? 0 : 2;
+}

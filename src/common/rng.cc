@@ -21,6 +21,15 @@ uint64_t Mix64(uint64_t value) {
   return SplitMix64(state);
 }
 
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream, uint64_t counter) {
+  // Three rounds of the splitmix64 finalizer over distinctly-salted words. Each input is
+  // mixed before combining so that nearby (stream, counter) pairs land in unrelated seeds.
+  uint64_t h = Mix64(seed ^ 0x243f6a8885a308d3ull);  // pi
+  h = Mix64(h ^ Mix64(stream ^ 0x13198a2e03707344ull));
+  h = Mix64(h ^ Mix64(counter ^ 0xa4093822299f31d0ull));
+  return h;
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : state_) {

@@ -72,6 +72,13 @@ uint64_t SplitMix64(uint64_t& state);
 // One-shot stateless mix of a 64-bit value (the splitmix64 finalizer).
 uint64_t Mix64(uint64_t value);
 
+// Counter-based stream derivation: a pure stateless function of (seed, stream, counter) with
+// no sequential dependence between counters. This is what makes sharded parallel simulation
+// deterministic: shard `stream` at tick `counter` seeds a private Rng from
+// DeriveStreamSeed(seed, stream, counter) and the resulting draws do not depend on how many
+// worker threads execute the shards or in what order they complete.
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream, uint64_t counter);
+
 }  // namespace mercurial
 
 #endif  // MERCURIAL_SRC_COMMON_RNG_H_

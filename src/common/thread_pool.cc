@@ -1,0 +1,85 @@
+#include "src/common/thread_pool.h"
+
+namespace mercurial {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads < 1) {
+    threads = 1;
+  }
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::RunIndices(const std::function<void(size_t)>& fn, size_t n) {
+  while (true) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      return;
+    }
+    fn(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      fn = fn_;
+      n = batch_n_;
+    }
+    RunIndices(*fn, n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    batch_n_ = n;
+    workers_done_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunIndices(fn, n);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+  fn_ = nullptr;
+}
+
+}  // namespace mercurial

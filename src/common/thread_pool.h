@@ -1,0 +1,62 @@
+// Fixed-size worker pool for sharded parallel simulation.
+//
+// The fleet engine partitions work into K independent shards per tick and runs them across a
+// pool of worker threads with a barrier at the tick boundary (fork-join). Determinism comes
+// from the caller, not the pool: each shard writes only shard-private state, so ParallelFor's
+// scheduling of indices onto threads is free to be dynamic (work-stealing via an atomic
+// cursor) without affecting results.
+//
+// The calling thread participates in every batch, so ThreadPool(1) spawns no workers and
+// ParallelFor degenerates to an inline loop — the serial path and the parallel path execute
+// the same per-shard code.
+
+#ifndef MERCURIAL_SRC_COMMON_THREAD_POOL_H_
+#define MERCURIAL_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mercurial {
+
+class ThreadPool {
+ public:
+  // `threads` counts the calling thread: ThreadPool(4) spawns 3 workers. Values < 1 clamp
+  // to 1 (inline execution, no threads spawned).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total threads that execute a batch, including the caller.
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  // Runs fn(i) exactly once for every i in [0, n), distributed dynamically over the pool.
+  // Blocks until all n calls have returned (barrier). `fn` must be safe to call concurrently
+  // for distinct indices. Not reentrant: one batch at a time.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void RunIndices(const std::function<void(size_t)>& fn, size_t n);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a new batch
+  std::condition_variable done_cv_;   // ParallelFor waits here for the barrier
+  const std::function<void(size_t)>* fn_ = nullptr;  // current batch (guarded by mu_)
+  size_t batch_n_ = 0;
+  uint64_t generation_ = 0;  // bumped per batch so workers can tell new work from spurious wakes
+  size_t workers_done_ = 0;
+  bool stop_ = false;
+  std::atomic<size_t> next_{0};  // dynamic index cursor for the current batch
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_COMMON_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/substrate/checksum.h"
 
 namespace mercurial {
@@ -13,7 +14,38 @@ namespace {
 constexpr const char* kUserSeries = "incidents.user_reported";
 constexpr const char* kAutoSeries = "incidents.auto_reported";
 
+// Stream salts separating the per-(shard, tick) random streams of the two parallel stages, so
+// production/noise draws and screening draws never alias (see DeriveStreamSeed).
+constexpr uint64_t kProductionStreamSalt = 0x70726f64756374ull;  // "product"
+constexpr uint64_t kScreeningStreamSalt = 0x73637265656e00ull;   // "screen"
+
 }  // namespace
+
+std::vector<ShardRange> PartitionCores(uint64_t core_count, int shards) {
+  MERCURIAL_CHECK_GT(shards, 0);
+  const auto k = static_cast<uint64_t>(shards);
+  const uint64_t per_shard = (core_count + k - 1) / k;
+  std::vector<ShardRange> ranges(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    ranges[i].begin = std::min(core_count, i * per_shard);
+    ranges[i].end = std::min(core_count, (i + 1) * per_shard);
+  }
+  return ranges;
+}
+
+// Everything one shard's production + noise pass may produce, buffered so the tick's side
+// effects can be applied to the shared services serially in shard-index order. Memory note:
+// a buffer lives only for one tick and is proportional to that shard's event count.
+struct FleetStudy::ShardDelta {
+  uint64_t symptom_counts[kSymptomCount] = {};
+  uint64_t work_units_executed = 0;
+  uint64_t silent_corruptions = 0;
+  std::vector<Signal> signals;               // suspect-service reports, in emission order
+  std::vector<McaRecord> mca_records;        // machine-check telemetry, in emission order
+  std::vector<PendingHumanReport> human_reports;
+  MetricRegistry metrics;                    // counter increments only
+  ShardScreenOutcome screen;
+};
 
 FleetStudy::FleetStudy(StudyOptions options)
     : options_(options),
@@ -33,31 +65,32 @@ FleetStudy::FleetStudy(StudyOptions options)
   report_.true_mercurial_cores = fleet_.mercurial_cores().size();
 }
 
-void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom) {
-  ++report_.symptom_counts[static_cast<int>(symptom)];
+void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom, Rng& rng,
+                               ShardDelta& delta) {
+  ++delta.symptom_counts[static_cast<int>(symptom)];
   if (symptom == Symptom::kNone) {
     return;
   }
   const CoreId id = fleet_.core_id(core_index);
   switch (symptom) {
     case Symptom::kCrash: {
-      service_.Report(Signal{now, id.machine, core_index, SignalType::kCrash});
-      metrics_.Increment("signals.crash");
-      if (rng_.Bernoulli(options_.sanitizer_probability)) {
-        service_.Report(Signal{now, id.machine, core_index, SignalType::kSanitizer});
-        metrics_.Increment("signals.sanitizer");
+      delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kCrash});
+      delta.metrics.Increment("signals.crash");
+      if (rng.Bernoulli(options_.sanitizer_probability)) {
+        delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kSanitizer});
+        delta.metrics.Increment("signals.sanitizer");
       }
-      if (rng_.Bernoulli(options_.crash_human_report_probability)) {
+      if (rng.Bernoulli(options_.crash_human_report_probability)) {
         const SimTime delay = SimTime::Seconds(static_cast<int64_t>(
-            rng_.Exponential(1.0 / static_cast<double>(options_.human_report_mean_delay.seconds()))));
-        pending_human_reports_.push_back(
+            rng.Exponential(1.0 / static_cast<double>(options_.human_report_mean_delay.seconds()))));
+        delta.human_reports.push_back(
             {now + delay, Signal{now + delay, id.machine, core_index, SignalType::kUserReport}});
       }
       break;
     }
     case Symptom::kMachineCheck: {
-      service_.Report(Signal{now, id.machine, core_index, SignalType::kMachineCheck});
-      metrics_.Increment("signals.machine_check");
+      delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kMachineCheck});
+      delta.metrics.Increment("signals.machine_check");
       // Structured MCA telemetry: the reporting bank is the defective unit, unless the
       // hardware's bank mapping scrambles it.
       McaRecord record;
@@ -72,37 +105,37 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
         bank = defect.unit();
         syndrome = Mix64(Fnv1a64(defect.spec().label.data(), defect.spec().label.size())) & 0xffff;
       }
-      if (rng_.Bernoulli(options_.mca_bank_confusion)) {
-        bank = static_cast<ExecUnit>(rng_.UniformInt(0, kExecUnitCount - 1));
+      if (rng.Bernoulli(options_.mca_bank_confusion)) {
+        bank = static_cast<ExecUnit>(rng.UniformInt(0, kExecUnitCount - 1));
       }
       record.bank = bank;
       record.syndrome = syndrome;
-      mca_log_.Append(record);
+      delta.mca_records.push_back(record);
       break;
     }
     case Symptom::kDetectedImmediately:
     case Symptom::kDetectedLate:
-      if (rng_.Bernoulli(options_.app_report_probability)) {
-        service_.Report(Signal{now, id.machine, core_index, SignalType::kAppReport});
-        metrics_.Increment("signals.app_report");
+      if (rng.Bernoulli(options_.app_report_probability)) {
+        delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kAppReport});
+        delta.metrics.Increment("signals.app_report");
       }
       if (symptom == Symptom::kDetectedLate &&
-          rng_.Bernoulli(options_.silent_human_notice_probability)) {
+          rng.Bernoulli(options_.silent_human_notice_probability)) {
         const SimTime delay = SimTime::Seconds(static_cast<int64_t>(
-            rng_.Exponential(1.0 / static_cast<double>(options_.human_report_mean_delay.seconds()))));
-        pending_human_reports_.push_back(
+            rng.Exponential(1.0 / static_cast<double>(options_.human_report_mean_delay.seconds()))));
+        delta.human_reports.push_back(
             {now + delay, Signal{now + delay, id.machine, core_index, SignalType::kUserReport}});
       }
       break;
     case Symptom::kSilentCorruption: {
-      ++report_.silent_corruptions;
-      metrics_.Increment("corruption.silent");
+      ++delta.silent_corruptions;
+      delta.metrics.Increment("corruption.silent");
       // "Wrong answers that are never detected" — except when a downstream consumer
       // eventually notices something impossible and a human investigates.
-      if (rng_.Bernoulli(options_.silent_human_notice_probability)) {
+      if (rng.Bernoulli(options_.silent_human_notice_probability)) {
         const SimTime delay = SimTime::Seconds(static_cast<int64_t>(
-            rng_.Exponential(1.0 / static_cast<double>(options_.human_report_mean_delay.seconds()))));
-        pending_human_reports_.push_back(
+            rng.Exponential(1.0 / static_cast<double>(options_.human_report_mean_delay.seconds()))));
+        delta.human_reports.push_back(
             {now + delay, Signal{now + delay, id.machine, core_index, SignalType::kUserReport}});
       }
       break;
@@ -112,10 +145,15 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
   }
 }
 
-void FleetStudy::RunProductionTick(SimTime now) {
+void FleetStudy::RunProductionShard(SimTime now, uint64_t core_begin, uint64_t core_end,
+                                    Rng& rng, std::vector<std::unique_ptr<Workload>>& corpus,
+                                    ShardDelta& delta) {
   const double busy_units = static_cast<double>(options_.work_units_per_core_day) *
                             options_.tick.days();
   for (uint64_t core_index : fleet_.mercurial_cores()) {
+    if (core_index < core_begin || core_index >= core_end) {
+      continue;
+    }
     if (!scheduler_.Schedulable(core_index) || !fleet_.Installed(core_index, now)) {
       continue;
     }
@@ -124,38 +162,77 @@ void FleetStudy::RunProductionTick(SimTime now) {
       // Latent defect, not yet past onset: behaves exactly like a healthy core; skip.
       continue;
     }
-    const uint64_t units = rng_.Poisson(busy_units);
+    const uint64_t units = rng.Poisson(busy_units);
     for (uint64_t u = 0; u < units; ++u) {
-      Workload& workload = *corpus_[rng_.UniformInt(0, corpus_.size() - 1)];
-      const WorkloadResult result = workload.Run(core, rng_);
-      ++report_.work_units_executed;
-      HandleSymptom(now, core_index, result.symptom);
+      Workload& workload = *corpus[rng.UniformInt(0, corpus.size() - 1)];
+      const WorkloadResult result = workload.Run(core, rng);
+      ++delta.work_units_executed;
+      HandleSymptom(now, core_index, result.symptom, rng, delta);
     }
   }
 }
 
-void FleetStudy::EmitBackgroundNoise(SimTime now, SimTime dt) {
+void FleetStudy::EmitBackgroundNoiseShard(SimTime now, SimTime dt, uint64_t core_begin,
+                                          uint64_t core_end, Rng& rng, ShardDelta& delta) {
+  if (core_end <= core_begin) {
+    return;
+  }
   // Ordinary software bugs: crashes and sanitizer reports spread evenly over the fleet
-  // ("reports that are evenly spread across cores probably are not CEEs").
-  const double expected = static_cast<double>(fleet_.core_count()) *
+  // ("reports that are evenly spread across cores probably are not CEEs"). Each shard draws
+  // its slice of the fleet-wide rate, so the total is preserved for any shard count.
+  const double expected = static_cast<double>(core_end - core_begin) *
                           options_.background_signal_rate_per_core_day * dt.days();
-  const uint64_t events = rng_.Poisson(expected);
+  const uint64_t events = rng.Poisson(expected);
   for (uint64_t e = 0; e < events; ++e) {
-    const uint64_t core_index = rng_.UniformInt(0, fleet_.core_count() - 1);
+    const uint64_t core_index = core_begin + rng.UniformInt(0, core_end - core_begin - 1);
     if (!fleet_.Installed(core_index, now)) {
       continue;  // not racked yet; thins the noise rate in proportion to fleet growth
     }
     const CoreId id = fleet_.core_id(core_index);
-    const double draw = rng_.NextDouble();
+    const double draw = rng.NextDouble();
     SignalType type = SignalType::kCrash;
     if (draw < 0.15) {
       type = SignalType::kSanitizer;
     } else if (draw < 0.30) {
       type = SignalType::kAppReport;
     }
-    service_.Report(Signal{now, id.machine, core_index, type});
-    metrics_.Increment("signals.background");
+    delta.signals.push_back(Signal{now, id.machine, core_index, type});
+    delta.metrics.Increment("signals.background");
   }
+}
+
+void FleetStudy::ApplyShardDelta(ShardDelta& delta) {
+  for (int s = 0; s < kSymptomCount; ++s) {
+    report_.symptom_counts[s] += delta.symptom_counts[s];
+  }
+  report_.work_units_executed += delta.work_units_executed;
+  report_.silent_corruptions += delta.silent_corruptions;
+  for (const Signal& signal : delta.signals) {
+    service_.Report(signal);
+  }
+  for (const McaRecord& record : delta.mca_records) {
+    mca_log_.Append(record);
+  }
+  for (const PendingHumanReport& pending : delta.human_reports) {
+    pending_human_reports_.push_back(pending);
+  }
+  metrics_.Merge(delta.metrics);
+}
+
+void FleetStudy::ApplyScreenOutcome(SimTime now, const ShardScreenOutcome& outcome) {
+  // Offline screens owe the scheduler a drain (migration costs) and a release back to
+  // service; replayed here in shard order so cost accounting is thread-count independent.
+  for (uint64_t core : outcome.offline_drained) {
+    scheduler_.Drain(core);
+    scheduler_.Release(core);
+  }
+  for (const Signal& signal : outcome.failures) {
+    metrics_.Series(kAutoSeries).Add(now, 1.0);
+    metrics_.Increment("signals.screen_fail");
+    service_.Report(signal);
+  }
+  report_.screen_failures += outcome.stats.screen_failures;
+  report_.screening_ops += outcome.stats.ops_spent;
 }
 
 void FleetStudy::FlushHumanReports(SimTime now) {
@@ -169,13 +246,23 @@ void FleetStudy::FlushHumanReports(SimTime now) {
   pending_human_reports_.erase(due, pending_human_reports_.end());
 }
 
-StudyReport FleetStudy::Run() {
-  MERCURIAL_CHECK(!ran_) << "FleetStudy::Run can only be called once";
-  ran_ = true;
+void FleetStudy::ProcessSuspects(
+    SimTime now, const std::unordered_map<uint64_t, SimTime>& activation_time) {
+  const std::vector<SuspectCore> suspects = service_.Suspects(now);
+  const auto verdicts = quarantine_.Process(now, suspects, fleet_, scheduler_, service_);
+  for (const QuarantineVerdict& verdict : verdicts) {
+    if (verdict.retired && fleet_.IsMercurial(verdict.core_global)) {
+      ++report_.mercurial_retired;
+      const auto it = activation_time.find(verdict.core_global);
+      const SimTime activated = it == activation_time.end() ? SimTime::Seconds(0) : it->second;
+      const double latency_days = std::max(0.0, (now - activated).days());
+      report_.detection_latency_days.Add(latency_days);
+      metrics_.Increment("quarantine.true_retirements");
+    }
+  }
+}
 
-  SimClock clock;
-  fleet_.SetAges(clock.now());
-
+std::unordered_map<uint64_t, SimTime> FleetStudy::ComputeActivationTimes() {
   // Activation time per mercurial core (study-relative), for latency metrics.
   std::unordered_map<uint64_t, SimTime> activation_time;
   for (uint64_t core_index : fleet_.mercurial_cores()) {
@@ -187,32 +274,42 @@ StudyReport FleetStudy::Run() {
     }
     activation_time[core_index] = std::max(SimTime::Seconds(0), earliest);
   }
+  return activation_time;
+}
 
-  if (options_.burn_in) {
-    // Pre-deployment acceptance testing: one thorough screen of every core at t=0 with
-    // whatever corpus coverage exists at t=0.
-    auto emit = [&](const Signal& signal) {
-      metrics_.Series(kAutoSeries).Add(signal.time, 1.0);
-      metrics_.Increment("signals.screen_fail");
-      ++report_.screen_failures;
-      service_.Report(signal);
-    };
-    ScreeningOptions burn_in_options = options_.screening;
-    burn_in_options.online_enabled = false;
-    // Zero period => every core is due immediately, and t=0 coverage applies.
-    burn_in_options.offline_period = SimTime::Seconds(0);
-    ScreeningOrchestrator burn_in(burn_in_options, fleet_.core_count(), rng_.Split(0xb124));
-    burn_in.Tick(SimTime::Seconds(0), options_.tick, fleet_, scheduler_, emit);
-  }
+void FleetStudy::RunBurnIn() {
+  // Pre-deployment acceptance testing: one thorough screen of every core at t=0 with
+  // whatever corpus coverage exists at t=0.
+  auto emit = [&](const Signal& signal) {
+    metrics_.Series(kAutoSeries).Add(signal.time, 1.0);
+    metrics_.Increment("signals.screen_fail");
+    ++report_.screen_failures;
+    service_.Report(signal);
+  };
+  ScreeningOptions burn_in_options = options_.screening;
+  burn_in_options.online_enabled = false;
+  // Zero period => every core is due immediately, and t=0 coverage applies.
+  burn_in_options.offline_period = SimTime::Seconds(0);
+  ScreeningOrchestrator burn_in(burn_in_options, fleet_.core_count(), rng_.Split(0xb124));
+  burn_in.Tick(SimTime::Seconds(0), options_.tick, fleet_, scheduler_, emit);
+}
 
-  const int64_t ticks = options_.duration.seconds() / options_.tick.seconds();
+void FleetStudy::RunTicksSerial(
+    SimClock& clock, int64_t ticks,
+    const std::unordered_map<uint64_t, SimTime>& activation_time) {
   for (int64_t t = 0; t < ticks; ++t) {
     clock.Advance(options_.tick);
     const SimTime now = clock.now();
     fleet_.SetAges(now);
 
-    RunProductionTick(now);
-    EmitBackgroundNoise(now, options_.tick);
+    // The serial engine is the legacy draw order: one persistent stream (rng_) drives
+    // production, then noise, across the whole fleet. Effects are buffered and applied at
+    // the end of the stage pair; nothing inside the stages reads the affected services, so
+    // this is bit-identical to applying them inline.
+    ShardDelta delta;
+    RunProductionShard(now, 0, fleet_.core_count(), rng_, corpus_, delta);
+    EmitBackgroundNoiseShard(now, options_.tick, 0, fleet_.core_count(), rng_, delta);
+    ApplyShardDelta(delta);
     FlushHumanReports(now);
 
     const ScreeningTickStats screen_stats = screening_.Tick(
@@ -224,21 +321,67 @@ StudyReport FleetStudy::Run() {
     report_.screen_failures += screen_stats.screen_failures;
     report_.screening_ops += screen_stats.ops_spent;
 
-    const std::vector<SuspectCore> suspects = service_.Suspects(now);
-    const auto verdicts = quarantine_.Process(now, suspects, fleet_, scheduler_, service_);
-    for (const QuarantineVerdict& verdict : verdicts) {
-      if (verdict.retired && fleet_.IsMercurial(verdict.core_global)) {
-        ++report_.mercurial_retired;
-        const SimTime activated = activation_time[verdict.core_global];
-        const double latency_days = std::max(0.0, (now - activated).days());
-        report_.detection_latency_days.Add(latency_days);
-        metrics_.Increment("quarantine.true_retirements");
-      }
-    }
-
+    ProcessSuspects(now, activation_time);
     scheduler_.AccumulateStranding(options_.tick);
   }
+}
 
+void FleetStudy::RunTicksSharded(
+    SimClock& clock, int64_t ticks, int shards, int threads,
+    const std::unordered_map<uint64_t, SimTime>& activation_time) {
+  const std::vector<ShardRange> ranges = PartitionCores(fleet_.core_count(), shards);
+
+  // Each shard owns a private corpus instance: Workload::Run mutates only core and rng state
+  // today, but private instances keep the parallel phase free of shared mutable state by
+  // construction (and TSan-clean) even if a workload grows caches later.
+  std::vector<std::vector<std::unique_ptr<Workload>>> corpora;
+  corpora.reserve(static_cast<size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    corpora.push_back(BuildStandardCorpus(options_.workload));
+  }
+
+  ThreadPool pool(static_cast<size_t>(threads));
+  for (int64_t t = 0; t < ticks; ++t) {
+    clock.Advance(options_.tick);
+    const SimTime now = clock.now();
+    fleet_.SetAges(now);
+
+    // Parallel phase: every shard reads frozen shared state (scheduler, fleet layout,
+    // coverage schedule) and writes only shard-private state — its own cores, its slice of
+    // the offline-due table, and its delta buffer. Randomness is counter-based per
+    // (seed, shard, tick), so neither thread count nor completion order can change a draw.
+    std::vector<ShardDelta> deltas(static_cast<size_t>(shards));
+    pool.ParallelFor(static_cast<size_t>(shards), [&](size_t k) {
+      const ShardRange range = ranges[k];
+      ShardDelta& delta = deltas[k];
+      Rng production_rng(DeriveStreamSeed(options_.seed ^ kProductionStreamSalt, k,
+                                          static_cast<uint64_t>(t)));
+      RunProductionShard(now, range.begin, range.end, production_rng, corpora[k], delta);
+      EmitBackgroundNoiseShard(now, options_.tick, range.begin, range.end, production_rng,
+                               delta);
+      Rng screening_rng(DeriveStreamSeed(options_.seed ^ kScreeningStreamSalt, k,
+                                         static_cast<uint64_t>(t)));
+      delta.screen = screening_.TickShard(now, options_.tick, range.begin, range.end, fleet_,
+                                          scheduler_, screening_rng);
+    });
+
+    // Merge barrier: apply buffered effects in shard-index order — the one fixed order that
+    // makes the suspect service, MCA ring, and metric registry see an identical event
+    // sequence no matter how the shards were scheduled onto threads.
+    for (ShardDelta& delta : deltas) {
+      ApplyShardDelta(delta);
+    }
+    FlushHumanReports(now);
+    for (const ShardDelta& delta : deltas) {
+      ApplyScreenOutcome(now, delta.screen);
+    }
+
+    ProcessSuspects(now, activation_time);
+    scheduler_.AccumulateStranding(options_.tick);
+  }
+}
+
+void FleetStudy::Finalize() {
   // §7.1 telemetry quality: analyze the MCA log and grade its root-cause attribution
   // against ground truth.
   const McaAnalysis mca = AnalyzeMcaLog(mca_log_, /*recidivism_threshold=*/3);
@@ -311,6 +454,32 @@ StudyReport FleetStudy::Run() {
       rate /= baseline;
     }
   }
+}
+
+StudyReport FleetStudy::Run() {
+  MERCURIAL_CHECK(!ran_) << "FleetStudy::Run can only be called once";
+  ran_ = true;
+
+  const int shards = std::max(1, options_.shards);
+  const int threads = std::clamp(options_.threads, 1, shards);
+
+  SimClock clock;
+  fleet_.SetAges(clock.now());
+
+  const std::unordered_map<uint64_t, SimTime> activation_time = ComputeActivationTimes();
+
+  if (options_.burn_in) {
+    RunBurnIn();
+  }
+
+  const int64_t ticks = options_.duration.seconds() / options_.tick.seconds();
+  if (shards == 1) {
+    RunTicksSerial(clock, ticks, activation_time);
+  } else {
+    RunTicksSharded(clock, ticks, shards, threads, activation_time);
+  }
+
+  Finalize();
   return report_;
 }
 

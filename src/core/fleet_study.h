@@ -11,11 +11,23 @@
 //
 // and produces the metrics of §4, including the two normalized incident-rate series of Fig. 1.
 // Everything is deterministic under StudyOptions::seed.
+//
+// Execution engines. With shards == 1 (default) the study runs the original single-threaded
+// tick loop, preserving the legacy draw order bit-for-bit. With shards == K > 1 the fleet's
+// cores are partitioned into K contiguous shards; each tick, every shard independently runs
+// production work, background noise, and screening for its own cores, drawing all randomness
+// from a counter-based stream derived from (seed, shard, tick). Shard side effects are
+// buffered and merged serially in shard-index order at a tick barrier, then the global
+// suspect/quarantine pipeline runs serially. Because no shard reads another shard's writes
+// and the merge order is fixed, the StudyReport is bit-identical for ANY thread count
+// (threads <= shards); threads only changes wall-clock. See DESIGN.md,
+// "Decision: shard-stable randomness".
 
 #ifndef MERCURIAL_SRC_CORE_FLEET_STUDY_H_
 #define MERCURIAL_SRC_CORE_FLEET_STUDY_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -42,6 +54,14 @@ struct StudyOptions {
 
   SimTime tick = SimTime::Days(1);
   SimTime duration = SimTime::Days(3 * 365);
+
+  // Parallel execution. `shards` fixes the partition of cores into independent random
+  // streams and is part of the experiment's identity: changing it changes (deterministically)
+  // which stream drives which core. shards == 1 is the legacy serial engine, bit-identical to
+  // the pre-sharding code. `threads` is purely an execution knob: the report is bit-identical
+  // for every threads value (clamped to [1, shards]).
+  int shards = 1;
+  int threads = 1;
 
   // Production-load model: logical work units each busy core runs per day. Only mercurial
   // cores execute real work (healthy cores cannot produce CEEs; their load is accounted, not
@@ -109,6 +129,17 @@ struct StudyReport {
   uint64_t mca_unit_attribution_correct = 0;
 };
 
+// One shard's contiguous slice of the fleet's global core indices.
+struct ShardRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;  // exclusive
+};
+
+// Partitions [0, core_count) into `shards` contiguous, disjoint, ordered ranges covering
+// every core exactly once (trailing ranges may be empty when shards > core_count). A pure
+// function of its arguments — the partition never depends on thread count.
+std::vector<ShardRange> PartitionCores(uint64_t core_count, int shards);
+
 class FleetStudy {
  public:
   explicit FleetStudy(StudyOptions options);
@@ -126,11 +157,36 @@ class FleetStudy {
     SimTime due;
     Signal signal;
   };
+  // Per-shard side-effect buffer; defined in fleet_study.cc.
+  struct ShardDelta;
 
-  void RunProductionTick(SimTime now);
-  void EmitBackgroundNoise(SimTime now, SimTime dt);
+  // Hot-path stages, parameterized over a core range and an explicit Rng so the same code
+  // serves both engines: the serial engine passes (0, core_count, rng_) and keeps the legacy
+  // stream; the sharded engine passes each shard's range and its counter-derived stream.
+  // All side effects land in `delta`, never in shared state.
+  void RunProductionShard(SimTime now, uint64_t core_begin, uint64_t core_end, Rng& rng,
+                          std::vector<std::unique_ptr<Workload>>& corpus, ShardDelta& delta);
+  void EmitBackgroundNoiseShard(SimTime now, SimTime dt, uint64_t core_begin,
+                                uint64_t core_end, Rng& rng, ShardDelta& delta);
+  void HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom, Rng& rng,
+                     ShardDelta& delta);
+
+  // Serial merge phase: applies buffered effects to the shared services in shard order.
+  void ApplyShardDelta(ShardDelta& delta);
+  void ApplyScreenOutcome(SimTime now, const ShardScreenOutcome& outcome);
+
+  // Serial control-plane stages shared by both engines.
   void FlushHumanReports(SimTime now);
-  void HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom);
+  void ProcessSuspects(SimTime now,
+                       const std::unordered_map<uint64_t, SimTime>& activation_time);
+  void RunBurnIn();
+  std::unordered_map<uint64_t, SimTime> ComputeActivationTimes();
+  void Finalize();
+
+  void RunTicksSerial(SimClock& clock, int64_t ticks,
+                      const std::unordered_map<uint64_t, SimTime>& activation_time);
+  void RunTicksSharded(SimClock& clock, int64_t ticks, int shards, int threads,
+                       const std::unordered_map<uint64_t, SimTime>& activation_time);
 
   StudyOptions options_;
   Rng rng_;

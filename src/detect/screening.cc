@@ -35,7 +35,7 @@ uint64_t ScreeningOrchestrator::OnlineBatteryOps(SimTime now) const {
 }
 
 bool ScreeningOrchestrator::ScreenOne(SimTime now, uint64_t core_index, bool offline,
-                                      Fleet& fleet,
+                                      Fleet& fleet, Rng& rng,
                                       const std::function<void(const Signal&)>& emit,
                                       ScreeningTickStats& stats) {
   SimCore& core = fleet.core(core_index);
@@ -51,7 +51,7 @@ bool ScreeningOrchestrator::ScreenOne(SimTime now, uint64_t core_index, bool off
   if (offline && options_.offline_sweep_fvt) {
     stress.sweep = StandardScreeningSweep();
   }
-  const StressReport report = RunStressBattery(core, rng_, stress);
+  const StressReport report = RunStressBattery(core, rng, stress);
   stats.ops_spent += report.total_ops;
   if (report.passed()) {
     return false;
@@ -83,7 +83,7 @@ ScreeningTickStats ScreeningOrchestrator::Tick(SimTime now, SimTime dt, Fleet& f
       // Offline screening requires vacating the core, then it returns to service.
       scheduler.Drain(core);
       ++stats.offline_screens;
-      ScreenOne(now, core, /*offline=*/true, fleet, emit, stats);
+      ScreenOne(now, core, /*offline=*/true, fleet, rng_, emit, stats);
       scheduler.Release(core);
     }
   }
@@ -99,10 +99,57 @@ ScreeningTickStats ScreeningOrchestrator::Tick(SimTime now, SimTime dt, Fleet& f
         continue;
       }
       ++stats.online_screens;
-      ScreenOne(now, core, /*offline=*/false, fleet, emit, stats);
+      ScreenOne(now, core, /*offline=*/false, fleet, rng_, emit, stats);
     }
   }
   return stats;
+}
+
+ShardScreenOutcome ScreeningOrchestrator::TickShard(SimTime now, SimTime dt,
+                                                    uint64_t core_begin, uint64_t core_end,
+                                                    Fleet& fleet,
+                                                    const CoreScheduler& scheduler, Rng& rng) {
+  MERCURIAL_CHECK_LE(core_end, next_offline_due_.size());
+  ShardScreenOutcome outcome;
+  const auto emit = [&outcome](const Signal& signal) { outcome.failures.push_back(signal); };
+
+  if (options_.offline_enabled) {
+    for (uint64_t core = core_begin; core < core_end; ++core) {
+      if (next_offline_due_[core] > now) {
+        continue;
+      }
+      if (!fleet.Installed(core, now)) {
+        next_offline_due_[core] = now;  // not racked yet; first screen once installed
+        continue;
+      }
+      next_offline_due_[core] = now + options_.offline_period;
+      if (!scheduler.Schedulable(core)) {
+        continue;  // quarantined/retired cores are handled by the confession path
+      }
+      // The drain (and release back to service) is deferred: the caller charges the
+      // scheduler in shard-index order at the merge barrier. Scheduler state is frozen
+      // during the parallel phase, so a drained core is indistinguishable from an active
+      // one for the rest of this tick — exactly the serial drain-screen-release semantics.
+      outcome.offline_drained.push_back(core);
+      ++outcome.stats.offline_screens;
+      ScreenOne(now, core, /*offline=*/true, fleet, rng, emit, outcome.stats);
+    }
+  }
+
+  if (options_.online_enabled && scheduler.active_count() > 0 && core_end > core_begin) {
+    const double expected = static_cast<double>(core_end - core_begin) *
+                            options_.online_fraction_per_day * dt.days();
+    const uint64_t samples = rng.Poisson(expected);
+    for (uint64_t s = 0; s < samples; ++s) {
+      const uint64_t core = core_begin + rng.UniformInt(0, core_end - core_begin - 1);
+      if (!scheduler.Schedulable(core) || !fleet.Installed(core, now)) {
+        continue;
+      }
+      ++outcome.stats.online_screens;
+      ScreenOne(now, core, /*offline=*/false, fleet, rng, emit, outcome.stats);
+    }
+  }
+  return outcome;
 }
 
 }  // namespace mercurial

@@ -52,6 +52,23 @@ struct ScreeningTickStats {
   uint64_t online_screens = 0;
   uint64_t screen_failures = 0;
   uint64_t ops_spent = 0;
+
+  // Shard-order accumulation for the parallel engine.
+  void Merge(const ScreeningTickStats& other) {
+    offline_screens += other.offline_screens;
+    online_screens += other.online_screens;
+    screen_failures += other.screen_failures;
+    ops_spent += other.ops_spent;
+  }
+};
+
+// Everything one shard's screening pass produced, buffered so the parallel engine can apply
+// side effects (suspect-service reports, scheduler drain accounting) serially in shard-index
+// order at the tick barrier.
+struct ShardScreenOutcome {
+  ScreeningTickStats stats;
+  std::vector<Signal> failures;          // kScreenFail signals, in emission order
+  std::vector<uint64_t> offline_drained; // cores offline-screened; owe Drain+Release costs
 };
 
 class ScreeningOrchestrator {
@@ -68,12 +85,25 @@ class ScreeningOrchestrator {
   ScreeningTickStats Tick(SimTime now, SimTime dt, Fleet& fleet, CoreScheduler& scheduler,
                           const std::function<void(const Signal&)>& emit);
 
+  // Sharded variant for the parallel fleet engine: runs the screening due in (now - dt, now]
+  // for cores in [core_begin, core_end) only, drawing every random decision from `rng` (a
+  // per-(shard, tick) counter-derived stream — never the orchestrator's own stream, which
+  // would make results depend on shard execution order). Side effects are buffered in the
+  // returned outcome instead of applied: the caller replays them in shard-index order.
+  // Safe to call concurrently for disjoint core ranges: it reads shared state (fleet core
+  // lookup, frozen scheduler states, coverage schedule) and mutates only this orchestrator's
+  // per-core due times within the range and the cores themselves (shard-owned). Online
+  // sampling is per-range, so the fleet-wide expected sampling rate is preserved for any
+  // shard count.
+  ShardScreenOutcome TickShard(SimTime now, SimTime dt, uint64_t core_begin, uint64_t core_end,
+                               Fleet& fleet, const CoreScheduler& scheduler, Rng& rng);
+
   // Estimated micro-ops one offline (resp. online) battery costs, for capacity accounting.
   uint64_t OfflineBatteryOps(SimTime now) const;
   uint64_t OnlineBatteryOps(SimTime now) const;
 
  private:
-  bool ScreenOne(SimTime now, uint64_t core_index, bool offline, Fleet& fleet,
+  bool ScreenOne(SimTime now, uint64_t core_index, bool offline, Fleet& fleet, Rng& rng,
                  const std::function<void(const Signal&)>& emit, ScreeningTickStats& stats);
 
   ScreeningOptions options_;

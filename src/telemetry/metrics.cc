@@ -37,6 +37,28 @@ const Histogram* MetricRegistry::FindHisto(const std::string& name) const {
   return it == histos_.end() ? nullptr : &it->second;
 }
 
+void MetricRegistry::Merge(const MetricRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, series] : other.series_) {
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+      series_.emplace(name, series);
+    } else {
+      it->second.Merge(series);
+    }
+  }
+  for (const auto& [name, histo] : other.histos_) {
+    auto it = histos_.find(name);
+    if (it == histos_.end()) {
+      histos_.emplace(name, histo);
+    } else {
+      it->second.Merge(histo);
+    }
+  }
+}
+
 void MetricRegistry::Dump(std::FILE* stream) const {
   for (const auto& [name, value] : counters_) {
     std::fprintf(stream, "counter %-48s %llu\n", name.c_str(),

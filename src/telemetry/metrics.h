@@ -24,6 +24,10 @@ class MetricRegistry {
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
+  // Movable so per-shard delta registries can live in containers.
+  MetricRegistry(MetricRegistry&&) = default;
+  MetricRegistry& operator=(MetricRegistry&&) = default;
+
   // Monotonic counter; created on first use.
   void Increment(const std::string& name, uint64_t delta = 1);
   uint64_t counter(const std::string& name) const;
@@ -35,6 +39,16 @@ class MetricRegistry {
   // Histogram with fixed range (shape fixed at first use).
   Histogram& Histo(const std::string& name, double lo, double hi, size_t buckets);
   const Histogram* FindHisto(const std::string& name) const;
+
+  // Accumulates every metric of `other` into this registry: counters add, series merge
+  // bucket-wise, histograms merge (shapes must match for same-named histograms). Merging is
+  // associative — folding per-shard delta registries into a root registry in shard-index
+  // order is bit-identical to accumulating the same events serially — which is what lets the
+  // sharded fleet engine keep one telemetry contract for any thread count.
+  void Merge(const MetricRegistry& other);
+
+  // Read access for merge/equality checks (tests and report finalization).
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
 
   // Human-readable dump of every metric.
   void Dump(std::FILE* stream) const;

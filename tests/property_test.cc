@@ -10,6 +10,12 @@
 //   P4. Determinism: a (seed, defect) pair replays the exact same corruption sequence.
 //   P5. Mitigation soundness: checked sorting and the e2e store never RETURN wrong data, for
 //       any defect class afflicting their units (they may abort, never lie).
+//   P6. Fleet-build determinism: Fleet::Build is a pure function of its options across random
+//       seeds and product mixes (population, install times, planted defects).
+//   P7. Shard-partition soundness: PartitionCores covers every core exactly once, in order,
+//       for random fleet sizes and shard counts.
+//   P8. Metric-merge associativity: folding shard MetricRegistry deltas in shard order is
+//       exactly the serial accumulation of the same events.
 
 #include <algorithm>
 #include <cstring>
@@ -17,7 +23,10 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/core/fleet_study.h"
+#include "src/fleet/fleet.h"
 #include "src/mitigate/abft.h"
+#include "src/telemetry/metrics.h"
 #include "src/mitigate/e2e_store.h"
 #include "src/sim/core.h"
 #include "src/sim/defect_catalog.h"
@@ -219,6 +228,155 @@ TEST(PropertyTest, MultisetDigestDetectsAnySingleSubstitution) {
     const size_t index = rng.UniformInt(0, n - 1);
     mutated[index] ^= 1ull << rng.UniformInt(0, 63);
     EXPECT_NE(MultisetDigest(mutated.data(), n), digest);
+  }
+}
+
+// --- P6: fleet-build determinism across seeds and product mixes --------------------------------
+
+TEST(PropertyTest, FleetBuildIsPureFunctionOfOptions) {
+  Rng meta_rng(600);
+  for (int trial = 0; trial < 12; ++trial) {
+    FleetOptions options;
+    options.machine_count = 20 + meta_rng.UniformInt(0, 80);
+    options.seed = meta_rng.NextU64();
+    options.product_mix = {meta_rng.NextDouble() + 0.01, meta_rng.NextDouble() + 0.01,
+                           meta_rng.NextDouble() + 0.01};
+    options.mercurial_rate_multiplier = 50.0 + meta_rng.NextDouble() * 200.0;
+    options.future_install_spread = SimTime::Days(meta_rng.UniformInt(0, 200));
+
+    Fleet first = Fleet::Build(options);
+    Fleet second = Fleet::Build(options);
+
+    ASSERT_EQ(first.machine_count(), second.machine_count());
+    ASSERT_EQ(first.core_count(), second.core_count());
+    ASSERT_EQ(first.mercurial_cores(), second.mercurial_cores()) << "trial " << trial;
+    for (size_t m = 0; m < first.machine_count(); ++m) {
+      ASSERT_EQ(first.machine(m).install_time(), second.machine(m).install_time());
+      ASSERT_EQ(first.machine(m).product().name, second.machine(m).product().name);
+    }
+    // The planted defect populations must match core-for-core, spec-for-spec.
+    for (uint64_t core_index : first.mercurial_cores()) {
+      const auto& a = first.core(core_index).defects();
+      const auto& b = second.core(core_index).defects();
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t d = 0; d < a.size(); ++d) {
+        EXPECT_EQ(a[d].spec().label, b[d].spec().label);
+        EXPECT_EQ(a[d].unit(), b[d].unit());
+      }
+    }
+  }
+}
+
+// --- P7: shard partition covers every core exactly once ----------------------------------------
+
+TEST(PropertyTest, PartitionCoresIsExactOrderedCover) {
+  Rng rng(700);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t core_count = rng.UniformInt(0, 5000);
+    const int shards = static_cast<int>(rng.UniformInt(1, 64));
+    const auto ranges = PartitionCores(core_count, shards);
+    ASSERT_EQ(ranges.size(), static_cast<size_t>(shards));
+    uint64_t expected_begin = 0;
+    for (const ShardRange& range : ranges) {
+      ASSERT_EQ(range.begin, expected_begin) << "gap or overlap at shard boundary";
+      ASSERT_LE(range.begin, range.end);
+      expected_begin = range.end;
+    }
+    ASSERT_EQ(expected_begin, core_count) << "partition must cover all cores";
+  }
+}
+
+// --- P8: metric-registry merge associativity ---------------------------------------------------
+
+namespace {
+
+// One random metric event applied identically to a shard delta and the serial reference.
+void EmitRandomMetricEvent(Rng& rng, MetricRegistry& target, MetricRegistry& reference) {
+  static const char* kCounters[] = {"signals.crash", "signals.app_report", "corruption.silent"};
+  static const char* kSeries[] = {"incidents.user_reported", "incidents.auto_reported"};
+  switch (rng.UniformInt(0, 2)) {
+    case 0: {
+      const char* name = kCounters[rng.UniformInt(0, 2)];
+      const uint64_t delta = 1 + rng.UniformInt(0, 4);
+      target.Increment(name, delta);
+      reference.Increment(name, delta);
+      break;
+    }
+    case 1: {
+      const char* name = kSeries[rng.UniformInt(0, 1)];
+      const SimTime when = SimTime::Days(static_cast<int64_t>(rng.UniformInt(0, 400)));
+      target.Series(name).Add(when, 1.0);
+      reference.Series(name).Add(when, 1.0);
+      break;
+    }
+    case 2: {
+      // Integer-valued samples keep sum/sum_squares exact under any grouping, so the exact
+      // equality below tests merge logic, not floating-point reassociation.
+      const double value = static_cast<double>(rng.UniformInt(0, 99));
+      target.Histo("latency", 0.0, 100.0, 20).Add(value);
+      reference.Histo("latency", 0.0, 100.0, 20).Add(value);
+      break;
+    }
+  }
+}
+
+void ExpectRegistriesEqual(const MetricRegistry& a, const MetricRegistry& b) {
+  ASSERT_EQ(a.counters(), b.counters());
+  for (const char* name : {"incidents.user_reported", "incidents.auto_reported"}) {
+    const TimeSeries* sa = a.FindSeries(name);
+    const TimeSeries* sb = b.FindSeries(name);
+    ASSERT_EQ(sa == nullptr, sb == nullptr) << name;
+    if (sa == nullptr) {
+      continue;
+    }
+    ASSERT_EQ(sa->bucket_count(), sb->bucket_count()) << name;
+    for (size_t i = 0; i < sa->bucket_count(); ++i) {
+      ASSERT_EQ(sa->bucket_sum(i), sb->bucket_sum(i)) << name << " bucket " << i;
+      ASSERT_EQ(sa->bucket_samples(i), sb->bucket_samples(i)) << name << " bucket " << i;
+    }
+  }
+  const Histogram* ha = a.FindHisto("latency");
+  const Histogram* hb = b.FindHisto("latency");
+  ASSERT_EQ(ha == nullptr, hb == nullptr);
+  if (ha != nullptr) {
+    ASSERT_EQ(ha->buckets(), hb->buckets());
+    ASSERT_EQ(ha->count(), hb->count());
+    ASSERT_EQ(ha->sum(), hb->sum());
+  }
+}
+
+}  // namespace
+
+TEST(PropertyTest, MetricRegistryMergeInShardOrderEqualsSerialAccumulation) {
+  Rng rng(800);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int shards = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    // The serial reference sees every event in shard order; each shard delta sees only its
+    // own slice. Folding deltas in shard order must reproduce the reference exactly.
+    MetricRegistry reference;
+    std::vector<MetricRegistry> deltas(static_cast<size_t>(shards));
+    for (MetricRegistry& delta : deltas) {
+      const uint64_t events = rng.UniformInt(0, 50);
+      for (uint64_t e = 0; e < events; ++e) {
+        EmitRandomMetricEvent(rng, delta, reference);
+      }
+    }
+    MetricRegistry merged;
+    for (const MetricRegistry& delta : deltas) {
+      merged.Merge(delta);
+    }
+    ExpectRegistriesEqual(merged, reference);
+
+    // Associativity: pre-merging a prefix then merging the rest gives the same result.
+    MetricRegistry left_fold;
+    MetricRegistry prefix;
+    for (int k = 0; k < shards; ++k) {
+      (k < shards / 2 ? prefix : left_fold).Merge(deltas[static_cast<size_t>(k)]);
+    }
+    MetricRegistry regrouped;
+    regrouped.Merge(prefix);
+    regrouped.Merge(left_fold);
+    ExpectRegistriesEqual(regrouped, reference);
   }
 }
 

@@ -52,6 +52,10 @@ int CmdStudy(int argc, const char* const* argv) {
   flags.DefineInt("work-units", 20, "work units per busy core-day");
   flags.DefineInt("screening-period", 45, "offline screening cadence in days (0 = disabled)");
   flags.DefineBool("burn-in", false, "screen every core once before production");
+  flags.DefineInt("threads", 1, "worker threads for the sharded parallel engine");
+  flags.DefineInt("shards", 0,
+                  "random-stream shards (0 = auto: 1 when --threads=1, else 8x threads); "
+                  "part of the experiment identity — results depend on shards, never threads");
   flags.DefineBool("fig1", false, "also print the weekly incident-rate series as CSV");
   const Status status = flags.Parse(argc, argv, 2);
   if (!status.ok()) {
@@ -67,6 +71,13 @@ int CmdStudy(int argc, const char* const* argv) {
   options.work_units_per_core_day = static_cast<uint64_t>(flags.GetInt("work-units"));
   options.workload.payload_bytes = 256;
   options.burn_in = flags.GetBool("burn-in");
+  options.threads = static_cast<int>(flags.GetInt("threads"));
+  options.shards = static_cast<int>(flags.GetInt("shards"));
+  if (options.shards <= 0) {
+    // Auto: serial legacy engine for one thread; otherwise 8 shards per thread so the
+    // dynamic scheduler can balance unevenly-loaded shards.
+    options.shards = options.threads <= 1 ? 1 : 8 * options.threads;
+  }
   const int64_t period = flags.GetInt("screening-period");
   options.screening.offline_enabled = period > 0;
   if (period > 0) {
