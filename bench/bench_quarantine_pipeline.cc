@@ -1,0 +1,194 @@
+// Quarantine-pipeline benchmark: throughput and stranded capacity under chaos.
+//
+// Runs the same fleet study three times with the resilient control-plane settings held fixed
+// (bounded queue, retry/backoff, capacity guardrail) while the detection-pipeline chaos
+// injector is swept from off to high. Two figures of merit per row:
+//
+//   * suspects/sec  — pipeline throughput: suspects admitted per wall-clock second. Chaos
+//     (dropped/duplicated reports, aborted interrogations, machine restarts) adds retries and
+//     re-deliveries, so throughput should degrade gracefully, not collapse.
+//   * stranded %    — stranded-capacity overhead: the time-integral of draining+quarantined
+//     cores divided by total fleet core-time. The guardrail budgets this quantity, so the
+//     high-chaos row must stay at or below --budget regardless of how much the injector
+//     misbehaves.
+//
+//   bench_quarantine_pipeline --machines=2000 --days=365 --json=BENCH_quarantine.json
+//
+// Output: human-readable table on stdout plus a JSON artifact with the raw numbers.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/core/fleet_study.h"
+
+using namespace mercurial;
+
+namespace {
+
+struct ChaosRow {
+  std::string label;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+  double abort_interrogation = 0.0;
+  double restarts_per_day = 0.0;
+
+  // Results.
+  double seconds = 0.0;
+  uint64_t suspects_admitted = 0;
+  uint64_t suspects_shed = 0;
+  uint64_t retries = 0;
+  uint64_t true_positive_retirements = 0;
+  double stranded_fraction = 0.0;  // pending-isolation core-time / total core-time
+  double suspects_per_sec = 0.0;
+};
+
+StudyOptions BaseOptions(uint64_t seed, size_t machines, int days, double budget) {
+  StudyOptions options;
+  options.seed = seed;
+  options.fleet.machine_count = machines;
+  options.fleet.mercurial_rate_multiplier = 200.0;
+  options.duration = SimTime::Days(days);
+  options.work_units_per_core_day = 20;
+  options.workload.payload_bytes = 256;
+  // Resilient settings, fixed across the chaos sweep: the sweep measures how the *pipeline*
+  // behaves as the failure injection ramps, not how the knobs behave.
+  options.control_plane.max_pending = 256;
+  options.control_plane.max_retries = 3;
+  options.control_plane.retry_backoff = SimTime::Days(1);
+  options.control_plane.retry_jitter = 0.25;
+  options.control_plane.drain_latency = SimTime::Hours(12);
+  options.control_plane.drain_timeout = SimTime::Days(4);
+  options.control_plane.quarantine_budget_fraction = budget;
+  return options;
+}
+
+ChaosRow RunOnce(ChaosRow row, const StudyOptions& base) {
+  StudyOptions options = base;
+  options.control_plane.chaos.drop_report = row.drop;
+  options.control_plane.chaos.duplicate_report = row.duplicate;
+  options.control_plane.chaos.delay_report = row.delay;
+  options.control_plane.chaos.abort_interrogation = row.abort_interrogation;
+  options.control_plane.chaos.machine_restart_per_day = row.restarts_per_day;
+  FleetStudy study(options);
+  const auto start = std::chrono::steady_clock::now();
+  const StudyReport report = study.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  row.seconds = std::chrono::duration<double>(stop - start).count();
+  row.suspects_admitted = report.control_plane.suspects_admitted;
+  row.suspects_shed = report.control_plane.suspects_shed;
+  row.retries = report.control_plane.retries_scheduled;
+  row.true_positive_retirements = report.quarantine.true_positive_retirements;
+  const double total_core_seconds =
+      static_cast<double>(report.cores) * static_cast<double>(options.duration.seconds());
+  row.stranded_fraction = report.control_plane.pending_isolation_core_seconds / total_core_seconds;
+  row.suspects_per_sec =
+      row.seconds > 0.0 ? static_cast<double>(row.suspects_admitted) / row.seconds : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineInt("machines", 2000, "fleet size in machines");
+  flags.DefineInt("days", 365, "simulated study duration");
+  flags.DefineInt("seed", 42, "master seed");
+  flags.DefineDouble("budget", 0.25, "quarantine capacity budget (fraction of cores)");
+  flags.DefineString("json", "BENCH_quarantine.json", "path for the JSON artifact ('' = skip)");
+  const Status status = flags.Parse(argc, argv, 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+
+  const size_t machines = static_cast<size_t>(flags.GetInt("machines"));
+  const int days = static_cast<int>(flags.GetInt("days"));
+  const double budget = flags.GetDouble("budget");
+  const StudyOptions base =
+      BaseOptions(static_cast<uint64_t>(flags.GetInt("seed")), machines, days, budget);
+
+  std::printf("# quarantine pipeline — %zu machines, %d days, budget %.0f%% of cores\n",
+              machines, days, budget * 100.0);
+
+  std::vector<ChaosRow> rows;
+  {
+    ChaosRow off;
+    off.label = "chaos off";
+    rows.push_back(RunOnce(off, base));
+  }
+  {
+    ChaosRow low;
+    low.label = "chaos low";
+    low.drop = 0.05;
+    low.duplicate = 0.05;
+    low.delay = 0.05;
+    low.abort_interrogation = 0.10;
+    low.restarts_per_day = 0.05;
+    rows.push_back(RunOnce(low, base));
+  }
+  {
+    ChaosRow high;
+    high.label = "chaos high";
+    high.drop = 0.30;
+    high.duplicate = 0.20;
+    high.delay = 0.20;
+    high.abort_interrogation = 0.50;
+    high.restarts_per_day = 0.50;
+    rows.push_back(RunOnce(high, base));
+  }
+
+  std::printf("%-12s %10s %14s %8s %8s %8s %12s\n", "config", "wall_s", "suspects/sec",
+              "shed", "retries", "tp_ret", "stranded_%");
+  bool budget_held = true;
+  for (const ChaosRow& row : rows) {
+    std::printf("%-12s %10.3f %14.1f %8llu %8llu %8llu %11.4f%%\n", row.label.c_str(),
+                row.seconds, row.suspects_per_sec,
+                static_cast<unsigned long long>(row.suspects_shed),
+                static_cast<unsigned long long>(row.retries),
+                static_cast<unsigned long long>(row.true_positive_retirements),
+                row.stranded_fraction * 100.0);
+    if (row.stranded_fraction > budget) {
+      budget_held = false;
+    }
+  }
+  std::printf("# stranded capacity within budget in every row: %s\n",
+              budget_held ? "yes" : "NO — BUG");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"quarantine_pipeline\",\n");
+    std::fprintf(f, "  \"machines\": %zu,\n", machines);
+    std::fprintf(f, "  \"days\": %d,\n", days);
+    std::fprintf(f, "  \"budget_fraction\": %.4f,\n", budget);
+    std::fprintf(f, "  \"budget_held\": %s,\n", budget_held ? "true" : "false");
+    std::fprintf(f, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const ChaosRow& row = rows[i];
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"wall_seconds\": %.6f, "
+                   "\"suspects_admitted\": %llu, \"suspects_per_second\": %.2f, "
+                   "\"suspects_shed\": %llu, \"retries_scheduled\": %llu, "
+                   "\"true_positive_retirements\": %llu, \"stranded_fraction\": %.6f}%s\n",
+                   row.label.c_str(), row.seconds,
+                   static_cast<unsigned long long>(row.suspects_admitted),
+                   row.suspects_per_sec, static_cast<unsigned long long>(row.suspects_shed),
+                   static_cast<unsigned long long>(row.retries),
+                   static_cast<unsigned long long>(row.true_positive_retirements),
+                   row.stranded_fraction, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -57,7 +57,10 @@ FleetStudy::FleetStudy(StudyOptions options)
                  return static_cast<uint32_t>(fleet_.machine(machine).core_count());
                }),
       screening_(options.screening, fleet_.core_count(), rng_.Split(0x5c12)),
-      quarantine_(options.quarantine, rng_.Split(0x9a44)),
+      // The manager stream keeps the pre-control-plane label (0x9a44) so default studies stay
+      // bit-identical across the refactor; the control stream is new and untouched at defaults.
+      control_plane_(options.control_plane, options.quarantine, rng_.Split(0x9a44),
+                     rng_.Split(0xc0a1)),
       corpus_(BuildStandardCorpus(options.workload)),
       mca_log_(options.mca_log_capacity) {
   report_.machines = fleet_.machine_count();
@@ -208,7 +211,7 @@ void FleetStudy::ApplyShardDelta(ShardDelta& delta) {
   report_.work_units_executed += delta.work_units_executed;
   report_.silent_corruptions += delta.silent_corruptions;
   for (const Signal& signal : delta.signals) {
-    service_.Report(signal);
+    control_plane_.Report(signal, service_);
   }
   for (const McaRecord& record : delta.mca_records) {
     mca_log_.Append(record);
@@ -229,7 +232,7 @@ void FleetStudy::ApplyScreenOutcome(SimTime now, const ShardScreenOutcome& outco
   for (const Signal& signal : outcome.failures) {
     metrics_.Series(kAutoSeries).Add(now, 1.0);
     metrics_.Increment("signals.screen_fail");
-    service_.Report(signal);
+    control_plane_.Report(signal, service_);
   }
   report_.screen_failures += outcome.stats.screen_failures;
   report_.screening_ops += outcome.stats.ops_spent;
@@ -239,7 +242,7 @@ void FleetStudy::FlushHumanReports(SimTime now) {
   auto due = std::partition(pending_human_reports_.begin(), pending_human_reports_.end(),
                             [now](const PendingHumanReport& r) { return r.due > now; });
   for (auto it = due; it != pending_human_reports_.end(); ++it) {
-    service_.Report(it->signal);
+    control_plane_.Report(it->signal, service_);
     metrics_.Increment("signals.user_report");
     metrics_.Series(kUserSeries).Add(now, 1.0);
   }
@@ -248,8 +251,8 @@ void FleetStudy::FlushHumanReports(SimTime now) {
 
 void FleetStudy::ProcessSuspects(
     SimTime now, const std::unordered_map<uint64_t, SimTime>& activation_time) {
-  const std::vector<SuspectCore> suspects = service_.Suspects(now);
-  const auto verdicts = quarantine_.Process(now, suspects, fleet_, scheduler_, service_);
+  const auto verdicts =
+      control_plane_.Tick(now, options_.tick, fleet_, scheduler_, service_, &screening_);
   for (const QuarantineVerdict& verdict : verdicts) {
     if (verdict.retired && fleet_.IsMercurial(verdict.core_global)) {
       ++report_.mercurial_retired;
@@ -284,7 +287,7 @@ void FleetStudy::RunBurnIn() {
     metrics_.Series(kAutoSeries).Add(signal.time, 1.0);
     metrics_.Increment("signals.screen_fail");
     ++report_.screen_failures;
-    service_.Report(signal);
+    control_plane_.Report(signal, service_);
   };
   ScreeningOptions burn_in_options = options_.screening;
   burn_in_options.online_enabled = false;
@@ -316,7 +319,7 @@ void FleetStudy::RunTicksSerial(
         now, options_.tick, fleet_, scheduler_, [&](const Signal& signal) {
           metrics_.Series(kAutoSeries).Add(now, 1.0);
           metrics_.Increment("signals.screen_fail");
-          service_.Report(signal);
+          control_plane_.Report(signal, service_);
         });
     report_.screen_failures += screen_stats.screen_failures;
     report_.screening_ops += screen_stats.ops_spent;
@@ -399,8 +402,28 @@ void FleetStudy::Finalize() {
     }
   }
 
-  report_.quarantine = quarantine_.stats();
+  report_.quarantine = control_plane_.manager().stats();
+  report_.control_plane = control_plane_.stats();
   report_.scheduler = scheduler_.stats();
+
+  // Control-plane health as metrics: peaks are max-gauges (Merge takes max), event totals are
+  // counters.
+  metrics_.ObserveMax("control_plane.queue_peak", report_.control_plane.queue_peak);
+  metrics_.ObserveMax("control_plane.peak_pending_isolation",
+                      report_.control_plane.peak_pending_isolation);
+  metrics_.Increment("control_plane.suspects_shed", report_.control_plane.suspects_shed);
+  metrics_.Increment("control_plane.retries_scheduled", report_.control_plane.retries_scheduled);
+  metrics_.Increment("control_plane.drain_escalations",
+                     report_.control_plane.drain_escalations);
+  metrics_.Increment("control_plane.guardrail_releases",
+                     report_.control_plane.guardrail_releases);
+  metrics_.Increment("chaos.reports_dropped", report_.control_plane.chaos.reports_dropped);
+  metrics_.Increment("chaos.reports_delayed", report_.control_plane.chaos.reports_delayed);
+  metrics_.Increment("chaos.reports_duplicated",
+                     report_.control_plane.chaos.reports_duplicated);
+  metrics_.Increment("chaos.interrogations_aborted",
+                     report_.control_plane.chaos.interrogations_aborted);
+  metrics_.Increment("chaos.machine_restarts", report_.control_plane.chaos.machine_restarts);
   const double thousands = static_cast<double>(fleet_.machine_count()) / 1000.0;
   report_.planted_per_thousand_machines =
       static_cast<double>(report_.true_mercurial_cores) / thousands;
@@ -459,6 +482,11 @@ void FleetStudy::Finalize() {
 StudyReport FleetStudy::Run() {
   MERCURIAL_CHECK(!ran_) << "FleetStudy::Run can only be called once";
   ran_ = true;
+
+  const Status screening_status = ValidateScreeningOptions(options_.screening);
+  MERCURIAL_CHECK(screening_status.ok()) << screening_status.ToString();
+  const Status plane_status = options_.control_plane.Validate();
+  MERCURIAL_CHECK(plane_status.ok()) << plane_status.ToString();
 
   const int shards = std::max(1, options_.shards);
   const int threads = std::clamp(options_.threads, 1, shards);

@@ -32,6 +32,7 @@
 
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
+#include "src/detect/control_plane.h"
 #include "src/detect/mca_log.h"
 #include "src/detect/quarantine.h"
 #include "src/detect/report_service.h"
@@ -50,6 +51,10 @@ struct StudyOptions {
   ReportServiceOptions report_service;
   ScreeningOptions screening;
   QuarantinePolicy quarantine;
+  // Quarantine control plane: admission bound, retry/backoff, drain model, capacity
+  // guardrail, and chaos injection. Defaults make the plane a transparent wrapper around the
+  // synchronous pipeline (bit-identical reports).
+  ControlPlaneOptions control_plane;
   SchedulerCosts scheduler_costs;
 
   SimTime tick = SimTime::Days(1);
@@ -109,6 +114,7 @@ struct StudyReport {
 
   // Detection outcomes.
   QuarantineStats quarantine;
+  ControlPlaneStats control_plane;
   SchedulerStats scheduler;
   uint64_t screen_failures = 0;
   uint64_t screening_ops = 0;
@@ -194,7 +200,7 @@ class FleetStudy {
   CoreScheduler scheduler_;
   CeeReportService service_;
   ScreeningOrchestrator screening_;
-  QuarantineManager quarantine_;
+  QuarantineControlPlane control_plane_;
   std::vector<std::unique_ptr<Workload>> corpus_;
   MetricRegistry metrics_;
   std::vector<PendingHumanReport> pending_human_reports_;

@@ -1,0 +1,101 @@
+// Detection-pipeline chaos injection.
+//
+// The paper's detection machinery (§6) is itself distributed software running on the same
+// unreliable fleet it screens: suspect-core RPCs can be lost or arrive twice, interrogation
+// jobs get preempted mid-battery, and the daemons holding in-flight quarantine state die with
+// their machines. The injector perturbs exactly this layer — the *infrastructure*, never the
+// cores — so a study can measure how detection quality degrades when the control plane is
+// stressed (see control_plane.h and the chaos rows of bench_quarantine_pipeline).
+//
+// All faults are drawn from one dedicated seeded stream, so a chaos experiment is exactly as
+// reproducible as a clean one. With every knob at zero the injector makes NO random draws and
+// forwards everything unchanged: a disabled injector is bit-invisible to the pipeline.
+
+#ifndef MERCURIAL_SRC_DETECT_CHAOS_H_
+#define MERCURIAL_SRC_DETECT_CHAOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/detect/signal.h"
+
+namespace mercurial {
+
+struct ChaosOptions {
+  // In-flight faults on suspect reports (applied per signal, in this priority order: a
+  // dropped report cannot also be delayed or duplicated).
+  double drop_report = 0.0;       // P(report lost before reaching the service)
+  double delay_report = 0.0;      // P(report delivered late instead of now)
+  double duplicate_report = 0.0;  // P(report delivered twice)
+  SimTime report_delay_mean = SimTime::Days(2);  // mean of the exponential delivery delay
+
+  // P(an interrogation battery is preempted mid-run). The aborted attempt charges a partial
+  // op cost and yields no verdict either way — the run simply didn't finish.
+  double abort_interrogation = 0.0;
+
+  // Per-machine crash-restart rate per day. A restart wipes the quarantine daemon's in-flight
+  // state for that machine's cores (control_plane.h applies the reset).
+  double machine_restart_per_day = 0.0;
+
+  bool enabled() const {
+    return drop_report > 0.0 || delay_report > 0.0 || duplicate_report > 0.0 ||
+           abort_interrogation > 0.0 || machine_restart_per_day > 0.0;
+  }
+
+  // Rejects probabilities outside [0,1], negative rates, and a non-positive delay mean while
+  // delays are enabled.
+  Status Validate() const;
+};
+
+struct ChaosStats {
+  uint64_t reports_dropped = 0;
+  uint64_t reports_delayed = 0;
+  uint64_t reports_duplicated = 0;
+  uint64_t interrogations_aborted = 0;
+  uint64_t machine_restarts = 0;
+};
+
+class ChaosInjector {
+ public:
+  ChaosInjector(ChaosOptions options, Rng rng);
+
+  bool enabled() const { return options_.enabled(); }
+
+  // Applies in-flight faults to one report. Immediate deliveries (0, 1, or 2 copies) are
+  // appended to `deliver`; a delayed copy is queued internally until FlushDelayed.
+  void InjectReport(const Signal& signal, std::vector<Signal>& deliver);
+
+  // Delayed reports whose delivery time has arrived, ordered by (due time, injection order).
+  std::vector<Signal> FlushDelayed(SimTime now);
+
+  // True if the interrogation about to run is preempted; `fraction_run` is then the fraction
+  // of the battery that executed before the abort (its ops are still charged).
+  bool AbortInterrogation(double* fraction_run);
+
+  // Machines (ids drawn from `installed`) that crash-restart during a tick of length `dt`.
+  // Sorted and deduplicated.
+  std::vector<uint64_t> DrawRestarts(SimTime dt, const std::vector<uint64_t>& installed);
+
+  size_t delayed_in_flight() const { return delayed_.size(); }
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  struct DelayedSignal {
+    SimTime due;
+    uint64_t seq = 0;  // injection order, for a deterministic tie-break on equal due times
+    Signal signal;
+  };
+
+  ChaosOptions options_;
+  Rng rng_;
+  ChaosStats stats_;
+  std::vector<DelayedSignal> delayed_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_DETECT_CHAOS_H_

@@ -1,0 +1,287 @@
+#include "src/detect/control_plane.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mercurial {
+
+Status ControlPlaneOptions::Validate() const {
+  if (max_retries < 0) {
+    return InvalidArgumentError("max_retries must be >= 0");
+  }
+  if (max_retries > 0 && retry_backoff.seconds() <= 0) {
+    return InvalidArgumentError("retry_backoff must be positive when retries are enabled");
+  }
+  if (!(retry_jitter >= 0.0 && retry_jitter <= 1.0)) {
+    return InvalidArgumentError("retry_jitter must be in [0, 1]");
+  }
+  if (drain_latency.seconds() < 0 || drain_timeout.seconds() < 0) {
+    return InvalidArgumentError("drain_latency and drain_timeout must be >= 0");
+  }
+  if (!(quarantine_budget_fraction > 0.0 && quarantine_budget_fraction <= 1.0)) {
+    return InvalidArgumentError("quarantine_budget_fraction must be in (0, 1]");
+  }
+  if (throttle_defer.seconds() < 0) {
+    return InvalidArgumentError("throttle_defer must be >= 0");
+  }
+  return chaos.Validate();
+}
+
+QuarantineControlPlane::QuarantineControlPlane(ControlPlaneOptions options,
+                                               QuarantinePolicy policy, Rng manager_rng,
+                                               Rng control_rng)
+    : options_(options),
+      manager_(policy, manager_rng),
+      control_rng_(control_rng),
+      chaos_(options.chaos, control_rng.Split(0xc4a05)) {}
+
+void QuarantineControlPlane::Report(const Signal& signal, CeeReportService& service) {
+  if (!chaos_.enabled()) {
+    service.Report(signal);
+    return;
+  }
+  std::vector<Signal> deliver;
+  chaos_.InjectReport(signal, deliver);
+  for (const Signal& delivered : deliver) {
+    service.Report(delivered);
+  }
+}
+
+bool QuarantineControlPlane::IsPending(uint64_t core_global) const {
+  for (const Pending& pending : pending_) {
+    if (pending.core_global == core_global) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime QuarantineControlPlane::BackoffDelay(int attempts) {
+  // Attempt k's retry waits base * 2^(k-1), jittered multiplicatively in [1-j, 1+j] so
+  // synchronized suspects de-correlate (classic retry-storm avoidance), capped at 2^20 ticks
+  // worth of shift to keep the shift defined.
+  const int shift = std::min(attempts - 1, 20);
+  double delay = static_cast<double>(options_.retry_backoff.seconds()) *
+                 static_cast<double>(uint64_t{1} << shift);
+  if (options_.retry_jitter > 0.0) {
+    delay *= 1.0 + options_.retry_jitter * (2.0 * control_rng_.NextDouble() - 1.0);
+  }
+  return SimTime::Seconds(std::max<int64_t>(1, static_cast<int64_t>(delay)));
+}
+
+void QuarantineControlPlane::AdmitSuspects(SimTime now, const std::vector<SuspectCore>& suspects,
+                                           CoreScheduler& scheduler) {
+  for (const SuspectCore& suspect : suspects) {
+    const uint64_t core = suspect.core_global;
+    if (scheduler.state(core) == CoreState::kRetired ||
+        scheduler.state(core) == CoreState::kQuarantined) {
+      continue;  // same skip rule as QuarantineManager::Process
+    }
+    if (IsPending(core) || scheduler.state(core) != CoreState::kActive) {
+      continue;  // already in the pipeline (e.g. mid-drain); not a new accusation
+    }
+    if (options_.max_pending > 0 && pending_.size() >= options_.max_pending) {
+      // Backpressure: refuse admission. The report mass is kept, so the suspect
+      // re-candidates once the pipeline has room — degradation is delay, not loss.
+      ++stats_.suspects_shed;
+      continue;
+    }
+    manager_.RecordAccusation(core);
+    ++stats_.suspects_admitted;
+
+    Pending pending;
+    pending.core_global = core;
+    pending.machine = suspect.machine;
+    pending.score = suspect.score;
+    pending.next_attempt = now;
+    if (options_.drain_latency.seconds() > 0) {
+      // Graceful drain takes time: the core leaves the schedule now but is only
+      // interrogation-eligible once vacated. Completion time is jittered per core.
+      scheduler.Drain(core);
+      pending.draining = true;
+      const double sampled = static_cast<double>(options_.drain_latency.seconds()) *
+                             (1.0 + control_rng_.NextDouble());
+      pending.drain_done = now + SimTime::Seconds(static_cast<int64_t>(sampled));
+    } else {
+      scheduler.Quarantine(core);
+    }
+    pending_.push_back(pending);
+    stats_.queue_peak = std::max<uint64_t>(stats_.queue_peak, pending_.size());
+  }
+}
+
+void QuarantineControlPlane::AdvanceDrains(SimTime now, CoreScheduler& scheduler) {
+  if (options_.drain_latency.seconds() <= 0) {
+    return;
+  }
+  for (Pending& pending : pending_) {
+    if (!pending.draining) {
+      continue;
+    }
+    const bool timed_out =
+        options_.drain_timeout.seconds() > 0 && pending.drain_done - pending.next_attempt >
+        options_.drain_timeout && now >= pending.next_attempt + options_.drain_timeout;
+    if (pending.drain_done <= now) {
+      scheduler.Quarantine(pending.core_global);
+      pending.draining = false;
+      pending.next_attempt = now;
+    } else if (timed_out) {
+      // The graceful drain overran its deadline: escalate to core surprise removal (§6.1,
+      // Shalev et al.) — immediate, loses in-flight work — then quarantine.
+      scheduler.SurpriseRemove(pending.core_global);
+      scheduler.Quarantine(pending.core_global);
+      ++stats_.drain_escalations;
+      pending.draining = false;
+      pending.next_attempt = now;
+    }
+  }
+}
+
+void QuarantineControlPlane::RunInterrogations(SimTime now, Fleet& fleet,
+                                               CoreScheduler& scheduler,
+                                               CeeReportService& service,
+                                               std::vector<QuarantineVerdict>& verdicts) {
+  uint64_t started = 0;
+  std::vector<Pending> still_pending;
+  still_pending.reserve(pending_.size());
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    Pending& pending = pending_[i];
+    if (pending.draining || pending.next_attempt > now ||
+        (options_.max_interrogations_per_tick > 0 &&
+         started >= options_.max_interrogations_per_tick)) {
+      still_pending.push_back(pending);
+      continue;
+    }
+    ++started;
+    ++pending.attempts;
+    if (pending.attempts > 1) {
+      ++stats_.retry_interrogations;
+    }
+    QuarantineManager::Interrogation result;
+    double fraction_run = 0.0;
+    if (chaos_.AbortInterrogation(&fraction_run)) {
+      result = manager_.AbortedInterrogation(fraction_run);
+    } else {
+      result = manager_.Interrogate(pending.core_global, fleet);
+    }
+    if (result.ran && !result.confessed && pending.attempts <= options_.max_retries) {
+      // Still suspicious, didn't confess (or the run was cut short): keep it quarantined and
+      // come back after an exponentially-backed-off, jittered delay.
+      pending.next_attempt = now + BackoffDelay(pending.attempts);
+      ++stats_.retries_scheduled;
+      still_pending.push_back(pending);
+      continue;
+    }
+    verdicts.push_back(
+        manager_.Finalize(now, pending.core_global, result, fleet, scheduler, service));
+  }
+  pending_ = std::move(still_pending);
+}
+
+void QuarantineControlPlane::ApplyRestarts(SimTime now, SimTime dt, Fleet& fleet,
+                                           CoreScheduler& scheduler,
+                                           CeeReportService& service) {
+  if (options_.chaos.machine_restart_per_day <= 0.0) {
+    return;
+  }
+  const std::vector<uint64_t> restarted = chaos_.DrawRestarts(dt, fleet.InstalledMachineIds(now));
+  if (restarted.empty() || pending_.empty()) {
+    return;
+  }
+  std::vector<Pending> survivors;
+  survivors.reserve(pending_.size());
+  for (const Pending& pending : pending_) {
+    if (!std::binary_search(restarted.begin(), restarted.end(), pending.machine)) {
+      survivors.push_back(pending);
+      continue;
+    }
+    // The machine hosting this in-flight quarantine crash-restarted: the quarantine daemon's
+    // state is gone, the core boots back into the schedule, and the evidence cache that
+    // triggered the interrogation is invalidated. Detection progress is lost, not the core.
+    // No verdict is recorded — ground-truth counters only move on verdicts.
+    scheduler.Release(pending.core_global);
+    service.Forget(pending.core_global);
+    ++stats_.restarts_reset;
+  }
+  pending_ = std::move(survivors);
+}
+
+void QuarantineControlPlane::EnforceGuardrail(SimTime now, Fleet& fleet,
+                                              CoreScheduler& scheduler,
+                                              CeeReportService& service,
+                                              ScreeningOrchestrator* screening) {
+  if (options_.quarantine_budget_fraction >= 1.0) {
+    return;
+  }
+  const auto budget_cores = static_cast<size_t>(options_.quarantine_budget_fraction *
+                                                static_cast<double>(scheduler.core_count()));
+  if (scheduler.pending_isolation_count() <= budget_cores) {
+    return;
+  }
+  ++stats_.guardrail_activations;
+
+  // Throttle the inflow: push back offline screens (each one drains a core) that would come
+  // due while we are over budget.
+  if (screening != nullptr) {
+    stats_.screening_deferrals += screening->ThrottleOffline(now, options_.throttle_defer);
+  }
+
+  // Release the least-suspect pending cores first until the pipeline is back under budget.
+  // Ties break on core index so the release order is deterministic.
+  std::vector<size_t> order(pending_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    if (pending_[a].score != pending_[b].score) {
+      return pending_[a].score < pending_[b].score;
+    }
+    return pending_[a].core_global < pending_[b].core_global;
+  });
+  std::vector<bool> released(pending_.size(), false);
+  for (size_t index : order) {
+    if (scheduler.pending_isolation_count() <= budget_cores) {
+      break;
+    }
+    manager_.ForceRelease(pending_[index].core_global, fleet, scheduler, service);
+    released[index] = true;
+    ++stats_.guardrail_releases;
+  }
+  std::vector<Pending> survivors;
+  survivors.reserve(pending_.size());
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!released[i]) {
+      survivors.push_back(pending_[i]);
+    }
+  }
+  pending_ = std::move(survivors);
+}
+
+std::vector<QuarantineVerdict> QuarantineControlPlane::Tick(SimTime now, SimTime dt,
+                                                            Fleet& fleet,
+                                                            CoreScheduler& scheduler,
+                                                            CeeReportService& service,
+                                                            ScreeningOrchestrator* screening) {
+  // Late deliveries first, so a delayed report can still contribute to this tick's suspicion.
+  for (const Signal& signal : chaos_.FlushDelayed(now)) {
+    service.Report(signal);
+  }
+  ApplyRestarts(now, dt, fleet, scheduler, service);
+
+  const std::vector<SuspectCore> suspects = service.Suspects(now);
+  AdmitSuspects(now, suspects, scheduler);
+  AdvanceDrains(now, scheduler);
+
+  std::vector<QuarantineVerdict> verdicts;
+  RunInterrogations(now, fleet, scheduler, service, verdicts);
+  EnforceGuardrail(now, fleet, scheduler, service, screening);
+
+  const uint64_t isolated = scheduler.pending_isolation_count();
+  stats_.peak_pending_isolation = std::max(stats_.peak_pending_isolation, isolated);
+  stats_.pending_isolation_core_seconds +=
+      static_cast<double>(isolated) * static_cast<double>(dt.seconds());
+  stats_.chaos = chaos_.stats();
+  return verdicts;
+}
+
+}  // namespace mercurial

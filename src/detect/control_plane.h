@@ -1,0 +1,164 @@
+// Resilient quarantine control plane (§6/§6.1 under a capacity-constrained, failure-prone
+// detection infrastructure).
+//
+// The paper frames detection as a tradeoff: false positives strand capacity, drains cost
+// core-seconds, and interrogations of low-reproducibility defects are themselves flaky. The
+// control plane wraps the suspicion -> interrogation -> verdict flow (QuarantineManager) in
+// the robustness machinery a production screening service needs:
+//
+//   * Bounded admission. At most `max_pending` suspects are resident in the pipeline
+//     (draining, awaiting interrogation, or awaiting a retry); excess suspects are shed with
+//     shed-count accounting. Their report mass is NOT forgotten, so backpressure degrades to
+//     delay, not loss: a shed suspect re-candidates on a later tick.
+//   * Interrogation retry with exponential backoff + jitter. A non-confessing (or
+//     chaos-aborted) suspect that is still suspicious stays quarantined and is re-interrogated
+//     at now + backoff * 2^attempt * (1 +- jitter), all in SimTime — deterministic under the
+//     study seed. Retries convert "limited reproducibility" misses into confessions at the
+//     price of longer false-positive stranding.
+//   * Drain timeout -> surprise removal. With a non-zero drain latency a graceful drain takes
+//     simulated time; one that overruns `drain_timeout` is escalated to core surprise removal
+//     (immediate, loses in-flight work) so a wedged drain cannot hold the pipeline open.
+//   * Capacity guardrail. When draining + quarantined capacity exceeds
+//     `quarantine_budget_fraction` of the fleet, the plane degrades gracefully: it releases
+//     the least-suspect pending cores first and defers upcoming offline screens
+//     (ScreeningOrchestrator::ThrottleOffline) to throttle the drain inflow.
+//   * Chaos injection (chaos.h). Faults in the detection infrastructure itself — dropped,
+//     duplicated, and delayed suspect reports, interrogations cut short mid-battery, machine
+//     crash-restarts that reset in-flight quarantines — so a study can measure how TP/FP/
+//     missed-confession rates and stranded core-seconds degrade as the plane is stressed.
+//
+// Determinism contract: at default options (no bound, no retries, zero drain latency, budget
+// 1.0, chaos off) the control plane performs exactly the call sequence of
+// QuarantineManager::Process — same scheduler transitions, same RNG draws, same stats — and
+// draws nothing from its own control stream, so a default study is bit-identical to the
+// pre-control-plane pipeline (control_plane_test locks this). All control-plane work runs in
+// the serial phase of the fleet engine, so reports stay thread-count invariant.
+
+#ifndef MERCURIAL_SRC_DETECT_CONTROL_PLANE_H_
+#define MERCURIAL_SRC_DETECT_CONTROL_PLANE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/detect/chaos.h"
+#include "src/detect/quarantine.h"
+#include "src/detect/report_service.h"
+#include "src/detect/screening.h"
+#include "src/fleet/fleet.h"
+#include "src/sched/scheduler.h"
+
+namespace mercurial {
+
+struct ControlPlaneOptions {
+  // Admission control: max suspects resident in the pipeline at once. 0 = unbounded (legacy
+  // synchronous behavior).
+  size_t max_pending = 0;
+  // Interrogation batteries started per tick. 0 = unbounded (legacy: whole batch same tick).
+  size_t max_interrogations_per_tick = 0;
+
+  // Retries for non-confessing (or aborted) interrogations. 0 = single-shot (legacy). The
+  // k-th retry waits retry_backoff * 2^k, jittered by +-retry_jitter, while the core stays
+  // quarantined.
+  int max_retries = 0;
+  SimTime retry_backoff = SimTime::Days(2);
+  double retry_jitter = 0.25;  // fraction of the backoff, in [0, 1]
+
+  // Graceful-drain model. Zero latency = instantaneous drain (legacy). A drain's sampled
+  // completion time is drain_latency * (1 + U[0,1)); if that exceeds drain_timeout (> 0), the
+  // plane escalates to surprise removal at the timeout instead of waiting.
+  SimTime drain_latency = SimTime::Seconds(0);
+  SimTime drain_timeout = SimTime::Seconds(0);  // 0 = never escalate
+
+  // Capacity guardrail: max fraction of the fleet's cores in draining + quarantined at once.
+  // 1.0 disables. When exceeded, pending cores are released least-suspect-first and offline
+  // screens due within `throttle_defer` are pushed back by it.
+  double quarantine_budget_fraction = 1.0;
+  SimTime throttle_defer = SimTime::Days(7);
+
+  ChaosOptions chaos;
+
+  Status Validate() const;
+};
+
+struct ControlPlaneStats {
+  uint64_t suspects_admitted = 0;
+  uint64_t suspects_shed = 0;         // refused at admission: pipeline full
+  uint64_t queue_peak = 0;            // max pending suspects ever resident
+  uint64_t retries_scheduled = 0;
+  uint64_t retry_interrogations = 0;  // interrogations that were retries (attempt >= 2)
+  uint64_t drain_escalations = 0;     // graceful drain timed out -> surprise removal
+  uint64_t guardrail_activations = 0; // ticks on which the capacity guardrail engaged
+  uint64_t guardrail_releases = 0;    // pending cores force-released by the guardrail
+  uint64_t screening_deferrals = 0;   // offline screens pushed back while over budget
+  uint64_t restarts_reset = 0;        // in-flight quarantines wiped by machine restarts
+  uint64_t peak_pending_isolation = 0;  // max draining + quarantined cores ever observed
+  // Integral of (draining + quarantined) over time: the reversible stranding the guardrail
+  // budgets. Excludes retired cores — retirement is the verdict, not pipeline stranding.
+  double pending_isolation_core_seconds = 0.0;
+  ChaosStats chaos;
+};
+
+class QuarantineControlPlane {
+ public:
+  // `manager_rng` seeds the interrogation stream (same stream the bare QuarantineManager
+  // would own); `control_rng` seeds the plane's own machinery (backoff jitter, drain jitter)
+  // and the chaos injector, and is never drawn from at default options.
+  QuarantineControlPlane(ControlPlaneOptions options, QuarantinePolicy policy, Rng manager_rng,
+                         Rng control_rng);
+
+  // Routes one detection signal toward the report service, applying in-flight chaos. With
+  // chaos off this is exactly service.Report(signal).
+  void Report(const Signal& signal, CeeReportService& service);
+
+  // One control-plane tick, run serially after the fleet's production/screening phase:
+  // delivers delayed reports, applies machine crash-restarts, admits this tick's suspects
+  // (shedding over the bound), starts drains / escalates timed-out ones, runs due
+  // interrogations with retry/backoff, then enforces the capacity guardrail (`screening` may
+  // be null when there is no orchestrator to throttle). Returns the verdicts reached this
+  // tick, in pipeline order.
+  std::vector<QuarantineVerdict> Tick(SimTime now, SimTime dt, Fleet& fleet,
+                                      CoreScheduler& scheduler, CeeReportService& service,
+                                      ScreeningOrchestrator* screening);
+
+  size_t pending_count() const { return pending_.size(); }
+  const ControlPlaneStats& stats() const { return stats_; }
+  QuarantineManager& manager() { return manager_; }
+  const QuarantineManager& manager() const { return manager_; }
+
+ private:
+  struct Pending {
+    uint64_t core_global = 0;
+    uint64_t machine = 0;
+    double score = 0.0;        // suspicion score at admission (guardrail release order)
+    int attempts = 0;          // interrogation attempts already run
+    bool draining = false;     // still vacating; not yet interrogation-eligible
+    SimTime drain_done;        // when the graceful drain completes
+    SimTime next_attempt;      // earliest time the next battery may run
+  };
+
+  void AdmitSuspects(SimTime now, const std::vector<SuspectCore>& suspects,
+                     CoreScheduler& scheduler);
+  void AdvanceDrains(SimTime now, CoreScheduler& scheduler);
+  void RunInterrogations(SimTime now, Fleet& fleet, CoreScheduler& scheduler,
+                         CeeReportService& service, std::vector<QuarantineVerdict>& verdicts);
+  void ApplyRestarts(SimTime now, SimTime dt, Fleet& fleet, CoreScheduler& scheduler,
+                     CeeReportService& service);
+  void EnforceGuardrail(SimTime now, Fleet& fleet, CoreScheduler& scheduler,
+                        CeeReportService& service, ScreeningOrchestrator* screening);
+  bool IsPending(uint64_t core_global) const;
+  SimTime BackoffDelay(int attempts);
+
+  ControlPlaneOptions options_;
+  QuarantineManager manager_;
+  Rng control_rng_;
+  ChaosInjector chaos_;
+  ControlPlaneStats stats_;
+  std::vector<Pending> pending_;  // admission order; interrogations scan front to back
+};
+
+}  // namespace mercurial
+
+#endif  // MERCURIAL_SRC_DETECT_CONTROL_PLANE_H_

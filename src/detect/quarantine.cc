@@ -1,14 +1,117 @@
 #include "src/detect/quarantine.h"
 
+#include <cmath>
+
 namespace mercurial {
 
 QuarantineManager::QuarantineManager(QuarantinePolicy policy, Rng rng)
     : policy_(policy), tester_(policy.confession), rng_(rng) {}
 
-std::vector<QuarantineVerdict> QuarantineManager::Process(SimTime now,
-                                                          const std::vector<SuspectCore>& suspects,
-                                                          Fleet& fleet, CoreScheduler& scheduler,
-                                                          CeeReportService& service) {
+int QuarantineManager::RecordAccusation(uint64_t core_global) {
+  const int count = ++accusation_counts_[core_global];
+  ++stats_.accusations;
+  if (count == 1) {
+    ++stats_.suspects_processed;
+  }
+  return count;
+}
+
+uint64_t QuarantineManager::OpsPerAttempt() const {
+  return policy_.confession.stress.iterations_per_unit * kExecUnitCount;
+}
+
+QuarantineManager::Interrogation QuarantineManager::Interrogate(uint64_t core_global,
+                                                                Fleet& fleet) {
+  Interrogation result;
+  if (!policy_.require_confession) {
+    return result;  // ran == false: retirement on suspicion alone, no battery
+  }
+  result.ran = true;
+  SimCore& core = fleet.core(core_global);
+  if (core.healthy()) {
+    // Healthy cores cannot confess (fast path; identical outcome to running the battery).
+    stats_.interrogation_ops +=
+        OpsPerAttempt() * static_cast<uint64_t>(policy_.confession.max_attempts);
+    return result;
+  }
+  const Confession confession = tester_.Interrogate(core, rng_);
+  stats_.interrogation_ops += confession.ops_used;
+  result.ops_used = confession.ops_used;
+  if (confession.confessed) {
+    result.confessed = true;
+    result.failed_units = confession.failed_units;
+    failed_units_[core_global] = confession.failed_units;
+  }
+  return result;
+}
+
+QuarantineManager::Interrogation QuarantineManager::AbortedInterrogation(double fraction_run) {
+  Interrogation result;
+  result.ran = true;
+  result.ops_used = static_cast<uint64_t>(
+      std::llround(static_cast<double>(OpsPerAttempt()) * fraction_run));
+  stats_.interrogation_ops += result.ops_used;
+  return result;
+}
+
+QuarantineVerdict QuarantineManager::Finalize(SimTime now, uint64_t core_global,
+                                              const Interrogation& last, Fleet& fleet,
+                                              CoreScheduler& scheduler,
+                                              CeeReportService& service) {
+  QuarantineVerdict verdict;
+  verdict.core_global = core_global;
+  const bool truly_mercurial = fleet.IsMercurial(core_global);
+
+  if (last.confessed) {
+    ++stats_.confessions;
+    verdict.confessed = true;
+    verdict.failed_units = last.failed_units;
+  }
+  bool retire = last.confessed || !last.ran;
+
+  // Recidivism: repeated accusations retire a core even without a confession.
+  if (!retire && policy_.recidivism_retire_after > 0 &&
+      accusation_counts_[core_global] >= policy_.recidivism_retire_after) {
+    retire = true;
+    ++stats_.recidivism_retirements;
+  }
+
+  if (retire) {
+    scheduler.Retire(core_global);
+    retirement_times_.emplace(core_global, now);
+    ++stats_.retirements;
+    if (truly_mercurial) {
+      ++stats_.true_positive_retirements;
+    } else {
+      ++stats_.false_positive_retirements;
+    }
+  } else {
+    scheduler.Release(core_global);
+    ++stats_.releases;
+    if (truly_mercurial) {
+      ++stats_.missed_confessions;
+    }
+  }
+  // Either way, clear accumulated report mass so old evidence is not double-counted.
+  service.Forget(core_global);
+
+  verdict.retired = retire;
+  return verdict;
+}
+
+void QuarantineManager::ForceRelease(uint64_t core_global, Fleet& fleet,
+                                     CoreScheduler& scheduler, CeeReportService& service) {
+  scheduler.Release(core_global);
+  ++stats_.releases;
+  if (fleet.IsMercurial(core_global)) {
+    ++stats_.missed_confessions;
+  }
+  service.Forget(core_global);
+}
+
+std::vector<QuarantineVerdict> QuarantineManager::Process(
+    SimTime now, const std::vector<SuspectCore>& suspects, Fleet& fleet,
+    CoreScheduler& scheduler, CeeReportService& service) {
   std::vector<QuarantineVerdict> verdicts;
   for (const SuspectCore& suspect : suspects) {
     const uint64_t core_index = suspect.core_global;
@@ -16,65 +119,10 @@ std::vector<QuarantineVerdict> QuarantineManager::Process(SimTime now,
         scheduler.state(core_index) == CoreState::kQuarantined) {
       continue;
     }
-    ++stats_.suspects_processed;
-    const int accusations = ++accusation_counts_[core_index];
-
-    QuarantineVerdict verdict;
-    verdict.core_global = core_index;
-
+    RecordAccusation(core_index);
     scheduler.Quarantine(core_index);
-    SimCore& core = fleet.core(core_index);
-    const bool truly_mercurial = fleet.IsMercurial(core_index);
-
-    bool retire;
-    if (!policy_.require_confession) {
-      retire = true;
-    } else if (core.healthy()) {
-      // Healthy cores cannot confess (fast path; identical outcome to running the battery).
-      stats_.interrogation_ops +=
-          policy_.confession.stress.iterations_per_unit * kExecUnitCount *
-          static_cast<uint64_t>(policy_.confession.max_attempts);
-      retire = false;
-    } else {
-      const Confession confession = tester_.Interrogate(core, rng_);
-      stats_.interrogation_ops += confession.ops_used;
-      if (confession.confessed) {
-        ++stats_.confessions;
-        verdict.confessed = true;
-        verdict.failed_units = confession.failed_units;
-        failed_units_[core_index] = confession.failed_units;
-      }
-      retire = confession.confessed;
-    }
-
-    // Recidivism: repeated accusations retire a core even without a confession.
-    if (!retire && policy_.recidivism_retire_after > 0 &&
-        accusations >= policy_.recidivism_retire_after) {
-      retire = true;
-      ++stats_.recidivism_retirements;
-    }
-
-    if (retire) {
-      scheduler.Retire(core_index);
-      retirement_times_.emplace(core_index, now);
-      ++stats_.retirements;
-      if (truly_mercurial) {
-        ++stats_.true_positive_retirements;
-      } else {
-        ++stats_.false_positive_retirements;
-      }
-    } else {
-      scheduler.Release(core_index);
-      ++stats_.releases;
-      if (truly_mercurial) {
-        ++stats_.missed_confessions;
-      }
-    }
-    // Either way, clear accumulated report mass so old evidence is not double-counted.
-    service.Forget(core_index);
-
-    verdict.retired = retire;
-    verdicts.push_back(verdict);
+    const Interrogation interrogation = Interrogate(core_index, fleet);
+    verdicts.push_back(Finalize(now, core_index, interrogation, fleet, scheduler, service));
   }
   return verdicts;
 }

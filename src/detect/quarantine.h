@@ -5,6 +5,13 @@
 // (confession) or releases it (no confession: false accusation OR limited reproducibility).
 // It tracks the tradeoff the paper emphasizes: false negatives / delayed positives cause
 // corruption, false positives strand capacity, and detection itself costs cycles.
+//
+// Two entry points: Process() handles one synchronous batch (the legacy flow, still used by
+// tests and benches), and the stepwise API (RecordAccusation / Interrogate / Finalize /
+// ForceRelease) lets the QuarantineControlPlane (control_plane.h) spread the same steps over
+// time — queued admission, retried interrogations, guardrail releases — while all stats and
+// recidivism bookkeeping stay in one place. Process() is exactly a loop over the stepwise
+// calls, so both flows share one behavior.
 
 #ifndef MERCURIAL_SRC_DETECT_QUARANTINE_H_
 #define MERCURIAL_SRC_DETECT_QUARANTINE_H_
@@ -32,14 +39,32 @@ struct QuarantinePolicy {
   int recidivism_retire_after = 3;
 };
 
+// Counter semantics:
+//   suspects_processed       distinct cores that entered the quarantine pipeline at least
+//                            once. A core released and later re-accused is NOT counted again
+//                            (each re-accusation lands in `accusations` instead; earlier
+//                            versions double-counted recidivists here).
+//   accusations              total accusation events, including re-accusations of released
+//                            cores. A retry of an in-flight interrogation (control plane) is
+//                            not a new accusation.
+//   confessions              interrogations that ended in a confession.
+//   releases                 verdicts returning the core to service (false accusation or
+//                            limited reproducibility), including guardrail-forced releases.
+//   retirements              permanent removals: confessions + recidivism retirements +
+//                            suspicion-only retirements (require_confession = false).
+//   recidivism_retirements   subset of retirements forced by the re-accusation threshold.
+//   interrogation_ops        micro-ops charged to confession batteries (aborted runs included,
+//                            pro-rated).
+// Ground-truth counters (metrics only, detection code never reads them):
+//   true_positive_retirements / false_positive_retirements / missed_confessions.
 struct QuarantineStats {
   uint64_t suspects_processed = 0;
+  uint64_t accusations = 0;
   uint64_t confessions = 0;
   uint64_t releases = 0;
   uint64_t retirements = 0;
   uint64_t recidivism_retirements = 0;
   uint64_t interrogation_ops = 0;
-  // Ground-truth bookkeeping (metrics only):
   uint64_t true_positive_retirements = 0;   // retired cores that really were mercurial
   uint64_t false_positive_retirements = 0;  // retired healthy cores
   uint64_t missed_confessions = 0;  // truly mercurial suspects that did not confess
@@ -56,11 +81,52 @@ class QuarantineManager {
  public:
   QuarantineManager(QuarantinePolicy policy, Rng rng);
 
-  // Handles one batch of suspects. Already-retired cores are ignored. Returns the verdicts.
+  // Handles one batch of suspects synchronously. Already-retired and already-quarantined
+  // cores are ignored. Returns the verdicts.
   std::vector<QuarantineVerdict> Process(SimTime now, const std::vector<SuspectCore>& suspects,
                                          Fleet& fleet, CoreScheduler& scheduler,
                                          CeeReportService& service);
 
+  // --- Stepwise API (used by QuarantineControlPlane) --------------------------------------
+
+  // One interrogation attempt's outcome. `ran == false` marks the require_confession = false
+  // short-circuit (no battery executed, retirement on suspicion alone).
+  struct Interrogation {
+    bool ran = false;
+    bool confessed = false;
+    std::vector<ExecUnit> failed_units;
+    uint64_t ops_used = 0;
+  };
+
+  // Records one accusation event; returns the cumulative count for the core. The first-ever
+  // accusation also counts the core in suspects_processed.
+  int RecordAccusation(uint64_t core_global);
+
+  // Runs one confession battery (or the policy short-circuit) against a quarantined core.
+  // Charges interrogation_ops and records failed units on confession. Scheduler state is the
+  // caller's responsibility.
+  Interrogation Interrogate(uint64_t core_global, Fleet& fleet);
+
+  // An interrogation preempted after `fraction_run` of its battery (chaos injection): charges
+  // the pro-rated op cost of one attempt and yields no evidence either way.
+  Interrogation AbortedInterrogation(double fraction_run);
+
+  // Applies the final verdict once interrogation attempts are exhausted: retire on confession,
+  // suspicion-only policy, or recidivism; release otherwise. Updates stats, ground-truth
+  // bookkeeping, retirement times, and clears the core's accumulated report mass.
+  QuarantineVerdict Finalize(SimTime now, uint64_t core_global, const Interrogation& last,
+                             Fleet& fleet, CoreScheduler& scheduler, CeeReportService& service);
+
+  // Forced release without a verdict (capacity guardrail): returns the core to service,
+  // counts a release (and a missed confession if ground truth says mercurial), and clears the
+  // core's report mass. Recidivism is NOT evaluated: the pipeline, not the evidence, gave up.
+  void ForceRelease(uint64_t core_global, Fleet& fleet, CoreScheduler& scheduler,
+                    CeeReportService& service);
+
+  // Micro-op cost of one full interrogation attempt, for abort pro-rating and capacity math.
+  uint64_t OpsPerAttempt() const;
+
+  const QuarantinePolicy& policy() const { return policy_; }
   const QuarantineStats& stats() const { return stats_; }
 
   // Known-bad units per retired core (for §6.1 safe-task placement studies).

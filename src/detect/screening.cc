@@ -6,6 +6,22 @@
 
 namespace mercurial {
 
+Status ValidateScreeningOptions(const ScreeningOptions& options) {
+  if (!(options.online_fraction_per_day >= 0.0 && options.online_fraction_per_day <= 1.0)) {
+    return InvalidArgumentError("online_fraction_per_day must be in [0, 1]");
+  }
+  if (options.offline_enabled && options.offline_period.seconds() <= 0) {
+    return InvalidArgumentError("offline_period must be positive when offline screening is on");
+  }
+  if (options.offline_enabled && options.offline_iterations == 0) {
+    return InvalidArgumentError("offline_iterations must be positive");
+  }
+  if (options.online_enabled && options.online_iterations == 0) {
+    return InvalidArgumentError("online_iterations must be positive");
+  }
+  return Status::Ok();
+}
+
 ScreeningOrchestrator::ScreeningOrchestrator(ScreeningOptions options, size_t core_count,
                                              Rng rng)
     : options_(std::move(options)), rng_(rng), next_offline_due_(core_count) {
@@ -32,6 +48,23 @@ uint64_t ScreeningOrchestrator::OfflineBatteryOps(SimTime now) const {
 
 uint64_t ScreeningOrchestrator::OnlineBatteryOps(SimTime now) const {
   return options_.online_iterations * CoveredUnits(now).size();
+}
+
+uint64_t ScreeningOrchestrator::ThrottleOffline(SimTime now, SimTime defer) {
+  if (!options_.offline_enabled || defer.seconds() <= 0) {
+    return 0;
+  }
+  const SimTime pushed_to = now + defer;
+  uint64_t deferred = 0;
+  for (SimTime& due : next_offline_due_) {
+    // Strictly inside the window: a screen already pushed to the horizon needs no new push,
+    // so repeated throttles within one window are idempotent.
+    if (due > now && due < pushed_to) {
+      due = pushed_to;
+      ++deferred;
+    }
+  }
+  return deferred;
 }
 
 bool ScreeningOrchestrator::ScreenOne(SimTime now, uint64_t core_index, bool offline,

@@ -19,6 +19,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
+#include "src/common/status.h"
 #include "src/detect/signal.h"
 #include "src/fleet/fleet.h"
 #include "src/sched/scheduler.h"
@@ -46,6 +47,14 @@ struct ScreeningOptions {
       {SimTime::Days(820), ExecUnit::kAes},
   };
 };
+
+// Validates user-supplied screening options instead of letting bad values silently misbehave
+// (a negative online fraction samples nothing; a zero iteration count "passes" every core):
+// rejects online_fraction_per_day outside [0, 1] (NaN included), a non-positive
+// offline_period while offline screening is enabled, and zero iteration counts for an enabled
+// mode. Internal callers may still construct orchestrators with offline_period == 0 ("every
+// core due immediately", e.g. the burn-in pass); the validator guards user-facing configs.
+Status ValidateScreeningOptions(const ScreeningOptions& options);
 
 struct ScreeningTickStats {
   uint64_t offline_screens = 0;
@@ -101,6 +110,12 @@ class ScreeningOrchestrator {
   // Estimated micro-ops one offline (resp. online) battery costs, for capacity accounting.
   uint64_t OfflineBatteryOps(SimTime now) const;
   uint64_t OnlineBatteryOps(SimTime now) const;
+
+  // Graceful-degradation hook for the quarantine control plane's capacity guardrail: pushes
+  // every offline screen that would come due within (now, now + defer] out to now + defer,
+  // throttling the drain inflow while quarantined capacity is over budget. Returns the number
+  // of screens deferred. Serial-phase only (mutates the shared due table).
+  uint64_t ThrottleOffline(SimTime now, SimTime defer);
 
  private:
   bool ScreenOne(SimTime now, uint64_t core_index, bool offline, Fleet& fleet, Rng& rng,

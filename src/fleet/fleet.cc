@@ -105,6 +105,17 @@ size_t Fleet::InstalledMachines(SimTime now) const {
   return count;
 }
 
+std::vector<uint64_t> Fleet::InstalledMachineIds(SimTime now) const {
+  std::vector<uint64_t> ids;
+  ids.reserve(machines_.size());
+  for (const auto& machine : machines_) {
+    if (machine->install_time() <= now) {
+      ids.push_back(machine->id());
+    }
+  }
+  return ids;
+}
+
 void Fleet::SetAges(SimTime now) {
   // Only defective cores ever read their age (defect gates are the sole consumer), so updating
   // the mercurial subset keeps the per-tick cost independent of fleet size.

@@ -91,6 +91,10 @@ class Fleet {
   // Number of machines installed by `now`.
   size_t InstalledMachines(SimTime now) const;
 
+  // Ids of the machines installed by `now`, ascending. The population chaos machine-restart
+  // draws sample from: a machine that is not racked yet cannot crash-restart.
+  std::vector<uint64_t> InstalledMachineIds(SimTime now) const;
+
   // Updates every core's age to (now - machine install time), clamped at 0. Call once per
   // simulation tick so aging defects see the right age.
   void SetAges(SimTime now);

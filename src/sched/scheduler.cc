@@ -32,11 +32,17 @@ void CoreScheduler::SetState(uint64_t core, CoreState next) {
   if (prev == CoreState::kActive) {
     --active_count_;
   }
+  if (prev == CoreState::kDraining) {
+    --draining_count_;
+  }
   if (prev == CoreState::kQuarantined) {
     --quarantined_count_;
   }
   if (next == CoreState::kActive) {
     ++active_count_;
+  }
+  if (next == CoreState::kDraining) {
+    ++draining_count_;
   }
   if (next == CoreState::kQuarantined) {
     ++quarantined_count_;
@@ -90,7 +96,11 @@ void CoreScheduler::Retire(uint64_t core) {
 }
 
 void CoreScheduler::AccumulateStranding(SimTime dt) {
-  const double stranded = static_cast<double>(quarantined_count_ + retired_count_);
+  // Draining cores count: a core being vacated across ticks (control-plane drain latency) is
+  // just as unavailable as a quarantined one. Intra-tick drains resolve before this is called,
+  // so the legacy engine's accounting is unchanged.
+  const double stranded =
+      static_cast<double>(draining_count_ + quarantined_count_ + retired_count_);
   stats_.stranded_core_seconds += stranded * static_cast<double>(dt.seconds());
 }
 

@@ -57,8 +57,13 @@ class CoreScheduler {
   CoreState state(uint64_t core) const { return states_[core]; }
   bool Schedulable(uint64_t core) const { return states_[core] == CoreState::kActive; }
   size_t active_count() const { return active_count_; }
+  size_t draining_count() const { return draining_count_; }
   size_t quarantined_count() const { return quarantined_count_; }
   size_t retired_count() const { return retired_count_; }
+
+  // Cores currently held out of service awaiting a verdict (draining or quarantined, not
+  // retired): the reversible stranding the control plane's capacity guardrail budgets.
+  size_t pending_isolation_count() const { return draining_count_ + quarantined_count_; }
 
   // Graceful drain: pays migration costs, then the core is off the schedule. Returns false if
   // the core is not active.
@@ -89,6 +94,7 @@ class CoreScheduler {
   SchedulerCosts costs_;
   SchedulerStats stats_;
   size_t active_count_;
+  size_t draining_count_ = 0;
   size_t quarantined_count_ = 0;
   size_t retired_count_ = 0;
   uint64_t rr_cursor_ = 0;

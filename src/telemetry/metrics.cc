@@ -11,6 +11,18 @@ uint64_t MetricRegistry::counter(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+void MetricRegistry::ObserveMax(const std::string& name, uint64_t value) {
+  auto [it, inserted] = gauge_maxes_.emplace(name, value);
+  if (!inserted && value > it->second) {
+    it->second = value;
+  }
+}
+
+uint64_t MetricRegistry::gauge_max(const std::string& name) const {
+  auto it = gauge_maxes_.find(name);
+  return it == gauge_maxes_.end() ? 0 : it->second;
+}
+
 TimeSeries& MetricRegistry::Series(const std::string& name, SimTime period) {
   auto it = series_.find(name);
   if (it == series_.end()) {
@@ -41,6 +53,9 @@ void MetricRegistry::Merge(const MetricRegistry& other) {
   for (const auto& [name, value] : other.counters_) {
     counters_[name] += value;
   }
+  for (const auto& [name, value] : other.gauge_maxes_) {
+    ObserveMax(name, value);
+  }
   for (const auto& [name, series] : other.series_) {
     auto it = series_.find(name);
     if (it == series_.end()) {
@@ -62,6 +77,10 @@ void MetricRegistry::Merge(const MetricRegistry& other) {
 void MetricRegistry::Dump(std::FILE* stream) const {
   for (const auto& [name, value] : counters_) {
     std::fprintf(stream, "counter %-48s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauge_maxes_) {
+    std::fprintf(stream, "gauge   %-48s %llu\n", name.c_str(),
                  static_cast<unsigned long long>(value));
   }
   for (const auto& [name, histo] : histos_) {

@@ -32,6 +32,11 @@ class MetricRegistry {
   void Increment(const std::string& name, uint64_t delta = 1);
   uint64_t counter(const std::string& name) const;
 
+  // Max-gauge: retains the largest value ever observed (peak queue depth, peak stranded
+  // capacity). Kept separate from counters because its Merge semantic is max, not sum.
+  void ObserveMax(const std::string& name, uint64_t value);
+  uint64_t gauge_max(const std::string& name) const;
+
   // Time series with the given bucket period (period fixed at first use).
   TimeSeries& Series(const std::string& name, SimTime period = SimTime::Weeks(1));
   const TimeSeries* FindSeries(const std::string& name) const;
@@ -49,12 +54,14 @@ class MetricRegistry {
 
   // Read access for merge/equality checks (tests and report finalization).
   const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, uint64_t>& gauges() const { return gauge_maxes_; }
 
   // Human-readable dump of every metric.
   void Dump(std::FILE* stream) const;
 
  private:
   std::map<std::string, uint64_t> counters_;
+  std::map<std::string, uint64_t> gauge_maxes_;
   std::map<std::string, TimeSeries> series_;
   std::map<std::string, Histogram> histos_;
 };

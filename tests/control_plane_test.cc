@@ -1,0 +1,641 @@
+// Tests for the quarantine control plane (src/detect/control_plane.h) and the detection-
+// pipeline chaos injector (src/detect/chaos.h).
+//
+// The two load-bearing claims:
+//
+//   1. Transparency: at default options (chaos off) the control plane is bit-identical to the
+//      legacy synchronous QuarantineManager::Process pipeline — same verdicts, same stats,
+//      same scheduler transitions, same RNG draw order (EquivalentToLegacyProcessAtDefaults).
+//   2. Resilience: under report-drop + interrogation-abort chaos, retry/backoff recovers at
+//      least the no-retry baseline's true-positive retirements while the capacity guardrail
+//      keeps pending-isolation core-seconds under budget, deterministically under a fixed
+//      seed (ChaosRetriesRecoverAtLeastNoRetryBaseline).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/fleet_study.h"
+#include "src/detect/chaos.h"
+#include "src/detect/control_plane.h"
+#include "src/detect/quarantine.h"
+#include "src/detect/report_service.h"
+#include "src/detect/screening.h"
+#include "src/fleet/fleet.h"
+#include "src/sched/scheduler.h"
+
+namespace mercurial {
+namespace {
+
+Signal ScreenFailAt(SimTime t, const Fleet& fleet, uint64_t core) {
+  return Signal{t, fleet.core_id(core).machine, core, SignalType::kScreenFail};
+}
+
+CeeReportService MakeService(Fleet& fleet) {
+  return CeeReportService(ReportServiceOptions{}, [&fleet](uint64_t m) {
+    return static_cast<uint32_t>(fleet.machine(m).core_count());
+  });
+}
+
+void ExpectQuarantineStatsEqual(const QuarantineStats& a, const QuarantineStats& b) {
+  EXPECT_EQ(a.suspects_processed, b.suspects_processed);
+  EXPECT_EQ(a.accusations, b.accusations);
+  EXPECT_EQ(a.confessions, b.confessions);
+  EXPECT_EQ(a.releases, b.releases);
+  EXPECT_EQ(a.retirements, b.retirements);
+  EXPECT_EQ(a.recidivism_retirements, b.recidivism_retirements);
+  EXPECT_EQ(a.interrogation_ops, b.interrogation_ops);
+  EXPECT_EQ(a.true_positive_retirements, b.true_positive_retirements);
+  EXPECT_EQ(a.false_positive_retirements, b.false_positive_retirements);
+  EXPECT_EQ(a.missed_confessions, b.missed_confessions);
+}
+
+void ExpectSchedulerStatsEqual(const SchedulerStats& a, const SchedulerStats& b) {
+  EXPECT_EQ(a.drains, b.drains);
+  EXPECT_EQ(a.surprise_removals, b.surprise_removals);
+  EXPECT_EQ(a.quarantines, b.quarantines);
+  EXPECT_EQ(a.releases, b.releases);
+  EXPECT_EQ(a.retirements, b.retirements);
+  EXPECT_EQ(a.migration_cost_core_seconds, b.migration_cost_core_seconds);
+  EXPECT_EQ(a.lost_work_core_seconds, b.lost_work_core_seconds);
+  EXPECT_EQ(a.stranded_core_seconds, b.stranded_core_seconds);
+}
+
+// --- Options validation ---------------------------------------------------------------------
+
+TEST(ControlPlaneOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ControlPlaneOptions{}.Validate().ok());
+}
+
+TEST(ControlPlaneOptionsTest, RejectsNegativeRetries) {
+  ControlPlaneOptions options;
+  options.max_retries = -1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(ControlPlaneOptionsTest, RejectsRetriesWithoutBackoff) {
+  ControlPlaneOptions options;
+  options.max_retries = 2;
+  options.retry_backoff = SimTime::Seconds(0);
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(ControlPlaneOptionsTest, RejectsJitterOutsideUnitInterval) {
+  ControlPlaneOptions options;
+  options.retry_jitter = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options.retry_jitter = -0.1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(ControlPlaneOptionsTest, RejectsBudgetOutsideHalfOpenInterval) {
+  ControlPlaneOptions options;
+  options.quarantine_budget_fraction = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.quarantine_budget_fraction = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options.quarantine_budget_fraction = 1.0;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(ControlPlaneOptionsTest, RejectsInvalidChaos) {
+  ControlPlaneOptions options;
+  options.chaos.drop_report = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options.chaos.drop_report = 0.5;
+  EXPECT_TRUE(options.Validate().ok());
+  options.chaos.machine_restart_per_day = -1.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.chaos.machine_restart_per_day = 0.0;
+  options.chaos.delay_report = 0.5;
+  options.chaos.report_delay_mean = SimTime::Seconds(0);
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+// --- Chaos injector -------------------------------------------------------------------------
+
+TEST(ChaosInjectorTest, DisabledInjectorIsTransparent) {
+  ChaosInjector chaos(ChaosOptions{}, Rng(1));
+  EXPECT_FALSE(chaos.enabled());
+  std::vector<Signal> deliver;
+  chaos.InjectReport(Signal{SimTime::Days(1), 0, 7, SignalType::kCrash}, deliver);
+  ASSERT_EQ(deliver.size(), 1u);
+  EXPECT_EQ(deliver[0].core_global, 7u);
+  double fraction = 1.0;
+  EXPECT_FALSE(chaos.AbortInterrogation(&fraction));
+  EXPECT_TRUE(chaos.DrawRestarts(SimTime::Days(1), {0, 1, 2}).empty());
+  EXPECT_EQ(chaos.stats().reports_dropped, 0u);
+}
+
+TEST(ChaosInjectorTest, DropAllLosesEveryReport) {
+  ChaosOptions options;
+  options.drop_report = 1.0;
+  ChaosInjector chaos(options, Rng(2));
+  std::vector<Signal> deliver;
+  for (int i = 0; i < 10; ++i) {
+    chaos.InjectReport(Signal{SimTime::Days(1), 0, 7, SignalType::kCrash}, deliver);
+  }
+  EXPECT_TRUE(deliver.empty());
+  EXPECT_EQ(chaos.stats().reports_dropped, 10u);
+}
+
+TEST(ChaosInjectorTest, DuplicateAllDeliversTwice) {
+  ChaosOptions options;
+  options.duplicate_report = 1.0;
+  ChaosInjector chaos(options, Rng(3));
+  std::vector<Signal> deliver;
+  chaos.InjectReport(Signal{SimTime::Days(1), 0, 7, SignalType::kCrash}, deliver);
+  EXPECT_EQ(deliver.size(), 2u);
+  EXPECT_EQ(chaos.stats().reports_duplicated, 1u);
+}
+
+TEST(ChaosInjectorTest, DelayedReportsArriveLaterInDueOrder) {
+  ChaosOptions options;
+  options.delay_report = 1.0;
+  options.report_delay_mean = SimTime::Days(2);
+  ChaosInjector chaos(options, Rng(4));
+  std::vector<Signal> deliver;
+  for (uint64_t core = 0; core < 5; ++core) {
+    chaos.InjectReport(Signal{SimTime::Days(1), 0, core, SignalType::kCrash}, deliver);
+  }
+  EXPECT_TRUE(deliver.empty()) << "a delayed report is not delivered immediately";
+  EXPECT_EQ(chaos.delayed_in_flight(), 5u);
+  EXPECT_TRUE(chaos.FlushDelayed(SimTime::Days(1)).empty())
+      << "exponential delays are strictly positive";
+  const auto late = chaos.FlushDelayed(SimTime::Days(1000));
+  EXPECT_EQ(late.size(), 5u);
+  EXPECT_EQ(chaos.delayed_in_flight(), 0u);
+  EXPECT_EQ(chaos.stats().reports_delayed, 5u);
+}
+
+TEST(ChaosInjectorTest, RestartsDrawFromInstalledMachines) {
+  ChaosOptions options;
+  options.machine_restart_per_day = 5.0;  // mean 15 restarts/tick over 3 machines
+  ChaosInjector chaos(options, Rng(5));
+  const std::vector<uint64_t> installed = {10, 20, 30};
+  const auto restarted = chaos.DrawRestarts(SimTime::Days(1), installed);
+  ASSERT_FALSE(restarted.empty());
+  for (uint64_t machine : restarted) {
+    EXPECT_TRUE(machine == 10 || machine == 20 || machine == 30);
+  }
+  for (size_t i = 1; i < restarted.size(); ++i) {
+    EXPECT_LT(restarted[i - 1], restarted[i]) << "sorted and deduplicated";
+  }
+}
+
+// --- Transparency: defaults are the legacy pipeline -----------------------------------------
+
+// Runs the same 40-day suspicion workload through (a) the legacy synchronous
+// QuarantineManager::Process loop and (b) the control plane at default options, against twin
+// same-seed fleets, and requires bit-identical verdicts, stats, and scheduler accounting.
+// The plane's control stream is seeded differently on purpose: transparency requires that it
+// is never drawn from at defaults.
+TEST(ControlPlaneTest, EquivalentToLegacyProcessAtDefaults) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 10;
+  fleet_options.mercurial_rate_multiplier = 300.0;
+  Fleet fleet_a = Fleet::Build(fleet_options);
+  Fleet fleet_b = Fleet::Build(fleet_options);
+  ASSERT_FALSE(fleet_a.mercurial_cores().empty());
+
+  CoreScheduler sched_a(fleet_a.core_count(), SchedulerCosts{});
+  CoreScheduler sched_b(fleet_b.core_count(), SchedulerCosts{});
+  CeeReportService service_a = MakeService(fleet_a);
+  CeeReportService service_b = MakeService(fleet_b);
+
+  QuarantinePolicy policy;
+  policy.confession.stress.iterations_per_unit = 64;
+  QuarantineManager legacy(policy, Rng(7));
+  QuarantineControlPlane plane(ControlPlaneOptions{}, policy, Rng(7), Rng(0xdead));
+
+  const SimTime dt = SimTime::Days(1);
+  for (int day = 1; day <= 40; ++day) {
+    const SimTime now = SimTime::Days(day);
+    fleet_a.SetAges(now);
+    fleet_b.SetAges(now);
+
+    // Identical signal stream into both arms: accuse every active mercurial core, plus a
+    // healthy decoy every 5th day (exercises release + re-accusation + recidivism paths).
+    std::vector<uint64_t> accused = fleet_a.mercurial_cores();
+    if (day % 5 == 0) {
+      accused.push_back(1);
+    }
+    for (uint64_t core : accused) {
+      service_a.Report(ScreenFailAt(now, fleet_a, core));
+      plane.Report(ScreenFailAt(now, fleet_b, core), service_b);
+    }
+
+    const auto suspects = service_a.Suspects(now);
+    const auto verdicts_a = legacy.Process(now, suspects, fleet_a, sched_a, service_a);
+    const auto verdicts_b = plane.Tick(now, dt, fleet_b, sched_b, service_b, nullptr);
+
+    ASSERT_EQ(verdicts_a.size(), verdicts_b.size()) << "day " << day;
+    for (size_t v = 0; v < verdicts_a.size(); ++v) {
+      EXPECT_EQ(verdicts_a[v].core_global, verdicts_b[v].core_global) << "day " << day;
+      EXPECT_EQ(verdicts_a[v].confessed, verdicts_b[v].confessed) << "day " << day;
+      EXPECT_EQ(verdicts_a[v].retired, verdicts_b[v].retired) << "day " << day;
+    }
+    sched_a.AccumulateStranding(dt);
+    sched_b.AccumulateStranding(dt);
+  }
+
+  ExpectQuarantineStatsEqual(legacy.stats(), plane.manager().stats());
+  ExpectSchedulerStatsEqual(sched_a.stats(), sched_b.stats());
+  EXPECT_GT(legacy.stats().retirements, 0u) << "workload must exercise the verdict paths";
+  EXPECT_GT(legacy.stats().releases, 0u);
+
+  // The plane's own machinery must have stayed inert.
+  const ControlPlaneStats& cp = plane.stats();
+  EXPECT_EQ(cp.suspects_shed, 0u);
+  EXPECT_EQ(cp.retries_scheduled, 0u);
+  EXPECT_EQ(cp.drain_escalations, 0u);
+  EXPECT_EQ(cp.guardrail_activations, 0u);
+  EXPECT_EQ(cp.restarts_reset, 0u);
+  EXPECT_EQ(plane.pending_count(), 0u) << "defaults resolve every suspect within its tick";
+}
+
+// --- Admission control ----------------------------------------------------------------------
+
+TEST(ControlPlaneTest, AdmissionBoundShedsAndShedSuspectsRecandidate) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  CeeReportService service = MakeService(fleet);
+
+  ControlPlaneOptions options;
+  options.max_pending = 1;
+  options.drain_latency = SimTime::Days(3);  // keeps the admitted suspect resident for days
+  QuarantineControlPlane plane(options, QuarantinePolicy{}, Rng(11), Rng(12));
+
+  // Two simultaneous strong suspects, but room for only one.
+  for (int i = 0; i < 3; ++i) {
+    service.Report(ScreenFailAt(SimTime::Days(1), fleet, 5));
+    service.Report(ScreenFailAt(SimTime::Days(1), fleet, 6));
+  }
+  size_t verdicts = 0;
+  for (int day = 1; day <= 20; ++day) {
+    verdicts += plane.Tick(SimTime::Days(day), SimTime::Days(1), fleet, scheduler, service,
+                           nullptr)
+                    .size();
+  }
+  const ControlPlaneStats& stats = plane.stats();
+  EXPECT_EQ(stats.suspects_admitted, 2u) << "the shed suspect re-candidates once there is room";
+  EXPECT_GE(stats.suspects_shed, 1u);
+  EXPECT_EQ(stats.queue_peak, 1u);
+  EXPECT_EQ(verdicts, 2u) << "backpressure delays verdicts, it does not lose them";
+  EXPECT_EQ(plane.manager().stats().releases, 2u) << "both healthy cores eventually cleared";
+}
+
+// --- Retry with backoff ---------------------------------------------------------------------
+
+TEST(ControlPlaneTest, RetriesFollowExponentialBackoff) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  CeeReportService service = MakeService(fleet);
+
+  ControlPlaneOptions options;
+  options.max_retries = 2;
+  options.retry_backoff = SimTime::Days(2);
+  options.retry_jitter = 0.0;  // deterministic schedule: attempts at day 1, 3, 7
+  QuarantinePolicy policy;
+  policy.recidivism_retire_after = 0;  // isolate the retry machinery
+  QuarantineControlPlane plane(options, policy, Rng(21), Rng(22));
+
+  for (int i = 0; i < 3; ++i) {
+    service.Report(ScreenFailAt(SimTime::Days(1), fleet, 4));
+  }
+  std::vector<int> verdict_days;
+  for (int day = 1; day <= 10; ++day) {
+    const auto verdicts =
+        plane.Tick(SimTime::Days(day), SimTime::Days(1), fleet, scheduler, service, nullptr);
+    if (!verdicts.empty()) {
+      verdict_days.push_back(day);
+    }
+    if (day < 7) {
+      EXPECT_EQ(static_cast<int>(scheduler.state(4)),
+                static_cast<int>(CoreState::kQuarantined))
+          << "stays quarantined between attempts (day " << day << ")";
+    }
+  }
+  // Attempt 1 at day 1 -> retry at 1+2=3; attempt 2 at day 3 -> retry at 3+4=7; attempt 3 at
+  // day 7 exhausts the budget and the healthy core is released.
+  ASSERT_EQ(verdict_days.size(), 1u);
+  EXPECT_EQ(verdict_days[0], 7);
+  EXPECT_EQ(plane.stats().retries_scheduled, 2u);
+  EXPECT_EQ(plane.stats().retry_interrogations, 2u);
+  EXPECT_EQ(plane.manager().stats().releases, 1u);
+  EXPECT_TRUE(scheduler.Schedulable(4));
+}
+
+// --- Drain model ----------------------------------------------------------------------------
+
+TEST(ControlPlaneTest, GracefulDrainDelaysInterrogation) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  CeeReportService service = MakeService(fleet);
+
+  ControlPlaneOptions options;
+  options.drain_latency = SimTime::Days(2);  // sampled completion in [2, 4) days
+  QuarantineControlPlane plane(options, QuarantinePolicy{}, Rng(31), Rng(32));
+
+  for (int i = 0; i < 3; ++i) {
+    service.Report(ScreenFailAt(SimTime::Days(1), fleet, 4));
+  }
+  int verdict_day = -1;
+  for (int day = 1; day <= 10 && verdict_day < 0; ++day) {
+    if (!plane.Tick(SimTime::Days(day), SimTime::Days(1), fleet, scheduler, service, nullptr)
+             .empty()) {
+      verdict_day = day;
+    }
+  }
+  EXPECT_GE(verdict_day, 3) << "interrogation must wait for the drain to complete";
+  EXPECT_LE(verdict_day, 5);
+  EXPECT_EQ(scheduler.stats().surprise_removals, 0u);
+  EXPECT_EQ(plane.stats().drain_escalations, 0u);
+}
+
+TEST(ControlPlaneTest, DrainTimeoutEscalatesToSurpriseRemoval) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  CeeReportService service = MakeService(fleet);
+
+  ControlPlaneOptions options;
+  options.drain_latency = SimTime::Days(3);  // sampled completion in [3, 6) days...
+  options.drain_timeout = SimTime::Days(1);  // ...but the plane only waits one
+  QuarantineControlPlane plane(options, QuarantinePolicy{}, Rng(41), Rng(42));
+
+  for (int i = 0; i < 3; ++i) {
+    service.Report(ScreenFailAt(SimTime::Days(1), fleet, 4));
+  }
+  int verdict_day = -1;
+  for (int day = 1; day <= 10 && verdict_day < 0; ++day) {
+    if (!plane.Tick(SimTime::Days(day), SimTime::Days(1), fleet, scheduler, service, nullptr)
+             .empty()) {
+      verdict_day = day;
+    }
+  }
+  EXPECT_EQ(verdict_day, 2) << "escalation fires at admission + timeout";
+  EXPECT_EQ(plane.stats().drain_escalations, 1u);
+  EXPECT_EQ(scheduler.stats().surprise_removals, 1u);
+  EXPECT_GT(scheduler.stats().lost_work_core_seconds, 0.0);
+}
+
+// --- Capacity guardrail ---------------------------------------------------------------------
+
+TEST(ControlPlaneTest, GuardrailReleasesLeastSuspectAndThrottlesScreening) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 1;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  ASSERT_GE(fleet.core_count(), 8u);
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  CeeReportService service = MakeService(fleet);
+
+  ScreeningOptions screening_options;
+  screening_options.offline_period = SimTime::Days(30);
+  ScreeningOrchestrator screening(screening_options, fleet.core_count(), Rng(50));
+
+  ControlPlaneOptions options;
+  options.drain_latency = SimTime::Days(5);  // suspects park in the pipeline
+  // Budget: at most 2 cores draining + quarantined.
+  options.quarantine_budget_fraction = 2.5 / static_cast<double>(fleet.core_count());
+  QuarantineControlPlane plane(options, QuarantinePolicy{}, Rng(51), Rng(52));
+
+  // Four suspects with strictly increasing suspicion: core 1 weakest ... core 4 strongest.
+  const SimTime now = SimTime::Days(1);
+  for (uint64_t core = 1; core <= 4; ++core) {
+    for (uint64_t r = 0; r < core; ++r) {
+      service.Report(ScreenFailAt(now, fleet, core));
+    }
+  }
+  plane.Tick(now, SimTime::Days(1), fleet, scheduler, service, &screening);
+
+  const ControlPlaneStats& stats = plane.stats();
+  EXPECT_EQ(stats.guardrail_activations, 1u);
+  EXPECT_EQ(stats.guardrail_releases, 2u);
+  EXPECT_GE(stats.screening_deferrals, 1u) << "offline screens due soon must be pushed back";
+  EXPECT_EQ(scheduler.pending_isolation_count(), 2u);
+  EXPECT_TRUE(scheduler.Schedulable(1)) << "least-suspect core released first";
+  EXPECT_TRUE(scheduler.Schedulable(2));
+  EXPECT_EQ(static_cast<int>(scheduler.state(3)), static_cast<int>(CoreState::kDraining));
+  EXPECT_EQ(static_cast<int>(scheduler.state(4)), static_cast<int>(CoreState::kDraining));
+  EXPECT_EQ(plane.manager().stats().releases, 2u) << "guardrail releases count as releases";
+}
+
+// --- Machine restarts -----------------------------------------------------------------------
+
+TEST(ControlPlaneTest, MachineRestartResetsInFlightQuarantine) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  CeeReportService service = MakeService(fleet);
+
+  ControlPlaneOptions options;
+  options.drain_latency = SimTime::Days(10);  // suspect stays in flight
+  options.chaos.machine_restart_per_day = 20.0;  // virtually certain restart each tick
+  QuarantineControlPlane plane(options, QuarantinePolicy{}, Rng(61), Rng(62));
+
+  for (int i = 0; i < 3; ++i) {
+    service.Report(ScreenFailAt(SimTime::Days(1), fleet, 0));
+  }
+  plane.Tick(SimTime::Days(1), SimTime::Days(1), fleet, scheduler, service, nullptr);
+  ASSERT_EQ(plane.pending_count(), 1u);
+  plane.Tick(SimTime::Days(2), SimTime::Days(1), fleet, scheduler, service, nullptr);
+
+  EXPECT_EQ(plane.pending_count(), 0u);
+  EXPECT_GE(plane.stats().restarts_reset, 1u);
+  EXPECT_GE(plane.stats().chaos.machine_restarts, 1u);
+  EXPECT_TRUE(scheduler.Schedulable(0)) << "the core reboots back into the schedule";
+  EXPECT_EQ(plane.manager().stats().retirements, 0u) << "a reset is not a verdict";
+}
+
+// --- Resilience: chaos + retries + guardrail ------------------------------------------------
+
+struct PipelineOutcome {
+  QuarantineStats quarantine;
+  ControlPlaneStats plane;
+  SchedulerStats scheduler;
+  size_t core_count = 0;
+  int64_t duration_seconds = 0;
+};
+
+// Drives a perfectly informed accusation stream (every truly mercurial core accused daily)
+// through the control plane for `days` simulated days. Chaos decides what survives the wire;
+// the options under test decide how the pipeline copes.
+PipelineOutcome RunChaosPipeline(const ControlPlaneOptions& options, uint64_t seed,
+                                 int days = 60) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 12;
+  fleet_options.mercurial_rate_multiplier = 400.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  CeeReportService service = MakeService(fleet);
+  QuarantinePolicy policy;
+  policy.confession.stress.iterations_per_unit = 64;
+  QuarantineControlPlane plane(options, policy, Rng(seed), Rng(seed ^ 0x5eed));
+
+  for (int day = 1; day <= days; ++day) {
+    const SimTime now = SimTime::Days(day);
+    fleet.SetAges(now);
+    for (uint64_t core : fleet.mercurial_cores()) {
+      if (scheduler.state(core) != CoreState::kActive) {
+        continue;
+      }
+      plane.Report(ScreenFailAt(now, fleet, core), service);
+    }
+    plane.Tick(now, SimTime::Days(1), fleet, scheduler, service, nullptr);
+  }
+
+  PipelineOutcome outcome;
+  outcome.quarantine = plane.manager().stats();
+  outcome.plane = plane.stats();
+  outcome.scheduler = scheduler.stats();
+  outcome.core_count = fleet.core_count();
+  outcome.duration_seconds = SimTime::Days(days).seconds();
+  return outcome;
+}
+
+ChaosOptions HarshChaos() {
+  ChaosOptions chaos;
+  chaos.drop_report = 0.4;
+  chaos.abort_interrogation = 0.5;
+  return chaos;
+}
+
+TEST(ControlPlaneTest, ChaosRetriesRecoverAtLeastNoRetryBaseline) {
+  ControlPlaneOptions baseline;
+  baseline.chaos = HarshChaos();
+
+  ControlPlaneOptions resilient;
+  resilient.chaos = HarshChaos();
+  resilient.max_retries = 4;
+  resilient.retry_backoff = SimTime::Days(1);
+  resilient.quarantine_budget_fraction = 0.25;
+
+  const PipelineOutcome base = RunChaosPipeline(baseline, 2021);
+  const PipelineOutcome hardened = RunChaosPipeline(resilient, 2021);
+
+  EXPECT_GT(base.plane.chaos.reports_dropped, 0u) << "chaos must actually bite";
+  EXPECT_GT(hardened.plane.chaos.interrogations_aborted, 0u);
+  EXPECT_GT(hardened.plane.retries_scheduled, 0u);
+
+  // Retry/backoff must recover at least the no-retry baseline's true positives, and convert
+  // evasive releases into confessions rather than waiting out recidivism.
+  EXPECT_GE(hardened.quarantine.true_positive_retirements,
+            base.quarantine.true_positive_retirements);
+  EXPECT_GT(hardened.quarantine.confessions, base.quarantine.confessions);
+
+  // The guardrail keeps reversible stranding under budget: never more than the budgeted core
+  // count pending isolation, so the integral is bounded by budget * cores * duration.
+  const double budget_cores =
+      std::floor(resilient.quarantine_budget_fraction * static_cast<double>(hardened.core_count));
+  EXPECT_LE(hardened.plane.peak_pending_isolation, static_cast<uint64_t>(budget_cores));
+  EXPECT_LE(hardened.plane.pending_isolation_core_seconds,
+            budget_cores * static_cast<double>(hardened.duration_seconds));
+}
+
+TEST(ControlPlaneTest, ChaosPipelineIsDeterministicUnderFixedSeed) {
+  ControlPlaneOptions options;
+  options.chaos = HarshChaos();
+  options.chaos.delay_report = 0.2;
+  options.chaos.machine_restart_per_day = 0.01;
+  options.max_retries = 3;
+  options.retry_backoff = SimTime::Days(1);
+  options.quarantine_budget_fraction = 0.25;
+  options.drain_latency = SimTime::Hours(6);
+  options.drain_timeout = SimTime::Days(2);
+
+  const PipelineOutcome a = RunChaosPipeline(options, 99, /*days=*/45);
+  const PipelineOutcome b = RunChaosPipeline(options, 99, /*days=*/45);
+  ExpectQuarantineStatsEqual(a.quarantine, b.quarantine);
+  ExpectSchedulerStatsEqual(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.plane.suspects_admitted, b.plane.suspects_admitted);
+  EXPECT_EQ(a.plane.suspects_shed, b.plane.suspects_shed);
+  EXPECT_EQ(a.plane.retries_scheduled, b.plane.retries_scheduled);
+  EXPECT_EQ(a.plane.drain_escalations, b.plane.drain_escalations);
+  EXPECT_EQ(a.plane.guardrail_releases, b.plane.guardrail_releases);
+  EXPECT_EQ(a.plane.restarts_reset, b.plane.restarts_reset);
+  EXPECT_EQ(a.plane.pending_isolation_core_seconds, b.plane.pending_isolation_core_seconds);
+  EXPECT_EQ(a.plane.chaos.reports_dropped, b.plane.chaos.reports_dropped);
+  EXPECT_EQ(a.plane.chaos.reports_delayed, b.plane.chaos.reports_delayed);
+  EXPECT_EQ(a.plane.chaos.interrogations_aborted, b.plane.chaos.interrogations_aborted);
+  EXPECT_EQ(a.plane.chaos.machine_restarts, b.plane.chaos.machine_restarts);
+}
+
+// --- Whole-study integration ----------------------------------------------------------------
+
+StudyOptions ChaosStudyOptions(int threads) {
+  StudyOptions options;
+  options.seed = 777;
+  options.fleet.machine_count = 60;
+  options.fleet.mercurial_rate_multiplier = 150.0;
+  options.workload.payload_bytes = 256;
+  options.work_units_per_core_day = 20;
+  options.duration = SimTime::Days(90);
+  options.screening.offline_period = SimTime::Days(30);
+  options.shards = 8;
+  options.threads = threads;
+  options.control_plane.max_retries = 2;
+  options.control_plane.retry_backoff = SimTime::Days(2);
+  options.control_plane.quarantine_budget_fraction = 0.2;
+  options.control_plane.drain_latency = SimTime::Hours(12);
+  options.control_plane.chaos.drop_report = 0.2;
+  options.control_plane.chaos.duplicate_report = 0.1;
+  options.control_plane.chaos.delay_report = 0.1;
+  options.control_plane.chaos.abort_interrogation = 0.3;
+  options.control_plane.chaos.machine_restart_per_day = 0.002;
+  return options;
+}
+
+// The control plane and chaos injector run entirely in the serial phase, so a chaotic study
+// must still be thread-count invariant (the sharded engine's core contract).
+TEST(ControlPlaneStudyTest, ChaoticStudyIsThreadCountInvariant) {
+  FleetStudy study_1(ChaosStudyOptions(1));
+  const StudyReport a = study_1.Run();
+  FleetStudy study_4(ChaosStudyOptions(4));
+  const StudyReport b = study_4.Run();
+
+  ExpectQuarantineStatsEqual(a.quarantine, b.quarantine);
+  ExpectSchedulerStatsEqual(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.work_units_executed, b.work_units_executed);
+  EXPECT_EQ(a.silent_corruptions, b.silent_corruptions);
+  EXPECT_EQ(a.screen_failures, b.screen_failures);
+  EXPECT_EQ(a.mercurial_retired, b.mercurial_retired);
+  EXPECT_EQ(a.control_plane.suspects_admitted, b.control_plane.suspects_admitted);
+  EXPECT_EQ(a.control_plane.suspects_shed, b.control_plane.suspects_shed);
+  EXPECT_EQ(a.control_plane.retries_scheduled, b.control_plane.retries_scheduled);
+  EXPECT_EQ(a.control_plane.guardrail_releases, b.control_plane.guardrail_releases);
+  EXPECT_EQ(a.control_plane.restarts_reset, b.control_plane.restarts_reset);
+  EXPECT_EQ(a.control_plane.pending_isolation_core_seconds,
+            b.control_plane.pending_isolation_core_seconds);
+  EXPECT_EQ(a.control_plane.chaos.reports_dropped, b.control_plane.chaos.reports_dropped);
+  EXPECT_EQ(a.control_plane.chaos.interrogations_aborted,
+            b.control_plane.chaos.interrogations_aborted);
+  EXPECT_GT(a.control_plane.chaos.reports_dropped, 0u) << "chaos must be active in this study";
+}
+
+TEST(ControlPlaneStudyTest, StudyRejectsInvalidControlPlaneOptions) {
+  StudyOptions options;
+  options.fleet.machine_count = 4;
+  options.duration = SimTime::Days(2);
+  options.control_plane.quarantine_budget_fraction = 0.0;
+  FleetStudy study(options);
+  EXPECT_DEATH(study.Run(), "quarantine_budget_fraction");
+}
+
+}  // namespace
+}  // namespace mercurial

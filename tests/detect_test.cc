@@ -1,5 +1,7 @@
 // Tests for src/detect: report service, confession testing, screening, quarantine policy.
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "src/detect/confession.h"
@@ -273,6 +275,77 @@ TEST(ScreeningTest, QuarantinedCoresAreSkipped) {
   EXPECT_EQ(stats.offline_screens, 0u);
 }
 
+// --- Screening option validation --------------------------------------------------------------
+
+TEST(ScreeningValidationTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateScreeningOptions(ScreeningOptions{}).ok());
+}
+
+TEST(ScreeningValidationTest, RejectsNegativeOnlineFraction) {
+  ScreeningOptions options;
+  options.online_fraction_per_day = -0.01;
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, RejectsOnlineFractionAboveOne) {
+  ScreeningOptions options;
+  options.online_fraction_per_day = 1.01;
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, RejectsNanOnlineFraction) {
+  ScreeningOptions options;
+  options.online_fraction_per_day = std::nan("");
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, RejectsNonPositiveOfflinePeriod) {
+  ScreeningOptions options;
+  options.offline_enabled = true;
+  options.offline_period = SimTime::Seconds(0);
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+  options.offline_period = SimTime::Seconds(-5);
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, RejectsZeroOfflineIterations) {
+  ScreeningOptions options;
+  options.offline_enabled = true;
+  options.offline_iterations = 0;
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, RejectsZeroOnlineIterations) {
+  ScreeningOptions options;
+  options.online_enabled = true;
+  options.online_iterations = 0;
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, DisabledStagesSkipTheirChecks) {
+  ScreeningOptions options;
+  options.offline_enabled = false;
+  options.offline_period = SimTime::Seconds(0);  // irrelevant while offline screening is off
+  options.offline_iterations = 0;
+  options.online_enabled = false;
+  options.online_iterations = 0;
+  EXPECT_TRUE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningTest, ThrottleOfflineDefersScreensDueSoon) {
+  ScreeningOptions options;
+  options.offline_period = SimTime::Days(30);
+  ScreeningOrchestrator orchestrator(options, 64, Rng(9));
+  // First screens are staggered over [0, 30) days; deferring 10 days from day 1 must push a
+  // nonzero batch (those due in (1, 11]) out past the window.
+  const uint64_t deferred = orchestrator.ThrottleOffline(SimTime::Days(1), SimTime::Days(10));
+  EXPECT_GT(deferred, 0u);
+  EXPECT_EQ(orchestrator.ThrottleOffline(SimTime::Days(1), SimTime::Days(10)), 0u)
+      << "second throttle in the same window finds nothing left to defer";
+  EXPECT_EQ(orchestrator.ThrottleOffline(SimTime::Days(1), SimTime::Seconds(0)), 0u)
+      << "zero defer is a no-op";
+}
+
 // --- Quarantine manager -----------------------------------------------------------------------
 
 struct QuarantineHarness {
@@ -374,6 +447,54 @@ TEST(QuarantineTest, AlreadyRetiredSuspectsAreSkipped) {
       manager.Process(SimTime::Days(2), suspects, h.fleet, h.scheduler, h.service);
   EXPECT_TRUE(verdicts.empty());
   EXPECT_EQ(manager.stats().retirements, 1u);
+}
+
+TEST(QuarantineTest, ReaccusedCoreIsNotDoubleCountedInSuspectsProcessed) {
+  QuarantineHarness h;
+  QuarantinePolicy policy;
+  policy.recidivism_retire_after = 0;  // keep releasing so the core can be re-accused
+  QuarantineManager manager(policy, Rng(6));
+  const std::vector<SuspectCore> suspects{{4, h.fleet.core_id(4).machine, 6.0, 1e-6}};
+  for (int day = 1; day <= 4; ++day) {
+    manager.Process(SimTime::Days(day), suspects, h.fleet, h.scheduler, h.service);
+  }
+  EXPECT_EQ(manager.stats().suspects_processed, 1u)
+      << "one distinct core, regardless of how many times it was re-accused";
+  EXPECT_EQ(manager.stats().accusations, 4u) << "every accusation event is still counted";
+  EXPECT_EQ(manager.stats().releases, 4u);
+}
+
+TEST(QuarantineTest, RecidivismBoundaryReleasesUntilThreshold) {
+  QuarantineHarness h;
+  QuarantinePolicy policy;
+  policy.recidivism_retire_after = 4;
+  QuarantineManager manager(policy, Rng(7));
+  // A healthy core never confesses, so every verdict is recidivism-driven.
+  const std::vector<SuspectCore> suspects{{4, h.fleet.core_id(4).machine, 6.0, 1e-6}};
+  for (int accusation = 1; accusation <= 3; ++accusation) {
+    manager.Process(SimTime::Days(accusation), suspects, h.fleet, h.scheduler, h.service);
+    EXPECT_TRUE(h.scheduler.Schedulable(4))
+        << "accusation " << accusation << " of retire_after - 1 must release";
+  }
+  EXPECT_EQ(manager.stats().recidivism_retirements, 0u);
+  manager.Process(SimTime::Days(4), suspects, h.fleet, h.scheduler, h.service);
+  EXPECT_EQ(static_cast<int>(h.scheduler.state(4)), static_cast<int>(CoreState::kRetired))
+      << "accusation number retire_after retires";
+  EXPECT_EQ(manager.stats().recidivism_retirements, 1u);
+}
+
+TEST(QuarantineTest, RecidivismZeroNeverRetiresByReaccusation) {
+  QuarantineHarness h;
+  QuarantinePolicy policy;
+  policy.recidivism_retire_after = 0;
+  QuarantineManager manager(policy, Rng(8));
+  const std::vector<SuspectCore> suspects{{4, h.fleet.core_id(4).machine, 6.0, 1e-6}};
+  for (int day = 1; day <= 8; ++day) {
+    manager.Process(SimTime::Days(day), suspects, h.fleet, h.scheduler, h.service);
+    ASSERT_TRUE(h.scheduler.Schedulable(4)) << "day " << day;
+  }
+  EXPECT_EQ(manager.stats().recidivism_retirements, 0u);
+  EXPECT_EQ(manager.stats().retirements, 0u);
 }
 
 TEST(SignalTest, TypeNames) {

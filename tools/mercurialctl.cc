@@ -57,6 +57,20 @@ int CmdStudy(int argc, const char* const* argv) {
                   "random-stream shards (0 = auto: 1 when --threads=1, else 8x threads); "
                   "part of the experiment identity — results depend on shards, never threads");
   flags.DefineBool("fig1", false, "also print the weekly incident-rate series as CSV");
+  flags.DefineInt("quarantine-queue", 0,
+                  "max suspects resident in the quarantine pipeline (0 = unbounded)");
+  flags.DefineInt("quarantine-retries", 0,
+                  "extra interrogation attempts for non-confessing suspects");
+  flags.DefineDouble("quarantine-backoff-days", 2.0, "base retry backoff in days");
+  flags.DefineDouble("quarantine-budget", 1.0,
+                     "max fraction of cores draining+quarantined at once (1.0 = no guardrail)");
+  flags.DefineDouble("chaos-drop", 0.0, "P(suspect report lost in flight)");
+  flags.DefineDouble("chaos-dup", 0.0, "P(suspect report delivered twice)");
+  flags.DefineDouble("chaos-delay", 0.0, "P(suspect report delivered late)");
+  flags.DefineDouble("chaos-delay-days", 2.0, "mean delivery delay for delayed reports");
+  flags.DefineDouble("chaos-abort", 0.0, "P(interrogation battery preempted mid-run)");
+  flags.DefineDouble("chaos-restarts", 0.0,
+                     "machine crash-restart rate per machine-day (resets in-flight quarantines)");
   const Status status = flags.Parse(argc, argv, 2);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
@@ -82,6 +96,25 @@ int CmdStudy(int argc, const char* const* argv) {
   options.screening.offline_enabled = period > 0;
   if (period > 0) {
     options.screening.offline_period = SimTime::Days(period);
+  }
+  options.control_plane.max_pending = static_cast<size_t>(flags.GetInt("quarantine-queue"));
+  options.control_plane.max_retries = static_cast<int>(flags.GetInt("quarantine-retries"));
+  options.control_plane.retry_backoff = SimTime::Seconds(
+      static_cast<int64_t>(flags.GetDouble("quarantine-backoff-days") * 86400.0));
+  options.control_plane.quarantine_budget_fraction = flags.GetDouble("quarantine-budget");
+  options.control_plane.chaos.drop_report = flags.GetDouble("chaos-drop");
+  options.control_plane.chaos.duplicate_report = flags.GetDouble("chaos-dup");
+  options.control_plane.chaos.delay_report = flags.GetDouble("chaos-delay");
+  options.control_plane.chaos.report_delay_mean = SimTime::Seconds(
+      static_cast<int64_t>(flags.GetDouble("chaos-delay-days") * 86400.0));
+  options.control_plane.chaos.abort_interrogation = flags.GetDouble("chaos-abort");
+  options.control_plane.chaos.machine_restart_per_day = flags.GetDouble("chaos-restarts");
+  {
+    const Status invalid = options.control_plane.Validate();
+    if (!invalid.ok()) {
+      std::fprintf(stderr, "%s\n", invalid.ToString().c_str());
+      return 1;
+    }
   }
 
   FleetStudy study(options);
@@ -112,6 +145,36 @@ int CmdStudy(int argc, const char* const* argv) {
               report.detection_latency_days.Quantile(0.5));
   std::printf("  silent corruptions     %llu\n",
               static_cast<unsigned long long>(report.silent_corruptions));
+
+  const ControlPlaneStats& plane = report.control_plane;
+  if (plane.suspects_shed > 0 || plane.retries_scheduled > 0 || plane.drain_escalations > 0 ||
+      plane.guardrail_activations > 0 || plane.restarts_reset > 0 ||
+      options.control_plane.chaos.enabled()) {
+    std::printf("\ncontrol plane:\n");
+    std::printf("  admitted/shed          %llu/%llu (queue peak %llu)\n",
+                static_cast<unsigned long long>(plane.suspects_admitted),
+                static_cast<unsigned long long>(plane.suspects_shed),
+                static_cast<unsigned long long>(plane.queue_peak));
+    std::printf("  retries scheduled      %llu\n",
+                static_cast<unsigned long long>(plane.retries_scheduled));
+    std::printf("  drain escalations      %llu\n",
+                static_cast<unsigned long long>(plane.drain_escalations));
+    std::printf("  guardrail releases     %llu (activations %llu, screens deferred %llu)\n",
+                static_cast<unsigned long long>(plane.guardrail_releases),
+                static_cast<unsigned long long>(plane.guardrail_activations),
+                static_cast<unsigned long long>(plane.screening_deferrals));
+    std::printf("  stranded (pending)     %.0f core-days (peak %llu cores)\n",
+                plane.pending_isolation_core_seconds / 86400.0,
+                static_cast<unsigned long long>(plane.peak_pending_isolation));
+    std::printf("  chaos                  drop=%llu dup=%llu delay=%llu abort=%llu restart=%llu "
+                "(quarantines reset %llu)\n",
+                static_cast<unsigned long long>(plane.chaos.reports_dropped),
+                static_cast<unsigned long long>(plane.chaos.reports_duplicated),
+                static_cast<unsigned long long>(plane.chaos.reports_delayed),
+                static_cast<unsigned long long>(plane.chaos.interrogations_aborted),
+                static_cast<unsigned long long>(plane.chaos.machine_restarts),
+                static_cast<unsigned long long>(plane.restarts_reset));
+  }
 
   const CostBreakdown bill = EvaluateStudyCost(report, CostModel{});
   std::printf("\ncost (default model): corruption=%.0f disruption=%.0f screening=%.1f "
