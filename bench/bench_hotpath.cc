@@ -1,0 +1,281 @@
+// Hot-path benchmark: defective-core dispatch and end-to-end fleet-study throughput.
+//
+// The per-op inner loop of the simulator used to rebuild the Environment and recompute each
+// defect's FireProbability (three exp() plus a pow()) for every matched op on every defective
+// core. The armed-defect cache in SimCore hoists that work out of the op loop, invalidated by
+// an environment revision counter; this bench quantifies the win on both scales the ISSUE
+// cares about:
+//
+//   * dispatch    — raw micro-ops/sec through SimCore::Dispatch on a multi-defect core, fast
+//     path vs the reference path, with a counters cross-check (corruptions, machine checks,
+//     per-unit ops must match exactly — the cache must be RNG-stream neutral).
+//   * end_to_end  — work-units/sec of a whole FleetStudy (production + screening +
+//     quarantine), fast path vs reference, single-threaded so the ratio isolates the cache.
+//
+// Each configuration runs --repeats times (default 3) and reports the median wall time.
+//
+//   bench_hotpath --ops=2000000 --machines=300 --days=150 --json=BENCH_hotpath.json
+//
+// Output: human-readable table on stdout plus a JSON artifact. Exit code 2 if the fast and
+// reference paths diverge in any counter (a stream-neutrality bug), 0 otherwise.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/core/fleet_study.h"
+#include "src/sim/core.h"
+
+using namespace mercurial;
+
+namespace {
+
+double MedianSeconds(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// A defective core representative of an interrogation target: several defects on the hot
+// integer units with realistic (low) base rates, f/V/T slopes, aging growth past onset, a
+// data-pattern trigger, and a machine-check escalation fraction — so the reference path pays
+// the full probability-surface recomputation per op.
+SimCore BuildDefectiveCore(uint64_t seed) {
+  SimCore core(/*id=*/seed, Rng(seed));
+  core.set_dvfs(DvfsCurve{1.0, 3.5, 0.65, 1.10});
+  core.set_age(SimTime::Days(500));
+
+  DefectSpec bitflip;
+  bitflip.label = "alu-bitflip";
+  bitflip.unit = ExecUnit::kIntAlu;
+  bitflip.effect = DefectEffect::kBitFlip;
+  bitflip.bit_index = 17;
+  bitflip.fvt.base_rate = 2e-5;
+  bitflip.fvt.freq_slope = 1.5;
+  bitflip.fvt.temp_slope = 0.8;
+  bitflip.aging.onset = SimTime::Days(100);
+  bitflip.aging.growth_per_year = 0.5;
+  core.AddDefect(bitflip);
+
+  DefectSpec pattern;
+  pattern.label = "alu-pattern-wrong";
+  pattern.unit = ExecUnit::kIntAlu;
+  pattern.effect = DefectEffect::kDeterministicWrong;
+  pattern.trigger.mask = 0xff;
+  pattern.trigger.value = 0x2a;
+  pattern.fvt.base_rate = 1e-4;
+  pattern.fvt.volt_slope = 2.0;
+  core.AddDefect(pattern);
+
+  DefectSpec mce;
+  mce.label = "alu-mce";
+  mce.unit = ExecUnit::kIntAlu;
+  mce.effect = DefectEffect::kRandomWrong;
+  mce.fvt.base_rate = 5e-6;
+  mce.machine_check_fraction = 0.5;
+  core.AddDefect(mce);
+
+  DefectSpec mul;
+  mul.label = "mul-random-wrong";
+  mul.unit = ExecUnit::kIntMul;
+  mul.effect = DefectEffect::kRandomWrong;
+  mul.fvt.base_rate = 3e-5;
+  mul.fvt.freq_slope = 0.7;
+  mul.aging.onset = SimTime::Days(50);
+  mul.aging.growth_per_year = 0.2;
+  core.AddDefect(mul);
+
+  return core;
+}
+
+struct DispatchResult {
+  double seconds = 0.0;
+  uint64_t ops = 0;
+  uint64_t corruptions = 0;
+  uint64_t machine_checks = 0;
+};
+
+DispatchResult RunDispatch(uint64_t ops, uint64_t seed, bool fast_path) {
+  SimCore core = BuildDefectiveCore(seed);
+  core.set_fast_path(fast_path);
+  // Deterministic operand stream, independent of the core's defect stream, so both paths see
+  // byte-identical inputs.
+  uint64_t operand_state = 0x6d65726375726961ull ^ seed;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    const uint64_t a = SplitMix64(operand_state);
+    const uint64_t b = SplitMix64(operand_state);
+    switch (i & 3) {
+      case 0:
+        core.Alu(AluOp::kAdd, a, b);
+        break;
+      case 1:
+        core.Alu(AluOp::kXor, a, b);
+        break;
+      case 2:
+        core.Mul(a, b);
+        break;
+      default:
+        core.Alu(AluOp::kRotl, a, b);
+        break;
+    }
+    if (core.TakePendingMachineCheck()) {
+      // Consumed like a task harness would; keeps the pending flag from saturating.
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  DispatchResult result;
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  result.ops = core.counters().TotalOps();
+  result.corruptions = core.counters().corruptions;
+  result.machine_checks = core.counters().machine_checks;
+  return result;
+}
+
+struct StudyResult {
+  double seconds = 0.0;
+  uint64_t work_units = 0;
+  uint64_t screen_failures = 0;
+};
+
+StudyResult RunStudy(size_t machines, int days, uint64_t seed, bool fast_path) {
+  SetDispatchFastPath(fast_path);
+  StudyOptions options;
+  options.seed = seed;
+  options.fleet.machine_count = machines;
+  options.fleet.mercurial_rate_multiplier = 150.0;
+  options.duration = SimTime::Days(days);
+  options.work_units_per_core_day = 20;
+  options.workload.payload_bytes = 256;
+  options.screening.offline_period = SimTime::Days(30);
+  FleetStudy study(options);
+  SetDispatchFastPath(true);  // restore the default for anything constructed later
+  const auto start = std::chrono::steady_clock::now();
+  const StudyReport report = study.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  StudyResult result;
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  result.work_units = report.work_units_executed;
+  result.screen_failures = report.screen_failures;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineInt("ops", 2000000, "micro-ops per dispatch measurement");
+  flags.DefineInt("machines", 300, "fleet size for the end-to-end measurement");
+  flags.DefineInt("days", 150, "simulated duration for the end-to-end measurement");
+  flags.DefineInt("seed", 42, "master seed");
+  flags.DefineInt("repeats", 3, "timed runs per configuration (median reported)");
+  flags.DefineString("json", "BENCH_hotpath.json", "path for the JSON artifact ('' = skip)");
+  const Status status = flags.Parse(argc, argv, 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+
+  const uint64_t ops = static_cast<uint64_t>(flags.GetInt("ops"));
+  const size_t machines = static_cast<size_t>(flags.GetInt("machines"));
+  const int days = static_cast<int>(flags.GetInt("days"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const int repeats = std::max(1, static_cast<int>(flags.GetInt("repeats")));
+
+  // --- dispatch ------------------------------------------------------------------------------
+  std::vector<double> ref_times;
+  std::vector<double> fast_times;
+  DispatchResult ref;
+  DispatchResult fast;
+  for (int r = 0; r < repeats; ++r) {
+    ref = RunDispatch(ops, seed, /*fast_path=*/false);
+    fast = RunDispatch(ops, seed, /*fast_path=*/true);
+    ref_times.push_back(ref.seconds);
+    fast_times.push_back(fast.seconds);
+  }
+  const double ref_s = MedianSeconds(ref_times);
+  const double fast_s = MedianSeconds(fast_times);
+  const double ref_ops_per_sec = static_cast<double>(ref.ops) / ref_s;
+  const double fast_ops_per_sec = static_cast<double>(fast.ops) / fast_s;
+  const bool counters_match = ref.ops == fast.ops && ref.corruptions == fast.corruptions &&
+                              ref.machine_checks == fast.machine_checks;
+
+  std::printf("# hotpath — dispatch: %llu ops on a 4-defect core, median of %d\n",
+              static_cast<unsigned long long>(ops), repeats);
+  std::printf("%-24s %12s %14s %10s\n", "config", "wall_s", "ops/sec", "speedup");
+  std::printf("%-24s %12.3f %14.0f %9.2fx\n", "reference path", ref_s, ref_ops_per_sec, 1.0);
+  std::printf("%-24s %12.3f %14.0f %9.2fx\n", "fast path (armed cache)", fast_s,
+              fast_ops_per_sec, ref_s / fast_s);
+  std::printf("# counters bit-identical (corruptions %llu, machine checks %llu): %s\n",
+              static_cast<unsigned long long>(fast.corruptions),
+              static_cast<unsigned long long>(fast.machine_checks),
+              counters_match ? "yes" : "NO — BUG");
+
+  // --- end_to_end ----------------------------------------------------------------------------
+  std::vector<double> study_ref_times;
+  std::vector<double> study_fast_times;
+  StudyResult study_ref;
+  StudyResult study_fast;
+  for (int r = 0; r < repeats; ++r) {
+    study_ref = RunStudy(machines, days, seed, /*fast_path=*/false);
+    study_fast = RunStudy(machines, days, seed, /*fast_path=*/true);
+    study_ref_times.push_back(study_ref.seconds);
+    study_fast_times.push_back(study_fast.seconds);
+  }
+  const double study_ref_s = MedianSeconds(study_ref_times);
+  const double study_fast_s = MedianSeconds(study_fast_times);
+  const bool study_match = study_ref.work_units == study_fast.work_units &&
+                           study_ref.screen_failures == study_fast.screen_failures;
+
+  std::printf("# hotpath — end-to-end: %zu machines, %d days, serial engine, median of %d\n",
+              machines, days, repeats);
+  std::printf("%-24s %12s %16s %10s\n", "config", "wall_s", "work_units/sec", "speedup");
+  std::printf("%-24s %12.3f %16.0f %9.2fx\n", "reference path", study_ref_s,
+              static_cast<double>(study_ref.work_units) / study_ref_s, 1.0);
+  std::printf("%-24s %12.3f %16.0f %9.2fx\n", "fast path", study_fast_s,
+              static_cast<double>(study_fast.work_units) / study_fast_s,
+              study_ref_s / study_fast_s);
+  std::printf("# study outputs bit-identical: %s\n", study_match ? "yes" : "NO — BUG");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"hotpath\",\n");
+    std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+    std::fprintf(f, "  \"dispatch\": {\n");
+    std::fprintf(f, "    \"ops\": %llu,\n", static_cast<unsigned long long>(ops));
+    std::fprintf(f, "    \"defects_on_core\": 4,\n");
+    std::fprintf(f, "    \"reference_wall_seconds\": %.6f,\n", ref_s);
+    std::fprintf(f, "    \"fast_wall_seconds\": %.6f,\n", fast_s);
+    std::fprintf(f, "    \"reference_ops_per_sec\": %.0f,\n", ref_ops_per_sec);
+    std::fprintf(f, "    \"fast_ops_per_sec\": %.0f,\n", fast_ops_per_sec);
+    std::fprintf(f, "    \"speedup\": %.4f,\n", ref_s / fast_s);
+    std::fprintf(f, "    \"counters_bit_identical\": %s\n", counters_match ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"end_to_end\": {\n");
+    std::fprintf(f, "    \"machines\": %zu,\n", machines);
+    std::fprintf(f, "    \"days\": %d,\n", days);
+    std::fprintf(f, "    \"work_units\": %llu,\n",
+                 static_cast<unsigned long long>(study_fast.work_units));
+    std::fprintf(f, "    \"reference_wall_seconds\": %.6f,\n", study_ref_s);
+    std::fprintf(f, "    \"fast_wall_seconds\": %.6f,\n", study_fast_s);
+    std::fprintf(f, "    \"reference_work_units_per_sec\": %.0f,\n",
+                 static_cast<double>(study_ref.work_units) / study_ref_s);
+    std::fprintf(f, "    \"fast_work_units_per_sec\": %.0f,\n",
+                 static_cast<double>(study_fast.work_units) / study_fast_s);
+    std::fprintf(f, "    \"speedup\": %.4f,\n", study_ref_s / study_fast_s);
+    std::fprintf(f, "    \"outputs_bit_identical\": %s\n", study_match ? "true" : "false");
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return (counters_match && study_match) ? 0 : 2;
+}

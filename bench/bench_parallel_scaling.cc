@@ -6,16 +6,21 @@
 // the thread count, every row of the ladder computes the *same* StudyReport — the work-unit
 // total is printed per row so a scheduling bug that drops work shows up immediately.
 //
+// Each row runs --repeats times (default 3) and reports the median wall clock, so a one-off
+// scheduling hiccup or page-cache miss doesn't masquerade as a scaling cliff.
+//
 // The reference configuration (defaults) is a 20k-machine, 3-year study — the scale at which
 // a serial run stops being interactive and the ladder should show >=3x at 4 threads on a
-// 4-core runner. `hardware_concurrency` is recorded in the JSON so results from a small
-// container (this repo's CI runner has 1 CPU, where no speedup is physically possible) are
-// interpretable next to results from a real multi-core machine.
+// 4-core runner. `hardware_concurrency` is recorded in the JSON, and any row that asks for
+// more threads than the machine has is flagged "underprovisioned" (this repo's CI runner has
+// 1 CPU, where no speedup is physically possible) so its numbers are interpretable next to
+// results from a real multi-core machine.
 //
 //   bench_parallel_scaling --machines=20000 --days=1095 --json=BENCH_parallel.json
 //
-// Output: human-readable table on stdout plus a JSON artifact with raw wall-clocks.
+// Output: human-readable table on stdout plus a JSON artifact with median wall-clocks.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -33,9 +38,10 @@ struct LadderRow {
   std::string label;
   int shards = 1;
   int threads = 1;
-  double seconds = 0.0;
+  double seconds = 0.0;  // median over repeats
   uint64_t work_units = 0;
   uint64_t screen_failures = 0;
+  bool underprovisioned = false;  // threads > hardware_concurrency
 };
 
 StudyOptions BaseOptions(uint64_t seed, size_t machines, int days) {
@@ -49,21 +55,34 @@ StudyOptions BaseOptions(uint64_t seed, size_t machines, int days) {
   return options;
 }
 
-LadderRow RunOnce(const std::string& label, const StudyOptions& base, int shards, int threads) {
-  StudyOptions options = base;
-  options.shards = shards;
-  options.threads = threads;
-  FleetStudy study(options);
-  const auto start = std::chrono::steady_clock::now();
-  const StudyReport report = study.Run();
-  const auto stop = std::chrono::steady_clock::now();
+double MedianSeconds(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+LadderRow RunRow(const std::string& label, const StudyOptions& base, int shards, int threads,
+                 int repeats, unsigned hardware_threads) {
   LadderRow row;
   row.label = label;
   row.shards = shards;
   row.threads = threads;
-  row.seconds = std::chrono::duration<double>(stop - start).count();
-  row.work_units = report.work_units_executed;
-  row.screen_failures = report.screen_failures;
+  row.underprovisioned =
+      hardware_threads > 0 && static_cast<unsigned>(threads) > hardware_threads;
+  std::vector<double> samples;
+  for (int r = 0; r < repeats; ++r) {
+    StudyOptions options = base;
+    options.shards = shards;
+    options.threads = threads;
+    FleetStudy study(options);
+    const auto start = std::chrono::steady_clock::now();
+    const StudyReport report = study.Run();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(stop - start).count());
+    // Identical every repeat (the engine is deterministic), so last-write is fine.
+    row.work_units = report.work_units_executed;
+    row.screen_failures = report.screen_failures;
+  }
+  row.seconds = MedianSeconds(samples);
   return row;
 }
 
@@ -75,6 +94,7 @@ int main(int argc, char** argv) {
   flags.DefineInt("days", 1095, "simulated study duration (3 years)");
   flags.DefineInt("seed", 42, "master seed");
   flags.DefineInt("shards", 32, "shard count for the parallel rows (fixed across the ladder)");
+  flags.DefineInt("repeats", 3, "timed runs per row (median reported)");
   flags.DefineString("json", "BENCH_parallel.json", "path for the JSON artifact ('' = skip)");
   const Status status = flags.Parse(argc, argv, 1);
   if (!status.ok()) {
@@ -85,25 +105,38 @@ int main(int argc, char** argv) {
   const size_t machines = static_cast<size_t>(flags.GetInt("machines"));
   const int days = static_cast<int>(flags.GetInt("days"));
   const int shards = static_cast<int>(flags.GetInt("shards"));
+  const int repeats = std::max(1, static_cast<int>(flags.GetInt("repeats")));
   const unsigned hw = std::thread::hardware_concurrency();
   const StudyOptions base = BaseOptions(static_cast<uint64_t>(flags.GetInt("seed")), machines, days);
 
-  std::printf("# parallel scaling — %zu machines, %d days, %d shards, %u hardware threads\n",
-              machines, days, shards, hw);
+  std::printf(
+      "# parallel scaling — %zu machines, %d days, %d shards, %u hardware threads, median of "
+      "%d\n",
+      machines, days, shards, hw, repeats);
 
   std::vector<LadderRow> rows;
-  rows.push_back(RunOnce("serial (legacy engine)", base, /*shards=*/1, /*threads=*/1));
+  rows.push_back(RunRow("serial (legacy engine)", base, /*shards=*/1, /*threads=*/1, repeats, hw));
   for (const int threads : {1, 2, 4}) {
-    rows.push_back(RunOnce("sharded t=" + std::to_string(threads), base, shards, threads));
+    rows.push_back(
+        RunRow("sharded t=" + std::to_string(threads), base, shards, threads, repeats, hw));
   }
 
   const double serial_s = rows[0].seconds;
   const double sharded_t1_s = rows[1].seconds;
+  bool any_underprovisioned = false;
   std::printf("%-24s %8s %8s %12s %10s %10s\n", "config", "shards", "threads", "wall_s",
               "vs_serial", "vs_t1");
   for (const LadderRow& row : rows) {
-    std::printf("%-24s %8d %8d %12.3f %9.2fx %9.2fx\n", row.label.c_str(), row.shards,
-                row.threads, row.seconds, serial_s / row.seconds, sharded_t1_s / row.seconds);
+    std::printf("%-24s %8d %8d %12.3f %9.2fx %9.2fx%s\n", row.label.c_str(), row.shards,
+                row.threads, row.seconds, serial_s / row.seconds, sharded_t1_s / row.seconds,
+                row.underprovisioned ? "  (underprovisioned)" : "");
+    any_underprovisioned = any_underprovisioned || row.underprovisioned;
+  }
+  if (any_underprovisioned) {
+    std::printf(
+        "# underprovisioned rows request more threads than the %u available; their speedups "
+        "measure oversubscription, not scaling\n",
+        hw);
   }
 
   // Determinism cross-check: all sharded rows must agree with each other (thread-count
@@ -129,7 +162,9 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"machines\": %zu,\n", machines);
     std::fprintf(f, "  \"days\": %d,\n", days);
     std::fprintf(f, "  \"shards\": %d,\n", shards);
+    std::fprintf(f, "  \"repeats\": %d,\n", repeats);
     std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+    std::fprintf(f, "  \"underprovisioned\": %s,\n", any_underprovisioned ? "true" : "false");
     std::fprintf(f, "  \"sharded_rows_bit_consistent\": %s,\n", deterministic ? "true" : "false");
     std::fprintf(f, "  \"rows\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
@@ -137,11 +172,12 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"config\": \"%s\", \"shards\": %d, \"threads\": %d, "
                    "\"wall_seconds\": %.6f, \"speedup_vs_serial\": %.4f, "
-                   "\"speedup_vs_threads1\": %.4f, \"work_units\": %llu}%s\n",
+                   "\"speedup_vs_threads1\": %.4f, \"work_units\": %llu, "
+                   "\"underprovisioned\": %s}%s\n",
                    row.label.c_str(), row.shards, row.threads, row.seconds,
                    serial_s / row.seconds, sharded_t1_s / row.seconds,
                    static_cast<unsigned long long>(row.work_units),
-                   i + 1 < rows.size() ? "," : "");
+                   row.underprovisioned ? "true" : "false", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -12,6 +12,10 @@
 //     high-chaos row must stay at or below --budget regardless of how much the injector
 //     misbehaves.
 //
+// The chaos-off study is additionally run once with the dispatch fast path disabled (see
+// SetDispatchFastPath in src/sim/core.h), recording the wall-clock reduction the armed-defect
+// cache buys end-to-end under identical machine conditions.
+//
 //   bench_quarantine_pipeline --machines=2000 --days=365 --json=BENCH_quarantine.json
 //
 // Output: human-readable table on stdout plus a JSON artifact with the raw numbers.
@@ -23,6 +27,7 @@
 
 #include "src/common/flags.h"
 #include "src/core/fleet_study.h"
+#include "src/sim/core.h"
 
 using namespace mercurial;
 
@@ -66,7 +71,8 @@ StudyOptions BaseOptions(uint64_t seed, size_t machines, int days, double budget
   return options;
 }
 
-ChaosRow RunOnce(ChaosRow row, const StudyOptions& base) {
+ChaosRow RunOnce(ChaosRow row, const StudyOptions& base, bool fast_path = true) {
+  SetDispatchFastPath(fast_path);
   StudyOptions options = base;
   options.control_plane.chaos.drop_report = row.drop;
   options.control_plane.chaos.duplicate_report = row.duplicate;
@@ -87,6 +93,7 @@ ChaosRow RunOnce(ChaosRow row, const StudyOptions& base) {
   row.stranded_fraction = report.control_plane.pending_isolation_core_seconds / total_core_seconds;
   row.suspects_per_sec =
       row.seconds > 0.0 ? static_cast<double>(row.suspects_admitted) / row.seconds : 0.0;
+  SetDispatchFastPath(true);
   return row;
 }
 
@@ -115,6 +122,14 @@ int main(int argc, char** argv) {
               machines, days, budget * 100.0);
 
   std::vector<ChaosRow> rows;
+  // Dispatch-path baseline: the chaos-off study with the armed-defect cache disabled, so the
+  // JSON records the wall-clock reduction the fast path buys on this pipeline under identical
+  // machine conditions (cross-run wall clocks are not comparable).
+  ChaosRow reference;
+  {
+    reference.label = "chaos off (reference dispatch)";
+    reference = RunOnce(reference, base, /*fast_path=*/false);
+  }
   {
     ChaosRow off;
     off.label = "chaos off";
@@ -157,6 +172,14 @@ int main(int argc, char** argv) {
   }
   std::printf("# stranded capacity within budget in every row: %s\n",
               budget_held ? "yes" : "NO — BUG");
+  const bool reference_match = reference.suspects_admitted == rows[0].suspects_admitted &&
+                               reference.true_positive_retirements ==
+                                   rows[0].true_positive_retirements;
+  std::printf(
+      "# dispatch fast path: %.3fs vs %.3fs reference on chaos off (%.2fx); outputs "
+      "identical: %s\n",
+      rows[0].seconds, reference.seconds, reference.seconds / rows[0].seconds,
+      reference_match ? "yes" : "NO — BUG");
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
@@ -171,6 +194,12 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"days\": %d,\n", days);
     std::fprintf(f, "  \"budget_fraction\": %.4f,\n", budget);
     std::fprintf(f, "  \"budget_held\": %s,\n", budget_held ? "true" : "false");
+    std::fprintf(f, "  \"reference_dispatch_wall_seconds\": %.6f,\n", reference.seconds);
+    std::fprintf(f, "  \"fast_dispatch_wall_seconds\": %.6f,\n", rows[0].seconds);
+    std::fprintf(f, "  \"dispatch_fast_path_speedup\": %.4f,\n",
+                 reference.seconds / rows[0].seconds);
+    std::fprintf(f, "  \"dispatch_outputs_identical\": %s,\n",
+                 reference_match ? "true" : "false");
     std::fprintf(f, "  \"rows\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
       const ChaosRow& row = rows[i];

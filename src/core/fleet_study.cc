@@ -34,8 +34,9 @@ std::vector<ShardRange> PartitionCores(uint64_t core_count, int shards) {
 }
 
 // Everything one shard's production + noise pass may produce, buffered so the tick's side
-// effects can be applied to the shared services serially in shard-index order. Memory note:
-// a buffer lives only for one tick and is proportional to that shard's event count.
+// effects can be applied to the shared services serially in shard-index order. Buffers are
+// pooled across the study's ticks (one per shard): Reset() clears values but keeps vector
+// capacity and interned metric handles, so steady-state ticks allocate nothing.
 struct FleetStudy::ShardDelta {
   uint64_t symptom_counts[kSymptomCount] = {};
   uint64_t work_units_executed = 0;
@@ -45,6 +46,30 @@ struct FleetStudy::ShardDelta {
   std::vector<PendingHumanReport> human_reports;
   MetricRegistry metrics;                    // counter increments only
   ShardScreenOutcome screen;
+
+  // Hot-counter handles, resolved once per pooled buffer instead of once per event.
+  MetricId crash_id = metrics.Intern("signals.crash");
+  MetricId sanitizer_id = metrics.Intern("signals.sanitizer");
+  MetricId machine_check_id = metrics.Intern("signals.machine_check");
+  MetricId app_report_id = metrics.Intern("signals.app_report");
+  MetricId silent_id = metrics.Intern("corruption.silent");
+  MetricId background_id = metrics.Intern("signals.background");
+
+  // Clear-and-reuse between ticks. Vectors keep their high-water capacity — the previous
+  // tick's event counts are the reserve hint for the next one — and zeroed interned counters
+  // merge as if freshly constructed (MetricRegistry::Merge skips zeros).
+  void Reset() {
+    std::fill(std::begin(symptom_counts), std::end(symptom_counts), uint64_t{0});
+    work_units_executed = 0;
+    silent_corruptions = 0;
+    signals.clear();
+    mca_records.clear();
+    human_reports.clear();
+    metrics.ResetForReuse();
+    screen.stats = ScreeningTickStats{};
+    screen.failures.clear();
+    screen.offline_drained.clear();
+  }
 };
 
 FleetStudy::FleetStudy(StudyOptions options)
@@ -66,6 +91,11 @@ FleetStudy::FleetStudy(StudyOptions options)
   report_.machines = fleet_.machine_count();
   report_.cores = fleet_.core_count();
   report_.true_mercurial_cores = fleet_.mercurial_cores().size();
+
+  screen_fail_id_ = metrics_.Intern("signals.screen_fail");
+  user_report_id_ = metrics_.Intern("signals.user_report");
+  user_series_ = &metrics_.Series(kUserSeries);
+  auto_series_ = &metrics_.Series(kAutoSeries);
 }
 
 void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom, Rng& rng,
@@ -78,10 +108,10 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
   switch (symptom) {
     case Symptom::kCrash: {
       delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kCrash});
-      delta.metrics.Increment("signals.crash");
+      delta.metrics.Increment(delta.crash_id);
       if (rng.Bernoulli(options_.sanitizer_probability)) {
         delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kSanitizer});
-        delta.metrics.Increment("signals.sanitizer");
+        delta.metrics.Increment(delta.sanitizer_id);
       }
       if (rng.Bernoulli(options_.crash_human_report_probability)) {
         const SimTime delay = SimTime::Seconds(static_cast<int64_t>(
@@ -93,7 +123,7 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
     }
     case Symptom::kMachineCheck: {
       delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kMachineCheck});
-      delta.metrics.Increment("signals.machine_check");
+      delta.metrics.Increment(delta.machine_check_id);
       // Structured MCA telemetry: the reporting bank is the defective unit, unless the
       // hardware's bank mapping scrambles it.
       McaRecord record;
@@ -120,7 +150,7 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
     case Symptom::kDetectedLate:
       if (rng.Bernoulli(options_.app_report_probability)) {
         delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kAppReport});
-        delta.metrics.Increment("signals.app_report");
+        delta.metrics.Increment(delta.app_report_id);
       }
       if (symptom == Symptom::kDetectedLate &&
           rng.Bernoulli(options_.silent_human_notice_probability)) {
@@ -132,7 +162,7 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
       break;
     case Symptom::kSilentCorruption: {
       ++delta.silent_corruptions;
-      delta.metrics.Increment("corruption.silent");
+      delta.metrics.Increment(delta.silent_id);
       // "Wrong answers that are never detected" — except when a downstream consumer
       // eventually notices something impossible and a human investigates.
       if (rng.Bernoulli(options_.silent_human_notice_probability)) {
@@ -200,7 +230,7 @@ void FleetStudy::EmitBackgroundNoiseShard(SimTime now, SimTime dt, uint64_t core
       type = SignalType::kAppReport;
     }
     delta.signals.push_back(Signal{now, id.machine, core_index, type});
-    delta.metrics.Increment("signals.background");
+    delta.metrics.Increment(delta.background_id);
   }
 }
 
@@ -230,8 +260,8 @@ void FleetStudy::ApplyScreenOutcome(SimTime now, const ShardScreenOutcome& outco
     scheduler_.Release(core);
   }
   for (const Signal& signal : outcome.failures) {
-    metrics_.Series(kAutoSeries).Add(now, 1.0);
-    metrics_.Increment("signals.screen_fail");
+    auto_series_->Add(now, 1.0);
+    metrics_.Increment(screen_fail_id_);
     control_plane_.Report(signal, service_);
   }
   report_.screen_failures += outcome.stats.screen_failures;
@@ -243,8 +273,8 @@ void FleetStudy::FlushHumanReports(SimTime now) {
                             [now](const PendingHumanReport& r) { return r.due > now; });
   for (auto it = due; it != pending_human_reports_.end(); ++it) {
     control_plane_.Report(it->signal, service_);
-    metrics_.Increment("signals.user_report");
-    metrics_.Series(kUserSeries).Add(now, 1.0);
+    metrics_.Increment(user_report_id_);
+    user_series_->Add(now, 1.0);
   }
   pending_human_reports_.erase(due, pending_human_reports_.end());
 }
@@ -284,8 +314,8 @@ void FleetStudy::RunBurnIn() {
   // Pre-deployment acceptance testing: one thorough screen of every core at t=0 with
   // whatever corpus coverage exists at t=0.
   auto emit = [&](const Signal& signal) {
-    metrics_.Series(kAutoSeries).Add(signal.time, 1.0);
-    metrics_.Increment("signals.screen_fail");
+    auto_series_->Add(signal.time, 1.0);
+    metrics_.Increment(screen_fail_id_);
     ++report_.screen_failures;
     control_plane_.Report(signal, service_);
   };
@@ -300,16 +330,18 @@ void FleetStudy::RunBurnIn() {
 void FleetStudy::RunTicksSerial(
     SimClock& clock, int64_t ticks,
     const std::unordered_map<uint64_t, SimTime>& activation_time) {
+  // The serial engine is the legacy draw order: one persistent stream (rng_) drives
+  // production, then noise, across the whole fleet. Effects are buffered and applied at
+  // the end of the stage pair; nothing inside the stages reads the affected services, so
+  // this is bit-identical to applying them inline. The delta buffer is pooled across ticks
+  // (clear-and-reuse keeps its vectors' capacity and interned metric handles).
+  ShardDelta delta;
   for (int64_t t = 0; t < ticks; ++t) {
     clock.Advance(options_.tick);
     const SimTime now = clock.now();
     fleet_.SetAges(now);
 
-    // The serial engine is the legacy draw order: one persistent stream (rng_) drives
-    // production, then noise, across the whole fleet. Effects are buffered and applied at
-    // the end of the stage pair; nothing inside the stages reads the affected services, so
-    // this is bit-identical to applying them inline.
-    ShardDelta delta;
+    delta.Reset();
     RunProductionShard(now, 0, fleet_.core_count(), rng_, corpus_, delta);
     EmitBackgroundNoiseShard(now, options_.tick, 0, fleet_.core_count(), rng_, delta);
     ApplyShardDelta(delta);
@@ -317,8 +349,8 @@ void FleetStudy::RunTicksSerial(
 
     const ScreeningTickStats screen_stats = screening_.Tick(
         now, options_.tick, fleet_, scheduler_, [&](const Signal& signal) {
-          metrics_.Series(kAutoSeries).Add(now, 1.0);
-          metrics_.Increment("signals.screen_fail");
+          auto_series_->Add(now, 1.0);
+          metrics_.Increment(screen_fail_id_);
           control_plane_.Report(signal, service_);
         });
     report_.screen_failures += screen_stats.screen_failures;
@@ -344,6 +376,10 @@ void FleetStudy::RunTicksSharded(
   }
 
   ThreadPool pool(static_cast<size_t>(threads));
+  // One pooled delta buffer per shard, reused for every tick: each buffer converges on its
+  // shard's per-tick high-water event counts, after which the parallel phase stops
+  // allocating. The per-tick Reset runs inside the worker task so clearing parallelizes too.
+  std::vector<ShardDelta> deltas(static_cast<size_t>(shards));
   for (int64_t t = 0; t < ticks; ++t) {
     clock.Advance(options_.tick);
     const SimTime now = clock.now();
@@ -353,10 +389,10 @@ void FleetStudy::RunTicksSharded(
     // coverage schedule) and writes only shard-private state — its own cores, its slice of
     // the offline-due table, and its delta buffer. Randomness is counter-based per
     // (seed, shard, tick), so neither thread count nor completion order can change a draw.
-    std::vector<ShardDelta> deltas(static_cast<size_t>(shards));
     pool.ParallelFor(static_cast<size_t>(shards), [&](size_t k) {
       const ShardRange range = ranges[k];
       ShardDelta& delta = deltas[k];
+      delta.Reset();
       Rng production_rng(DeriveStreamSeed(options_.seed ^ kProductionStreamSalt, k,
                                           static_cast<uint64_t>(t)));
       RunProductionShard(now, range.begin, range.end, production_rng, corpora[k], delta);

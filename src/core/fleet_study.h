@@ -203,6 +203,13 @@ class FleetStudy {
   QuarantineControlPlane control_plane_;
   std::vector<std::unique_ptr<Workload>> corpus_;
   MetricRegistry metrics_;
+  // Hot-path telemetry handles into metrics_, resolved once at construction: screening
+  // failures and user reports are per-event increments, so the name lookup is hoisted out of
+  // the event loops. The series pointers are stable (map nodes never move).
+  MetricId screen_fail_id_;
+  MetricId user_report_id_;
+  TimeSeries* user_series_ = nullptr;
+  TimeSeries* auto_series_ = nullptr;
   std::vector<PendingHumanReport> pending_human_reports_;
   McaLog mca_log_;
   StudyReport report_;

@@ -1,5 +1,6 @@
 #include "src/sim/core.h"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
 
@@ -13,7 +14,17 @@ namespace {
 // either; rotation keeps a/b asymmetric.
 inline uint64_t Signature(uint64_t a, uint64_t b) { return a ^ std::rotl(b, 1); }
 
+std::atomic<bool> g_dispatch_fast_path{true};
+
 }  // namespace
+
+void SetDispatchFastPath(bool enabled) {
+  g_dispatch_fast_path.store(enabled, std::memory_order_relaxed);
+}
+
+bool DispatchFastPathEnabled() {
+  return g_dispatch_fast_path.load(std::memory_order_relaxed);
+}
 
 const char* ExecUnitName(ExecUnit unit) {
   switch (unit) {
@@ -51,13 +62,15 @@ uint64_t CoreCounters::TotalOps() const {
   return total;
 }
 
-SimCore::SimCore(uint64_t id, Rng rng) : id_(id), rng_(rng) {}
+SimCore::SimCore(uint64_t id, Rng rng)
+    : id_(id), rng_(rng), fast_path_(DispatchFastPathEnabled()) {}
 
 void SimCore::AddDefect(DefectSpec spec) {
   const auto unit_index = static_cast<size_t>(spec.unit);
   MERCURIAL_CHECK_LT(unit_index, static_cast<size_t>(kExecUnitCount));
   defects_.emplace_back(std::move(spec));
   defects_by_unit_[unit_index].push_back(static_cast<uint16_t>(defects_.size() - 1));
+  ++env_revision_;  // the armed lists must pick up the new defect
 }
 
 bool SimCore::AnyDefectActive() const {
@@ -87,10 +100,67 @@ Environment SimCore::CurrentEnvironment() const {
   return env;
 }
 
+void SimCore::RearmDefects() {
+  const Environment env = CurrentEnvironment();
+  for (auto& unit_list : armed_) {
+    unit_list.clear();  // keeps capacity; re-arming is per environment change, not per op
+  }
+  for (size_t i = 0; i < defects_.size(); ++i) {
+    const DefectSpec& spec = defects_[i].spec();
+    // A gate that can never pass consumes zero draws on the reference path too (ShouldFire
+    // short-circuits before Bernoulli), so dropping the defect here is stream-neutral.
+    if (spec.opcode_mask == 0) {
+      continue;  // matches no opcode
+    }
+    if ((spec.trigger.value & ~spec.trigger.mask) != 0) {
+      continue;  // unsatisfiable data trigger: (sig & mask) can never equal value
+    }
+    const double p = defects_[i].FireProbability(env);
+    if (p <= 0.0) {
+      continue;  // inactive (pre-onset) or zero-rate in this environment
+    }
+    ArmedDefect armed;
+    armed.opcode_mask = spec.opcode_mask;
+    armed.trigger = spec.trigger;
+    armed.probability = p;
+    armed.machine_check_fraction = spec.machine_check_fraction;
+    armed.effect = spec.effect;
+    armed.index = static_cast<uint16_t>(i);
+    armed_[static_cast<size_t>(spec.unit)].push_back(armed);
+  }
+  armed_revision_ = env_revision_;
+}
+
+const std::vector<SimCore::ArmedDefect>& SimCore::ArmedForUnit(ExecUnit unit) {
+  if (armed_revision_ != env_revision_) {
+    RearmDefects();
+  }
+  return armed_[static_cast<size_t>(unit)];
+}
+
 void SimCore::Dispatch(const OpInfo& op, uint8_t* result, size_t size) {
   ++counters_.ops_per_unit[static_cast<size_t>(op.unit)];
   const auto& unit_defects = defects_by_unit_[static_cast<size_t>(op.unit)];
   if (unit_defects.empty()) {
+    return;
+  }
+  if (fast_path_) {
+    // Armed-list iteration draws from rng_ in exactly the reference order: armed defects keep
+    // defects_ order, excluded defects never drew, and the cached probability is the same
+    // double ShouldFire would recompute.
+    for (const ArmedDefect& armed : ArmedForUnit(op.unit)) {
+      if ((armed.opcode_mask & (1ull << op.opcode)) == 0 ||
+          !armed.trigger.Matches(op.operand_signature) || !rng_.Bernoulli(armed.probability)) {
+        continue;
+      }
+      if (armed.machine_check_fraction > 0.0 && rng_.Bernoulli(armed.machine_check_fraction)) {
+        pending_machine_check_ = true;
+        ++counters_.machine_checks;
+        continue;
+      }
+      defects_[armed.index].CorruptBytes(op, result, size, rng_);
+      ++counters_.corruptions;
+    }
     return;
   }
   const Environment env = CurrentEnvironment();
@@ -152,6 +222,9 @@ uint64_t SimCore::Mul(uint64_t a, uint64_t b) {
 
 uint64_t SimCore::Div(uint64_t a, uint64_t b) {
   if (b == 0) {
+    // The op still issued to the divider; count it even though the machine-check path skips
+    // Dispatch (which would otherwise do the accounting).
+    ++counters_.ops_per_unit[static_cast<size_t>(ExecUnit::kIntDiv)];
     pending_machine_check_ = true;
     ++counters_.machine_checks;
     return ~0ull;
@@ -245,18 +318,35 @@ uint8_t SimCore::AesRcon(int round) {
   uint8_t rcon = StandardAesRcon(round);
   ++counters_.ops_per_unit[static_cast<size_t>(ExecUnit::kAes)];
   const auto& unit_defects = defects_by_unit_[static_cast<size_t>(ExecUnit::kAes)];
-  if (!unit_defects.empty()) {
-    const Environment env = CurrentEnvironment();
-    const OpInfo op{ExecUnit::kAes, kAesOpRcon, static_cast<uint64_t>(round)};
-    for (uint16_t index : unit_defects) {
-      const Defect& defect = defects_[index];
-      if (defect.spec().effect != DefectEffect::kRconCorrupt) {
+  if (unit_defects.empty()) {
+    return rcon;
+  }
+  const OpInfo op{ExecUnit::kAes, kAesOpRcon, static_cast<uint64_t>(round)};
+  if (fast_path_) {
+    for (const ArmedDefect& armed : ArmedForUnit(ExecUnit::kAes)) {
+      // The effect filter comes before any draw, as on the reference path: non-rcon AES
+      // defects never consume randomness on rcon ops.
+      if (armed.effect != DefectEffect::kRconCorrupt) {
         continue;
       }
-      if (defect.ShouldFire(op, env, rng_)) {
-        rcon = defect.CorruptRcon(rcon);
-        ++counters_.corruptions;
+      if ((armed.opcode_mask & (1ull << op.opcode)) == 0 ||
+          !armed.trigger.Matches(op.operand_signature) || !rng_.Bernoulli(armed.probability)) {
+        continue;
       }
+      rcon = defects_[armed.index].CorruptRcon(rcon);
+      ++counters_.corruptions;
+    }
+    return rcon;
+  }
+  const Environment env = CurrentEnvironment();
+  for (uint16_t index : unit_defects) {
+    const Defect& defect = defects_[index];
+    if (defect.spec().effect != DefectEffect::kRconCorrupt) {
+      continue;
+    }
+    if (defect.ShouldFire(op, env, rng_)) {
+      rcon = defect.CorruptRcon(rcon);
+      ++counters_.corruptions;
     }
   }
   return rcon;
@@ -283,6 +373,36 @@ void SimCore::Copy(uint8_t* dst, const uint8_t* src, size_t n) {
   counters_.ops_per_unit[static_cast<size_t>(ExecUnit::kCopy)] += chunks;
   if (unit_defects.empty()) {
     std::memmove(dst, src, n);
+    return;
+  }
+  if (fast_path_) {
+    // The reference path recomputes FireProbability per defect per 8-byte chunk; the armed
+    // list hoists that out of the chunk loop entirely.
+    const std::vector<ArmedDefect>& armed = ArmedForUnit(ExecUnit::kCopy);
+    size_t offset = 0;
+    while (offset < n) {
+      const size_t chunk = std::min<size_t>(8, n - offset);
+      uint8_t buffer[8];
+      std::memcpy(buffer, src + offset, chunk);
+      uint64_t sig = 0;
+      std::memcpy(&sig, buffer, chunk);
+      const OpInfo op{ExecUnit::kCopy, kCopyOpChunk, sig};
+      for (const ArmedDefect& ad : armed) {
+        if ((ad.opcode_mask & (1ull << op.opcode)) == 0 ||
+            !ad.trigger.Matches(op.operand_signature) || !rng_.Bernoulli(ad.probability)) {
+          continue;
+        }
+        if (ad.machine_check_fraction > 0.0 && rng_.Bernoulli(ad.machine_check_fraction)) {
+          pending_machine_check_ = true;
+          ++counters_.machine_checks;
+          continue;
+        }
+        defects_[ad.index].CorruptBytes(op, buffer, chunk, rng_);
+        ++counters_.corruptions;
+      }
+      std::memcpy(dst + offset, buffer, chunk);
+      offset += chunk;
+    }
     return;
   }
   const Environment env = CurrentEnvironment();
@@ -317,7 +437,28 @@ bool SimCore::Cas(uint64_t& target, uint64_t expected, uint64_t desired) {
   ++counters_.ops_per_unit[static_cast<size_t>(ExecUnit::kAtomic)];
   const bool would_succeed = target == expected;
   const auto& unit_defects = defects_by_unit_[static_cast<size_t>(ExecUnit::kAtomic)];
-  if (!unit_defects.empty()) {
+  if (!unit_defects.empty() && fast_path_) {
+    const OpInfo op{ExecUnit::kAtomic, kAtomicOpCas, Signature(expected, desired)};
+    for (const ArmedDefect& armed : ArmedForUnit(ExecUnit::kAtomic)) {
+      // Every armed defect draws when its gate passes (as ShouldFire would), even when the
+      // effect then turns out not to apply to this CAS outcome.
+      if ((armed.opcode_mask & (1ull << op.opcode)) == 0 ||
+          !armed.trigger.Matches(op.operand_signature) || !rng_.Bernoulli(armed.probability)) {
+        continue;
+      }
+      if (armed.effect == DefectEffect::kCasDropStore && would_succeed) {
+        // Lock appears acquired/updated but memory never changed.
+        ++counters_.corruptions;
+        return true;
+      }
+      if (armed.effect == DefectEffect::kCasPhantomStore && !would_succeed) {
+        // Store happens even though the compare failed.
+        target = desired;
+        ++counters_.corruptions;
+        return false;
+      }
+    }
+  } else if (!unit_defects.empty()) {
     const Environment env = CurrentEnvironment();
     const OpInfo op{ExecUnit::kAtomic, kAtomicOpCas, Signature(expected, desired)};
     for (uint16_t index : unit_defects) {

@@ -26,6 +26,12 @@
 
 namespace mercurial {
 
+// Process-wide default for the dispatch fast path (armed-defect caching, see SimCore below).
+// New cores capture the value at construction; flipping it lets the equivalence suite prove
+// the fast and reference paths produce bit-identical studies. Enabled by default.
+void SetDispatchFastPath(bool enabled);
+bool DispatchFastPathEnabled();
+
 // Opcodes for units whose ops are not already enumerated in exec_unit.h.
 inline constexpr uint8_t kAesOpEncRound = 0;
 inline constexpr uint8_t kAesOpDecRound = 1;
@@ -62,12 +68,39 @@ class SimCore {
   double UnitFireProbability(ExecUnit unit) const;
 
   // --- Operating conditions ----------------------------------------------------------------
-  void set_operating_point(OperatingPoint point) { point_ = point; }
+  // Every setter that can move the fire-probability surface bumps env_revision_, which is what
+  // invalidates the armed-defect cache (see Dispatch). The operating point and age setters
+  // skip the bump when the value is unchanged, so offline sweeps that restore the original
+  // point and per-tick SetAges calls only invalidate when something actually moved.
+  void set_operating_point(OperatingPoint point) {
+    if (!(point == point_)) {
+      point_ = point;
+      ++env_revision_;
+    }
+  }
   OperatingPoint operating_point() const { return point_; }
-  void set_dvfs(DvfsCurve curve) { dvfs_ = curve; }
+  void set_dvfs(DvfsCurve curve) {
+    dvfs_ = curve;
+    ++env_revision_;
+  }
   double voltage() const { return dvfs_.VoltageAt(point_.frequency_ghz); }
-  void set_age(SimTime age) { age_ = age; }
+  void set_age(SimTime age) {
+    if (age.seconds() != age_.seconds()) {
+      age_ = age;
+      ++env_revision_;
+    }
+  }
   SimTime age() const { return age_; }
+
+  // Monotonic revision of every input to the fire-probability surface (operating point, DVFS
+  // curve, age, defect set). The dispatch fast path re-arms when it observes a new value;
+  // exposed so tests can assert cache invalidation.
+  uint64_t env_revision() const { return env_revision_; }
+
+  // Per-core override of the dispatch fast path (captured from DispatchFastPathEnabled() at
+  // construction). The reference path recomputes the environment and FireProbability per op.
+  void set_fast_path(bool enabled) { fast_path_ = enabled; }
+  bool fast_path() const { return fast_path_; }
 
   // --- Micro-ops -----------------------------------------------------------------------------
   uint64_t Alu(AluOp op, uint64_t a, uint64_t b);
@@ -108,9 +141,27 @@ class SimCore {
   Environment CurrentEnvironment() const;
 
  private:
+  // One pre-filtered, pre-evaluated defect gate: everything the per-op loop needs without
+  // touching the Defect or recomputing the f/V/T probability surface (three exp() and a
+  // pow() per defect per op on the reference path). Lists are rebuilt lazily whenever
+  // env_revision_ moves; dropping never-fire defects here is RNG-stream neutral because
+  // Defect::ShouldFire short-circuits before its Bernoulli draw for exactly those defects.
+  struct ArmedDefect {
+    uint64_t opcode_mask = 0;
+    DataTrigger trigger;
+    double probability = 0.0;  // FireProbability in the cached environment; always > 0
+    double machine_check_fraction = 0.0;
+    DefectEffect effect = DefectEffect::kBitFlip;
+    uint16_t index = 0;  // into defects_
+  };
+
   // Computes correct-result bookkeeping and (for defective cores) runs the defect gates.
   // `result`/`size` point at the already-computed correct result bytes.
   void Dispatch(const OpInfo& op, uint8_t* result, size_t size);
+
+  // Armed-defect list for `unit` under the current environment; re-arms if stale.
+  const std::vector<ArmedDefect>& ArmedForUnit(ExecUnit unit);
+  void RearmDefects();
 
   uint64_t id_;
   Rng rng_;
@@ -122,6 +173,10 @@ class SimCore {
   SimTime age_;
   CoreCounters counters_;
   bool pending_machine_check_ = false;
+  bool fast_path_ = true;
+  uint64_t env_revision_ = 1;
+  uint64_t armed_revision_ = 0;  // env_revision_ value the armed lists were built at
+  std::array<std::vector<ArmedDefect>, kExecUnitCount> armed_;
 };
 
 }  // namespace mercurial

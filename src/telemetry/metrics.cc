@@ -11,6 +11,26 @@ uint64_t MetricRegistry::counter(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+MetricId MetricRegistry::Intern(const std::string& name) {
+  uint64_t* cell = &counters_[name];
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] == cell) {
+      return MetricId(i);
+    }
+  }
+  slots_.push_back(cell);
+  return MetricId(slots_.size() - 1);
+}
+
+void MetricRegistry::ResetForReuse() {
+  for (auto& [name, value] : counters_) {
+    value = 0;
+  }
+  gauge_maxes_.clear();
+  series_.clear();
+  histos_.clear();
+}
+
 void MetricRegistry::ObserveMax(const std::string& name, uint64_t value) {
   auto [it, inserted] = gauge_maxes_.emplace(name, value);
   if (!inserted && value > it->second) {
@@ -51,7 +71,9 @@ const Histogram* MetricRegistry::FindHisto(const std::string& name) const {
 
 void MetricRegistry::Merge(const MetricRegistry& other) {
   for (const auto& [name, value] : other.counters_) {
-    counters_[name] += value;
+    if (value != 0) {
+      counters_[name] += value;
+    }
   }
   for (const auto& [name, value] : other.gauge_maxes_) {
     ObserveMax(name, value);

@@ -11,11 +11,27 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/histogram.h"
 #include "src/common/sim_time.h"
 
 namespace mercurial {
+
+// Opaque handle to an interned counter. Resolving a counter name (string construction plus a
+// map walk) happens once, in MetricRegistry::Intern; each Increment(MetricId) afterwards is a
+// single add through a stable pointer — which is what makes per-event accounting in the fleet
+// engine's hot loops (HandleSymptom, background noise) cheap. A handle is only meaningful on
+// the registry that issued it (or a moved-from successor).
+class MetricId {
+ public:
+  MetricId() = default;
+
+ private:
+  friend class MetricRegistry;
+  explicit MetricId(size_t slot) : slot_(slot) {}
+  size_t slot_ = 0;
+};
 
 class MetricRegistry {
  public:
@@ -31,6 +47,18 @@ class MetricRegistry {
   // Monotonic counter; created on first use.
   void Increment(const std::string& name, uint64_t delta = 1);
   uint64_t counter(const std::string& name) const;
+
+  // Interns `name` as a counter (creating it at zero if absent) and returns a handle whose
+  // Increment skips the name lookup. The string API above stays correct for cold paths —
+  // both write the same cell. std::map nodes are stable, so handles survive later
+  // insertions and registry moves.
+  MetricId Intern(const std::string& name);
+  void Increment(MetricId id, uint64_t delta = 1) { *slots_[id.slot_] += delta; }
+
+  // Re-initializes the registry for buffer reuse: counter values are zeroed (keys and issued
+  // MetricId handles stay valid); gauges, series, and histograms are dropped. Paired with the
+  // zero-skip in Merge, a reused delta registry merges exactly like a freshly constructed one.
+  void ResetForReuse();
 
   // Max-gauge: retains the largest value ever observed (peak queue depth, peak stranded
   // capacity). Kept separate from counters because its Merge semantic is max, not sum.
@@ -49,7 +77,9 @@ class MetricRegistry {
   // bucket-wise, histograms merge (shapes must match for same-named histograms). Merging is
   // associative — folding per-shard delta registries into a root registry in shard-index
   // order is bit-identical to accumulating the same events serially — which is what lets the
-  // sharded fleet engine keep one telemetry contract for any thread count.
+  // sharded fleet engine keep one telemetry contract for any thread count. Zero-valued
+  // counters in `other` (interned-but-idle cells of a reused delta registry) are skipped and
+  // do not materialize keys here.
   void Merge(const MetricRegistry& other);
 
   // Read access for merge/equality checks (tests and report finalization).
@@ -64,6 +94,7 @@ class MetricRegistry {
   std::map<std::string, uint64_t> gauge_maxes_;
   std::map<std::string, TimeSeries> series_;
   std::map<std::string, Histogram> histos_;
+  std::vector<uint64_t*> slots_;  // interned counter cells, indexed by MetricId::slot_
 };
 
 }  // namespace mercurial

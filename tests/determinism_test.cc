@@ -12,14 +12,22 @@
 //       engine is a pure function of StudyOptions).
 //   D4. The thread knob is execution-only: thread pool sizes beyond the shard count are
 //       clamped and still reproduce the shards-fixed result.
+//   D5. Fast-path equivalence: the dispatch fast path (armed-defect caching, interned metric
+//       handles, pooled shard deltas) produces a StudyReport EXACTLY equal to the reference
+//       path — per op environment + FireProbability recomputation — across seeds, chaos
+//       settings, and thread counts. This is the RNG-stream-neutrality obligation of the
+//       hot-path overhaul (DESIGN.md, "Decision: hot-path caching must be RNG-stream
+//       neutral").
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/thread_pool.h"
 #include "src/core/fleet_study.h"
+#include "src/sim/core.h"
 
 namespace mercurial {
 namespace {
@@ -163,6 +171,80 @@ TEST(DeterminismTest, ExcessThreadsClampToShardCount) {
   const StudyReport ref = RunStudy(HarnessOptions(/*shards=*/4, /*threads=*/4));
   const StudyReport oversubscribed = RunStudy(HarnessOptions(/*shards=*/4, /*threads=*/64));
   ExpectReportsEqual(ref, oversubscribed);
+}
+
+// --- D5: fast-path equivalence ---------------------------------------------------------------
+
+// Restores the process-wide fast-path default on scope exit. SimCore captures the flag at
+// construction, so the value must be set before FleetStudy's constructor builds the fleet.
+class ScopedFastPath {
+ public:
+  explicit ScopedFastPath(bool enabled) : previous_(DispatchFastPathEnabled()) {
+    SetDispatchFastPath(enabled);
+  }
+  ~ScopedFastPath() { SetDispatchFastPath(previous_); }
+
+ private:
+  bool previous_;
+};
+
+// Smaller than HarnessOptions (the matrix below runs 8 studies per seed) but still exercising
+// production symptoms, screening sweeps, quarantine, and — with `chaos` — the whole resilient
+// control plane, whose retry/abort draws ride on interrogation batteries run through SimCore.
+StudyOptions FastPathHarness(uint64_t seed, bool chaos, int threads) {
+  StudyOptions options;
+  options.seed = seed;
+  options.fleet.seed = seed ^ 0x5eedf1ee7ull;
+  options.fleet.machine_count = 80;
+  options.fleet.mercurial_rate_multiplier = 150.0;
+  options.workload.payload_bytes = 256;
+  options.work_units_per_core_day = 20;
+  options.duration = SimTime::Days(100);
+  options.screening.offline_period = SimTime::Days(25);
+  options.shards = 8;
+  options.threads = threads;
+  if (chaos) {
+    options.control_plane.max_pending = 64;
+    options.control_plane.max_retries = 3;
+    options.control_plane.retry_backoff = SimTime::Days(1);
+    options.control_plane.drain_latency = SimTime::Hours(12);
+    options.control_plane.drain_timeout = SimTime::Days(4);
+    options.control_plane.quarantine_budget_fraction = 0.25;
+    options.control_plane.chaos.drop_report = 0.30;
+    options.control_plane.chaos.duplicate_report = 0.20;
+    options.control_plane.chaos.delay_report = 0.20;
+    options.control_plane.chaos.abort_interrogation = 0.50;
+    options.control_plane.chaos.machine_restart_per_day = 0.50;
+  }
+  return options;
+}
+
+void ExpectFastPathMatchesReference(bool chaos) {
+  for (const uint64_t seed : {uint64_t{7}, uint64_t{20210531}, uint64_t{424242}}) {
+    StudyReport reference;
+    {
+      ScopedFastPath off(false);
+      reference = RunStudy(FastPathHarness(seed, chaos, /*threads=*/1));
+    }
+    for (const int threads : {1, 2, 8}) {
+      ScopedFastPath on(true);
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " chaos=" + (chaos ? "high" : "off") +
+                   " threads=" + std::to_string(threads));
+      const StudyReport fast = RunStudy(FastPathHarness(seed, chaos, threads));
+      ExpectReportsEqual(reference, fast);
+    }
+  }
+}
+
+// D5a: fast path on/off bit-identical for 3 seeds x threads {1, 2, 8}, chaos off.
+TEST(DeterminismTest, FastPathMatchesReferencePath) {
+  ExpectFastPathMatchesReference(/*chaos=*/false);
+}
+
+// D5b: same, with the chaos injector at the bench's "high" setting, so delayed/duplicated
+// reports, aborted interrogations, and machine restarts all flow through the cached dispatch.
+TEST(DeterminismTest, FastPathMatchesReferencePathUnderChaos) {
+  ExpectFastPathMatchesReference(/*chaos=*/true);
 }
 
 // Different seeds must (overwhelmingly) give different studies — guards against the harness

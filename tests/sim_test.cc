@@ -368,6 +368,86 @@ TEST(AgingTest, RateGrowsAfterOnset) {
   EXPECT_NEAR(defect.FireProbability(year3) / defect.FireProbability(year1), 4.0, 0.01);
 }
 
+TEST(FvtTest, ProbabilityClampedToZeroAndOne) {
+  DefectSpec spec = AlwaysFire(ExecUnit::kIntAlu, DefectEffect::kBitFlip);
+  spec.fvt.base_rate = 1e-3;
+  spec.fvt.temp_slope = 50.0;
+  const Defect defect(spec);
+  Environment very_hot{OperatingPoint{2.5, 200.0}, 0.9, 1.0};
+  EXPECT_DOUBLE_EQ(defect.FireProbability(very_hot), 1.0);
+  // exp(50 * (-400 - 60) / 10) underflows to zero: the clamp's lower edge, never negative.
+  Environment very_cold{OperatingPoint{2.5, -400.0}, 0.9, 1.0};
+  EXPECT_DOUBLE_EQ(defect.FireProbability(very_cold), 0.0);
+}
+
+TEST(AgingTest, FireProbabilityZeroBeforeOnset) {
+  DefectSpec spec = AlwaysFire(ExecUnit::kIntAlu, DefectEffect::kBitFlip);
+  spec.aging.onset = SimTime::Days(365);
+  const Defect defect(spec);
+  Environment just_before{OperatingPoint{}, 0.9, 0.999};
+  EXPECT_DOUBLE_EQ(defect.FireProbability(just_before), 0.0);
+}
+
+TEST(AgingTest, NoGrowthAtExactOnsetBoundary) {
+  DefectSpec spec = AlwaysFire(ExecUnit::kIntAlu, DefectEffect::kBitFlip);
+  spec.fvt.base_rate = 1e-4;
+  spec.aging.onset = SimTime::Days(365);  // onset_years == 1.0 exactly
+  spec.aging.growth_per_year = 1.0;
+  const Defect defect(spec);
+  // Active at the boundary (age >= onset) but years_past_onset == 0: no growth multiplier.
+  Environment at_onset{OperatingPoint{}, 0.9, 1.0};
+  EXPECT_DOUBLE_EQ(defect.FireProbability(at_onset), 1e-4);
+  Environment a_year_later{OperatingPoint{}, 0.9, 2.0};
+  EXPECT_NEAR(defect.FireProbability(a_year_later), 2e-4, 1e-12);
+}
+
+// --- Dispatch-cache invalidation -----------------------------------------------------------
+
+TEST(SimCoreTest, EnvRevisionTracksEnvironmentChanges) {
+  SimCore core = HealthyCore();
+  const uint64_t r0 = core.env_revision();
+  core.set_operating_point(core.operating_point());
+  EXPECT_EQ(core.env_revision(), r0) << "unchanged operating point must not invalidate";
+  OperatingPoint hotter = core.operating_point();
+  hotter.temperature_c += 20.0;
+  core.set_operating_point(hotter);
+  EXPECT_GT(core.env_revision(), r0);
+
+  const uint64_t r1 = core.env_revision();
+  core.set_age(core.age());
+  EXPECT_EQ(core.env_revision(), r1) << "unchanged age must not invalidate";
+  core.set_age(SimTime::Days(10));
+  EXPECT_GT(core.env_revision(), r1);
+
+  const uint64_t r2 = core.env_revision();
+  core.set_dvfs(DvfsCurve{});
+  EXPECT_GT(core.env_revision(), r2);
+
+  const uint64_t r3 = core.env_revision();
+  core.AddDefect(AlwaysFire(ExecUnit::kIntAlu, DefectEffect::kBitFlip));
+  EXPECT_GT(core.env_revision(), r3);
+}
+
+TEST(SimCoreTest, DispatchCacheInvalidatedByOperatingPoint) {
+  SimCore core = HealthyCore();
+  DefectSpec spec = AlwaysFire(ExecUnit::kIntAlu, DefectEffect::kBitFlip);
+  spec.fvt.temp_slope = 50.0;  // p == 1 at nominal temperature, underflows to 0 when frozen
+  core.AddDefect(spec);
+  ASSERT_TRUE(core.fast_path());
+  EXPECT_NE(core.Alu(AluOp::kAdd, 1, 1), 2u) << "armed at p=1: every op corrupts";
+
+  OperatingPoint frozen = core.operating_point();
+  frozen.temperature_c = -400.0;
+  core.set_operating_point(frozen);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(core.Alu(AluOp::kAdd, i, 1), static_cast<uint64_t>(i + 1))
+        << "cache must re-arm after set_operating_point";
+  }
+
+  core.set_operating_point(OperatingPoint{});
+  EXPECT_NE(core.Alu(AluOp::kAdd, 1, 1), 2u) << "cache must re-arm again on restore";
+}
+
 // --- Catalog -------------------------------------------------------------------------------
 
 class DefectCatalogTest : public ::testing::TestWithParam<int> {};
