@@ -1,0 +1,207 @@
+// Blast-radius benchmark: escape rate and repair overhead vs. the repair budget.
+//
+// Runs the same audit-enabled fleet study across a sweep of repair budgets (artifacts touched
+// per tick), from starved to effectively unbounded, plus one baseline row with auditing off.
+// Two figures of merit per budget row:
+//
+//   * escape rate    — tagged corruptions NOT repaired (shed or still at rest) divided by all
+//     tagged corruptions. More budget should monotonically (modulo chaos) buy fewer escapes.
+//   * repair overhead — repair ops charged to the pipeline divided by production work units:
+//     the fraction of fleet work spent re-verifying and re-executing old results. This is the
+//     quantity the budget caps ("repair must not outrun detection", DESIGN.md).
+//
+// Every row embeds the conservation check: repaired + shed + still_at_rest must equal the
+// tagged-corruption total exactly, and the audit-off baseline must report identical production
+// legacy results (work units, silent corruptions, retirements) to the audited rows — auditing
+// observes the study, it must not perturb it. The binary exits nonzero if either fails.
+//
+//   bench_blast_radius --machines=800 --days=365 --json=BENCH_blast_radius.json
+//
+// Output: human-readable table on stdout plus a JSON artifact with the raw numbers.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/core/fleet_study.h"
+
+using namespace mercurial;
+
+namespace {
+
+struct BudgetRow {
+  std::string label;
+  uint64_t budget = 0;  // artifacts per tick; 0 = audit disabled (baseline)
+
+  // Results.
+  double seconds = 0.0;
+  uint64_t work_units = 0;
+  uint64_t silent_corruptions = 0;
+  uint64_t true_positive_retirements = 0;
+  uint64_t corruptions_tagged = 0;
+  uint64_t repaired = 0;
+  uint64_t shed = 0;
+  uint64_t at_rest = 0;
+  uint64_t repair_ops = 0;
+  uint64_t retries = 0;
+  uint64_t backlog_peak = 0;
+  double escape_rate = 0.0;     // (shed + at_rest) / tagged
+  double repair_overhead = 0.0; // repair ops / production work units
+  bool conserved = false;
+};
+
+StudyOptions BaseOptions(uint64_t seed, size_t machines, int days) {
+  StudyOptions options;
+  options.seed = seed;
+  options.fleet.machine_count = machines;
+  options.fleet.mercurial_rate_multiplier = 200.0;
+  options.duration = SimTime::Days(days);
+  options.work_units_per_core_day = 20;
+  options.workload.payload_bytes = 256;
+  // A pipeline that actually convicts: retries convert low-reproducibility defects.
+  options.control_plane.max_retries = 2;
+  options.control_plane.retry_backoff = SimTime::Days(1);
+  return options;
+}
+
+BudgetRow RunOnce(BudgetRow row, const StudyOptions& base) {
+  StudyOptions options = base;
+  options.audit.enabled = row.budget > 0;
+  if (options.audit.enabled) {
+    options.audit.repair_budget_per_tick = row.budget;
+    options.audit.max_attempts = 3;
+    options.audit.retry_backoff = SimTime::Days(1);
+    // Repair-path chaos on in every audited row, so retries and misses are exercised.
+    options.audit.chaos.repair_fail_reverify = 0.01;
+    options.audit.chaos.repair_on_defective = 0.05;
+    options.audit.chaos.repair_partial = 0.05;
+  }
+  FleetStudy study(options);
+  const auto start = std::chrono::steady_clock::now();
+  const StudyReport report = study.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  row.seconds = std::chrono::duration<double>(stop - start).count();
+  row.work_units = report.work_units_executed;
+  row.silent_corruptions = report.silent_corruptions;
+  row.true_positive_retirements = report.quarantine.true_positive_retirements;
+  row.corruptions_tagged = report.corruptions_tagged;
+  row.repaired = report.repair.corruptions_repaired;
+  row.shed = report.repair.corruptions_shed;
+  row.at_rest = report.repair.corruptions_still_at_rest;
+  row.repair_ops = report.repair.repair_ops;
+  row.retries = report.repair.retries_scheduled;
+  row.backlog_peak = report.repair.backlog_peak;
+  row.conserved =
+      !report.audit_enabled ||
+      row.repaired + row.shed + row.at_rest == row.corruptions_tagged;
+  if (row.corruptions_tagged > 0) {
+    row.escape_rate = static_cast<double>(row.shed + row.at_rest) /
+                      static_cast<double>(row.corruptions_tagged);
+  }
+  if (row.work_units > 0) {
+    row.repair_overhead =
+        static_cast<double>(row.repair_ops) / static_cast<double>(row.work_units);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineInt("machines", 800, "fleet size in machines");
+  flags.DefineInt("days", 365, "simulated study duration");
+  flags.DefineInt("seed", 42, "master seed");
+  flags.DefineString("json", "BENCH_blast_radius.json", "path for the JSON artifact ('' = skip)");
+  const Status status = flags.Parse(argc, argv, 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+
+  const size_t machines = static_cast<size_t>(flags.GetInt("machines"));
+  const int days = static_cast<int>(flags.GetInt("days"));
+  const StudyOptions base =
+      BaseOptions(static_cast<uint64_t>(flags.GetInt("seed")), machines, days);
+
+  std::printf("# blast radius — %zu machines, %d days, repair-budget sweep\n", machines, days);
+
+  BudgetRow baseline;
+  baseline.label = "audit off";
+  baseline = RunOnce(baseline, base);
+
+  std::vector<BudgetRow> rows;
+  for (const uint64_t budget : {uint64_t{64}, uint64_t{512}, uint64_t{4096}, uint64_t{65536}}) {
+    BudgetRow row;
+    char label[32];
+    std::snprintf(label, sizeof(label), "budget %llu", static_cast<unsigned long long>(budget));
+    row.label = label;
+    row.budget = budget;
+    rows.push_back(RunOnce(row, base));
+  }
+
+  std::printf("%-14s %8s %10s %9s %7s %9s %10s %10s %12s\n", "config", "wall_s", "tagged",
+              "repaired", "shed", "at_rest", "escape_%", "retries", "overhead_%");
+  bool all_conserved = true;
+  bool invisible = true;
+  for (const BudgetRow& row : rows) {
+    std::printf("%-14s %8.2f %10llu %9llu %7llu %9llu %9.3f%% %10llu %11.3f%%\n",
+                row.label.c_str(), row.seconds,
+                static_cast<unsigned long long>(row.corruptions_tagged),
+                static_cast<unsigned long long>(row.repaired),
+                static_cast<unsigned long long>(row.shed),
+                static_cast<unsigned long long>(row.at_rest), row.escape_rate * 100.0,
+                static_cast<unsigned long long>(row.retries), row.repair_overhead * 100.0);
+    all_conserved = all_conserved && row.conserved;
+    // Auditing is an observer: every audited row must reproduce the baseline's production
+    // results exactly — same work, same corruptions, same convictions.
+    invisible = invisible && row.work_units == baseline.work_units &&
+                row.silent_corruptions == baseline.silent_corruptions &&
+                row.true_positive_retirements == baseline.true_positive_retirements;
+  }
+  std::printf("# conservation (repaired + shed + at_rest == tagged) in every row: %s\n",
+              all_conserved ? "yes" : "NO — BUG");
+  std::printf("# auditing bit-invisible to production results: %s\n",
+              invisible ? "yes" : "NO — BUG");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"blast_radius\",\n");
+    std::fprintf(f, "  \"machines\": %zu,\n", machines);
+    std::fprintf(f, "  \"days\": %d,\n", days);
+    std::fprintf(f, "  \"conservation_held\": %s,\n", all_conserved ? "true" : "false");
+    std::fprintf(f, "  \"audit_invisible_to_production\": %s,\n", invisible ? "true" : "false");
+    std::fprintf(f, "  \"baseline_wall_seconds\": %.6f,\n", baseline.seconds);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const BudgetRow& row = rows[i];
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"budget_per_tick\": %llu, "
+                   "\"wall_seconds\": %.6f, \"corruptions_tagged\": %llu, "
+                   "\"repaired\": %llu, \"shed\": %llu, \"still_at_rest\": %llu, "
+                   "\"escape_rate\": %.6f, \"repair_ops\": %llu, \"retries\": %llu, "
+                   "\"backlog_peak\": %llu, \"repair_overhead\": %.6f}%s\n",
+                   row.label.c_str(), static_cast<unsigned long long>(row.budget), row.seconds,
+                   static_cast<unsigned long long>(row.corruptions_tagged),
+                   static_cast<unsigned long long>(row.repaired),
+                   static_cast<unsigned long long>(row.shed),
+                   static_cast<unsigned long long>(row.at_rest), row.escape_rate,
+                   static_cast<unsigned long long>(row.repair_ops),
+                   static_cast<unsigned long long>(row.retries),
+                   static_cast<unsigned long long>(row.backlog_peak), row.repair_overhead,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return (all_conserved && invisible) ? 0 : 1;
+}

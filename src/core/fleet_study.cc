@@ -19,6 +19,14 @@ constexpr const char* kAutoSeries = "incidents.auto_reported";
 constexpr uint64_t kProductionStreamSalt = 0x70726f64756374ull;  // "product"
 constexpr uint64_t kScreeningStreamSalt = 0x73637265656e00ull;   // "screen"
 
+// The study owns the provenance-epoch granularity: one epoch per tick, so the repair
+// pipeline's suspect window maps 1:1 onto ledger entries.
+RepairOptions ResolveAuditOptions(const StudyOptions& options) {
+  RepairOptions audit = options.audit;
+  audit.epoch_length = options.tick;
+  return audit;
+}
+
 }  // namespace
 
 std::vector<ShardRange> PartitionCores(uint64_t core_count, int shards) {
@@ -45,6 +53,7 @@ struct FleetStudy::ShardDelta {
   std::vector<McaRecord> mca_records;        // machine-check telemetry, in emission order
   std::vector<PendingHumanReport> human_reports;
   MetricRegistry metrics;                    // counter increments only
+  BlastRadiusLedger ledger;                  // provenance tags (audit-enabled studies only)
   ShardScreenOutcome screen;
 
   // Hot-counter handles, resolved once per pooled buffer instead of once per event.
@@ -66,6 +75,7 @@ struct FleetStudy::ShardDelta {
     mca_records.clear();
     human_reports.clear();
     metrics.ResetForReuse();
+    ledger.Clear();
     screen.stats = ScreeningTickStats{};
     screen.failures.clear();
     screen.offline_drained.clear();
@@ -87,6 +97,10 @@ FleetStudy::FleetStudy(StudyOptions options)
       control_plane_(options.control_plane, options.quarantine, rng_.Split(0x9a44),
                      rng_.Split(0xc0a1)),
       corpus_(BuildStandardCorpus(options.workload)),
+      // The repair stream is a fresh Split label: Split is a pure function of (parent
+      // identity, label) and never advances the parent, so adding it leaves every existing
+      // stream untouched — a disabled audit is bit-invisible.
+      repair_(ResolveAuditOptions(options), rng_.Split(0xb1a5)),
       mca_log_(options.mca_log_capacity) {
   report_.machines = fleet_.machine_count();
   report_.cores = fleet_.core_count();
@@ -96,6 +110,21 @@ FleetStudy::FleetStudy(StudyOptions options)
   user_report_id_ = metrics_.Intern("signals.user_report");
   user_series_ = &metrics_.Series(kUserSeries);
   auto_series_ = &metrics_.Series(kAutoSeries);
+
+  if (options_.audit.enabled) {
+    // Repair executors are drawn from the real fleet, which still contains unconvicted
+    // mercurial cores — the organic "repair on another defective core" failure mode the
+    // chaos knob only supplements.
+    repair_.SetExecutorPool(fleet_.core_count(), [this](uint64_t core) {
+      return fleet_.IsMercurial(core) && fleet_.core(core).AnyDefectActive();
+    });
+    // Conviction -> suspect set. Fires inside the control plane's serial Tick, after this
+    // tick's shard ledgers have already merged, so the suspect set sees every artifact the
+    // convicted core produced up to and including the conviction tick.
+    control_plane_.set_conviction_hook([this](SimTime now, const QuarantineVerdict& verdict) {
+      repair_.OnConviction(now, verdict.core_global, ledger_);
+    });
+  }
 }
 
 void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom, Rng& rng,
@@ -183,6 +212,9 @@ void FleetStudy::RunProductionShard(SimTime now, uint64_t core_begin, uint64_t c
                                     ShardDelta& delta) {
   const double busy_units = static_cast<double>(options_.work_units_per_core_day) *
                             options_.tick.days();
+  const bool audit = options_.audit.enabled;
+  const uint64_t epoch =
+      static_cast<uint64_t>(now.seconds() / options_.tick.seconds());
   for (uint64_t core_index : fleet_.mercurial_cores()) {
     if (core_index < core_begin || core_index >= core_end) {
       continue;
@@ -196,11 +228,26 @@ void FleetStudy::RunProductionShard(SimTime now, uint64_t core_begin, uint64_t c
       continue;
     }
     const uint64_t units = rng.Poisson(busy_units);
+    if (audit && units > 0) {
+      // Stamp the producer: everything this core emits during the tick carries (core, epoch).
+      core.set_provenance_epoch(epoch);
+    }
     for (uint64_t u = 0; u < units; ++u) {
-      Workload& workload = *corpus[rng.UniformInt(0, corpus.size() - 1)];
+      // The corpus index doubles as the WorkloadKind (BuildStandardCorpus builds one instance
+      // per kind, in enum order), which determines the artifact class the unit produces.
+      const uint64_t pick = rng.UniformInt(0, corpus.size() - 1);
+      Workload& workload = *corpus[pick];
       const WorkloadResult result = workload.Run(core, rng);
       ++delta.work_units_executed;
       HandleSymptom(now, core_index, result.symptom, rng, delta);
+      if (audit) {
+        // Ground truth for the escape accounting: a silent corruption is exactly an artifact
+        // corrupt at rest (detected/late corruptions never left the producing task).
+        delta.ledger.RecordArtifacts(
+            core_index, epoch, ArtifactKindForWorkload(static_cast<WorkloadKind>(pick)),
+            /*produced=*/1,
+            /*corrupt=*/result.symptom == Symptom::kSilentCorruption ? 1 : 0);
+      }
     }
   }
 }
@@ -234,13 +281,23 @@ void FleetStudy::EmitBackgroundNoiseShard(SimTime now, SimTime dt, uint64_t core
   }
 }
 
+void FleetStudy::NoteSignalForAudit(const Signal& signal) {
+  if (options_.audit.enabled) {
+    ledger_.NoteSignal(signal.core_global, signal.time);
+  }
+}
+
 void FleetStudy::ApplyShardDelta(ShardDelta& delta) {
   for (int s = 0; s < kSymptomCount; ++s) {
     report_.symptom_counts[s] += delta.symptom_counts[s];
   }
   report_.work_units_executed += delta.work_units_executed;
   report_.silent_corruptions += delta.silent_corruptions;
+  if (options_.audit.enabled) {
+    ledger_.MergeFrom(delta.ledger);
+  }
   for (const Signal& signal : delta.signals) {
+    NoteSignalForAudit(signal);
     control_plane_.Report(signal, service_);
   }
   for (const McaRecord& record : delta.mca_records) {
@@ -262,6 +319,7 @@ void FleetStudy::ApplyScreenOutcome(SimTime now, const ShardScreenOutcome& outco
   for (const Signal& signal : outcome.failures) {
     auto_series_->Add(now, 1.0);
     metrics_.Increment(screen_fail_id_);
+    NoteSignalForAudit(signal);
     control_plane_.Report(signal, service_);
   }
   report_.screen_failures += outcome.stats.screen_failures;
@@ -272,6 +330,7 @@ void FleetStudy::FlushHumanReports(SimTime now) {
   auto due = std::partition(pending_human_reports_.begin(), pending_human_reports_.end(),
                             [now](const PendingHumanReport& r) { return r.due > now; });
   for (auto it = due; it != pending_human_reports_.end(); ++it) {
+    NoteSignalForAudit(it->signal);
     control_plane_.Report(it->signal, service_);
     metrics_.Increment(user_report_id_);
     user_series_->Add(now, 1.0);
@@ -292,6 +351,12 @@ void FleetStudy::ProcessSuspects(
       report_.detection_latency_days.Add(latency_days);
       metrics_.Increment("quarantine.true_retirements");
     }
+  }
+  if (options_.audit.enabled) {
+    // Repair runs strictly after detection within the tick ("repair must not outrun
+    // detection", DESIGN.md): conviction hooks from the verdicts above have already enqueued
+    // their suspect sets.
+    repair_.Tick(now);
   }
 }
 
@@ -317,6 +382,7 @@ void FleetStudy::RunBurnIn() {
     auto_series_->Add(signal.time, 1.0);
     metrics_.Increment(screen_fail_id_);
     ++report_.screen_failures;
+    NoteSignalForAudit(signal);
     control_plane_.Report(signal, service_);
   };
   ScreeningOptions burn_in_options = options_.screening;
@@ -351,6 +417,7 @@ void FleetStudy::RunTicksSerial(
         now, options_.tick, fleet_, scheduler_, [&](const Signal& signal) {
           auto_series_->Add(now, 1.0);
           metrics_.Increment(screen_fail_id_);
+          NoteSignalForAudit(signal);
           control_plane_.Report(signal, service_);
         });
     report_.screen_failures += screen_stats.screen_failures;
@@ -460,6 +527,32 @@ void FleetStudy::Finalize() {
   metrics_.Increment("chaos.interrogations_aborted",
                      report_.control_plane.chaos.interrogations_aborted);
   metrics_.Increment("chaos.machine_restarts", report_.control_plane.chaos.machine_restarts);
+
+  report_.audit_enabled = options_.audit.enabled;
+  if (options_.audit.enabled) {
+    repair_.FinalizeAccounting(ledger_);
+    report_.artifacts_tagged = ledger_.artifacts_recorded();
+    report_.corruptions_tagged = ledger_.corrupt_recorded();
+    report_.repair = repair_.stats();
+    metrics_.Increment("audit.artifacts_tagged", report_.artifacts_tagged);
+    metrics_.Increment("audit.corruptions_tagged", report_.corruptions_tagged);
+    metrics_.Increment("repair.convictions", report_.repair.convictions);
+    metrics_.Increment("repair.suspect_epochs", report_.repair.suspect_epochs);
+    metrics_.Increment("repair.suspect_artifacts", report_.repair.suspect_artifacts);
+    metrics_.Increment("repair.artifacts_reverified", report_.repair.artifacts_reverified);
+    metrics_.Increment("repair.artifacts_reexecuted", report_.repair.artifacts_reexecuted);
+    metrics_.Increment("repair.retries_scheduled", report_.repair.retries_scheduled);
+    metrics_.Increment("repair.epochs_shed", report_.repair.epochs_shed);
+    metrics_.Increment("repair.corruptions_repaired", report_.repair.corruptions_repaired);
+    metrics_.Increment("repair.corruptions_shed", report_.repair.corruptions_shed);
+    metrics_.Increment("repair.corruptions_still_at_rest",
+                       report_.repair.corruptions_still_at_rest);
+    metrics_.ObserveMax("repair.backlog_peak", report_.repair.backlog_peak);
+    metrics_.Increment("chaos.reverify_misses", report_.repair.chaos.reverify_misses);
+    metrics_.Increment("chaos.defective_repairs", report_.repair.chaos.defective_repairs);
+    metrics_.Increment("chaos.partial_repairs", report_.repair.chaos.partial_repairs);
+  }
+
   const double thousands = static_cast<double>(fleet_.machine_count()) / 1000.0;
   report_.planted_per_thousand_machines =
       static_cast<double>(report_.true_mercurial_cores) / thousands;
@@ -523,6 +616,8 @@ StudyReport FleetStudy::Run() {
   MERCURIAL_CHECK(screening_status.ok()) << screening_status.ToString();
   const Status plane_status = options_.control_plane.Validate();
   MERCURIAL_CHECK(plane_status.ok()) << plane_status.ToString();
+  const Status audit_status = options_.audit.Validate();
+  MERCURIAL_CHECK(audit_status.ok()) << audit_status.ToString();
 
   const int shards = std::max(1, options_.shards);
   const int threads = std::clamp(options_.threads, 1, shards);

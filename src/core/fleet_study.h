@@ -38,6 +38,8 @@
 #include "src/detect/report_service.h"
 #include "src/detect/screening.h"
 #include "src/fleet/fleet.h"
+#include "src/mitigate/blast_radius.h"
+#include "src/mitigate/repair_orchestrator.h"
 #include "src/sched/scheduler.h"
 #include "src/telemetry/metrics.h"
 #include "src/workload/workload.h"
@@ -56,6 +58,13 @@ struct StudyOptions {
   // synchronous pipeline (bit-identical reports).
   ControlPlaneOptions control_plane;
   SchedulerCosts scheduler_costs;
+
+  // Blast-radius auditing + retroactive repair (mitigate/blast_radius.h,
+  // mitigate/repair_orchestrator.h). Disabled by default; a study with `audit.enabled` false
+  // tags nothing, repairs nothing, and produces a report bit-identical to the pre-audit
+  // engine. `audit.epoch_length` is overridden by the study to its tick (one provenance epoch
+  // per tick), and `audit.chaos` consults only the repair_* knobs.
+  RepairOptions audit;
 
   SimTime tick = SimTime::Days(1);
   SimTime duration = SimTime::Days(3 * 365);
@@ -133,6 +142,14 @@ struct StudyReport {
   uint64_t mca_recidivists = 0;
   uint64_t mca_true_mercurial = 0;
   uint64_t mca_unit_attribution_correct = 0;
+
+  // Blast-radius audit + retroactive repair (populated only when StudyOptions::audit.enabled).
+  // Conservation: every tagged corruption is classified as exactly one of
+  // repair.corruptions_repaired / corruptions_shed / corruptions_still_at_rest.
+  bool audit_enabled = false;
+  uint64_t artifacts_tagged = 0;    // artifacts recorded in the provenance ledger
+  uint64_t corruptions_tagged = 0;  // of those, ground-truth corrupt at rest
+  RepairStats repair;
 };
 
 // One shard's contiguous slice of the fleet's global core indices.
@@ -181,6 +198,10 @@ class FleetStudy {
   void ApplyShardDelta(ShardDelta& delta);
   void ApplyScreenOutcome(SimTime now, const ShardScreenOutcome& outcome);
 
+  // Blast-radius bookkeeping: earliest-signal times feed the repair pipeline's defect-onset
+  // estimate. No-op when auditing is disabled.
+  void NoteSignalForAudit(const Signal& signal);
+
   // Serial control-plane stages shared by both engines.
   void FlushHumanReports(SimTime now);
   void ProcessSuspects(SimTime now,
@@ -211,6 +232,11 @@ class FleetStudy {
   TimeSeries* user_series_ = nullptr;
   TimeSeries* auto_series_ = nullptr;
   std::vector<PendingHumanReport> pending_human_reports_;
+  // Blast-radius provenance ledger and the repair pipeline it feeds. The ledger is only ever
+  // written in shard deltas (merged serially in shard order) or the serial phase; the
+  // orchestrator runs exclusively in the serial phase on its own dedicated RNG stream.
+  BlastRadiusLedger ledger_;
+  RepairOrchestrator repair_;
   McaLog mca_log_;
   StudyReport report_;
   bool ran_ = false;

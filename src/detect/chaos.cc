@@ -32,6 +32,15 @@ Status ChaosOptions::Validate() const {
   if (!(machine_restart_per_day >= 0.0)) {
     return InvalidArgumentError("chaos machine_restart_per_day must be >= 0");
   }
+  if (Status s = CheckProbability(repair_fail_reverify, "chaos repair_fail_reverify"); !s.ok()) {
+    return s;
+  }
+  if (Status s = CheckProbability(repair_on_defective, "chaos repair_on_defective"); !s.ok()) {
+    return s;
+  }
+  if (Status s = CheckProbability(repair_partial, "chaos repair_partial"); !s.ok()) {
+    return s;
+  }
   if (delay_report > 0.0 && report_delay_mean.seconds() <= 0) {
     return InvalidArgumentError("chaos report_delay_mean must be positive when delays are on");
   }
@@ -92,6 +101,33 @@ bool ChaosInjector::AbortInterrogation(double* fraction_run) {
   ++stats_.interrogations_aborted;
   if (fraction_run != nullptr) {
     *fraction_run = rng_.NextDouble();  // preemption lands uniformly within the battery
+  }
+  return true;
+}
+
+bool ChaosInjector::FailReverify() {
+  if (options_.repair_fail_reverify <= 0.0 || !rng_.Bernoulli(options_.repair_fail_reverify)) {
+    return false;
+  }
+  ++stats_.reverify_misses;
+  return true;
+}
+
+bool ChaosInjector::RepairOnDefective() {
+  if (options_.repair_on_defective <= 0.0 || !rng_.Bernoulli(options_.repair_on_defective)) {
+    return false;
+  }
+  ++stats_.defective_repairs;
+  return true;
+}
+
+bool ChaosInjector::PartialRepair(double* fraction_done) {
+  if (options_.repair_partial <= 0.0 || !rng_.Bernoulli(options_.repair_partial)) {
+    return false;
+  }
+  ++stats_.partial_repairs;
+  if (fraction_done != nullptr) {
+    *fraction_done = rng_.NextDouble();  // preemption lands uniformly within the pass
   }
   return true;
 }

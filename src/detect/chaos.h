@@ -40,9 +40,20 @@ struct ChaosOptions {
   // state for that machine's cores (control_plane.h applies the reset).
   double machine_restart_per_day = 0.0;
 
+  // Repair-path faults (consumed by the RepairOrchestrator's injector, mitigate/
+  // repair_orchestrator.h). The retroactive-repair pipeline is itself fleet software: its
+  // scans can miss, its executors can be defective, and its jobs get preempted.
+  double repair_fail_reverify = 0.0;   // P(re-verification misses a corrupt artifact)
+  double repair_on_defective = 0.0;    // P(the repair executor is itself defective)
+  double repair_partial = 0.0;         // P(a repair pass is preempted mid-epoch)
+
   bool enabled() const {
     return drop_report > 0.0 || delay_report > 0.0 || duplicate_report > 0.0 ||
-           abort_interrogation > 0.0 || machine_restart_per_day > 0.0;
+           abort_interrogation > 0.0 || machine_restart_per_day > 0.0 || repair_enabled();
+  }
+
+  bool repair_enabled() const {
+    return repair_fail_reverify > 0.0 || repair_on_defective > 0.0 || repair_partial > 0.0;
   }
 
   // Rejects probabilities outside [0,1], negative rates, and a non-positive delay mean while
@@ -56,6 +67,9 @@ struct ChaosStats {
   uint64_t reports_duplicated = 0;
   uint64_t interrogations_aborted = 0;
   uint64_t machine_restarts = 0;
+  uint64_t reverify_misses = 0;       // corrupt artifacts a chaos-failed re-verification passed
+  uint64_t defective_repairs = 0;     // repair passes forced onto a defective executor
+  uint64_t partial_repairs = 0;       // repair passes preempted mid-epoch
 };
 
 class ChaosInjector {
@@ -78,6 +92,20 @@ class ChaosInjector {
   // Machines (ids drawn from `installed`) that crash-restart during a tick of length `dt`.
   // Sorted and deduplicated.
   std::vector<uint64_t> DrawRestarts(SimTime dt, const std::vector<uint64_t>& installed);
+
+  // --- Repair-path faults (retroactive repair, mitigate/repair_orchestrator.h) -------------
+
+  // True if a re-verification pass misses the corrupt artifact it is examining: the scan
+  // reports clean and the corruption silently stays at rest.
+  bool FailReverify();
+
+  // True if the repair pass is forced onto a defective executor (modeling the test escapes
+  // the fleet has not convicted yet); the pass's outputs are untrusted and must be retried.
+  bool RepairOnDefective();
+
+  // True if the repair pass is preempted mid-epoch; `fraction_done` is then the fraction of
+  // the planned artifacts that were processed before the preemption.
+  bool PartialRepair(double* fraction_done);
 
   size_t delayed_in_flight() const { return delayed_.size(); }
   const ChaosStats& stats() const { return stats_; }

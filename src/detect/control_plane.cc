@@ -172,8 +172,12 @@ void QuarantineControlPlane::RunInterrogations(SimTime now, Fleet& fleet,
       still_pending.push_back(pending);
       continue;
     }
-    verdicts.push_back(
-        manager_.Finalize(now, pending.core_global, result, fleet, scheduler, service));
+    QuarantineVerdict verdict =
+        manager_.Finalize(now, pending.core_global, result, fleet, scheduler, service);
+    if (verdict.retired && conviction_hook_) {
+      conviction_hook_(now, verdict);
+    }
+    verdicts.push_back(verdict);
   }
   pending_ = std::move(still_pending);
 }

@@ -38,6 +38,7 @@
 #define MERCURIAL_SRC_DETECT_CONTROL_PLANE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -123,6 +124,13 @@ class QuarantineControlPlane {
                                       CoreScheduler& scheduler, CeeReportService& service,
                                       ScreeningOrchestrator* screening);
 
+  // Conviction hook: invoked (inside Tick, serial phase) for every verdict that retires a
+  // core, before the verdict is returned. This is how the blast-radius subsystem learns about
+  // convictions without the control plane depending on the repair pipeline.
+  void set_conviction_hook(std::function<void(SimTime, const QuarantineVerdict&)> hook) {
+    conviction_hook_ = std::move(hook);
+  }
+
   size_t pending_count() const { return pending_.size(); }
   const ControlPlaneStats& stats() const { return stats_; }
   QuarantineManager& manager() { return manager_; }
@@ -157,6 +165,7 @@ class QuarantineControlPlane {
   ChaosInjector chaos_;
   ControlPlaneStats stats_;
   std::vector<Pending> pending_;  // admission order; interrogations scan front to back
+  std::function<void(SimTime, const QuarantineVerdict&)> conviction_hook_;
 };
 
 }  // namespace mercurial

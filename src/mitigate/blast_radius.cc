@@ -1,0 +1,126 @@
+#include "src/mitigate/blast_radius.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+const char* ArtifactKindName(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kChecksummedWrite:
+      return "checksummed_write";
+    case ArtifactKind::kLogEpoch:
+      return "log_epoch";
+    case ArtifactKind::kCheckpoint:
+      return "checkpoint";
+    case ArtifactKind::kPlainOutput:
+      return "plain_output";
+  }
+  return "unknown";
+}
+
+ArtifactKind ArtifactKindForWorkload(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kMemcpy:
+    case WorkloadKind::kCompression:
+    case WorkloadKind::kHash:
+      return ArtifactKind::kChecksummedWrite;
+    case WorkloadKind::kLocking:
+    case WorkloadKind::kDbIndex:
+      return ArtifactKind::kLogEpoch;
+    case WorkloadKind::kGarbageCollect:
+    case WorkloadKind::kKernel:
+    case WorkloadKind::kMatmul:
+      return ArtifactKind::kCheckpoint;
+    case WorkloadKind::kCrypto:
+    case WorkloadKind::kSorting:
+    case WorkloadKind::kVectorScan:
+    case WorkloadKind::kArithmetic:
+      return ArtifactKind::kPlainOutput;
+  }
+  return ArtifactKind::kPlainOutput;
+}
+
+uint64_t BlastRadiusLedger::EpochArtifacts::produced() const {
+  uint64_t total = 0;
+  for (const ArtifactCounts& kind_counts : counts) {
+    total += kind_counts.produced;
+  }
+  return total;
+}
+
+uint64_t BlastRadiusLedger::EpochArtifacts::corrupt() const {
+  uint64_t total = 0;
+  for (const ArtifactCounts& kind_counts : counts) {
+    total += kind_counts.corrupt;
+  }
+  return total;
+}
+
+void BlastRadiusLedger::RecordArtifacts(uint64_t core_global, uint64_t epoch, ArtifactKind kind,
+                                        uint64_t produced, uint64_t corrupt) {
+  if (produced == 0) {
+    return;
+  }
+  MERCURIAL_CHECK_GE(produced, corrupt);
+  CoreLedger& core = cores_[core_global];
+  if (core.epochs.empty() || core.epochs.back().epoch != epoch) {
+    MERCURIAL_CHECK(core.epochs.empty() || core.epochs.back().epoch < epoch)
+        << "epochs must arrive in non-decreasing order per core";
+    core.epochs.push_back(EpochArtifacts{epoch, {}});
+  }
+  ArtifactCounts& counts = core.epochs.back().counts[static_cast<int>(kind)];
+  counts.produced += produced;
+  counts.corrupt += corrupt;
+  artifacts_recorded_ += produced;
+  corrupt_recorded_ += corrupt;
+}
+
+void BlastRadiusLedger::NoteSignal(uint64_t core_global, SimTime time) {
+  CoreLedger& core = cores_[core_global];
+  if (!core.has_signal || time < core.first_signal) {
+    core.first_signal = time;
+    core.has_signal = true;
+  }
+}
+
+void BlastRadiusLedger::MergeFrom(BlastRadiusLedger& other) {
+  for (auto& [core_global, incoming] : other.cores_) {
+    CoreLedger& core = cores_[core_global];
+    for (EpochArtifacts& epoch : incoming.epochs) {
+      if (!core.epochs.empty() && core.epochs.back().epoch == epoch.epoch) {
+        for (int k = 0; k < kArtifactKindCount; ++k) {
+          core.epochs.back().counts[k].produced += epoch.counts[k].produced;
+          core.epochs.back().counts[k].corrupt += epoch.counts[k].corrupt;
+        }
+      } else {
+        MERCURIAL_CHECK(core.epochs.empty() || core.epochs.back().epoch < epoch.epoch)
+            << "shard ledgers must merge in epoch order";
+        core.epochs.push_back(epoch);
+      }
+    }
+    if (incoming.has_signal) {
+      if (!core.has_signal || incoming.first_signal < core.first_signal) {
+        core.first_signal = incoming.first_signal;
+        core.has_signal = true;
+      }
+    }
+  }
+  artifacts_recorded_ += other.artifacts_recorded_;
+  corrupt_recorded_ += other.corrupt_recorded_;
+  other.Clear();
+}
+
+void BlastRadiusLedger::Clear() {
+  cores_.clear();
+  artifacts_recorded_ = 0;
+  corrupt_recorded_ = 0;
+}
+
+const BlastRadiusLedger::CoreLedger* BlastRadiusLedger::Find(uint64_t core_global) const {
+  const auto it = cores_.find(core_global);
+  return it == cores_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mercurial

@@ -12,13 +12,35 @@
 #ifndef MERCURIAL_SRC_MITIGATE_CHECKPOINT_H_
 #define MERCURIAL_SRC_MITIGATE_CHECKPOINT_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/mitigate/blast_radius.h"
 #include "src/sim/core.h"
 
 namespace mercurial {
+
+// --- Durable checkpoint framing --------------------------------------------------------------
+//
+// A checkpoint that outlives the process must carry enough metadata for the blast-radius audit
+// to find it later (which core produced it, in which provenance epoch) and enough integrity
+// framing that a corrupted payload fails LOUDLY at restore instead of resuming a computation
+// from silently-wrong state. Layout (little-endian, 32 bytes):
+//
+//   magic (4) | core_global (8) | epoch (8) | state (8) | crc32 of the preceding 28 (4)
+
+// Serialized size of one framed checkpoint.
+inline constexpr size_t kCheckpointFrameBytes = 32;
+
+std::vector<uint8_t> SerializeCheckpoint(uint64_t state, const ProvenanceTag& provenance);
+
+// Restores the state from a framed checkpoint. Any tampering — wrong size (truncation), bad
+// magic, or a payload/metadata bit that breaks the CRC — returns DATA_LOSS; a restore never
+// silently yields corrupt state. On success `provenance` (if non-null) receives the tag.
+StatusOr<uint64_t> RestoreCheckpoint(const std::vector<uint8_t>& bytes,
+                                     ProvenanceTag* provenance = nullptr);
 
 // One granule: state in, state out, computed on the given core. Must be deterministic.
 using GranuleFn = std::function<uint64_t(SimCore&, uint64_t state)>;

@@ -1,5 +1,7 @@
 #include "src/mitigate/e2e_store.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/substrate/checksum.h"
 #include "src/workload/core_routines.h"
@@ -19,6 +21,7 @@ Status ChecksummedStore::Write(uint64_t key, const std::vector<uint8_t>& data) {
   for (int attempt = 0; attempt < 2; ++attempt) {
     Blob blob;
     blob.crc = client_crc;
+    blob.provenance = ProvenanceTag{server_core_->id(), server_core_->provenance_epoch()};
     blob.bytes = CoreMemcpy(*server_core_, data);  // the corruptible server write path
     if (!verify_on_write_) {
       blobs_[key] = std::move(blob);
@@ -47,6 +50,35 @@ StatusOr<std::vector<uint8_t>> ChecksummedStore::Read(uint64_t key) {
     return DataLossError("payload failed end-to-end checksum at read");
   }
   return out;
+}
+
+const ProvenanceTag* ChecksummedStore::Provenance(uint64_t key) const {
+  const auto it = blobs_.find(key);
+  return it == blobs_.end() ? nullptr : &it->second.provenance;
+}
+
+std::vector<uint64_t> ChecksummedStore::ReverifySuspect(uint64_t core_global, uint64_t epoch_lo,
+                                                        uint64_t epoch_hi) {
+  ++stats_.suspect_scans;
+  std::vector<uint64_t> corrupt_keys;
+  for (const auto& [key, blob] : blobs_) {
+    if (blob.provenance.core_global != core_global || blob.provenance.epoch < epoch_lo ||
+        blob.provenance.epoch > epoch_hi) {
+      continue;
+    }
+    ++stats_.suspect_blobs_scanned;
+    // Audit scan: the stored bytes are checked with the golden CRC, not the (possibly still
+    // defective) server core — the scanner must not trust the hardware it is auditing.
+    if (Crc32(blob.bytes) != blob.crc) {
+      ++stats_.suspect_corruptions_found;
+      corrupt_keys.push_back(key);
+    }
+  }
+  std::sort(corrupt_keys.begin(), corrupt_keys.end());
+  for (uint64_t key : corrupt_keys) {
+    blobs_.erase(key);  // evict so re-execution can rewrite a clean copy
+  }
+  return corrupt_keys;
 }
 
 }  // namespace mercurial

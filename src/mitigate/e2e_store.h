@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/mitigate/blast_radius.h"
 #include "src/sim/core.h"
 
 namespace mercurial {
@@ -27,6 +28,9 @@ struct StoreStats {
   uint64_t write_corruptions_caught = 0;  // bad CRC at write verification
   uint64_t read_corruptions_caught = 0;   // bad CRC at read
   uint64_t write_retries = 0;
+  uint64_t suspect_scans = 0;             // ReverifySuspect invocations
+  uint64_t suspect_blobs_scanned = 0;     // blobs whose provenance matched a suspect scan
+  uint64_t suspect_corruptions_found = 0; // of those, payloads failing their client CRC
 };
 
 class ChecksummedStore {
@@ -42,6 +46,17 @@ class ChecksummedStore {
   // Reads and verifies; DATA_LOSS if the payload fails its CRC, NOT_FOUND for unknown keys.
   StatusOr<std::vector<uint8_t>> Read(uint64_t key);
 
+  // Provenance of the stored blob (the server core's id + provenance epoch at write time),
+  // or nullptr for unknown keys. This is the tag the blast-radius ledger keys suspect sets on.
+  const ProvenanceTag* Provenance(uint64_t key) const;
+
+  // Retroactive-repair entry point: re-verifies every blob written by `core_global` in
+  // provenance epochs [epoch_lo, epoch_hi] against its client CRC (the trusted golden
+  // checksum — this is an audit scan, not a data-path read). Corrupt blobs are evicted so a
+  // re-execution can rewrite them; their keys are returned in ascending order.
+  std::vector<uint64_t> ReverifySuspect(uint64_t core_global, uint64_t epoch_lo,
+                                        uint64_t epoch_hi);
+
   const StoreStats& stats() const { return stats_; }
   size_t size() const { return blobs_.size(); }
 
@@ -49,6 +64,7 @@ class ChecksummedStore {
   struct Blob {
     std::vector<uint8_t> bytes;
     uint32_t crc = 0;  // client-computed, travels with the data
+    ProvenanceTag provenance;  // which core materialized the bytes, and when
   };
 
   SimCore* server_core_;

@@ -53,6 +53,15 @@ StatusOr<uint64_t> ReplicatedLog::Apply(uint64_t command) {
   }
   if (best <= static_cast<int>(cores_.size()) / 2) {
     ++stats_.unresolved;
+    // No majority: more than one replica diverged, so there is no trusted reference and no
+    // repair — but the evidence must not be dropped on the floor. Every replica is filed as
+    // a suspect (each digest group is a minority); the concentration test downstream is what
+    // separates the truly defective core from the healthy ones swept up with it.
+    if (reporter_) {
+      for (size_t r = 0; r < cores_.size(); ++r) {
+        reporter_(r, cores_[r]->id());
+      }
+    }
     return AbortedError("replicated log: no majority digest");
   }
 
@@ -63,6 +72,9 @@ StatusOr<uint64_t> ReplicatedLog::Apply(uint64_t command) {
       ++stats_.repairs;
       last_divergent_replica_ = static_cast<int>(r);
       states_[r] = majority_state;
+      if (reporter_) {
+        reporter_(r, cores_[r]->id());
+      }
     }
   }
   agreed_state_ = majority_state;

@@ -26,11 +26,21 @@ struct ReplicatedLogStats {
   uint64_t unresolved = 0;  // no majority (more than one replica diverged)
 };
 
+// Callback through which the log files suspect-core reports (wired to the suspect-core
+// report service by the harness). `core_id` is the SimCore id of the divergent replica's core.
+using SuspectReporter = std::function<void(size_t replica_index, uint64_t core_id)>;
+
 class ReplicatedLog {
  public:
   // One replica per core; >= 3 cores required for majority repair. All replicas start from
   // `initial_state` (a 64-byte register file digested per update).
   ReplicatedLog(std::vector<SimCore*> replica_cores, uint64_t initial_state);
+
+  // Suspect reporting. On a majority apply, every divergent minority replica is reported; on
+  // a no-majority apply EVERY replica is reported — each digest group is a minority, there is
+  // no trusted reference, and an even spread is exactly what the concentration test is built
+  // to discount, so over-reporting here cannot convict a healthy core by itself.
+  void set_suspect_reporter(SuspectReporter reporter) { reporter_ = std::move(reporter); }
 
   // Applies one update (a 64-bit command) at every replica: each replica mixes the command
   // into its state with core-routed ALU ops. Returns the agreed state digest, detecting and
@@ -51,6 +61,7 @@ class ReplicatedLog {
   uint64_t agreed_state_;
   int last_divergent_replica_ = -1;
   ReplicatedLogStats stats_;
+  SuspectReporter reporter_;
 };
 
 }  // namespace mercurial

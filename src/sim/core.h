@@ -130,6 +130,13 @@ class SimCore {
   // Atomic unit: compare-and-swap on `target` with lock-semantics defects applied.
   bool Cas(uint64_t& target, uint64_t expected, uint64_t desired);
 
+  // --- Provenance ----------------------------------------------------------------------------
+  // Current provenance epoch: the coarse timestamp stamped onto every artifact this core
+  // produces (blast-radius accounting, mitigate/blast_radius.h). Plain data, not part of the
+  // fire-probability environment — setting it does NOT bump env_revision.
+  void set_provenance_epoch(uint64_t epoch) { provenance_epoch_ = epoch; }
+  uint64_t provenance_epoch() const { return provenance_epoch_; }
+
   // --- Telemetry -----------------------------------------------------------------------------
   const CoreCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = CoreCounters{}; }
@@ -174,6 +181,7 @@ class SimCore {
   CoreCounters counters_;
   bool pending_machine_check_ = false;
   bool fast_path_ = true;
+  uint64_t provenance_epoch_ = 0;
   uint64_t env_revision_ = 1;
   uint64_t armed_revision_ = 0;  // env_revision_ value the armed lists were built at
   std::array<std::vector<ArmedDefect>, kExecUnitCount> armed_;

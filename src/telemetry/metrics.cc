@@ -43,6 +43,16 @@ uint64_t MetricRegistry::gauge_max(const std::string& name) const {
   return it == gauge_maxes_.end() ? 0 : it->second;
 }
 
+std::vector<std::pair<std::string, uint64_t>> MetricRegistry::CountersWithPrefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
 TimeSeries& MetricRegistry::Series(const std::string& name, SimTime period) {
   auto it = series_.find(name);
   if (it == series_.end()) {

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -54,6 +55,7 @@ class MetricRegistry {
   // insertions and registry moves.
   MetricId Intern(const std::string& name);
   void Increment(MetricId id, uint64_t delta = 1) { *slots_[id.slot_] += delta; }
+  uint64_t counter(MetricId id) const { return *slots_[id.slot_]; }
 
   // Re-initializes the registry for buffer reuse: counter values are zeroed (keys and issued
   // MetricId handles stay valid); gauges, series, and histograms are dropped. Paired with the
@@ -85,6 +87,11 @@ class MetricRegistry {
   // Read access for merge/equality checks (tests and report finalization).
   const std::map<std::string, uint64_t>& counters() const { return counters_; }
   const std::map<std::string, uint64_t>& gauges() const { return gauge_maxes_; }
+
+  // One subsystem's slice of the counter namespace ("repair.", "chaos.", ...), in name order.
+  // Metric names use dotted prefixes as their only structure; this is the read-side analog.
+  std::vector<std::pair<std::string, uint64_t>> CountersWithPrefix(
+      const std::string& prefix) const;
 
   // Human-readable dump of every metric.
   void Dump(std::FILE* stream) const;

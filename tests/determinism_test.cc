@@ -121,6 +121,33 @@ void ExpectReportsEqual(const StudyReport& a, const StudyReport& b) {
   EXPECT_EQ(a.mca_recidivists, b.mca_recidivists);
   EXPECT_EQ(a.mca_true_mercurial, b.mca_true_mercurial);
   EXPECT_EQ(a.mca_unit_attribution_correct, b.mca_unit_attribution_correct);
+
+  // Blast-radius audit + repair accounting, field by field (all zero when auditing is off, so
+  // the same oracle serves audited and unaudited studies).
+  EXPECT_EQ(a.audit_enabled, b.audit_enabled);
+  EXPECT_EQ(a.artifacts_tagged, b.artifacts_tagged);
+  EXPECT_EQ(a.corruptions_tagged, b.corruptions_tagged);
+  EXPECT_EQ(a.repair.convictions, b.repair.convictions);
+  EXPECT_EQ(a.repair.suspect_epochs, b.repair.suspect_epochs);
+  EXPECT_EQ(a.repair.suspect_artifacts, b.repair.suspect_artifacts);
+  EXPECT_EQ(a.repair.artifacts_reverified, b.repair.artifacts_reverified);
+  EXPECT_EQ(a.repair.artifacts_reexecuted, b.repair.artifacts_reexecuted);
+  EXPECT_EQ(a.repair.repair_ops, b.repair.repair_ops);
+  EXPECT_EQ(a.repair.retries_scheduled, b.repair.retries_scheduled);
+  EXPECT_EQ(a.repair.defective_executor_retries, b.repair.defective_executor_retries);
+  EXPECT_EQ(a.repair.tasks_abandoned, b.repair.tasks_abandoned);
+  EXPECT_EQ(a.repair.epochs_shed, b.repair.epochs_shed);
+  EXPECT_EQ(a.repair.artifacts_shed, b.repair.artifacts_shed);
+  EXPECT_EQ(a.repair.backlog_peak, b.repair.backlog_peak);
+  EXPECT_EQ(a.repair.corruptions_found, b.repair.corruptions_found);
+  EXPECT_EQ(a.repair.corruptions_repaired, b.repair.corruptions_repaired);
+  EXPECT_EQ(a.repair.corruptions_shed, b.repair.corruptions_shed);
+  EXPECT_EQ(a.repair.corruptions_missed, b.repair.corruptions_missed);
+  EXPECT_EQ(a.repair.corruptions_abandoned, b.repair.corruptions_abandoned);
+  EXPECT_EQ(a.repair.corruptions_still_at_rest, b.repair.corruptions_still_at_rest);
+  EXPECT_EQ(a.repair.chaos.reverify_misses, b.repair.chaos.reverify_misses);
+  EXPECT_EQ(a.repair.chaos.defective_repairs, b.repair.chaos.defective_repairs);
+  EXPECT_EQ(a.repair.chaos.partial_repairs, b.repair.chaos.partial_repairs);
 }
 
 // Sanity: the harness options actually exercise the machinery (otherwise equality over empty
@@ -245,6 +272,67 @@ TEST(DeterminismTest, FastPathMatchesReferencePath) {
 // reports, aborted interrogations, and machine restarts all flow through the cached dispatch.
 TEST(DeterminismTest, FastPathMatchesReferencePathUnderChaos) {
   ExpectFastPathMatchesReference(/*chaos=*/true);
+}
+
+// --- D6/D7: blast-radius audit determinism ---------------------------------------------------
+
+// Audit-enabled harness: convictions happen (retries convert low-reproducibility defects), the
+// repair budget is small enough that backlogs span ticks, and repair-path chaos is armed so
+// the orchestrator's own RNG stream is exercised, not idle.
+StudyOptions AuditHarness(int shards, int threads) {
+  StudyOptions options = HarnessOptions(shards, threads);
+  options.control_plane.max_retries = 2;
+  options.control_plane.retry_backoff = SimTime::Days(1);
+  options.audit.enabled = true;
+  options.audit.repair_budget_per_tick = 256;
+  options.audit.max_attempts = 3;
+  options.audit.retry_backoff = SimTime::Days(1);
+  options.audit.chaos.repair_fail_reverify = 0.02;
+  options.audit.chaos.repair_on_defective = 0.10;
+  options.audit.chaos.repair_partial = 0.10;
+  return options;
+}
+
+// D6: with auditing + repair chaos on, the report (including every repair/escape counter) is
+// bit-identical across thread counts — the ledger merges in shard order and the orchestrator
+// runs serially on a dedicated stream, so threads stay execution-only.
+TEST(DeterminismTest, AuditedReportIsThreadCountInvariant) {
+  const StudyReport one = RunStudy(AuditHarness(/*shards=*/8, /*threads=*/1));
+  const StudyReport two = RunStudy(AuditHarness(/*shards=*/8, /*threads=*/2));
+  const StudyReport eight = RunStudy(AuditHarness(/*shards=*/8, /*threads=*/8));
+  EXPECT_TRUE(one.audit_enabled);
+  EXPECT_GT(one.artifacts_tagged, 0u);
+  {
+    SCOPED_TRACE("audited threads=1 vs threads=2");
+    ExpectReportsEqual(one, two);
+  }
+  {
+    SCOPED_TRACE("audited threads=1 vs threads=8");
+    ExpectReportsEqual(one, eight);
+  }
+}
+
+// D7: auditing is an observer. Turning it on must not change any legacy field of the report —
+// the ledger taps existing events, the conviction hook rides existing verdicts, and the
+// orchestrator draws only from its own Split stream. Serial and sharded engines both.
+TEST(DeterminismTest, AuditIsBitInvisibleToLegacyReport) {
+  for (const int shards : {1, 8}) {
+    StudyOptions audited = AuditHarness(shards, /*threads=*/shards == 1 ? 1 : 2);
+    StudyOptions plain = audited;
+    plain.audit = RepairOptions{};  // disabled, all defaults
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    StudyReport on = RunStudy(audited);
+    const StudyReport off = RunStudy(plain);
+    EXPECT_TRUE(on.audit_enabled);
+    EXPECT_FALSE(off.audit_enabled);
+    EXPECT_GT(on.artifacts_tagged, 0u);
+    // Strip the audit-only fields; everything that remains must match exactly.
+    on.audit_enabled = false;
+    on.artifacts_tagged = 0;
+    on.corruptions_tagged = 0;
+    on.repair = RepairStats{};
+    ExpectReportsEqual(on, off);
+  }
 }
 
 // Different seeds must (overwhelmingly) give different studies — guards against the harness

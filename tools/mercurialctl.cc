@@ -71,6 +71,22 @@ int CmdStudy(int argc, const char* const* argv) {
   flags.DefineDouble("chaos-abort", 0.0, "P(interrogation battery preempted mid-run)");
   flags.DefineDouble("chaos-restarts", 0.0,
                      "machine crash-restart rate per machine-day (resets in-flight quarantines)");
+  flags.DefineBool("audit", false,
+                   "blast-radius auditing + retroactive repair after conviction");
+  flags.DefineInt("audit-repair-budget", 4096,
+                  "max artifacts re-verified/re-executed per tick");
+  flags.DefineInt("audit-retries", 3, "repair passes per suspect epoch before abandoning");
+  flags.DefineDouble("audit-backoff-days", 1.0, "base repair retry backoff in days");
+  flags.DefineDouble("audit-lookback-days", 180.0,
+                     "max suspect window behind a conviction, in days");
+  flags.DefineDouble("audit-onset-margin-days", 14.0,
+                     "margin before the first signal in the defect-onset estimate, in days");
+  flags.DefineInt("audit-backlog", 1 << 20,
+                  "max queued suspect artifacts before lowest-risk epochs are shed");
+  flags.DefineDouble("chaos-repair-fail", 0.0, "P(repair re-verification misses a corruption)");
+  flags.DefineDouble("chaos-repair-defective", 0.0,
+                     "P(repair pass forced onto a defective executor)");
+  flags.DefineDouble("chaos-repair-partial", 0.0, "P(repair pass preempted mid-epoch)");
   const Status status = flags.Parse(argc, argv, 2);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
@@ -109,10 +125,29 @@ int CmdStudy(int argc, const char* const* argv) {
       static_cast<int64_t>(flags.GetDouble("chaos-delay-days") * 86400.0));
   options.control_plane.chaos.abort_interrogation = flags.GetDouble("chaos-abort");
   options.control_plane.chaos.machine_restart_per_day = flags.GetDouble("chaos-restarts");
+  options.audit.enabled = flags.GetBool("audit");
+  options.audit.repair_budget_per_tick =
+      static_cast<uint64_t>(flags.GetInt("audit-repair-budget"));
+  options.audit.max_attempts = static_cast<int>(flags.GetInt("audit-retries"));
+  options.audit.retry_backoff = SimTime::Seconds(
+      static_cast<int64_t>(flags.GetDouble("audit-backoff-days") * 86400.0));
+  options.audit.max_lookback = SimTime::Seconds(
+      static_cast<int64_t>(flags.GetDouble("audit-lookback-days") * 86400.0));
+  options.audit.onset_margin = SimTime::Seconds(
+      static_cast<int64_t>(flags.GetDouble("audit-onset-margin-days") * 86400.0));
+  options.audit.max_backlog_artifacts = static_cast<uint64_t>(flags.GetInt("audit-backlog"));
+  options.audit.chaos.repair_fail_reverify = flags.GetDouble("chaos-repair-fail");
+  options.audit.chaos.repair_on_defective = flags.GetDouble("chaos-repair-defective");
+  options.audit.chaos.repair_partial = flags.GetDouble("chaos-repair-partial");
   {
     const Status invalid = options.control_plane.Validate();
     if (!invalid.ok()) {
       std::fprintf(stderr, "%s\n", invalid.ToString().c_str());
+      return 1;
+    }
+    const Status bad_audit = options.audit.Validate();
+    if (!bad_audit.ok()) {
+      std::fprintf(stderr, "%s\n", bad_audit.ToString().c_str());
       return 1;
     }
   }
@@ -174,6 +209,43 @@ int CmdStudy(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(plane.chaos.interrogations_aborted),
                 static_cast<unsigned long long>(plane.chaos.machine_restarts),
                 static_cast<unsigned long long>(plane.restarts_reset));
+  }
+
+  if (report.audit_enabled) {
+    const RepairStats& repair = report.repair;
+    std::printf("\nblast-radius audit:\n");
+    std::printf("  artifacts tagged       %llu (%llu corrupt at rest)\n",
+                static_cast<unsigned long long>(report.artifacts_tagged),
+                static_cast<unsigned long long>(report.corruptions_tagged));
+    std::printf("  convictions -> suspects %llu -> %llu epochs / %llu artifacts\n",
+                static_cast<unsigned long long>(repair.convictions),
+                static_cast<unsigned long long>(repair.suspect_epochs),
+                static_cast<unsigned long long>(repair.suspect_artifacts));
+    std::printf("  reverified/reexecuted  %llu/%llu (backlog peak %llu)\n",
+                static_cast<unsigned long long>(repair.artifacts_reverified),
+                static_cast<unsigned long long>(repair.artifacts_reexecuted),
+                static_cast<unsigned long long>(repair.backlog_peak));
+    std::printf("  retries/abandoned/shed %llu/%llu/%llu epochs\n",
+                static_cast<unsigned long long>(repair.retries_scheduled),
+                static_cast<unsigned long long>(repair.tasks_abandoned),
+                static_cast<unsigned long long>(repair.epochs_shed));
+    std::printf("  corruption disposition repaired=%llu shed=%llu at-rest=%llu "
+                "(missed=%llu abandoned=%llu)\n",
+                static_cast<unsigned long long>(repair.corruptions_repaired),
+                static_cast<unsigned long long>(repair.corruptions_shed),
+                static_cast<unsigned long long>(repair.corruptions_still_at_rest),
+                static_cast<unsigned long long>(repair.corruptions_missed),
+                static_cast<unsigned long long>(repair.corruptions_abandoned));
+    if (options.audit.chaos.repair_enabled()) {
+      std::printf("  repair chaos           reverify-miss=%llu defective=%llu partial=%llu\n",
+                  static_cast<unsigned long long>(repair.chaos.reverify_misses),
+                  static_cast<unsigned long long>(repair.chaos.defective_repairs),
+                  static_cast<unsigned long long>(repair.chaos.partial_repairs));
+    }
+    std::printf("  metrics (repair.*):\n");
+    for (const auto& [name, value] : study.metrics().CountersWithPrefix("repair.")) {
+      std::printf("    %-28s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    }
   }
 
   const CostBreakdown bill = EvaluateStudyCost(report, CostModel{});
