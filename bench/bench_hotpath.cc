@@ -11,13 +11,17 @@
 //     per-unit ops must match exactly — the cache must be RNG-stream neutral).
 //   * end_to_end  — work-units/sec of a whole FleetStudy (production + screening +
 //     quarantine), fast path vs reference, single-threaded so the ratio isolates the cache.
+//   * tracing     — upper bound on the incident flight recorder's cost when disabled, measured
+//     as study wall time with tracing off vs an enabled-but-fully-sampled-out shadow recorder;
+//     --max-trace-overhead-pct turns the bound into a CI gate.
 //
 // Each configuration runs --repeats times (default 3) and reports the median wall time.
 //
 //   bench_hotpath --ops=2000000 --machines=300 --days=150 --json=BENCH_hotpath.json
 //
 // Output: human-readable table on stdout plus a JSON artifact. Exit code 2 if the fast and
-// reference paths diverge in any counter (a stream-neutrality bug), 0 otherwise.
+// reference paths diverge in any counter (a stream-neutrality bug), 3 if the tracing overhead
+// bound exceeds --max-trace-overhead-pct, 0 otherwise.
 
 #include <algorithm>
 #include <chrono>
@@ -141,7 +145,8 @@ struct StudyResult {
   uint64_t screen_failures = 0;
 };
 
-StudyResult RunStudy(size_t machines, int days, uint64_t seed, bool fast_path) {
+StudyResult RunStudy(size_t machines, int days, uint64_t seed, bool fast_path,
+                     const TraceOptions& trace = TraceOptions{}) {
   SetDispatchFastPath(fast_path);
   StudyOptions options;
   options.seed = seed;
@@ -151,6 +156,7 @@ StudyResult RunStudy(size_t machines, int days, uint64_t seed, bool fast_path) {
   options.work_units_per_core_day = 20;
   options.workload.payload_bytes = 256;
   options.screening.offline_period = SimTime::Days(30);
+  options.trace = trace;
   FleetStudy study(options);
   SetDispatchFastPath(true);  // restore the default for anything constructed later
   const auto start = std::chrono::steady_clock::now();
@@ -172,6 +178,9 @@ int main(int argc, char** argv) {
   flags.DefineInt("days", 150, "simulated duration for the end-to-end measurement");
   flags.DefineInt("seed", 42, "master seed");
   flags.DefineInt("repeats", 3, "timed runs per configuration (median reported)");
+  flags.DefineDouble("max-trace-overhead-pct", 0.0,
+                     "fail (exit 3) if the flight-recorder overhead bound exceeds this percent "
+                     "(0 = report only)");
   flags.DefineString("json", "BENCH_hotpath.json", "path for the JSON artifact ('' = skip)");
   const Status status = flags.Parse(argc, argv, 1);
   if (!status.ok()) {
@@ -240,6 +249,44 @@ int main(int argc, char** argv) {
               study_ref_s / study_fast_s);
   std::printf("# study outputs bit-identical: %s\n", study_match ? "yes" : "NO — BUG");
 
+  // --- tracing overhead ----------------------------------------------------------------------
+  // The incident flight recorder must be invisible when idle: with StudyOptions.trace disabled
+  // every emit site reduces to a null-pointer test. There is no uninstrumented binary to
+  // compare against, so bound the cost from above instead: run the study with tracing off and
+  // with a shadow recorder (enabled, sample_every=0 on every kind, so each Emit reaches the
+  // recorder and returns at the sampling check without touching a ring). The shadow run pays
+  // strictly more per emit site than the disabled run, so `shadow/off - 1` is a conservative
+  // upper bound on the disabled-instrumentation overhead. Min-of-repeats on both sides keeps
+  // scheduler noise from dominating the ratio.
+  TraceOptions shadow_trace;
+  shadow_trace.enabled = true;
+  shadow_trace.sample_every.fill(0);
+  std::vector<double> trace_off_times;
+  std::vector<double> trace_shadow_times;
+  for (int r = 0; r < repeats; ++r) {
+    trace_off_times.push_back(RunStudy(machines, days, seed, /*fast_path=*/true).seconds);
+    trace_shadow_times.push_back(
+        RunStudy(machines, days, seed, /*fast_path=*/true, shadow_trace).seconds);
+  }
+  const double trace_off_s = *std::min_element(trace_off_times.begin(), trace_off_times.end());
+  const double trace_shadow_s =
+      *std::min_element(trace_shadow_times.begin(), trace_shadow_times.end());
+  const double trace_overhead_pct = (trace_shadow_s / trace_off_s - 1.0) * 100.0;
+  const double max_trace_overhead_pct = flags.GetDouble("max-trace-overhead-pct");
+  const bool trace_overhead_ok =
+      max_trace_overhead_pct <= 0.0 || trace_overhead_pct <= max_trace_overhead_pct;
+
+  std::printf("# hotpath — tracing: flight-recorder overhead bound, min of %d\n", repeats);
+  std::printf("%-24s %12s\n", "config", "wall_s");
+  std::printf("%-24s %12.3f\n", "trace off", trace_off_s);
+  std::printf("%-24s %12.3f\n", "trace shadow (emit-only)", trace_shadow_s);
+  std::printf("# overhead bound: %+.2f%%", trace_overhead_pct);
+  if (max_trace_overhead_pct > 0.0) {
+    std::printf(" (budget %.2f%%): %s", max_trace_overhead_pct,
+                trace_overhead_ok ? "ok" : "EXCEEDED");
+  }
+  std::printf("\n");
+
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -273,9 +320,19 @@ int main(int argc, char** argv) {
                  static_cast<double>(study_fast.work_units) / study_fast_s);
     std::fprintf(f, "    \"speedup\": %.4f,\n", study_ref_s / study_fast_s);
     std::fprintf(f, "    \"outputs_bit_identical\": %s\n", study_match ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"tracing\": {\n");
+    std::fprintf(f, "    \"off_wall_seconds\": %.6f,\n", trace_off_s);
+    std::fprintf(f, "    \"shadow_wall_seconds\": %.6f,\n", trace_shadow_s);
+    std::fprintf(f, "    \"overhead_bound_pct\": %.4f,\n", trace_overhead_pct);
+    std::fprintf(f, "    \"budget_pct\": %.4f,\n", max_trace_overhead_pct);
+    std::fprintf(f, "    \"within_budget\": %s\n", trace_overhead_ok ? "true" : "false");
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("# wrote %s\n", json_path.c_str());
   }
-  return (counters_match && study_match) ? 0 : 2;
+  if (!(counters_match && study_match)) {
+    return 2;
+  }
+  return trace_overhead_ok ? 0 : 3;
 }

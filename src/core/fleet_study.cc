@@ -125,6 +125,22 @@ FleetStudy::FleetStudy(StudyOptions options)
       repair_.OnConviction(now, verdict.core_global, ledger_);
     });
   }
+
+  if (options_.trace.enabled) {
+    // The recorder's shard routing mirrors PartitionCores for the resolved shard count, so
+    // during the parallel phase each shard writes only its own ring. Everything downstream of
+    // this block is emission at the lifecycle sites; none of it draws randomness, which is
+    // what keeps an enabled trace bit-invisible to the legacy report.
+    trace_ = std::make_unique<TraceRecorder>(options_.trace, fleet_.core_count(),
+                                             std::max(1, options_.shards));
+    for (uint64_t core = 0; core < fleet_.core_count(); ++core) {
+      fleet_.core(core).set_trace_recorder(trace_.get());
+    }
+    service_.set_trace_recorder(trace_.get());
+    screening_.set_trace_recorder(trace_.get());
+    control_plane_.set_trace_recorder(trace_.get());
+    repair_.set_trace_recorder(trace_.get());
+  }
 }
 
 void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom, Rng& rng,
@@ -138,9 +154,11 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
     case Symptom::kCrash: {
       delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kCrash});
       delta.metrics.Increment(delta.crash_id);
+      TraceSignal(core_index, TraceCause::kCrashSignal);
       if (rng.Bernoulli(options_.sanitizer_probability)) {
         delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kSanitizer});
         delta.metrics.Increment(delta.sanitizer_id);
+        TraceSignal(core_index, TraceCause::kSanitizerSignal);
       }
       if (rng.Bernoulli(options_.crash_human_report_probability)) {
         const SimTime delay = SimTime::Seconds(static_cast<int64_t>(
@@ -153,6 +171,7 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
     case Symptom::kMachineCheck: {
       delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kMachineCheck});
       delta.metrics.Increment(delta.machine_check_id);
+      TraceSignal(core_index, TraceCause::kMachineCheckSignal);
       // Structured MCA telemetry: the reporting bank is the defective unit, unless the
       // hardware's bank mapping scrambles it.
       McaRecord record;
@@ -180,6 +199,7 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
       if (rng.Bernoulli(options_.app_report_probability)) {
         delta.signals.push_back(Signal{now, id.machine, core_index, SignalType::kAppReport});
         delta.metrics.Increment(delta.app_report_id);
+        TraceSignal(core_index, TraceCause::kAppReport);
       }
       if (symptom == Symptom::kDetectedLate &&
           rng.Bernoulli(options_.silent_human_notice_probability)) {
@@ -192,6 +212,8 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
     case Symptom::kSilentCorruption: {
       ++delta.silent_corruptions;
       delta.metrics.Increment(delta.silent_id);
+      // No signal leaves the machine; traced anyway so escapes stay visible in the timeline.
+      TraceSignal(core_index, TraceCause::kSilentCorruption);
       // "Wrong answers that are never detected" — except when a downstream consumer
       // eventually notices something impossible and a human investigates.
       if (rng.Bernoulli(options_.silent_human_notice_probability)) {
@@ -278,6 +300,7 @@ void FleetStudy::EmitBackgroundNoiseShard(SimTime now, SimTime dt, uint64_t core
     }
     delta.signals.push_back(Signal{now, id.machine, core_index, type});
     delta.metrics.Increment(delta.background_id);
+    TraceSignal(core_index, TraceCause::kBackgroundNoise, static_cast<uint64_t>(type));
   }
 }
 
@@ -334,6 +357,7 @@ void FleetStudy::FlushHumanReports(SimTime now) {
     control_plane_.Report(it->signal, service_);
     metrics_.Increment(user_report_id_);
     user_series_->Add(now, 1.0);
+    TraceSignal(it->signal.core_global, TraceCause::kUserReportSignal);
   }
   pending_human_reports_.erase(due, pending_human_reports_.end());
 }
@@ -390,6 +414,8 @@ void FleetStudy::RunBurnIn() {
   // Zero period => every core is due immediately, and t=0 coverage applies.
   burn_in_options.offline_period = SimTime::Seconds(0);
   ScreeningOrchestrator burn_in(burn_in_options, fleet_.core_count(), rng_.Split(0xb124));
+  // Burn-in runs at t=0 under the recorder's initial (time 0, epoch 0) context.
+  burn_in.set_trace_recorder(trace_.get());
   burn_in.Tick(SimTime::Seconds(0), options_.tick, fleet_, scheduler_, emit);
 }
 
@@ -406,6 +432,10 @@ void FleetStudy::RunTicksSerial(
     clock.Advance(options_.tick);
     const SimTime now = clock.now();
     fleet_.SetAges(now);
+    if (trace_ != nullptr) {
+      trace_->SetTickContext(now, static_cast<uint64_t>(now.seconds() /
+                                                        options_.tick.seconds()));
+    }
 
     delta.Reset();
     RunProductionShard(now, 0, fleet_.core_count(), rng_, corpus_, delta);
@@ -451,6 +481,12 @@ void FleetStudy::RunTicksSharded(
     clock.Advance(options_.tick);
     const SimTime now = clock.now();
     fleet_.SetAges(now);
+    if (trace_ != nullptr) {
+      // Serial, before the parallel phase: the tick context is frozen shared state the
+      // shards read, like the scheduler and the fleet layout.
+      trace_->SetTickContext(now, static_cast<uint64_t>(now.seconds() /
+                                                        options_.tick.seconds()));
+    }
 
     // Parallel phase: every shard reads frozen shared state (scheduler, fleet layout,
     // coverage schedule) and writes only shard-private state — its own cores, its slice of
@@ -507,6 +543,9 @@ void FleetStudy::Finalize() {
 
   report_.quarantine = control_plane_.manager().stats();
   report_.control_plane = control_plane_.stats();
+  // Suspects still in the pipeline at study end never reached a terminal event; the count
+  // lets trace consumers close the books on every quarantine admission.
+  report_.control_plane.pending_at_end = control_plane_.pending_count();
   report_.scheduler = scheduler_.stats();
 
   // Control-plane health as metrics: peaks are max-gauges (Merge takes max), event totals are
@@ -551,6 +590,14 @@ void FleetStudy::Finalize() {
     metrics_.Increment("chaos.reverify_misses", report_.repair.chaos.reverify_misses);
     metrics_.Increment("chaos.defective_repairs", report_.repair.chaos.defective_repairs);
     metrics_.Increment("chaos.partial_repairs", report_.repair.chaos.partial_repairs);
+  }
+
+  if (trace_ != nullptr) {
+    report_.trace = trace_->Assemble();
+    metrics_.Increment("trace.events_emitted", report_.trace.counters.events_emitted);
+    metrics_.Increment("trace.events_recorded", report_.trace.counters.events_recorded);
+    metrics_.Increment("trace.events_dropped", report_.trace.counters.events_dropped);
+    metrics_.Increment("trace.events_sampled_out", report_.trace.counters.events_sampled_out);
   }
 
   const double thousands = static_cast<double>(fleet_.machine_count()) / 1000.0;
@@ -618,6 +665,8 @@ StudyReport FleetStudy::Run() {
   MERCURIAL_CHECK(plane_status.ok()) << plane_status.ToString();
   const Status audit_status = options_.audit.Validate();
   MERCURIAL_CHECK(audit_status.ok()) << audit_status.ToString();
+  const Status trace_status = options_.trace.Validate();
+  MERCURIAL_CHECK(trace_status.ok()) << trace_status.ToString();
 
   const int shards = std::max(1, options_.shards);
   const int threads = std::clamp(options_.threads, 1, shards);

@@ -42,6 +42,7 @@
 #include "src/mitigate/repair_orchestrator.h"
 #include "src/sched/scheduler.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/workload/workload.h"
 
 namespace mercurial {
@@ -65,6 +66,13 @@ struct StudyOptions {
   // engine. `audit.epoch_length` is overridden by the study to its tick (one provenance epoch
   // per tick), and `audit.chaos` consults only the repair_* knobs.
   RepairOptions audit;
+
+  // Incident flight recorder (telemetry/trace.h). Disabled by default: recording consumes no
+  // randomness and emits only on already-rare lifecycle paths, so an enabled trace is
+  // bit-invisible to every legacy StudyReport field, and a disabled one costs a null check.
+  // Events route to the shard that owns the core, so the assembled trace is bit-identical for
+  // any thread count (like the report itself).
+  TraceOptions trace;
 
   SimTime tick = SimTime::Days(1);
   SimTime duration = SimTime::Days(3 * 365);
@@ -150,6 +158,11 @@ struct StudyReport {
   uint64_t artifacts_tagged = 0;    // artifacts recorded in the provenance ledger
   uint64_t corruptions_tagged = 0;  // of those, ground-truth corrupt at rest
   RepairStats repair;
+
+  // Incident flight recorder output (populated only when StudyOptions::trace.enabled):
+  // the assembled lifecycle event log plus its conservation counters
+  // (dropped + recorded == emitted).
+  IncidentTrace trace;
 };
 
 // One shard's contiguous slice of the fleet's global core indices.
@@ -174,6 +187,9 @@ class FleetStudy {
   Fleet& fleet() { return fleet_; }
   CoreScheduler& scheduler() { return scheduler_; }
   MetricRegistry& metrics() { return metrics_; }
+  // Blast-radius provenance; empty unless options.audit.enabled. The CLI's incident timeline
+  // uses it to annotate convicted cores with the artifacts their defect touched.
+  const BlastRadiusLedger& ledger() const { return ledger_; }
 
  private:
   struct PendingHumanReport {
@@ -201,6 +217,15 @@ class FleetStudy {
   // Blast-radius bookkeeping: earliest-signal times feed the repair pipeline's defect-onset
   // estimate. No-op when auditing is disabled.
   void NoteSignalForAudit(const Signal& signal);
+
+  // Flight-recorder shorthand for the signal paths this class owns (symptom signals,
+  // background noise, delayed human reports). Safe from the parallel phase because each call
+  // names a core the calling shard owns.
+  void TraceSignal(uint64_t core, TraceCause cause, uint64_t detail = 0) {
+    if (trace_ != nullptr) {
+      trace_->Emit(core, TraceEventKind::kSignalEmitted, cause, detail);
+    }
+  }
 
   // Serial control-plane stages shared by both engines.
   void FlushHumanReports(SimTime now);
@@ -237,6 +262,11 @@ class FleetStudy {
   // orchestrator runs exclusively in the serial phase on its own dedicated RNG stream.
   BlastRadiusLedger ledger_;
   RepairOrchestrator repair_;
+  // Incident flight recorder, constructed only when options_.trace.enabled. Emission happens
+  // at the lifecycle sites themselves (sim cores, screening, report service, control plane,
+  // repair) plus the signal paths below; this class only owns the recorder, sets the tick
+  // context, and assembles the trace at finalization.
+  std::unique_ptr<TraceRecorder> trace_;
   McaLog mca_log_;
   StudyReport report_;
   bool ran_ = false;

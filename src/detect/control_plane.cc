@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/telemetry/trace.h"
+
 namespace mercurial {
 
 Status ControlPlaneOptions::Validate() const {
@@ -47,6 +49,13 @@ void QuarantineControlPlane::Report(const Signal& signal, CeeReportService& serv
   }
 }
 
+void QuarantineControlPlane::Trace(uint64_t core, TraceEventKind kind, TraceCause cause,
+                                   uint64_t detail) {
+  if (trace_ != nullptr) {
+    trace_->Emit(core, kind, cause, detail);
+  }
+}
+
 bool QuarantineControlPlane::IsPending(uint64_t core_global) const {
   for (const Pending& pending : pending_) {
     if (pending.core_global == core_global) {
@@ -84,10 +93,15 @@ void QuarantineControlPlane::AdmitSuspects(SimTime now, const std::vector<Suspec
       // Backpressure: refuse admission. The report mass is kept, so the suspect
       // re-candidates once the pipeline has room — degradation is delay, not loss.
       ++stats_.suspects_shed;
+      Trace(core, TraceEventKind::kQuarantineShed, TraceCause::kPipelineFull, pending_.size());
       continue;
     }
     manager_.RecordAccusation(core);
     ++stats_.suspects_admitted;
+    Trace(core, TraceEventKind::kQuarantineAdmit,
+          options_.drain_latency.seconds() > 0 ? TraceCause::kAdmittedDraining
+                                               : TraceCause::kAdmitted,
+          pending_.size());
 
     Pending pending;
     pending.core_global = core;
@@ -125,6 +139,7 @@ void QuarantineControlPlane::AdvanceDrains(SimTime now, CoreScheduler& scheduler
       scheduler.Quarantine(pending.core_global);
       pending.draining = false;
       pending.next_attempt = now;
+      Trace(pending.core_global, TraceEventKind::kQuarantineDrain, TraceCause::kDrainComplete);
     } else if (timed_out) {
       // The graceful drain overran its deadline: escalate to core surprise removal (§6.1,
       // Shalev et al.) — immediate, loses in-flight work — then quarantine.
@@ -133,6 +148,7 @@ void QuarantineControlPlane::AdvanceDrains(SimTime now, CoreScheduler& scheduler
       ++stats_.drain_escalations;
       pending.draining = false;
       pending.next_attempt = now;
+      Trace(pending.core_global, TraceEventKind::kQuarantineDrain, TraceCause::kDrainEscalated);
     }
   }
 }
@@ -157,6 +173,9 @@ void QuarantineControlPlane::RunInterrogations(SimTime now, Fleet& fleet,
     if (pending.attempts > 1) {
       ++stats_.retry_interrogations;
     }
+    Trace(pending.core_global, TraceEventKind::kInterrogationStart,
+          pending.attempts > 1 ? TraceCause::kRetry : TraceCause::kScheduled,
+          static_cast<uint64_t>(pending.attempts));
     QuarantineManager::Interrogation result;
     double fraction_run = 0.0;
     if (chaos_.AbortInterrogation(&fraction_run)) {
@@ -174,8 +193,19 @@ void QuarantineControlPlane::RunInterrogations(SimTime now, Fleet& fleet,
     }
     QuarantineVerdict verdict =
         manager_.Finalize(now, pending.core_global, result, fleet, scheduler, service);
-    if (verdict.retired && conviction_hook_) {
-      conviction_hook_(now, verdict);
+    const TraceCause outcome = verdict.retired
+                                   ? (verdict.confessed ? TraceCause::kConfessed
+                                                        : TraceCause::kRetiredNoConfession)
+                                   : TraceCause::kReleased;
+    Trace(pending.core_global, TraceEventKind::kInterrogationVerdict, outcome,
+          static_cast<uint64_t>(pending.attempts));
+    if (verdict.retired) {
+      // The conviction event precedes the hook so repair events it triggers sort after it.
+      Trace(pending.core_global, TraceEventKind::kConviction, outcome,
+            verdict.failed_units.size());
+      if (conviction_hook_) {
+        conviction_hook_(now, verdict);
+      }
     }
     verdicts.push_back(verdict);
   }
@@ -206,6 +236,8 @@ void QuarantineControlPlane::ApplyRestarts(SimTime now, SimTime dt, Fleet& fleet
     scheduler.Release(pending.core_global);
     service.Forget(pending.core_global);
     ++stats_.restarts_reset;
+    Trace(pending.core_global, TraceEventKind::kQuarantineForceRelease,
+          TraceCause::kMachineRestart, pending.machine);
   }
   pending_ = std::move(survivors);
 }
@@ -250,6 +282,8 @@ void QuarantineControlPlane::EnforceGuardrail(SimTime now, Fleet& fleet,
     manager_.ForceRelease(pending_[index].core_global, fleet, scheduler, service);
     released[index] = true;
     ++stats_.guardrail_releases;
+    Trace(pending_[index].core_global, TraceEventKind::kQuarantineForceRelease,
+          TraceCause::kGuardrail);
   }
   std::vector<Pending> survivors;
   survivors.reserve(pending_.size());

@@ -53,6 +53,10 @@
 
 namespace mercurial {
 
+class TraceRecorder;
+enum class TraceEventKind : uint8_t;
+enum class TraceCause : uint8_t;
+
 struct ControlPlaneOptions {
   // Admission control: max suspects resident in the pipeline at once. 0 = unbounded (legacy
   // synchronous behavior).
@@ -99,6 +103,10 @@ struct ControlPlaneStats {
   // Integral of (draining + quarantined) over time: the reversible stranding the guardrail
   // budgets. Excludes retired cores — retirement is the verdict, not pipeline stranding.
   double pending_isolation_core_seconds = 0.0;
+  // Suspects still resident in the pipeline when the study ended (admitted, no verdict or
+  // force-release yet). Lets trace consumers account for every admission: each admit has
+  // exactly one terminal event or is pending at end.
+  uint64_t pending_at_end = 0;
   ChaosStats chaos;
 };
 
@@ -131,6 +139,12 @@ class QuarantineControlPlane {
     conviction_hook_ = std::move(hook);
   }
 
+  // Incident flight recorder hook: when set, every pipeline transition (admit, shed, drain
+  // completion/escalation, interrogation start, verdict, conviction, force-release) emits a
+  // lifecycle event. All control-plane work runs in the fleet engine's serial phase, so
+  // emission needs no synchronization; it consumes no randomness either.
+  void set_trace_recorder(TraceRecorder* recorder) { trace_ = recorder; }
+
   size_t pending_count() const { return pending_.size(); }
   const ControlPlaneStats& stats() const { return stats_; }
   QuarantineManager& manager() { return manager_; }
@@ -158,6 +172,7 @@ class QuarantineControlPlane {
                         CeeReportService& service, ScreeningOrchestrator* screening);
   bool IsPending(uint64_t core_global) const;
   SimTime BackoffDelay(int attempts);
+  void Trace(uint64_t core, TraceEventKind kind, TraceCause cause, uint64_t detail = 0);
 
   ControlPlaneOptions options_;
   QuarantineManager manager_;
@@ -166,6 +181,7 @@ class QuarantineControlPlane {
   ControlPlaneStats stats_;
   std::vector<Pending> pending_;  // admission order; interrogations scan front to back
   std::function<void(SimTime, const QuarantineVerdict&)> conviction_hook_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace mercurial

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/stats.h"
+#include "src/telemetry/trace.h"
 
 namespace mercurial {
 
@@ -84,6 +85,10 @@ std::vector<SuspectCore> CeeReportService::Suspects(SimTime now) {
     }
     if (record.direct_score >= options_.direct_evidence_threshold) {
       suspects.push_back(SuspectCore{it->first, record.machine, record.score, 0.0});
+      if (trace_ != nullptr) {
+        trace_->Emit(it->first, TraceEventKind::kSuspicionRaised, TraceCause::kDirectEvidence,
+                     static_cast<uint64_t>(record.score * 1000.0));
+      }
       ++it;
       continue;
     }
@@ -100,6 +105,10 @@ std::vector<SuspectCore> CeeReportService::Suspects(SimTime now) {
       const double p_value = BinomialUpperTail(k, n, 1.0 / core_count);
       if (p_value < options_.p_value_threshold) {
         suspects.push_back(SuspectCore{it->first, record.machine, record.score, p_value});
+        if (trace_ != nullptr) {
+          trace_->Emit(it->first, TraceEventKind::kSuspicionRaised, TraceCause::kConcentration,
+                       static_cast<uint64_t>(record.score * 1000.0));
+        }
       }
     }
     ++it;

@@ -25,6 +25,8 @@
 
 namespace mercurial {
 
+class TraceRecorder;
+
 struct ReportServiceOptions {
   double half_life_days = 14.0;    // decay of report scores
   double min_score = 2.0;          // minimum decayed per-core score to even consider
@@ -60,6 +62,11 @@ class CeeReportService {
   // doesn't immediately re-trigger suspicion).
   void Forget(uint64_t core_global);
 
+  // Incident flight recorder hook: when set, every core Suspects() names emits a
+  // kSuspicionRaised event (cause = direct evidence vs concentration test). Suspects runs in
+  // the serial phase only.
+  void set_trace_recorder(TraceRecorder* recorder) { trace_ = recorder; }
+
   uint64_t total_reports() const { return total_reports_; }
   size_t tracked_cores() const { return core_records_.size(); }
 
@@ -86,6 +93,7 @@ class CeeReportService {
   std::unordered_map<uint64_t, CoreRecord> core_records_;
   std::unordered_map<uint64_t, DecayedScore> machine_records_;  // unweighted count per machine
   uint64_t total_reports_ = 0;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace mercurial

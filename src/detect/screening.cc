@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/telemetry/trace.h"
 
 namespace mercurial {
 
@@ -92,6 +93,10 @@ bool ScreeningOrchestrator::ScreenOne(SimTime now, uint64_t core_index, bool off
   ++stats.screen_failures;
   const CoreId id = fleet.core_id(core_index);
   emit(Signal{now, id.machine, core_index, SignalType::kScreenFail});
+  if (trace_ != nullptr) {
+    trace_->Emit(core_index, TraceEventKind::kSignalEmitted, TraceCause::kScreenFail,
+                 offline ? 1 : 0);
+  }
   return true;
 }
 

@@ -27,6 +27,8 @@
 
 namespace mercurial {
 
+class TraceRecorder;
+
 struct ScreeningOptions {
   bool offline_enabled = true;
   SimTime offline_period = SimTime::Days(45);  // per-core cadence
@@ -117,6 +119,11 @@ class ScreeningOrchestrator {
   // of screens deferred. Serial-phase only (mutates the shared due table).
   uint64_t ThrottleOffline(SimTime now, SimTime defer);
 
+  // Incident flight recorder hook: when set, every screen failure emits a kSignalEmitted /
+  // kScreenFail event (detail = 1 for offline batteries, 0 for online). Emission happens at
+  // the failure site, so the sharded engine records it on the shard that owns the core.
+  void set_trace_recorder(TraceRecorder* recorder) { trace_ = recorder; }
+
  private:
   bool ScreenOne(SimTime now, uint64_t core_index, bool offline, Fleet& fleet, Rng& rng,
                  const std::function<void(const Signal&)>& emit, ScreeningTickStats& stats);
@@ -124,6 +131,7 @@ class ScreeningOrchestrator {
   ScreeningOptions options_;
   Rng rng_;
   std::vector<SimTime> next_offline_due_;  // staggered per core
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace mercurial

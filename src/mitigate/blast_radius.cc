@@ -123,4 +123,28 @@ const BlastRadiusLedger::CoreLedger* BlastRadiusLedger::Find(uint64_t core_globa
   return it == cores_.end() ? nullptr : &it->second;
 }
 
+uint64_t BlastRadiusLedger::ArtifactsForCore(uint64_t core_global) const {
+  const CoreLedger* core = Find(core_global);
+  if (core == nullptr) {
+    return 0;
+  }
+  uint64_t total = 0;
+  for (const EpochArtifacts& epoch : core->epochs) {
+    total += epoch.produced();
+  }
+  return total;
+}
+
+uint64_t BlastRadiusLedger::CorruptForCore(uint64_t core_global) const {
+  const CoreLedger* core = Find(core_global);
+  if (core == nullptr) {
+    return 0;
+  }
+  uint64_t total = 0;
+  for (const EpochArtifacts& epoch : core->epochs) {
+    total += epoch.corrupt();
+  }
+  return total;
+}
+
 }  // namespace mercurial

@@ -107,6 +107,12 @@ class BlastRadiusLedger {
 
   const CoreLedger* Find(uint64_t core_global) const;
 
+  // Totals across every epoch on record for one core (0 for an unknown core). Used by the
+  // incident flight recorder / `mercurialctl trace` to annotate a conviction with the size of
+  // its blast radius, and cheap enough for ad-hoc queries (epoch lists are short).
+  uint64_t ArtifactsForCore(uint64_t core_global) const;
+  uint64_t CorruptForCore(uint64_t core_global) const;
+
   uint64_t artifacts_recorded() const { return artifacts_recorded_; }
   uint64_t corrupt_recorded() const { return corrupt_recorded_; }
 

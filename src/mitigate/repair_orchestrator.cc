@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "src/common/logging.h"
+#include "src/telemetry/trace.h"
 
 namespace mercurial {
 
@@ -48,6 +49,13 @@ uint64_t RepairOrchestrator::Task::remaining_corrupt() const {
 RepairOrchestrator::RepairOrchestrator(RepairOptions options, Rng rng)
     : options_(options), rng_(rng), chaos_(options.chaos, rng.Split(0x4e9a1c)) {}
 
+void RepairOrchestrator::Trace(uint64_t core, TraceEventKind kind, TraceCause cause,
+                               uint64_t detail) {
+  if (trace_ != nullptr) {
+    trace_->Emit(core, kind, cause, detail);
+  }
+}
+
 void RepairOrchestrator::SetExecutorPool(uint64_t core_count,
                                          std::function<bool(uint64_t)> defective) {
   core_count_ = core_count;
@@ -88,6 +96,7 @@ void RepairOrchestrator::OnConviction(SimTime now, uint64_t core_global,
     backlog_artifacts_ += epoch.produced();
     ++stats_.suspect_epochs;
     stats_.suspect_artifacts += epoch.produced();
+    Trace(core_global, TraceEventKind::kRepairPass, TraceCause::kScheduled, epoch.produced());
     tasks_.push_back(task);
   }
   stats_.backlog_peak = std::max(stats_.backlog_peak, backlog_artifacts_);
@@ -111,6 +120,8 @@ void RepairOrchestrator::ShedToBacklogBound() {
     stats_.artifacts_shed += task.remaining_produced();
     stats_.corruptions_shed += task.remaining_corrupt();
     backlog_artifacts_ -= task.remaining_produced();
+    Trace(task.core_global, TraceEventKind::kRepairShed, TraceCause::kBacklogBound,
+          task.remaining_corrupt());
     tasks_.erase(tasks_.begin() + static_cast<ptrdiff_t>(victim));
   }
 }
@@ -141,12 +152,16 @@ void RepairOrchestrator::ScheduleRetry(SimTime now, Task& task) {
   ++task.attempts;
   task.next_attempt = now + BackoffDelay(task.attempts);
   ++stats_.retries_scheduled;
+  Trace(task.core_global, TraceEventKind::kRepairRetry, TraceCause::kRetry,
+        static_cast<uint64_t>(task.attempts));
 }
 
 void RepairOrchestrator::AbandonTask(Task& task) {
   ++stats_.tasks_abandoned;
   stats_.corruptions_abandoned += task.remaining_corrupt();
   backlog_artifacts_ -= task.remaining_produced();
+  Trace(task.core_global, TraceEventKind::kRepairShed, TraceCause::kAbandoned,
+        task.remaining_corrupt());
 }
 
 namespace {
@@ -320,6 +335,10 @@ void RepairOrchestrator::Tick(SimTime now) {
     const uint64_t used = RunPass(now, task, budget, &task_done, &task_retry);
     MERCURIAL_CHECK_GE(budget, used);
     budget -= used;
+    if (used > 0 || task_done) {
+      Trace(task.core_global, TraceEventKind::kRepairPass,
+            task_done ? TraceCause::kRepairDone : TraceCause::kRepairProgress, used);
+    }
     if (task_done) {
       remove[index] = true;
     } else if (task_retry) {

@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/substrate/checksum.h"
+#include "src/telemetry/trace.h"
 
 namespace mercurial {
 namespace {
@@ -138,6 +139,14 @@ const std::vector<SimCore::ArmedDefect>& SimCore::ArmedForUnit(ExecUnit unit) {
   return armed_[static_cast<size_t>(unit)];
 }
 
+void SimCore::TraceFire(ExecUnit unit, bool machine_check) {
+  if (trace_ != nullptr) {
+    trace_->Emit(id_, TraceEventKind::kDefectFired,
+                 machine_check ? TraceCause::kMachineCheck : TraceCause::kCorruption,
+                 static_cast<uint64_t>(unit));
+  }
+}
+
 void SimCore::Dispatch(const OpInfo& op, uint8_t* result, size_t size) {
   ++counters_.ops_per_unit[static_cast<size_t>(op.unit)];
   const auto& unit_defects = defects_by_unit_[static_cast<size_t>(op.unit)];
@@ -156,10 +165,12 @@ void SimCore::Dispatch(const OpInfo& op, uint8_t* result, size_t size) {
       if (armed.machine_check_fraction > 0.0 && rng_.Bernoulli(armed.machine_check_fraction)) {
         pending_machine_check_ = true;
         ++counters_.machine_checks;
+        TraceFire(op.unit, /*machine_check=*/true);
         continue;
       }
       defects_[armed.index].CorruptBytes(op, result, size, rng_);
       ++counters_.corruptions;
+      TraceFire(op.unit, /*machine_check=*/false);
     }
     return;
   }
@@ -173,10 +184,12 @@ void SimCore::Dispatch(const OpInfo& op, uint8_t* result, size_t size) {
         rng_.Bernoulli(defect.spec().machine_check_fraction)) {
       pending_machine_check_ = true;
       ++counters_.machine_checks;
+      TraceFire(op.unit, /*machine_check=*/true);
       continue;
     }
     defect.CorruptBytes(op, result, size, rng_);
     ++counters_.corruptions;
+    TraceFire(op.unit, /*machine_check=*/false);
   }
 }
 
@@ -227,6 +240,7 @@ uint64_t SimCore::Div(uint64_t a, uint64_t b) {
     ++counters_.ops_per_unit[static_cast<size_t>(ExecUnit::kIntDiv)];
     pending_machine_check_ = true;
     ++counters_.machine_checks;
+    TraceFire(ExecUnit::kIntDiv, /*machine_check=*/true);
     return ~0ull;
   }
   uint64_t result = a / b;
@@ -335,6 +349,7 @@ uint8_t SimCore::AesRcon(int round) {
       }
       rcon = defects_[armed.index].CorruptRcon(rcon);
       ++counters_.corruptions;
+      TraceFire(ExecUnit::kAes, /*machine_check=*/false);
     }
     return rcon;
   }
@@ -347,6 +362,7 @@ uint8_t SimCore::AesRcon(int round) {
     if (defect.ShouldFire(op, env, rng_)) {
       rcon = defect.CorruptRcon(rcon);
       ++counters_.corruptions;
+      TraceFire(ExecUnit::kAes, /*machine_check=*/false);
     }
   }
   return rcon;
@@ -395,10 +411,12 @@ void SimCore::Copy(uint8_t* dst, const uint8_t* src, size_t n) {
         if (ad.machine_check_fraction > 0.0 && rng_.Bernoulli(ad.machine_check_fraction)) {
           pending_machine_check_ = true;
           ++counters_.machine_checks;
+          TraceFire(ExecUnit::kCopy, /*machine_check=*/true);
           continue;
         }
         defects_[ad.index].CorruptBytes(op, buffer, chunk, rng_);
         ++counters_.corruptions;
+        TraceFire(ExecUnit::kCopy, /*machine_check=*/false);
       }
       std::memcpy(dst + offset, buffer, chunk);
       offset += chunk;
@@ -423,10 +441,12 @@ void SimCore::Copy(uint8_t* dst, const uint8_t* src, size_t n) {
           rng_.Bernoulli(defect.spec().machine_check_fraction)) {
         pending_machine_check_ = true;
         ++counters_.machine_checks;
+        TraceFire(ExecUnit::kCopy, /*machine_check=*/true);
         continue;
       }
       defect.CorruptBytes(op, buffer, chunk, rng_);
       ++counters_.corruptions;
+      TraceFire(ExecUnit::kCopy, /*machine_check=*/false);
     }
     std::memcpy(dst + offset, buffer, chunk);
     offset += chunk;
@@ -449,12 +469,14 @@ bool SimCore::Cas(uint64_t& target, uint64_t expected, uint64_t desired) {
       if (armed.effect == DefectEffect::kCasDropStore && would_succeed) {
         // Lock appears acquired/updated but memory never changed.
         ++counters_.corruptions;
+        TraceFire(ExecUnit::kAtomic, /*machine_check=*/false);
         return true;
       }
       if (armed.effect == DefectEffect::kCasPhantomStore && !would_succeed) {
         // Store happens even though the compare failed.
         target = desired;
         ++counters_.corruptions;
+        TraceFire(ExecUnit::kAtomic, /*machine_check=*/false);
         return false;
       }
     }
@@ -469,12 +491,14 @@ bool SimCore::Cas(uint64_t& target, uint64_t expected, uint64_t desired) {
       if (defect.spec().effect == DefectEffect::kCasDropStore && would_succeed) {
         // Lock appears acquired/updated but memory never changed.
         ++counters_.corruptions;
+        TraceFire(ExecUnit::kAtomic, /*machine_check=*/false);
         return true;
       }
       if (defect.spec().effect == DefectEffect::kCasPhantomStore && !would_succeed) {
         // Store happens even though the compare failed.
         target = desired;
         ++counters_.corruptions;
+        TraceFire(ExecUnit::kAtomic, /*machine_check=*/false);
         return false;
       }
     }

@@ -26,6 +26,8 @@
 
 namespace mercurial {
 
+class TraceRecorder;
+
 // Process-wide default for the dispatch fast path (armed-defect caching, see SimCore below).
 // New cores capture the value at construction; flipping it lets the equivalence suite prove
 // the fast and reference paths produce bit-identical studies. Enabled by default.
@@ -141,6 +143,12 @@ class SimCore {
   const CoreCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = CoreCounters{}; }
 
+  // Incident flight recorder hook: when set, every defect firing emits a kDefectFired event
+  // (cause = corruption vs machine check, detail = exec-unit ordinal). Emission consumes no
+  // randomness and sits only on the firing paths, so the healthy-core dispatch loop and the
+  // rng_ stream are untouched whether or not a recorder is attached.
+  void set_trace_recorder(TraceRecorder* recorder) { trace_ = recorder; }
+
   // Machine-check delivery: set when a defect escalates; consumed by the running task's
   // harness (which typically kills the task and logs an MCE signal).
   bool TakePendingMachineCheck();
@@ -170,6 +178,9 @@ class SimCore {
   const std::vector<ArmedDefect>& ArmedForUnit(ExecUnit unit);
   void RearmDefects();
 
+  // Records one defect firing with the attached flight recorder, if any.
+  void TraceFire(ExecUnit unit, bool machine_check);
+
   uint64_t id_;
   Rng rng_;
   std::vector<Defect> defects_;
@@ -182,6 +193,7 @@ class SimCore {
   bool pending_machine_check_ = false;
   bool fast_path_ = true;
   uint64_t provenance_epoch_ = 0;
+  TraceRecorder* trace_ = nullptr;
   uint64_t env_revision_ = 1;
   uint64_t armed_revision_ = 0;  // env_revision_ value the armed lists were built at
   std::array<std::vector<ArmedDefect>, kExecUnitCount> armed_;

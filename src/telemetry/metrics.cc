@@ -12,14 +12,11 @@ uint64_t MetricRegistry::counter(const std::string& name) const {
 }
 
 MetricId MetricRegistry::Intern(const std::string& name) {
-  uint64_t* cell = &counters_[name];
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i] == cell) {
-      return MetricId(i);
-    }
+  auto [it, inserted] = interned_.emplace(name, slots_.size());
+  if (inserted) {
+    slots_.push_back(&counters_[name]);
   }
-  slots_.push_back(cell);
-  return MetricId(slots_.size() - 1);
+  return MetricId(it->second);
 }
 
 void MetricRegistry::ResetForReuse() {

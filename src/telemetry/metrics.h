@@ -101,7 +101,8 @@ class MetricRegistry {
   std::map<std::string, uint64_t> gauge_maxes_;
   std::map<std::string, TimeSeries> series_;
   std::map<std::string, Histogram> histos_;
-  std::vector<uint64_t*> slots_;  // interned counter cells, indexed by MetricId::slot_
+  std::vector<uint64_t*> slots_;          // interned counter cells, indexed by MetricId::slot_
+  std::map<std::string, size_t> interned_;  // name -> slot, so re-interning is a lookup
 };
 
 }  // namespace mercurial

@@ -1,0 +1,391 @@
+#include "src/telemetry/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "src/substrate/checksum.h"
+
+namespace mercurial {
+namespace {
+
+// Wire framing: little-endian, fixed layout, CRC over everything that precedes it.
+//   magic u32 | version u32 | shards u32 | event_count u64 | emitted u64 | recorded u64 |
+//   dropped u64 | sampled_out u64 | events (34B each) | crc32 u32
+constexpr uint32_t kTraceMagic = 0x6d747263;  // "crtm" on disk
+constexpr uint32_t kTraceVersion = 1;
+constexpr size_t kTraceHeaderBytes = 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
+constexpr size_t kTraceEventBytes = 8 + 8 + 8 + 1 + 1 + 8;
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+void AppendJsonEscaped(std::string& out, const char* s) {
+  // Kind/cause names are plain identifiers, but escape defensively anyway.
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(*s);
+  }
+}
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kDefectFired: return "defect_fired";
+    case TraceEventKind::kSignalEmitted: return "signal_emitted";
+    case TraceEventKind::kSuspicionRaised: return "suspicion_raised";
+    case TraceEventKind::kInterrogationStart: return "interrogation_start";
+    case TraceEventKind::kInterrogationVerdict: return "interrogation_verdict";
+    case TraceEventKind::kQuarantineAdmit: return "quarantine_admit";
+    case TraceEventKind::kQuarantineShed: return "quarantine_shed";
+    case TraceEventKind::kQuarantineDrain: return "quarantine_drain";
+    case TraceEventKind::kQuarantineForceRelease: return "quarantine_force_release";
+    case TraceEventKind::kConviction: return "conviction";
+    case TraceEventKind::kRepairPass: return "repair_pass";
+    case TraceEventKind::kRepairRetry: return "repair_retry";
+    case TraceEventKind::kRepairShed: return "repair_shed";
+  }
+  return "unknown";
+}
+
+const char* TraceCauseName(TraceCause cause) {
+  switch (cause) {
+    case TraceCause::kNone: return "none";
+    case TraceCause::kCorruption: return "corruption";
+    case TraceCause::kMachineCheck: return "machine_check";
+    case TraceCause::kCrashSignal: return "crash";
+    case TraceCause::kSanitizerSignal: return "sanitizer";
+    case TraceCause::kMachineCheckSignal: return "mce";
+    case TraceCause::kAppReport: return "app_report";
+    case TraceCause::kSilentCorruption: return "silent_corruption";
+    case TraceCause::kScreenFail: return "screen_fail";
+    case TraceCause::kBackgroundNoise: return "background_noise";
+    case TraceCause::kConcentration: return "concentration";
+    case TraceCause::kDirectEvidence: return "direct_evidence";
+    case TraceCause::kAdmitted: return "admitted";
+    case TraceCause::kAdmittedDraining: return "admitted_draining";
+    case TraceCause::kPipelineFull: return "pipeline_full";
+    case TraceCause::kDrainComplete: return "drain_complete";
+    case TraceCause::kDrainEscalated: return "drain_escalated";
+    case TraceCause::kScheduled: return "scheduled";
+    case TraceCause::kRetry: return "retry";
+    case TraceCause::kConfessed: return "confessed";
+    case TraceCause::kReleased: return "released";
+    case TraceCause::kRetiredNoConfession: return "retired_no_confession";
+    case TraceCause::kGuardrail: return "guardrail";
+    case TraceCause::kMachineRestart: return "machine_restart";
+    case TraceCause::kRepairProgress: return "repair_progress";
+    case TraceCause::kRepairDone: return "repair_done";
+    case TraceCause::kBacklogBound: return "backlog_bound";
+    case TraceCause::kAbandoned: return "abandoned";
+    case TraceCause::kUserReportSignal: return "user_report";
+  }
+  return "unknown";
+}
+
+bool operator==(const TraceEvent& a, const TraceEvent& b) {
+  return a.time_seconds == b.time_seconds && a.core == b.core && a.epoch == b.epoch &&
+         a.kind == b.kind && a.cause == b.cause && a.detail == b.detail;
+}
+
+bool operator==(const TraceCounters& a, const TraceCounters& b) {
+  return a.events_emitted == b.events_emitted && a.events_recorded == b.events_recorded &&
+         a.events_dropped == b.events_dropped && a.events_sampled_out == b.events_sampled_out;
+}
+
+Status TraceOptions::Validate() const {
+  if (ring_capacity == 0) {
+    return InvalidArgumentError("trace.ring_capacity must be positive");
+  }
+  return Status::Ok();
+}
+
+TraceRecorder::TraceRecorder(const TraceOptions& options, size_t core_count, int shards)
+    : options_(options) {
+  const size_t shard_count = shards < 1 ? 1 : static_cast<size_t>(shards);
+  const size_t cores = core_count == 0 ? 1 : core_count;
+  // Same partition as FleetStudy's PartitionCores: shard k owns cores
+  // [k * cores_per_shard_, (k + 1) * cores_per_shard_).
+  cores_per_shard_ = (cores + shard_count - 1) / shard_count;
+  rings_.resize(shard_count);
+}
+
+void TraceRecorder::SetTickContext(SimTime now, uint64_t epoch) {
+  context_time_seconds_ = now.seconds();
+  context_epoch_ = epoch;
+}
+
+size_t TraceRecorder::shard_of(uint64_t core) const {
+  const size_t shard = static_cast<size_t>(core) / cores_per_shard_;
+  return shard < rings_.size() ? shard : rings_.size() - 1;
+}
+
+void TraceRecorder::Emit(uint64_t core, TraceEventKind kind, TraceCause cause, uint64_t detail) {
+  ShardRing& ring = rings_[shard_of(core)];
+  const size_t kind_index = static_cast<size_t>(kind);
+  const uint32_t every = options_.sample_every[kind_index];
+  const uint64_t seen = ring.seen[kind_index]++;
+  if (every == 0 || seen % every != 0) {
+    ++ring.counters.events_sampled_out;
+    return;
+  }
+  ++ring.counters.events_emitted;
+  TraceEvent event;
+  event.time_seconds = context_time_seconds_;
+  event.core = core;
+  event.epoch = context_epoch_;
+  event.kind = kind;
+  event.cause = cause;
+  event.detail = detail;
+  if (ring.slots.size() < options_.ring_capacity) {
+    ring.slots.push_back(event);
+    ++ring.counters.events_recorded;
+  } else {
+    // Overwrite the oldest event. Loud loss: recorded stays flat, dropped counts up, and the
+    // conservation invariant dropped + recorded == emitted keeps holding.
+    ring.slots[ring.head] = event;
+    ring.head = (ring.head + 1) % options_.ring_capacity;
+    ++ring.counters.events_dropped;
+  }
+}
+
+TraceCounters TraceRecorder::Totals() const {
+  TraceCounters totals;
+  for (const ShardRing& ring : rings_) {
+    totals.events_emitted += ring.counters.events_emitted;
+    totals.events_recorded += ring.counters.events_recorded;
+    totals.events_dropped += ring.counters.events_dropped;
+    totals.events_sampled_out += ring.counters.events_sampled_out;
+  }
+  return totals;
+}
+
+IncidentTrace TraceRecorder::Assemble() const {
+  IncidentTrace trace;
+  trace.shards = static_cast<uint32_t>(rings_.size());
+  trace.counters = Totals();
+  trace.events.reserve(trace.counters.events_recorded);
+  // Concatenate rings in shard-index order, each unwrapped oldest-first, then stable-sort by
+  // time: equal-time events stay grouped by owning shard in ring order. Every input to this
+  // merge is identical for any thread count, so the output is too.
+  for (const ShardRing& ring : rings_) {
+    if (ring.slots.size() < options_.ring_capacity) {
+      trace.events.insert(trace.events.end(), ring.slots.begin(), ring.slots.end());
+    } else {
+      trace.events.insert(trace.events.end(), ring.slots.begin() + ring.head, ring.slots.end());
+      trace.events.insert(trace.events.end(), ring.slots.begin(), ring.slots.begin() + ring.head);
+    }
+  }
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time_seconds < b.time_seconds;
+                   });
+  return trace;
+}
+
+std::vector<uint8_t> SerializeTrace(const IncidentTrace& trace) {
+  std::vector<uint8_t> out;
+  out.reserve(kTraceHeaderBytes + trace.events.size() * kTraceEventBytes + 4);
+  PutU32(out, kTraceMagic);
+  PutU32(out, kTraceVersion);
+  PutU32(out, trace.shards);
+  PutU64(out, trace.events.size());
+  PutU64(out, trace.counters.events_emitted);
+  PutU64(out, trace.counters.events_recorded);
+  PutU64(out, trace.counters.events_dropped);
+  PutU64(out, trace.counters.events_sampled_out);
+  for (const TraceEvent& event : trace.events) {
+    PutU64(out, static_cast<uint64_t>(event.time_seconds));
+    PutU64(out, event.core);
+    PutU64(out, event.epoch);
+    out.push_back(static_cast<uint8_t>(event.kind));
+    out.push_back(static_cast<uint8_t>(event.cause));
+    PutU64(out, event.detail);
+  }
+  PutU32(out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+StatusOr<IncidentTrace> ParseTrace(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kTraceHeaderBytes + 4) {
+    return DataLossError("trace frame truncated: shorter than header + checksum");
+  }
+  const uint8_t* p = bytes.data();
+  if (GetU32(p) != kTraceMagic) {
+    return DataLossError("trace frame corrupt: bad magic");
+  }
+  if (GetU32(p + 4) != kTraceVersion) {
+    return DataLossError("trace frame corrupt: unsupported version");
+  }
+  const uint64_t event_count = GetU64(p + 12);
+  const uint64_t max_events =
+      (std::numeric_limits<size_t>::max() - kTraceHeaderBytes - 4) / kTraceEventBytes;
+  if (event_count > max_events) {
+    return DataLossError("trace frame corrupt: implausible event count");
+  }
+  const size_t expected =
+      kTraceHeaderBytes + static_cast<size_t>(event_count) * kTraceEventBytes + 4;
+  if (bytes.size() != expected) {
+    return DataLossError("trace frame corrupt: size does not match event count");
+  }
+  const uint32_t stored_crc = GetU32(p + bytes.size() - 4);
+  if (Crc32(p, bytes.size() - 4) != stored_crc) {
+    return DataLossError("trace frame corrupt: checksum mismatch");
+  }
+
+  IncidentTrace trace;
+  trace.shards = GetU32(p + 8);
+  trace.counters.events_emitted = GetU64(p + 20);
+  trace.counters.events_recorded = GetU64(p + 28);
+  trace.counters.events_dropped = GetU64(p + 36);
+  trace.counters.events_sampled_out = GetU64(p + 44);
+  trace.events.reserve(static_cast<size_t>(event_count));
+  const uint8_t* q = p + kTraceHeaderBytes;
+  for (uint64_t i = 0; i < event_count; ++i, q += kTraceEventBytes) {
+    TraceEvent event;
+    event.time_seconds = static_cast<int64_t>(GetU64(q));
+    event.core = GetU64(q + 8);
+    event.epoch = GetU64(q + 16);
+    const uint8_t kind = q[24];
+    const uint8_t cause = q[25];
+    if (kind >= kTraceEventKindCount || cause >= kTraceCauseCount) {
+      return DataLossError("trace frame corrupt: unknown event kind or cause");
+    }
+    event.kind = static_cast<TraceEventKind>(kind);
+    event.cause = static_cast<TraceCause>(cause);
+    event.detail = GetU64(q + 26);
+    trace.events.push_back(event);
+  }
+  return trace;
+}
+
+std::string TraceToJsonl(const IncidentTrace& trace) {
+  std::string out;
+  char buf[160];
+  for (const TraceEvent& event : trace.events) {
+    std::snprintf(buf, sizeof(buf), "{\"time_s\":%lld,\"core\":%llu,\"epoch\":%llu,\"kind\":\"",
+                  static_cast<long long>(event.time_seconds),
+                  static_cast<unsigned long long>(event.core),
+                  static_cast<unsigned long long>(event.epoch));
+    out += buf;
+    AppendJsonEscaped(out, TraceEventKindName(event.kind));
+    out += "\",\"cause\":\"";
+    AppendJsonEscaped(out, TraceCauseName(event.cause));
+    std::snprintf(buf, sizeof(buf), "\",\"detail\":%llu}\n",
+                  static_cast<unsigned long long>(event.detail));
+    out += buf;
+  }
+  return out;
+}
+
+std::string TraceToCsv(const IncidentTrace& trace) {
+  std::string out = "time_s,core,epoch,kind,cause,detail\n";
+  char buf[160];
+  for (const TraceEvent& event : trace.events) {
+    std::snprintf(buf, sizeof(buf), "%lld,%llu,%llu,%s,%s,%llu\n",
+                  static_cast<long long>(event.time_seconds),
+                  static_cast<unsigned long long>(event.core),
+                  static_cast<unsigned long long>(event.epoch),
+                  TraceEventKindName(event.kind), TraceCauseName(event.cause),
+                  static_cast<unsigned long long>(event.detail));
+    out += buf;
+  }
+  return out;
+}
+
+TraceQuery::TraceQuery(const IncidentTrace& trace) : trace_(&trace) {
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    by_core_[trace.events[i].core].push_back(i);
+  }
+}
+
+std::vector<TraceEvent> TraceQuery::CoreTimeline(uint64_t core) const {
+  std::vector<TraceEvent> out;
+  auto it = by_core_.find(core);
+  if (it == by_core_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (size_t index : it->second) {
+    out.push_back(trace_->events[index]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceQuery::TimeWindow(SimTime begin, SimTime end) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : trace_->events) {
+    if (event.time_seconds >= begin.seconds() && event.time_seconds < end.seconds()) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceQuery::CauseChain(uint64_t core) const {
+  std::vector<TraceEvent> out;
+  auto it = by_core_.find(core);
+  if (it == by_core_.end()) {
+    return out;
+  }
+  // Walk back from the conviction: the chain is everything the recorder kept about the core
+  // up to and including its (first) conviction event.
+  size_t conviction = it->second.size();
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    if (trace_->events[it->second[i]].kind == TraceEventKind::kConviction) {
+      conviction = i;
+      break;
+    }
+  }
+  if (conviction == it->second.size()) {
+    return out;
+  }
+  out.reserve(conviction + 1);
+  for (size_t i = 0; i <= conviction; ++i) {
+    out.push_back(trace_->events[it->second[i]]);
+  }
+  return out;
+}
+
+std::vector<uint64_t> TraceQuery::ConvictedCores() const {
+  std::vector<uint64_t> out;
+  for (const auto& [core, indices] : by_core_) {
+    for (size_t index : indices) {
+      if (trace_->events[index].kind == TraceEventKind::kConviction) {
+        out.push_back(core);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mercurial

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <set>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "src/common/sim_time.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/telemetry/metrics.h"
 
 namespace mercurial {
 namespace {
@@ -391,6 +393,81 @@ TEST(StatsTest, WilsonLowerBound) {
   EXPECT_GT(lb, 0.35);
   EXPECT_LT(lb, 0.5);
   EXPECT_GT(WilsonLowerBound(99, 100), WilsonLowerBound(50, 100));
+}
+
+// --- MetricRegistry pooled-buffer reuse ---------------------------------------------------
+
+// Regression lock for the pooled shard-delta pattern the fleet engine relies on: a registry
+// whose counters are interned at construction, reused via ResetForReuse across ticks, and
+// extended with NEWLY interned counters mid-life (the trace.* counters arrive lazily, after
+// many reset cycles) must merge exactly like a fresh registry seeing the same events. In
+// particular, re-interning an existing name must return the original cell — a duplicate slot
+// would make one handle's increments invisible to the other — and interned-but-idle zeros
+// must not materialize keys in the merge target.
+TEST(MetricRegistryTest, ReuseWithLateInternedCountersMergesLikeFresh) {
+  MetricRegistry root;
+  MetricRegistry pooled;
+  const MetricId crash = pooled.Intern("signals.crash");
+
+  // Tick 1: only the construction-time counter moves.
+  pooled.Increment(crash, 3);
+  root.Merge(pooled);
+
+  // Tick 2 after reuse: a counter interned mid-life joins the pool.
+  pooled.ResetForReuse();
+  const MetricId trace_emitted = pooled.Intern("trace.events_emitted");
+  pooled.Increment(crash, 2);
+  pooled.Increment(trace_emitted, 5);
+  root.Merge(pooled);
+
+  // Tick 3: re-interning both names must hit the same cells, not mint duplicates.
+  pooled.ResetForReuse();
+  const MetricId crash_again = pooled.Intern("signals.crash");
+  const MetricId trace_again = pooled.Intern("trace.events_emitted");
+  pooled.Increment(crash_again, 1);
+  pooled.Increment(trace_emitted, 4);  // pre-reset handle, same cell as trace_again
+  EXPECT_EQ(pooled.counter(trace_again), 4u);
+  EXPECT_EQ(pooled.counter(crash), 1u);
+  root.Merge(pooled);
+
+  EXPECT_EQ(root.counter("signals.crash"), 6u);
+  EXPECT_EQ(root.counter("trace.events_emitted"), 9u);
+  // Idle interned counters merge as zero without materializing keys.
+  pooled.ResetForReuse();
+  MetricRegistry clean;
+  clean.Merge(pooled);
+  EXPECT_TRUE(clean.counters().empty());
+}
+
+TEST(MetricRegistryTest, GaugesPrefixQueriesAndDumpCoverTheReadSurface) {
+  MetricRegistry registry;
+  registry.Increment("trace.events_emitted", 7);
+  registry.Increment("trace.events_dropped", 2);
+  registry.Increment("signals.crash", 1);
+  registry.ObserveMax("queue.peak", 5);
+  registry.ObserveMax("queue.peak", 9);   // raises the max
+  registry.ObserveMax("queue.peak", 4);   // does not
+  EXPECT_EQ(registry.gauge_max("queue.peak"), 9u);
+  EXPECT_EQ(registry.gauge_max("queue.never_observed"), 0u);
+
+  const auto traced = registry.CountersWithPrefix("trace.");
+  ASSERT_EQ(traced.size(), 2u);
+  EXPECT_EQ(traced[0].first, "trace.events_dropped");
+  EXPECT_EQ(traced[0].second, 2u);
+  EXPECT_EQ(traced[1].first, "trace.events_emitted");
+  EXPECT_EQ(traced[1].second, 7u);
+  EXPECT_TRUE(registry.CountersWithPrefix("nope.").empty());
+
+  // Gauges must merge by max, not sum.
+  MetricRegistry root;
+  root.ObserveMax("queue.peak", 6);
+  root.Merge(registry);
+  EXPECT_EQ(root.gauge_max("queue.peak"), 9u);
+
+  std::FILE* sink = std::fopen("/dev/null", "w");
+  ASSERT_NE(sink, nullptr);
+  registry.Dump(sink);
+  std::fclose(sink);
 }
 
 // --- Csv ---------------------------------------------------------------------------------

@@ -18,6 +18,10 @@
 //       settings, and thread counts. This is the RNG-stream-neutrality obligation of the
 //       hot-path overhaul (DESIGN.md, "Decision: hot-path caching must be RNG-stream
 //       neutral").
+//   D8. Golden traces: with the incident flight recorder on, the SERIALIZED trace — every
+//       event, byte for byte — is identical across threads {1, 2, 8} for every combination of
+//       chaos {off, high} x audit {on, off}; and tracing is an observer: enabling it leaves
+//       every legacy StudyReport field bit-identical to a tracing-off run.
 
 #include <atomic>
 #include <cstdint>
@@ -331,6 +335,70 @@ TEST(DeterminismTest, AuditIsBitInvisibleToLegacyReport) {
     on.artifacts_tagged = 0;
     on.corruptions_tagged = 0;
     on.repair = RepairStats{};
+    ExpectReportsEqual(on, off);
+  }
+}
+
+// --- D8: golden-trace determinism ------------------------------------------------------------
+
+// Flight-recorder harness: the FastPathHarness matrix (whose chaos knobs exercise the whole
+// resilient control plane) plus optional auditing, with tracing on. Shards stay fixed at 8 —
+// the shard count is part of the experiment's identity; threads must be execution-only.
+StudyOptions TraceHarness(bool chaos, bool audit, int threads) {
+  StudyOptions options = FastPathHarness(/*seed=*/20210531, chaos, threads);
+  if (audit) {
+    options.audit.enabled = true;
+    options.audit.repair_budget_per_tick = 256;
+    options.audit.max_attempts = 3;
+    options.audit.retry_backoff = SimTime::Days(1);
+    options.audit.chaos.repair_fail_reverify = 0.02;
+    options.audit.chaos.repair_on_defective = 0.10;
+    options.audit.chaos.repair_partial = 0.10;
+  }
+  options.trace.enabled = true;
+  return options;
+}
+
+// D8a: the assembled trace serializes to the same bytes at any thread count, for every
+// chaos x audit combination. Byte equality of the CRC-framed codec output is the strongest
+// equality there is: event order, stamps, causes, details, and conservation counters all
+// included.
+TEST(DeterminismTest, GoldenTraceIsThreadCountInvariant) {
+  for (const bool chaos : {false, true}) {
+    for (const bool audit : {false, true}) {
+      SCOPED_TRACE(std::string("chaos=") + (chaos ? "high" : "off") +
+                   " audit=" + (audit ? "on" : "off"));
+      const StudyReport one = RunStudy(TraceHarness(chaos, audit, /*threads=*/1));
+      const std::vector<uint8_t> golden = SerializeTrace(one.trace);
+      ASSERT_GT(one.trace.events.size(), 0u) << "harness recorded no events";
+      EXPECT_EQ(one.trace.counters.events_recorded + one.trace.counters.events_dropped,
+                one.trace.counters.events_emitted);
+      for (const int threads : {2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const StudyReport other = RunStudy(TraceHarness(chaos, audit, threads));
+        EXPECT_EQ(golden, SerializeTrace(other.trace));
+      }
+    }
+  }
+}
+
+// D8b: tracing is an observer. The recorder consumes no randomness and emission sits off the
+// decision paths, so every legacy report field must be bit-identical with tracing on vs off —
+// serial and sharded engines both.
+TEST(DeterminismTest, TracingIsBitInvisibleToLegacyReport) {
+  for (const int shards : {1, 8}) {
+    StudyOptions traced = TraceHarness(/*chaos=*/true, /*audit=*/true,
+                                       /*threads=*/shards == 1 ? 1 : 2);
+    traced.shards = shards;
+    StudyOptions plain = traced;
+    plain.trace = TraceOptions{};  // disabled, all defaults
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    StudyReport on = RunStudy(traced);
+    const StudyReport off = RunStudy(plain);
+    EXPECT_GT(on.trace.events.size(), 0u);
+    EXPECT_TRUE(off.trace.events.empty());
+    // Strip the trace-only output; everything that remains must match exactly.
+    on.trace = IncidentTrace{};
     ExpectReportsEqual(on, off);
   }
 }

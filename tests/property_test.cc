@@ -16,9 +16,18 @@
 //       for random fleet sizes and shard counts.
 //   P8. Metric-merge associativity: folding shard MetricRegistry deltas in shard order is
 //       exactly the serial accumulation of the same events.
+//   P9. Conviction cause chains: every convicted core's trace walks the lifecycle in order —
+//       suspicion before admission, admission before interrogation, verdict at conviction,
+//       repair only after conviction, defect fires never after the defect-driven signals.
+//   P10. Quarantine admission books balance: every kQuarantineAdmit is closed by exactly one
+//       terminal event (verdict or force-release), except for suspects still pending at study
+//       end, which the report counts explicitly.
+//   P11. Flight-recorder conservation: under adversarially tiny ring capacities and sampling,
+//       events_dropped + events_recorded == events_emitted — loss is loud, never silent.
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 
 #include <gtest/gtest.h>
 
@@ -31,6 +40,7 @@
 #include "src/sim/core.h"
 #include "src/sim/defect_catalog.h"
 #include "src/substrate/checksum.h"
+#include "src/telemetry/trace.h"
 #include "src/workload/stress.h"
 #include "src/workload/workload.h"
 
@@ -377,6 +387,180 @@ TEST(PropertyTest, MetricRegistryMergeInShardOrderEqualsSerialAccumulation) {
     regrouped.Merge(prefix);
     regrouped.Merge(left_fold);
     ExpectRegistriesEqual(regrouped, reference);
+  }
+}
+
+// --- P9/P10/P11: incident flight-recorder lifecycle properties ---------------------------------
+
+namespace {
+
+// A traced study exercising the full lifecycle: chaos keeps the control plane retrying and
+// force-releasing, auditing makes convictions spawn repair events, and the fleet is mercurial
+// enough that convictions actually happen.
+StudyOptions TracedLifecycleOptions() {
+  StudyOptions options;
+  options.seed = 20210531;
+  options.fleet.machine_count = 80;
+  options.fleet.mercurial_rate_multiplier = 150.0;
+  options.workload.payload_bytes = 256;
+  options.work_units_per_core_day = 20;
+  options.duration = SimTime::Days(100);
+  options.screening.offline_period = SimTime::Days(25);
+  options.shards = 8;
+  options.threads = 2;
+  options.control_plane.max_pending = 64;
+  options.control_plane.max_retries = 3;
+  options.control_plane.retry_backoff = SimTime::Days(1);
+  options.control_plane.drain_latency = SimTime::Hours(12);
+  options.control_plane.drain_timeout = SimTime::Days(4);
+  options.control_plane.chaos.abort_interrogation = 0.30;
+  options.control_plane.chaos.machine_restart_per_day = 0.20;
+  options.audit.enabled = true;
+  options.audit.repair_budget_per_tick = 256;
+  options.trace.enabled = true;
+  return options;
+}
+
+// First-occurrence time of `kind` in `events`, or nullopt-like (-1, false).
+bool FirstTime(const std::vector<TraceEvent>& events, TraceEventKind kind, int64_t* out) {
+  for (const TraceEvent& event : events) {
+    if (event.kind == kind) {
+      *out = event.time_seconds;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsRepairKind(TraceEventKind kind) {
+  return kind == TraceEventKind::kRepairPass || kind == TraceEventKind::kRepairRetry ||
+         kind == TraceEventKind::kRepairShed;
+}
+
+}  // namespace
+
+// P9: every convicted core's cause chain is complete (suspicion -> admission ->
+// interrogation -> verdict -> conviction, all present) and monotone in time, repair events
+// never precede the conviction, and the first defect fire never postdates the first
+// defect-driven signal.
+TEST(PropertyTest, ConvictedCoreCauseChainIsCompleteAndMonotone) {
+  FleetStudy study(TracedLifecycleOptions());
+  const StudyReport report = study.Run();
+  const TraceQuery query(report.trace);
+  const std::vector<uint64_t> convicted = query.ConvictedCores();
+  ASSERT_GT(convicted.size(), 0u) << "harness produced no convictions; properties are vacuous";
+
+  for (const uint64_t core : convicted) {
+    SCOPED_TRACE("core " + std::to_string(core));
+    const std::vector<TraceEvent> chain = query.CauseChain(core);
+    ASSERT_FALSE(chain.empty());
+    EXPECT_EQ(chain.back().kind, TraceEventKind::kConviction);
+
+    // Monotone timestamps along the chain (the assembled trace is time-ordered).
+    for (size_t i = 1; i < chain.size(); ++i) {
+      ASSERT_LE(chain[i - 1].time_seconds, chain[i].time_seconds) << "event " << i;
+    }
+
+    // Completeness: the pipeline stages all appear, in first-occurrence order.
+    const TraceEventKind stages[] = {
+        TraceEventKind::kSuspicionRaised, TraceEventKind::kQuarantineAdmit,
+        TraceEventKind::kInterrogationStart, TraceEventKind::kInterrogationVerdict,
+        TraceEventKind::kConviction};
+    int64_t previous = 0;
+    bool have_previous = false;
+    for (const TraceEventKind stage : stages) {
+      int64_t first = 0;
+      ASSERT_TRUE(FirstTime(chain, stage, &first))
+          << "missing stage " << TraceEventKindName(stage);
+      if (have_previous) {
+        EXPECT_LE(previous, first) << "stage " << TraceEventKindName(stage)
+                                   << " precedes its predecessor";
+      }
+      previous = first;
+      have_previous = true;
+    }
+
+    // Defect fires (when recorded — a false-positive conviction has none) precede the first
+    // defect-driven signal. Background noise is excluded: it is software, not the defect.
+    int64_t first_fire = 0;
+    if (FirstTime(chain, TraceEventKind::kDefectFired, &first_fire)) {
+      for (const TraceEvent& event : chain) {
+        if (event.kind == TraceEventKind::kSignalEmitted &&
+            event.cause != TraceCause::kBackgroundNoise) {
+          EXPECT_LE(first_fire, event.time_seconds) << "signal before any defect fire";
+          break;
+        }
+      }
+    }
+
+    // Repair strictly follows conviction (tasks exist only post-conviction).
+    const int64_t conviction_time = chain.back().time_seconds;
+    for (const TraceEvent& event : query.CoreTimeline(core)) {
+      if (IsRepairKind(event.kind)) {
+        EXPECT_GE(event.time_seconds, conviction_time)
+            << TraceEventKindName(event.kind) << " before conviction";
+      }
+    }
+  }
+}
+
+// P10: quarantine admission books balance. Per core, admissions exceed terminal events
+// (verdict or force-release) by at most one — the admission still pending at study end — and
+// the fleet-wide deficit is exactly the control plane's pending_at_end count.
+TEST(PropertyTest, EveryQuarantineAdmissionHasExactlyOneTerminalEvent) {
+  FleetStudy study(TracedLifecycleOptions());
+  const StudyReport report = study.Run();
+  ASSERT_GT(report.trace.events.size(), 0u);
+
+  std::map<uint64_t, int64_t> admits;
+  std::map<uint64_t, int64_t> terminals;
+  for (const TraceEvent& event : report.trace.events) {
+    if (event.kind == TraceEventKind::kQuarantineAdmit) {
+      ++admits[event.core];
+    } else if (event.kind == TraceEventKind::kInterrogationVerdict ||
+               event.kind == TraceEventKind::kQuarantineForceRelease) {
+      ++terminals[event.core];
+    }
+  }
+  ASSERT_FALSE(admits.empty()) << "harness admitted nothing; property is vacuous";
+
+  uint64_t deficit_total = 0;
+  for (const auto& [core, admitted] : admits) {
+    const int64_t closed = terminals.count(core) ? terminals.at(core) : 0;
+    const int64_t deficit = admitted - closed;
+    EXPECT_GE(deficit, 0) << "core " << core << " closed more admissions than it had";
+    EXPECT_LE(deficit, 1) << "core " << core << " has multiple unterminated admissions";
+    deficit_total += static_cast<uint64_t>(deficit);
+  }
+  for (const auto& [core, closed] : terminals) {
+    EXPECT_TRUE(admits.count(core)) << "core " << core << " terminated without admission";
+  }
+  EXPECT_EQ(deficit_total, report.control_plane.pending_at_end);
+}
+
+// P11: conservation under adversarially tiny ring capacities and aggressive sampling. Drops
+// and sampling must both actually occur (otherwise the accounting is untested), and
+// dropped + recorded == emitted must hold exactly.
+TEST(PropertyTest, TraceAccountingConservesEventsUnderTinyCapacities) {
+  for (const size_t capacity : {size_t{4}, size_t{64}}) {
+    StudyOptions options = TracedLifecycleOptions();
+    options.trace.ring_capacity = capacity;
+    options.trace.sample_every[static_cast<size_t>(TraceEventKind::kDefectFired)] = 7;
+    options.trace.sample_every[static_cast<size_t>(TraceEventKind::kSignalEmitted)] = 3;
+    SCOPED_TRACE("ring_capacity=" + std::to_string(capacity));
+    FleetStudy study(options);
+    const StudyReport report = study.Run();
+    const TraceCounters& counters = report.trace.counters;
+    EXPECT_EQ(counters.events_recorded + counters.events_dropped, counters.events_emitted);
+    if (capacity == 4) {
+      // Only the smallest rings are guaranteed to wrap; the larger capacity exists to show
+      // conservation holds whether or not the overwrite path fires.
+      EXPECT_GT(counters.events_dropped, 0u) << "rings never wrapped; drop path untested";
+    }
+    EXPECT_GT(counters.events_sampled_out, 0u) << "sampling never engaged";
+    EXPECT_EQ(report.trace.events.size(), counters.events_recorded);
+    EXPECT_LE(report.trace.events.size(),
+              capacity * static_cast<size_t>(report.trace.shards));
   }
 }
 

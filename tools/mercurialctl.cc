@@ -2,24 +2,30 @@
 //
 // Subcommands:
 //   study        run a full fleet lifecycle study and print the report
+//   trace        run a study with the incident flight recorder on and print the timeline
 //   interrogate  plant a catalog defect on one core and extract a confession
 //   screen       run the directed stress battery on a healthy or defective core
 //   defects      list the defect catalog
 //
 // Examples:
 //   mercurialctl study --machines=1000 --days=365 --multiplier=25
+//   mercurialctl study --machines=200 --days=180 --trace --trace-core=42
+//   mercurialctl trace --machines=200 --days=180 --audit --jsonl=trace.jsonl
 //   mercurialctl interrogate --defect=self_inverting_aes --iterations=1024
 //   mercurialctl screen --defect=copy_stuck_bit --sweep=true
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/core/fleet_study.h"
 #include "src/core/tradeoff.h"
 #include "src/detect/confession.h"
+#include "src/mitigate/blast_radius.h"
 #include "src/sim/defect_catalog.h"
+#include "src/telemetry/trace.h"
 #include "src/workload/stress.h"
 
 using namespace mercurial;
@@ -41,6 +47,100 @@ StatusOr<DefectClass> FindDefectClass(const std::string& name) {
     }
   }
   return NotFoundError("unknown defect class '" + name + "' (see `mercurialctl defects`)");
+}
+
+// --- incident timeline printing ---------------------------------------------------------------
+
+void PrintTraceEvent(const TraceEvent& event) {
+  std::printf("    day %8.3f  epoch %-4llu %-24s %-22s detail=%llu\n",
+              static_cast<double>(event.time_seconds) / 86400.0,
+              static_cast<unsigned long long>(event.epoch), TraceEventKindName(event.kind),
+              TraceCauseName(event.cause), static_cast<unsigned long long>(event.detail));
+}
+
+// Prints the flight-recorder summary plus a per-core incident timeline: the full cause chain
+// (first record through conviction) for every convicted core — or just `core_filter` — then
+// any post-conviction events (repair passes, retries, sheds). When the blast-radius audit ran,
+// each core is annotated with the artifacts the provenance ledger attributes to it.
+void PrintIncidentTimelines(const IncidentTrace& trace, const BlastRadiusLedger* ledger,
+                            int64_t core_filter) {
+  const TraceCounters& counters = trace.counters;
+  std::printf("flight recorder: %zu events resident (emitted %llu, dropped %llu, "
+              "sampled out %llu, shards %u)\n",
+              trace.events.size(), static_cast<unsigned long long>(counters.events_emitted),
+              static_cast<unsigned long long>(counters.events_dropped),
+              static_cast<unsigned long long>(counters.events_sampled_out), trace.shards);
+
+  const TraceQuery query(trace);
+  std::vector<uint64_t> cores = query.ConvictedCores();
+  if (core_filter >= 0) {
+    cores.assign(1, static_cast<uint64_t>(core_filter));
+  }
+  if (cores.empty()) {
+    std::printf("no convictions recorded — nothing to reconstruct\n");
+    return;
+  }
+  std::printf("convicted cores: %zu\n", query.ConvictedCores().size());
+  for (const uint64_t core : cores) {
+    const std::vector<TraceEvent> chain = query.CauseChain(core);
+    const std::vector<TraceEvent> timeline = query.CoreTimeline(core);
+    if (timeline.empty()) {
+      std::printf("\ncore %llu: no recorded events\n", static_cast<unsigned long long>(core));
+      continue;
+    }
+    std::printf("\ncore %llu — cause chain (%zu events to conviction, %zu total)",
+                static_cast<unsigned long long>(core), chain.size(), timeline.size());
+    if (ledger != nullptr) {
+      std::printf(", blast radius %llu artifacts / %llu corrupt",
+                  static_cast<unsigned long long>(ledger->ArtifactsForCore(core)),
+                  static_cast<unsigned long long>(ledger->CorruptForCore(core)));
+    }
+    std::printf(":\n");
+    if (chain.empty()) {
+      // Not convicted (possible with --trace-core / --core): show the raw timeline instead.
+      for (const TraceEvent& event : timeline) {
+        PrintTraceEvent(event);
+      }
+      continue;
+    }
+    for (const TraceEvent& event : chain) {
+      PrintTraceEvent(event);
+    }
+    // The cause chain is a prefix of the core's timeline; anything past it is post-conviction
+    // activity (repair passes, retries, sheds).
+    if (!chain.empty() && timeline.size() > chain.size()) {
+      std::printf("  after conviction:\n");
+      for (size_t i = chain.size(); i < timeline.size(); ++i) {
+        PrintTraceEvent(timeline[i]);
+      }
+    }
+  }
+}
+
+// Writes the JSONL / CSV export artifacts when the corresponding path flag is nonempty.
+// Returns false (after printing to stderr) if a file cannot be opened.
+bool ExportTraceArtifacts(const IncidentTrace& trace, const std::string& jsonl_path,
+                          const std::string& csv_path) {
+  for (const auto& [path, body] :
+       {std::pair<std::string, std::string>{jsonl_path, jsonl_path.empty()
+                                                            ? std::string()
+                                                            : TraceToJsonl(trace)},
+        std::pair<std::string, std::string>{csv_path,
+                                            csv_path.empty() ? std::string()
+                                                             : TraceToCsv(trace)}}) {
+    if (path.empty()) {
+      continue;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), body.size());
+  }
+  return true;
 }
 
 int CmdStudy(int argc, const char* const* argv) {
@@ -87,6 +187,13 @@ int CmdStudy(int argc, const char* const* argv) {
   flags.DefineDouble("chaos-repair-defective", 0.0,
                      "P(repair pass forced onto a defective executor)");
   flags.DefineDouble("chaos-repair-partial", 0.0, "P(repair pass preempted mid-epoch)");
+  flags.DefineBool("trace", false,
+                   "record the incident flight recorder and print per-core timelines");
+  flags.DefineInt("trace-ring-capacity", 1 << 16, "flight-recorder slots per shard ring");
+  flags.DefineInt("trace-core", -1,
+                  "print only this core's timeline (-1 = every convicted core)");
+  flags.DefineString("trace-jsonl", "", "export the full trace as JSONL to this path");
+  flags.DefineString("trace-csv", "", "export the full trace as CSV to this path");
   const Status status = flags.Parse(argc, argv, 2);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
@@ -139,6 +246,8 @@ int CmdStudy(int argc, const char* const* argv) {
   options.audit.chaos.repair_fail_reverify = flags.GetDouble("chaos-repair-fail");
   options.audit.chaos.repair_on_defective = flags.GetDouble("chaos-repair-defective");
   options.audit.chaos.repair_partial = flags.GetDouble("chaos-repair-partial");
+  options.trace.enabled = flags.GetBool("trace");
+  options.trace.ring_capacity = static_cast<size_t>(flags.GetInt("trace-ring-capacity"));
   {
     const Status invalid = options.control_plane.Validate();
     if (!invalid.ok()) {
@@ -148,6 +257,11 @@ int CmdStudy(int argc, const char* const* argv) {
     const Status bad_audit = options.audit.Validate();
     if (!bad_audit.ok()) {
       std::fprintf(stderr, "%s\n", bad_audit.ToString().c_str());
+      return 1;
+    }
+    const Status bad_trace = options.trace.Validate();
+    if (!bad_trace.ok()) {
+      std::fprintf(stderr, "%s\n", bad_trace.ToString().c_str());
       return 1;
     }
   }
@@ -253,6 +367,16 @@ int CmdStudy(int argc, const char* const* argv) {
               "capacity=%.0f total=%.0f\n",
               bill.corruption, bill.disruption, bill.screening, bill.capacity, bill.total());
 
+  if (options.trace.enabled) {
+    std::printf("\n");
+    PrintIncidentTimelines(report.trace, report.audit_enabled ? &study.ledger() : nullptr,
+                           flags.GetInt("trace-core"));
+    if (!ExportTraceArtifacts(report.trace, flags.GetString("trace-jsonl"),
+                              flags.GetString("trace-csv"))) {
+      return 1;
+    }
+  }
+
   if (flags.GetBool("fig1")) {
     std::printf("\nweek,user_rate,auto_rate\n");
     for (size_t w = 0; w < report.weekly_user_rate.size(); ++w) {
@@ -260,6 +384,86 @@ int CmdStudy(int argc, const char* const* argv) {
     }
   }
   return 0;
+}
+
+// `mercurialctl trace`: the forensic front door. Runs a study with the flight recorder on and
+// prints only the incident reconstruction — per-core cause chains for every conviction — plus
+// optional JSONL/CSV artifacts and a time-window slice. The full study report stays available
+// via `mercurialctl study --trace`.
+int CmdTrace(int argc, const char* const* argv) {
+  FlagSet flags;
+  flags.DefineInt("machines", 200, "fleet size in machines");
+  flags.DefineInt("days", 180, "simulated study duration");
+  flags.DefineInt("seed", 42, "master seed (fixes the whole study)");
+  flags.DefineDouble("multiplier", 150.0, "mercurial-core rate multiplier over product rates");
+  flags.DefineInt("threads", 1, "worker threads for the sharded parallel engine");
+  flags.DefineInt("shards", 0, "random-stream shards (0 = auto, as in `study`)");
+  flags.DefineBool("audit", false,
+                   "blast-radius auditing: annotates timelines with artifact counts and "
+                   "records repair events");
+  flags.DefineInt("ring-capacity", 1 << 16, "flight-recorder slots per shard ring");
+  flags.DefineInt("core", -1, "print only this core's timeline (-1 = every convicted core)");
+  flags.DefineDouble("window-start-day", -1.0,
+                     "with --window-end-day: also print every event in [start, end) days");
+  flags.DefineDouble("window-end-day", -1.0, "end of the --window-start-day slice, exclusive");
+  flags.DefineString("jsonl", "", "export the full trace as JSONL to this path");
+  flags.DefineString("csv", "", "export the full trace as CSV to this path");
+  const Status status = flags.Parse(argc, argv, 2);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+
+  StudyOptions options;
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.fleet.machine_count = static_cast<size_t>(flags.GetInt("machines"));
+  options.fleet.mercurial_rate_multiplier = flags.GetDouble("multiplier");
+  options.duration = SimTime::Days(flags.GetInt("days"));
+  options.work_units_per_core_day = 20;
+  options.workload.payload_bytes = 256;
+  options.screening.offline_period = SimTime::Days(30);
+  options.threads = static_cast<int>(flags.GetInt("threads"));
+  options.shards = static_cast<int>(flags.GetInt("shards"));
+  if (options.shards <= 0) {
+    options.shards = options.threads <= 1 ? 1 : 8 * options.threads;
+  }
+  options.audit.enabled = flags.GetBool("audit");
+  options.trace.enabled = true;
+  options.trace.ring_capacity = static_cast<size_t>(flags.GetInt("ring-capacity"));
+  const Status bad_trace = options.trace.Validate();
+  if (!bad_trace.ok()) {
+    std::fprintf(stderr, "%s\n", bad_trace.ToString().c_str());
+    return 1;
+  }
+
+  FleetStudy study(options);
+  std::printf("fleet: %zu machines / %zu cores, %lld days, seed %llu\n",
+              study.fleet().machine_count(), study.fleet().core_count(),
+              static_cast<long long>(flags.GetInt("days")),
+              static_cast<unsigned long long>(options.seed));
+  const StudyReport report = study.Run();
+
+  PrintIncidentTimelines(report.trace, options.audit.enabled ? &study.ledger() : nullptr,
+                         flags.GetInt("core"));
+
+  const double window_start = flags.GetDouble("window-start-day");
+  const double window_end = flags.GetDouble("window-end-day");
+  if (window_start >= 0.0 && window_end > window_start) {
+    const TraceQuery query(report.trace);
+    const std::vector<TraceEvent> slice =
+        query.TimeWindow(SimTime::Seconds(static_cast<int64_t>(window_start * 86400.0)),
+                         SimTime::Seconds(static_cast<int64_t>(window_end * 86400.0)));
+    std::printf("\nwindow [day %.2f, day %.2f): %zu events\n", window_start, window_end,
+                slice.size());
+    for (const TraceEvent& event : slice) {
+      std::printf("  core %-6llu", static_cast<unsigned long long>(event.core));
+      PrintTraceEvent(event);
+    }
+  }
+
+  return ExportTraceArtifacts(report.trace, flags.GetString("jsonl"), flags.GetString("csv"))
+             ? 0
+             : 1;
 }
 
 int CmdInterrogate(int argc, const char* const* argv) {
@@ -354,6 +558,7 @@ int CmdScreen(int argc, const char* const* argv) {
 void PrintTopLevelUsage() {
   std::printf("mercurialctl <command> [flags]\n\ncommands:\n"
               "  study        run a fleet lifecycle study\n"
+              "  trace        run a study with the flight recorder on; print incident timelines\n"
               "  interrogate  plant a defect and extract a confession\n"
               "  screen       run the stress battery on one core\n"
               "  defects      list the defect catalog\n");
@@ -369,6 +574,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "study") {
     return CmdStudy(argc, argv);
+  }
+  if (command == "trace") {
+    return CmdTrace(argc, argv);
   }
   if (command == "interrogate") {
     return CmdInterrogate(argc, argv);
