@@ -16,6 +16,14 @@
 // SetDispatchFastPath in src/sim/core.h), recording the wall-clock reduction the armed-defect
 // cache buys end-to-end under identical machine conditions.
 //
+// A second sweep measures the verdict layer (src/detect/quorum.h): with a lying-tester fault
+// injected at a fixed rate, the study is re-run across quorum sizes {single tester, 3, 5}
+// crossed with probation {off, on}. Figures of merit: false-positive retirements (healthy
+// cores permanently stranded by flipped testimony), missed confessions, and the capacity
+// cost of the appeal path (probation core-seconds). The binary exits nonzero if any quorum
+// row convicts more healthy cores than the single tester, or if the quorum-5 + probation row
+// fails to cut false positives by at least half versus the single-tester baseline.
+//
 //   bench_quarantine_pipeline --machines=2000 --days=365 --json=BENCH_quarantine.json
 //
 // Output: human-readable table on stdout plus a JSON artifact with the raw numbers.
@@ -97,6 +105,60 @@ ChaosRow RunOnce(ChaosRow row, const StudyOptions& base, bool fast_path = true) 
   return row;
 }
 
+// --- Verdict sweep: quorum size x probation under a lying tester ------------------------------
+
+struct VerdictRow {
+  std::string label;
+  int witnesses = 0;  // 0 = legacy single tester (quorum disabled)
+  bool probation = false;
+
+  // Results.
+  double seconds = 0.0;
+  uint64_t false_positive_retirements = 0;
+  uint64_t true_positive_retirements = 0;
+  uint64_t missed_confessions = 0;
+  uint64_t probation_entries = 0;
+  uint64_t reinstatements = 0;
+  uint64_t quorum_judgments = 0;
+  uint64_t quorum_overrides = 0;
+  double stranded_fraction = 0.0;
+  double probation_core_seconds = 0.0;
+};
+
+VerdictRow RunVerdictRow(VerdictRow row, const StudyOptions& base, double lying_rate) {
+  StudyOptions options = base;
+  // Background accusations are the raw material of false convictions: amplify the ordinary
+  // software-bug noise and loosen the concentration test so the sweep has enough healthy
+  // suspects to measure verdict error rates on (an accusation-happy triage layer is exactly
+  // the regime where the verdict layer's false-positive suppression matters).
+  options.background_signal_rate_per_core_day = 5e-3;
+  options.report_service.min_score = 1.0;
+  options.report_service.p_value_threshold = 0.05;
+  options.control_plane.chaos.lying_witness = lying_rate;
+  options.control_plane.quorum.enabled = row.witnesses > 0;
+  options.control_plane.quorum.witnesses = row.witnesses > 0 ? row.witnesses : 3;
+  options.control_plane.probation.enabled = row.probation;
+  options.control_plane.probation.window = SimTime::Days(7);
+  options.control_plane.probation.clean_windows_to_reinstate = 3;
+  FleetStudy study(options);
+  const auto start = std::chrono::steady_clock::now();
+  const StudyReport report = study.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  row.seconds = std::chrono::duration<double>(stop - start).count();
+  row.false_positive_retirements = report.quarantine.false_positive_retirements;
+  row.true_positive_retirements = report.quarantine.true_positive_retirements;
+  row.missed_confessions = report.quarantine.missed_confessions;
+  row.probation_entries = report.quarantine.probation_entries;
+  row.reinstatements = report.quarantine.reinstatements;
+  row.quorum_judgments = report.control_plane.quorum.judgments;
+  row.quorum_overrides = report.control_plane.quorum.overrides;
+  const double total_core_seconds =
+      static_cast<double>(report.cores) * static_cast<double>(options.duration.seconds());
+  row.stranded_fraction = report.control_plane.pending_isolation_core_seconds / total_core_seconds;
+  row.probation_core_seconds = report.scheduler.probation_core_seconds;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +167,7 @@ int main(int argc, char** argv) {
   flags.DefineInt("days", 365, "simulated study duration");
   flags.DefineInt("seed", 42, "master seed");
   flags.DefineDouble("budget", 0.25, "quarantine capacity budget (fraction of cores)");
+  flags.DefineDouble("lying-rate", 0.15, "lying-tester rate for the verdict sweep");
   flags.DefineString("json", "BENCH_quarantine.json", "path for the JSON artifact ('' = skip)");
   const Status status = flags.Parse(argc, argv, 1);
   if (!status.ok()) {
@@ -181,6 +244,68 @@ int main(int argc, char** argv) {
       rows[0].seconds, reference.seconds, reference.seconds / rows[0].seconds,
       reference_match ? "yes" : "NO — BUG");
 
+  // Verdict sweep: quorum size x probation under a fixed lying-tester rate. The single-tester
+  // rows are the "trust one core's testimony" baseline the quorum exists to beat.
+  const double lying_rate = flags.GetDouble("lying-rate");
+  std::vector<VerdictRow> verdicts;
+  for (const bool probation : {false, true}) {
+    for (const int witnesses : {0, 3, 5}) {
+      VerdictRow row;
+      row.label = (witnesses == 0 ? std::string("single") : "quorum-" + std::to_string(witnesses)) +
+                  (probation ? "+probation" : "");
+      row.witnesses = witnesses;
+      row.probation = probation;
+      verdicts.push_back(RunVerdictRow(row, base, lying_rate));
+    }
+  }
+
+  std::printf("\n# verdict sweep — lying tester rate %.2f\n", lying_rate);
+  std::printf("%-18s %10s %8s %8s %8s %8s %8s %10s %14s\n", "config", "wall_s", "fp_ret",
+              "tp_ret", "missed", "prob_in", "reinst", "overrides", "probation_cs");
+  for (const VerdictRow& row : verdicts) {
+    std::printf("%-18s %10.3f %8llu %8llu %8llu %8llu %8llu %10llu %14.0f\n", row.label.c_str(),
+                row.seconds, static_cast<unsigned long long>(row.false_positive_retirements),
+                static_cast<unsigned long long>(row.true_positive_retirements),
+                static_cast<unsigned long long>(row.missed_confessions),
+                static_cast<unsigned long long>(row.probation_entries),
+                static_cast<unsigned long long>(row.reinstatements),
+                static_cast<unsigned long long>(row.quorum_overrides),
+                row.probation_core_seconds);
+  }
+
+  // Gate: (a) no quorum row may strand more healthy cores than the single tester in the same
+  // probation arm; (b) the widest quorum with probation must cut false positives by >= 50%
+  // versus the single-tester, probation-off baseline without trading them for extra escapes.
+  const VerdictRow& baseline = verdicts[0];       // single, probation off
+  const VerdictRow& best = verdicts.back();       // quorum-5 + probation
+  bool verdict_gate = true;
+  for (const VerdictRow& row : verdicts) {
+    if (row.witnesses == 0) {
+      continue;
+    }
+    const VerdictRow& peer = row.probation ? verdicts[3] : verdicts[0];
+    if (row.false_positive_retirements > peer.false_positive_retirements) {
+      verdict_gate = false;
+    }
+  }
+  const bool halved =
+      best.false_positive_retirements * 2 <= baseline.false_positive_retirements;
+  // Escapes must stay in the baseline's noise band: a wrong quorum majority can overturn a
+  // true confession, and a late-onset defect can sit out its probation windows, but a verdict
+  // layer that routinely masks real confessions would blow through 2x+3 immediately.
+  const bool no_extra_escapes =
+      best.missed_confessions <= 2 * baseline.missed_confessions + 3;
+  std::printf("# quorum rows at or below single-tester false positives: %s\n",
+              verdict_gate ? "yes" : "NO — BUG");
+  std::printf("# quorum-5+probation halves baseline false positives (%llu -> %llu): %s\n",
+              static_cast<unsigned long long>(baseline.false_positive_retirements),
+              static_cast<unsigned long long>(best.false_positive_retirements),
+              halved ? "yes" : "NO — BUG");
+  std::printf("# ...with missed confessions inside the noise band (%llu -> %llu): %s\n",
+              static_cast<unsigned long long>(baseline.missed_confessions),
+              static_cast<unsigned long long>(best.missed_confessions),
+              no_extra_escapes ? "yes" : "NO — BUG");
+
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -215,9 +340,42 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(row.true_positive_retirements),
                    row.stranded_fraction, i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"verdict_sweep\": {\n");
+    std::fprintf(f, "    \"lying_tester_rate\": %.4f,\n", lying_rate);
+    std::fprintf(f, "    \"quorum_at_or_below_single_fp\": %s,\n",
+                 verdict_gate ? "true" : "false");
+    std::fprintf(f, "    \"best_row_halves_baseline_fp\": %s,\n", halved ? "true" : "false");
+    std::fprintf(f, "    \"best_row_missed_confessions_in_noise_band\": %s,\n",
+                 no_extra_escapes ? "true" : "false");
+    std::fprintf(f, "    \"rows\": [\n");
+    for (size_t i = 0; i < verdicts.size(); ++i) {
+      const VerdictRow& row = verdicts[i];
+      std::fprintf(f,
+                   "      {\"config\": \"%s\", \"witnesses\": %d, \"probation\": %s, "
+                   "\"wall_seconds\": %.6f, \"false_positive_retirements\": %llu, "
+                   "\"true_positive_retirements\": %llu, \"missed_confessions\": %llu, "
+                   "\"probation_entries\": %llu, \"reinstatements\": %llu, "
+                   "\"quorum_judgments\": %llu, \"quorum_overrides\": %llu, "
+                   "\"stranded_fraction\": %.6f, \"probation_core_seconds\": %.0f}%s\n",
+                   row.label.c_str(), row.witnesses, row.probation ? "true" : "false",
+                   row.seconds,
+                   static_cast<unsigned long long>(row.false_positive_retirements),
+                   static_cast<unsigned long long>(row.true_positive_retirements),
+                   static_cast<unsigned long long>(row.missed_confessions),
+                   static_cast<unsigned long long>(row.probation_entries),
+                   static_cast<unsigned long long>(row.reinstatements),
+                   static_cast<unsigned long long>(row.quorum_judgments),
+                   static_cast<unsigned long long>(row.quorum_overrides),
+                   row.stranded_fraction, row.probation_core_seconds,
+                   i + 1 < verdicts.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }\n}\n");
     std::fclose(f);
     std::printf("# wrote %s\n", json_path.c_str());
+  }
+  if (!verdict_gate || !halved || !no_extra_escapes) {
+    return 4;
   }
   return 0;
 }

@@ -49,6 +49,7 @@ struct FleetStudy::ShardDelta {
   uint64_t symptom_counts[kSymptomCount] = {};
   uint64_t work_units_executed = 0;
   uint64_t silent_corruptions = 0;
+  uint64_t probation_work_declined = 0;
   std::vector<Signal> signals;               // suspect-service reports, in emission order
   std::vector<McaRecord> mca_records;        // machine-check telemetry, in emission order
   std::vector<PendingHumanReport> human_reports;
@@ -71,6 +72,7 @@ struct FleetStudy::ShardDelta {
     std::fill(std::begin(symptom_counts), std::end(symptom_counts), uint64_t{0});
     work_units_executed = 0;
     silent_corruptions = 0;
+    probation_work_declined = 0;
     signals.clear();
     mca_records.clear();
     human_reports.clear();
@@ -124,6 +126,18 @@ FleetStudy::FleetStudy(StudyOptions options)
     control_plane_.set_conviction_hook([this](SimTime now, const QuarantineVerdict& verdict) {
       repair_.OnConviction(now, verdict.core_global, ledger_);
     });
+    // Reinstatement withdraws the conviction: repair passes still queued for it are cancelled
+    // (with accounting) rather than run against an exonerated core's artifacts.
+    control_plane_.set_reinstatement_hook(
+        [this](SimTime, uint64_t core) { repair_.OnReinstated(core); });
+  }
+
+  if (options_.control_plane.probation.enabled) {
+    // Probation cores serve restricted work: placements are filtered against the failed units
+    // their weak confession named. The profile table is index-aligned with the corpus (one
+    // profile per WorkloadKind, in enum order).
+    placement_profiles_ = PlacementPlanner::StandardProfiles();
+    MERCURIAL_CHECK_EQ(placement_profiles_.size(), corpus_.size());
   }
 
   if (options_.trace.enabled) {
@@ -235,13 +249,20 @@ void FleetStudy::RunProductionShard(SimTime now, uint64_t core_begin, uint64_t c
   const double busy_units = static_cast<double>(options_.work_units_per_core_day) *
                             options_.tick.days();
   const bool audit = options_.audit.enabled;
+  const bool probation_enabled = options_.control_plane.probation.enabled;
   const uint64_t epoch =
       static_cast<uint64_t>(now.seconds() / options_.tick.seconds());
   for (uint64_t core_index : fleet_.mercurial_cores()) {
     if (core_index < core_begin || core_index >= core_end) {
       continue;
     }
-    if (!scheduler_.Schedulable(core_index) || !fleet_.Installed(core_index, now)) {
+    // A probation core is not Schedulable (general placement) but does serve restricted
+    // work — that recovered capacity is the point of the probation lifecycle. The probation
+    // ledger is only written in the serial phase, so reading it here is race-free.
+    const bool on_probation =
+        probation_enabled && scheduler_.state(core_index) == CoreState::kProbation;
+    if ((!scheduler_.Schedulable(core_index) && !on_probation) ||
+        !fleet_.Installed(core_index, now)) {
       continue;
     }
     SimCore& core = fleet_.core(core_index);
@@ -258,6 +279,17 @@ void FleetStudy::RunProductionShard(SimTime now, uint64_t core_begin, uint64_t c
       // The corpus index doubles as the WorkloadKind (BuildStandardCorpus builds one instance
       // per kind, in enum order), which determines the artifact class the unit produces.
       const uint64_t pick = rng.UniformInt(0, corpus.size() - 1);
+      if (on_probation) {
+        // Checked placement: decline any workload that would exercise a unit the core's weak
+        // confession named. The draw is still consumed, so probation cannot shift the stream.
+        const std::vector<ExecUnit>* restricted =
+            control_plane_.ProbationRestrictedUnits(core_index);
+        if (restricted != nullptr && !restricted->empty() &&
+            !TaskSafeOnCore(placement_profiles_[pick].units_exercised, *restricted)) {
+          ++delta.probation_work_declined;
+          continue;
+        }
+      }
       Workload& workload = *corpus[pick];
       const WorkloadResult result = workload.Run(core, rng);
       ++delta.work_units_executed;
@@ -316,6 +348,7 @@ void FleetStudy::ApplyShardDelta(ShardDelta& delta) {
   }
   report_.work_units_executed += delta.work_units_executed;
   report_.silent_corruptions += delta.silent_corruptions;
+  report_.probation_work_declined += delta.probation_work_declined;
   if (options_.audit.enabled) {
     ledger_.MergeFrom(delta.ledger);
   }
@@ -546,6 +579,9 @@ void FleetStudy::Finalize() {
   // Suspects still in the pipeline at study end never reached a terminal event; the count
   // lets trace consumers close the books on every quarantine admission.
   report_.control_plane.pending_at_end = control_plane_.pending_count();
+  // Probation entries never resolved: the third leg of conviction lifecycle conservation
+  // (retired / reinstated / still pending — property tests P12/P13).
+  report_.control_plane.probation_pending_at_end = control_plane_.probation_count();
   report_.scheduler = scheduler_.stats();
 
   // Control-plane health as metrics: peaks are max-gauges (Merge takes max), event totals are
@@ -567,6 +603,30 @@ void FleetStudy::Finalize() {
                      report_.control_plane.chaos.interrogations_aborted);
   metrics_.Increment("chaos.machine_restarts", report_.control_plane.chaos.machine_restarts);
 
+  if (options_.control_plane.quorum.enabled) {
+    metrics_.Increment("quorum.judgments", report_.control_plane.quorum.judgments);
+    metrics_.Increment("quorum.votes_cast", report_.control_plane.quorum.votes_cast);
+    metrics_.Increment("quorum.splits", report_.control_plane.quorum.splits);
+    metrics_.Increment("quorum.escalations", report_.control_plane.quorum.escalations);
+    metrics_.Increment("quorum.fallbacks", report_.control_plane.quorum.fallbacks);
+    metrics_.Increment("quorum.overrides", report_.control_plane.quorum.overrides);
+  }
+  if (options_.control_plane.probation.enabled) {
+    metrics_.Increment("probation.entries", report_.quarantine.probation_entries);
+    metrics_.Increment("probation.escalations", report_.quarantine.probation_escalations);
+    metrics_.Increment("probation.reinstatements", report_.quarantine.reinstatements);
+    metrics_.Increment("probation.pending_at_end",
+                       report_.control_plane.probation_pending_at_end);
+    metrics_.Increment("probation.work_declined", report_.probation_work_declined);
+  }
+  if (options_.control_plane.chaos.verdict_enabled()) {
+    metrics_.Increment("chaos.witnesses_lied", report_.control_plane.chaos.witnesses_lied);
+    metrics_.Increment("chaos.witnesses_crashed",
+                       report_.control_plane.chaos.witnesses_crashed);
+    metrics_.Increment("chaos.probation_signals_suppressed",
+                       report_.control_plane.chaos.probation_signals_suppressed);
+  }
+
   report_.audit_enabled = options_.audit.enabled;
   if (options_.audit.enabled) {
     repair_.FinalizeAccounting(ledger_);
@@ -582,6 +642,8 @@ void FleetStudy::Finalize() {
     metrics_.Increment("repair.artifacts_reexecuted", report_.repair.artifacts_reexecuted);
     metrics_.Increment("repair.retries_scheduled", report_.repair.retries_scheduled);
     metrics_.Increment("repair.epochs_shed", report_.repair.epochs_shed);
+    metrics_.Increment("repair.reinstated_epochs_cancelled",
+                       report_.repair.reinstated_epochs_cancelled);
     metrics_.Increment("repair.corruptions_repaired", report_.repair.corruptions_repaired);
     metrics_.Increment("repair.corruptions_shed", report_.repair.corruptions_shed);
     metrics_.Increment("repair.corruptions_still_at_rest",

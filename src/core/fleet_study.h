@@ -40,6 +40,7 @@
 #include "src/fleet/fleet.h"
 #include "src/mitigate/blast_radius.h"
 #include "src/mitigate/repair_orchestrator.h"
+#include "src/sched/placement.h"
 #include "src/sched/scheduler.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
@@ -133,6 +134,9 @@ struct StudyReport {
   QuarantineStats quarantine;
   ControlPlaneStats control_plane;
   SchedulerStats scheduler;
+  // Work units a probation core declined because the workload would exercise a unit its weak
+  // confession named (restricted placement, §6.1). Zero unless probation is enabled.
+  uint64_t probation_work_declined = 0;
   uint64_t screen_failures = 0;
   uint64_t screening_ops = 0;
   // Of the truly-mercurial cores whose defects activated during the study, how many were
@@ -267,6 +271,9 @@ class FleetStudy {
   // repair) plus the signal paths below; this class only owns the recorder, sets the tick
   // context, and assembles the trace at finalization.
   std::unique_ptr<TraceRecorder> trace_;
+  // Workload placement profiles, index-aligned with the corpus (one per WorkloadKind), used
+  // to honor probation placement restrictions. Populated only when probation is enabled.
+  std::vector<WorkloadProfile> placement_profiles_;
   McaLog mca_log_;
   StudyReport report_;
   bool ran_ = false;

@@ -41,6 +41,15 @@ Status ChaosOptions::Validate() const {
   if (Status s = CheckProbability(repair_partial, "chaos repair_partial"); !s.ok()) {
     return s;
   }
+  if (Status s = CheckProbability(lying_witness, "chaos lying_witness"); !s.ok()) {
+    return s;
+  }
+  if (Status s = CheckProbability(witness_crash, "chaos witness_crash"); !s.ok()) {
+    return s;
+  }
+  if (Status s = CheckProbability(probation_suppress, "chaos probation_suppress"); !s.ok()) {
+    return s;
+  }
   if (delay_report > 0.0 && report_delay_mean.seconds() <= 0) {
     return InvalidArgumentError("chaos report_delay_mean must be positive when delays are on");
   }
@@ -129,6 +138,30 @@ bool ChaosInjector::PartialRepair(double* fraction_done) {
   if (fraction_done != nullptr) {
     *fraction_done = rng_.NextDouble();  // preemption lands uniformly within the pass
   }
+  return true;
+}
+
+bool ChaosInjector::LyingWitness() {
+  if (options_.lying_witness <= 0.0 || !rng_.Bernoulli(options_.lying_witness)) {
+    return false;
+  }
+  ++stats_.witnesses_lied;
+  return true;
+}
+
+bool ChaosInjector::WitnessCrash() {
+  if (options_.witness_crash <= 0.0 || !rng_.Bernoulli(options_.witness_crash)) {
+    return false;
+  }
+  ++stats_.witnesses_crashed;
+  return true;
+}
+
+bool ChaosInjector::SuppressProbationSignal() {
+  if (options_.probation_suppress <= 0.0 || !rng_.Bernoulli(options_.probation_suppress)) {
+    return false;
+  }
+  ++stats_.probation_signals_suppressed;
   return true;
 }
 

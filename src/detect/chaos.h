@@ -47,9 +47,21 @@ struct ChaosOptions {
   double repair_on_defective = 0.0;    // P(the repair executor is itself defective)
   double repair_partial = 0.0;         // P(a repair pass is preempted mid-epoch)
 
+  // Verdict-path faults (consumed by the quorum/probation layer, detect/quorum.h and
+  // control_plane.h). The testimony itself is fleet software output: a tester or witness can
+  // lie, a witness can die mid-vote, and the daemon relaying a probation signal can drop it.
+  double lying_witness = 0.0;      // P(a cast vote — or the lone tester's verdict — is flipped)
+  double witness_crash = 0.0;      // P(a witness crashes mid-vote and casts nothing)
+  double probation_suppress = 0.0; // P(a probation shadow-screen signal is swallowed)
+
   bool enabled() const {
     return drop_report > 0.0 || delay_report > 0.0 || duplicate_report > 0.0 ||
-           abort_interrogation > 0.0 || machine_restart_per_day > 0.0 || repair_enabled();
+           abort_interrogation > 0.0 || machine_restart_per_day > 0.0 || repair_enabled() ||
+           verdict_enabled();
+  }
+
+  bool verdict_enabled() const {
+    return lying_witness > 0.0 || witness_crash > 0.0 || probation_suppress > 0.0;
   }
 
   bool repair_enabled() const {
@@ -70,6 +82,9 @@ struct ChaosStats {
   uint64_t reverify_misses = 0;       // corrupt artifacts a chaos-failed re-verification passed
   uint64_t defective_repairs = 0;     // repair passes forced onto a defective executor
   uint64_t partial_repairs = 0;       // repair passes preempted mid-epoch
+  uint64_t witnesses_lied = 0;        // votes (or lone-tester verdicts) flipped in flight
+  uint64_t witnesses_crashed = 0;     // witnesses that died mid-vote and cast nothing
+  uint64_t probation_signals_suppressed = 0;  // shadow-screen confessions swallowed in flight
 };
 
 class ChaosInjector {
@@ -106,6 +121,19 @@ class ChaosInjector {
   // True if the repair pass is preempted mid-epoch; `fraction_done` is then the fraction of
   // the planned artifacts that were processed before the preemption.
   bool PartialRepair(double* fraction_done);
+
+  // --- Verdict-path faults (quorum interrogation and probation, detect/quorum.h) -----------
+
+  // True if the vote being cast (or, with the quorum disabled, the lone tester's battery
+  // verdict) is corrupted in flight and arrives inverted.
+  bool LyingWitness();
+
+  // True if the witness about to vote crashes mid-battery and casts no vote at all.
+  bool WitnessCrash();
+
+  // True if a probation shadow-screen confession is swallowed before reaching the control
+  // plane: the window looks clean and escalation is delayed, not prevented.
+  bool SuppressProbationSignal();
 
   size_t delayed_in_flight() const { return delayed_.size(); }
   const ChaosStats& stats() const { return stats_; }

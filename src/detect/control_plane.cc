@@ -26,6 +26,12 @@ Status ControlPlaneOptions::Validate() const {
   if (throttle_defer.seconds() < 0) {
     return InvalidArgumentError("throttle_defer must be >= 0");
   }
+  if (Status s = quorum.Validate(); !s.ok()) {
+    return s;
+  }
+  if (Status s = probation.Validate(); !s.ok()) {
+    return s;
+  }
   return chaos.Validate();
 }
 
@@ -35,7 +41,8 @@ QuarantineControlPlane::QuarantineControlPlane(ControlPlaneOptions options,
     : options_(options),
       manager_(policy, manager_rng),
       control_rng_(control_rng),
-      chaos_(options.chaos, control_rng.Split(0xc4a05)) {}
+      chaos_(options.chaos, control_rng.Split(0xc4a05)),
+      quorum_(options.quorum, control_rng.Split(0x9b0a7)) {}
 
 void QuarantineControlPlane::Report(const Signal& signal, CeeReportService& service) {
   if (!chaos_.enabled()) {
@@ -79,12 +86,31 @@ SimTime QuarantineControlPlane::BackoffDelay(int attempts) {
 }
 
 void QuarantineControlPlane::AdmitSuspects(SimTime now, const std::vector<SuspectCore>& suspects,
-                                           CoreScheduler& scheduler) {
+                                           Fleet& fleet, CoreScheduler& scheduler,
+                                           CeeReportService& service,
+                                           std::vector<QuarantineVerdict>& verdicts) {
   for (const SuspectCore& suspect : suspects) {
     const uint64_t core = suspect.core_global;
     if (scheduler.state(core) == CoreState::kRetired ||
         scheduler.state(core) == CoreState::kQuarantined) {
       continue;  // same skip rule as QuarantineManager::Process
+    }
+    if (scheduler.state(core) == CoreState::kProbation) {
+      // A fresh accusation while the conviction is held in appeal: the probation fails and
+      // escalates straight to permanent retirement — no second interrogation, the core already
+      // used its second chance.
+      manager_.RecordAccusation(core);
+      for (auto it = probation_.begin(); it != probation_.end(); ++it) {
+        if (it->core_global == core) {
+          Trace(core, TraceEventKind::kProbationEnd, TraceCause::kProbationSignal,
+                static_cast<uint64_t>(it->windows_clean));
+          probation_.erase(it);
+          break;
+        }
+      }
+      verdicts.push_back(
+          manager_.EscalateProbation(now, core, /*confessed=*/false, fleet, scheduler, service));
+      continue;
     }
     if (IsPending(core) || scheduler.state(core) != CoreState::kActive) {
       continue;  // already in the pipeline (e.g. mid-drain); not a new accusation
@@ -178,10 +204,45 @@ void QuarantineControlPlane::RunInterrogations(SimTime now, Fleet& fleet,
           static_cast<uint64_t>(pending.attempts));
     QuarantineManager::Interrogation result;
     double fraction_run = 0.0;
-    if (chaos_.AbortInterrogation(&fraction_run)) {
+    const bool aborted = chaos_.AbortInterrogation(&fraction_run);
+    if (aborted) {
       result = manager_.AbortedInterrogation(fraction_run);
     } else {
       result = manager_.Interrogate(pending.core_global, fleet);
+    }
+    QuorumVerdict quorum_verdict;
+    bool quorum_judged = false;
+    if (!aborted && result.ran) {
+      if (quorum_.enabled()) {
+        // The tester's verdict is testimony, not truth: K witness cores re-judge the battery
+        // and the majority decides. Chaos faults (lying witness, mid-vote crash) land on the
+        // witnesses here instead of on the lone tester below.
+        quorum_verdict = quorum_.Judge(pending.core_global, result.confessed, fleet, scheduler,
+                                       chaos_);
+        quorum_judged = true;
+        Trace(pending.core_global, TraceEventKind::kQuorumVerdict,
+              quorum_verdict.fell_back        ? TraceCause::kQuorumFallback
+              : quorum_verdict.escalations > 0 ? TraceCause::kQuorumSplit
+                                               : TraceCause::kQuorumAgreed,
+              PackQuorumDetail(quorum_verdict));
+        if (quorum_verdict.confessed != result.confessed) {
+          // The majority overrides the tester. A quorum-invented confession names no failed
+          // units (witnesses corroborate the outcome, not the unit breakdown); an overturned
+          // one withdraws them.
+          result.confessed = quorum_verdict.confessed;
+          if (!quorum_verdict.confessed) {
+            result.failed_units.clear();
+          }
+        }
+      } else if (chaos_.LyingWitness()) {
+        // Legacy single-tester path under testimony chaos: with no quorum to out-vote it, the
+        // lone tester's flipped verdict IS the verdict. This is the false-conviction source
+        // the quorum exists to suppress.
+        result.confessed = !result.confessed;
+        if (!result.confessed) {
+          result.failed_units.clear();
+        }
+      }
     }
     if (result.ran && !result.confessed && pending.attempts <= options_.max_retries) {
       // Still suspicious, didn't confess (or the run was cut short): keep it quarantined and
@@ -190,6 +251,44 @@ void QuarantineControlPlane::RunInterrogations(SimTime now, Fleet& fleet,
       ++stats_.retries_scheduled;
       still_pending.push_back(pending);
       continue;
+    }
+    if (options_.probation.enabled && manager_.WouldRetire(pending.core_global, result)) {
+      // The conviction is in; ask how strong the evidence is. Weak: no confession at all
+      // (recidivism / suspicion-only), a witness majority thinner than strong_agreement
+      // (fallback verdicts carry agreement 0.5), or a confession that needed too many
+      // attempts to reproduce. Weak convictions are held open in probation.
+      bool weak = !result.confessed;
+      if (quorum_judged && quorum_verdict.agreement < options_.quorum.strong_agreement) {
+        weak = true;
+      }
+      if (options_.probation.weak_after_attempts > 0 &&
+          pending.attempts > options_.probation.weak_after_attempts) {
+        weak = true;
+      }
+      if (weak) {
+        QuarantineVerdict verdict =
+            manager_.BeginProbation(pending.core_global, result, scheduler, service);
+        Trace(pending.core_global, TraceEventKind::kInterrogationVerdict,
+              TraceCause::kWeakEvidence, static_cast<uint64_t>(pending.attempts));
+        // The conviction event still precedes the hook — the blast-radius subsystem treats a
+        // probation entry as a (provisional) conviction; reinstatement later cancels it.
+        Trace(pending.core_global, TraceEventKind::kConviction, TraceCause::kWeakEvidence,
+              verdict.failed_units.size());
+        Trace(pending.core_global, TraceEventKind::kProbationStart, TraceCause::kWeakEvidence,
+              verdict.failed_units.size());
+        if (conviction_hook_) {
+          conviction_hook_(now, verdict);
+        }
+        ProbationRecord record;
+        record.core_global = pending.core_global;
+        record.machine = pending.machine;
+        record.entered = now;
+        record.next_window = now + options_.probation.window;
+        record.restricted_units = verdict.failed_units;
+        probation_.push_back(std::move(record));
+        verdicts.push_back(verdict);
+        continue;
+      }
     }
     QuarantineVerdict verdict =
         manager_.Finalize(now, pending.core_global, result, fleet, scheduler, service);
@@ -210,6 +309,65 @@ void QuarantineControlPlane::RunInterrogations(SimTime now, Fleet& fleet,
     verdicts.push_back(verdict);
   }
   pending_ = std::move(still_pending);
+}
+
+const std::vector<ExecUnit>* QuarantineControlPlane::ProbationRestrictedUnits(
+    uint64_t core_global) const {
+  for (const ProbationRecord& record : probation_) {
+    if (record.core_global == core_global) {
+      return &record.restricted_units;
+    }
+  }
+  return nullptr;
+}
+
+void QuarantineControlPlane::ProcessProbation(SimTime now, Fleet& fleet,
+                                              CoreScheduler& scheduler,
+                                              CeeReportService& service,
+                                              std::vector<QuarantineVerdict>& verdicts) {
+  if (probation_.empty()) {
+    return;
+  }
+  std::vector<ProbationRecord> still_open;
+  still_open.reserve(probation_.size());
+  for (ProbationRecord& record : probation_) {
+    if (record.next_window > now) {
+      still_open.push_back(std::move(record));
+      continue;
+    }
+    // Shadow screen: one confession battery per due window, at the elevated probation cadence.
+    // (Under require_confession = false there is no battery to run, so shadow windows can only
+    // come up clean; escalation then rides on fresh accusations alone.)
+    const QuarantineManager::Interrogation shadow =
+        manager_.Interrogate(record.core_global, fleet);
+    bool signal = shadow.confessed;
+    if (signal && chaos_.SuppressProbationSignal()) {
+      // The signal was swallowed in flight: this window LOOKS clean, so escalation is delayed
+      // — or, if enough windows pass, a defective core gets wrongly reinstated. The lifecycle
+      // conservation property still holds; only the outcome quality degrades.
+      signal = false;
+    }
+    if (signal) {
+      Trace(record.core_global, TraceEventKind::kProbationEnd, TraceCause::kProbationEscalated,
+            static_cast<uint64_t>(record.windows_clean));
+      verdicts.push_back(manager_.EscalateProbation(now, record.core_global, /*confessed=*/true,
+                                                    fleet, scheduler, service));
+      continue;
+    }
+    ++record.windows_clean;
+    record.next_window = now + options_.probation.window;
+    if (record.windows_clean >= options_.probation.clean_windows_to_reinstate) {
+      Trace(record.core_global, TraceEventKind::kProbationEnd, TraceCause::kReinstated,
+            static_cast<uint64_t>(record.windows_clean));
+      manager_.Reinstate(record.core_global, fleet, scheduler, service);
+      if (reinstatement_hook_) {
+        reinstatement_hook_(now, record.core_global);
+      }
+      continue;
+    }
+    still_open.push_back(std::move(record));
+  }
+  probation_ = std::move(still_open);
 }
 
 void QuarantineControlPlane::ApplyRestarts(SimTime now, SimTime dt, Fleet& fleet,
@@ -307,17 +465,19 @@ std::vector<QuarantineVerdict> QuarantineControlPlane::Tick(SimTime now, SimTime
   ApplyRestarts(now, dt, fleet, scheduler, service);
 
   const std::vector<SuspectCore> suspects = service.Suspects(now);
-  AdmitSuspects(now, suspects, scheduler);
+  std::vector<QuarantineVerdict> verdicts;
+  AdmitSuspects(now, suspects, fleet, scheduler, service, verdicts);
   AdvanceDrains(now, scheduler);
 
-  std::vector<QuarantineVerdict> verdicts;
   RunInterrogations(now, fleet, scheduler, service, verdicts);
+  ProcessProbation(now, fleet, scheduler, service, verdicts);
   EnforceGuardrail(now, fleet, scheduler, service, screening);
 
   const uint64_t isolated = scheduler.pending_isolation_count();
   stats_.peak_pending_isolation = std::max(stats_.peak_pending_isolation, isolated);
   stats_.pending_isolation_core_seconds +=
       static_cast<double>(isolated) * static_cast<double>(dt.seconds());
+  stats_.quorum = quorum_.stats();
   stats_.chaos = chaos_.stats();
   return verdicts;
 }

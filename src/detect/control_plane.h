@@ -22,6 +22,13 @@
 //     `quarantine_budget_fraction` of the fleet, the plane degrades gracefully: it releases
 //     the least-suspect pending cores first and defers upcoming offline screens
 //     (ScreeningOrchestrator::ThrottleOffline) to throttle the drain inflow.
+//   * Quorum verdicts + probation (quorum.h). With `quorum.enabled`, every completed battery
+//     is re-judged by K witness cores — majority decides, splits escalate to wider quorums —
+//     because the interrogating core is as untrustworthy as the suspect. With
+//     `probation.enabled`, weak-evidence convictions (no confession, thin majority, low
+//     reproducibility) enter restricted service under shadow screening and are reinstated
+//     after N clean windows instead of stranding capacity forever; any new signal during
+//     probation escalates to permanent retirement.
 //   * Chaos injection (chaos.h). Faults in the detection infrastructure itself — dropped,
 //     duplicated, and delayed suspect reports, interrogations cut short mid-battery, machine
 //     crash-restarts that reset in-flight quarantines — so a study can measure how TP/FP/
@@ -46,6 +53,7 @@
 #include "src/common/status.h"
 #include "src/detect/chaos.h"
 #include "src/detect/quarantine.h"
+#include "src/detect/quorum.h"
 #include "src/detect/report_service.h"
 #include "src/detect/screening.h"
 #include "src/fleet/fleet.h"
@@ -83,6 +91,14 @@ struct ControlPlaneOptions {
   double quarantine_budget_fraction = 1.0;
   SimTime throttle_defer = SimTime::Days(7);
 
+  // Untrusted-interrogator quorum: each completed battery is re-judged by K witness cores
+  // (quorum.h). Off by default — the single tester's testimony stands, bit-identically.
+  QuorumOptions quorum;
+  // Weak-evidence convictions (no confession, thin witness majority, or low reproducibility)
+  // enter probation — restricted service under shadow screening — instead of terminal
+  // retirement, and are reinstated after clean windows. Off by default.
+  ProbationOptions probation;
+
   ChaosOptions chaos;
 
   Status Validate() const;
@@ -107,6 +123,12 @@ struct ControlPlaneStats {
   // force-release yet). Lets trace consumers account for every admission: each admit has
   // exactly one terminal event or is pending at end.
   uint64_t pending_at_end = 0;
+  // Probation entries still unresolved when the study ended: together with the kProbationEnd
+  // trace events this makes conviction lifecycle conservation checkable — every conviction is
+  // terminal retirement, probation -> escalated retirement, probation -> reinstated, or
+  // counted here (property tests P12/P13).
+  uint64_t probation_pending_at_end = 0;
+  QuorumStats quorum;
   ChaosStats chaos;
 };
 
@@ -145,7 +167,20 @@ class QuarantineControlPlane {
   // emission needs no synchronization; it consumes no randomness either.
   void set_trace_recorder(TraceRecorder* recorder) { trace_ = recorder; }
 
+  // Reinstatement hook: invoked (inside Tick, serial phase) when a probation core completes
+  // its clean windows and returns to unrestricted service. The repair orchestrator uses it to
+  // cancel retroactive-repair work queued for the now-withdrawn conviction.
+  void set_reinstatement_hook(std::function<void(SimTime, uint64_t)> hook) {
+    reinstatement_hook_ = std::move(hook);
+  }
+
   size_t pending_count() const { return pending_.size(); }
+  // Probation entries still open (convictions held in appeal, neither escalated nor cleared).
+  size_t probation_count() const { return probation_.size(); }
+  // The placement restriction for a probation core: the failed units its weak confession
+  // named, or null if the core is not on probation (or confessed nothing — unrestricted).
+  // Written only in the serial phase, so parallel production shards may read it freely.
+  const std::vector<ExecUnit>* ProbationRestrictedUnits(uint64_t core_global) const;
   const ControlPlaneStats& stats() const { return stats_; }
   QuarantineManager& manager() { return manager_; }
   const QuarantineManager& manager() const { return manager_; }
@@ -161,9 +196,24 @@ class QuarantineControlPlane {
     SimTime next_attempt;      // earliest time the next battery may run
   };
 
-  void AdmitSuspects(SimTime now, const std::vector<SuspectCore>& suspects,
-                     CoreScheduler& scheduler);
+  // One weak-evidence conviction held open in restricted service. The ledger is control-plane
+  // global, not per machine: a machine restart wipes in-flight quarantine state (a daemon
+  // cache) but not probation status, which is a fleet-management property like retirement.
+  struct ProbationRecord {
+    uint64_t core_global = 0;
+    uint64_t machine = 0;
+    SimTime entered;                        // when the conviction was diverted to probation
+    int windows_clean = 0;                  // consecutive clean shadow-screen windows
+    SimTime next_window;                    // when the next shadow screen is due
+    std::vector<ExecUnit> restricted_units; // confessed units barred from placements
+  };
+
+  void AdmitSuspects(SimTime now, const std::vector<SuspectCore>& suspects, Fleet& fleet,
+                     CoreScheduler& scheduler, CeeReportService& service,
+                     std::vector<QuarantineVerdict>& verdicts);
   void AdvanceDrains(SimTime now, CoreScheduler& scheduler);
+  void ProcessProbation(SimTime now, Fleet& fleet, CoreScheduler& scheduler,
+                        CeeReportService& service, std::vector<QuarantineVerdict>& verdicts);
   void RunInterrogations(SimTime now, Fleet& fleet, CoreScheduler& scheduler,
                          CeeReportService& service, std::vector<QuarantineVerdict>& verdicts);
   void ApplyRestarts(SimTime now, SimTime dt, Fleet& fleet, CoreScheduler& scheduler,
@@ -178,9 +228,12 @@ class QuarantineControlPlane {
   QuarantineManager manager_;
   Rng control_rng_;
   ChaosInjector chaos_;
+  QuorumInterrogator quorum_;
   ControlPlaneStats stats_;
   std::vector<Pending> pending_;  // admission order; interrogations scan front to back
+  std::vector<ProbationRecord> probation_;  // probation-entry order
   std::function<void(SimTime, const QuarantineVerdict&)> conviction_hook_;
+  std::function<void(SimTime, uint64_t)> reinstatement_hook_;
   TraceRecorder* trace_ = nullptr;
 };
 

@@ -99,6 +99,81 @@ QuarantineVerdict QuarantineManager::Finalize(SimTime now, uint64_t core_global,
   return verdict;
 }
 
+bool QuarantineManager::WouldRetire(uint64_t core_global, const Interrogation& last) const {
+  if (last.confessed || !last.ran) {
+    return true;
+  }
+  if (policy_.recidivism_retire_after > 0) {
+    const auto it = accusation_counts_.find(core_global);
+    if (it != accusation_counts_.end() && it->second >= policy_.recidivism_retire_after) {
+      return true;
+    }
+  }
+  return false;
+}
+
+QuarantineVerdict QuarantineManager::BeginProbation(uint64_t core_global,
+                                                    const Interrogation& last,
+                                                    CoreScheduler& scheduler,
+                                                    CeeReportService& service) {
+  QuarantineVerdict verdict;
+  verdict.core_global = core_global;
+  if (last.confessed) {
+    ++stats_.confessions;
+    verdict.confessed = true;
+    verdict.failed_units = last.failed_units;
+  }
+  ++stats_.probation_entries;
+  scheduler.Probation(core_global);
+  service.Forget(core_global);
+  // verdict.retired stays false: the conviction is held open, not resolved. Ground-truth
+  // counters move only at the terminal outcome (EscalateProbation or Reinstate).
+  return verdict;
+}
+
+QuarantineVerdict QuarantineManager::EscalateProbation(SimTime now, uint64_t core_global,
+                                                       bool confessed, Fleet& fleet,
+                                                       CoreScheduler& scheduler,
+                                                       CeeReportService& service) {
+  QuarantineVerdict verdict;
+  verdict.core_global = core_global;
+  verdict.retired = true;
+  if (confessed) {
+    // The shadow screen extracted a fresh confession — a new interrogation that confessed.
+    ++stats_.confessions;
+    verdict.confessed = true;
+  }
+  const auto units = failed_units_.find(core_global);
+  if (units != failed_units_.end()) {
+    verdict.failed_units = units->second;
+  }
+  scheduler.Retire(core_global);
+  retirement_times_.emplace(core_global, now);
+  ++stats_.retirements;
+  ++stats_.probation_escalations;
+  if (fleet.IsMercurial(core_global)) {
+    ++stats_.true_positive_retirements;
+  } else {
+    ++stats_.false_positive_retirements;
+  }
+  service.Forget(core_global);
+  return verdict;
+}
+
+void QuarantineManager::Reinstate(uint64_t core_global, Fleet& fleet, CoreScheduler& scheduler,
+                                  CeeReportService& service) {
+  scheduler.Reinstate(core_global);
+  ++stats_.reinstatements;
+  if (fleet.IsMercurial(core_global)) {
+    ++stats_.missed_confessions;
+  }
+  // Clean slate: suspicion cleared means recidivism starts over and the failed-unit record
+  // (which only ever described a weak confession) is withdrawn.
+  accusation_counts_.erase(core_global);
+  failed_units_.erase(core_global);
+  service.Forget(core_global);
+}
+
 void QuarantineManager::ForceRelease(uint64_t core_global, Fleet& fleet,
                                      CoreScheduler& scheduler, CeeReportService& service) {
   scheduler.Release(core_global);

@@ -43,7 +43,8 @@ struct QuarantinePolicy {
 //   suspects_processed       distinct cores that entered the quarantine pipeline at least
 //                            once. A core released and later re-accused is NOT counted again
 //                            (each re-accusation lands in `accusations` instead; earlier
-//                            versions double-counted recidivists here).
+//                            versions double-counted recidivists here). Reinstatement wipes a
+//                            core's slate, so a reinstated core accused afresh counts anew.
 //   accusations              total accusation events, including re-accusations of released
 //                            cores. A retry of an in-flight interrogation (control plane) is
 //                            not a new accusation.
@@ -51,8 +52,16 @@ struct QuarantinePolicy {
 //   releases                 verdicts returning the core to service (false accusation or
 //                            limited reproducibility), including guardrail-forced releases.
 //   retirements              permanent removals: confessions + recidivism retirements +
-//                            suspicion-only retirements (require_confession = false).
+//                            suspicion-only retirements (require_confession = false) +
+//                            probation escalations.
 //   recidivism_retirements   subset of retirements forced by the re-accusation threshold.
+//   probation_entries        weak-evidence convictions diverted to restricted service instead
+//                            of terminal retirement (control_plane.h probation lifecycle).
+//   probation_escalations    subset of retirements reached by escalating a probation core
+//                            (new signal or shadow-screen confession during probation).
+//   reinstatements           probation cores cleared after N clean windows: suspicion reset,
+//                            stranded capacity recovered. Not a release — the core was never
+//                            waiting on a verdict when cleared.
 //   interrogation_ops        micro-ops charged to confession batteries (aborted runs included,
 //                            pro-rated).
 // Ground-truth counters (metrics only, detection code never reads them):
@@ -64,6 +73,9 @@ struct QuarantineStats {
   uint64_t releases = 0;
   uint64_t retirements = 0;
   uint64_t recidivism_retirements = 0;
+  uint64_t probation_entries = 0;
+  uint64_t probation_escalations = 0;
+  uint64_t reinstatements = 0;
   uint64_t interrogation_ops = 0;
   uint64_t true_positive_retirements = 0;   // retired cores that really were mercurial
   uint64_t false_positive_retirements = 0;  // retired healthy cores
@@ -122,6 +134,32 @@ class QuarantineManager {
   // core's report mass. Recidivism is NOT evaluated: the pipeline, not the evidence, gave up.
   void ForceRelease(uint64_t core_global, Fleet& fleet, CoreScheduler& scheduler,
                     CeeReportService& service);
+
+  // --- Probation lifecycle (weak-evidence convictions; control_plane.h drives it) ----------
+
+  // Pure mirror of Finalize's retire decision for `last`, with no side effects: the control
+  // plane asks it before choosing between terminal Finalize and BeginProbation.
+  bool WouldRetire(uint64_t core_global, const Interrogation& last) const;
+
+  // Weak-evidence conviction: instead of retiring, the core moves to restricted service
+  // (scheduler probation). A confession is still counted and its failed units recorded —
+  // those units are the probation placement restriction — but no retirement, ground-truth,
+  // or release counter moves: the conviction is not terminal yet. Clears report mass.
+  QuarantineVerdict BeginProbation(uint64_t core_global, const Interrogation& last,
+                                   CoreScheduler& scheduler, CeeReportService& service);
+
+  // New evidence during probation (fresh accusation, or a shadow-screen confession when
+  // `confessed`): permanent retirement, with the usual retirement/ground-truth bookkeeping.
+  QuarantineVerdict EscalateProbation(SimTime now, uint64_t core_global, bool confessed,
+                                      Fleet& fleet, CoreScheduler& scheduler,
+                                      CeeReportService& service);
+
+  // N clean probation windows: suspicion cleared. The core returns to unrestricted service,
+  // its accusation count and failed-unit record reset (a reinstated core starts from a clean
+  // slate — recidivism must re-accumulate). Counts a missed confession if ground truth says
+  // the core really is mercurial: reinstating it is the deliberate price of the appeal path.
+  void Reinstate(uint64_t core_global, Fleet& fleet, CoreScheduler& scheduler,
+                 CeeReportService& service);
 
   // Micro-op cost of one full interrogation attempt, for abort pro-rating and capacity math.
   uint64_t OpsPerAttempt() const;

@@ -86,6 +86,12 @@ SimCore& Fleet::core(uint64_t global_index) {
   return machines_[id.machine]->core(id.core);
 }
 
+const SimCore& Fleet::core(uint64_t global_index) const {
+  MERCURIAL_CHECK_LT(global_index, core_index_.size());
+  const CoreId& id = core_index_[global_index];
+  return machines_[id.machine]->core(id.core);
+}
+
 bool Fleet::IsMercurial(uint64_t global_index) const {
   return std::binary_search(mercurial_cores_.begin(), mercurial_cores_.end(), global_index);
 }

@@ -78,6 +78,7 @@ class Fleet {
   const Machine& machine(size_t index) const { return *machines_[index]; }
 
   SimCore& core(uint64_t global_index);
+  const SimCore& core(uint64_t global_index) const;
   CoreId core_id(uint64_t global_index) const { return core_index_[global_index]; }
 
   // Ground truth for metrics: global indices of cores that carry defects.

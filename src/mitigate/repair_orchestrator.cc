@@ -103,6 +103,26 @@ void RepairOrchestrator::OnConviction(SimTime now, uint64_t core_global,
   ShedToBacklogBound();
 }
 
+void RepairOrchestrator::OnReinstated(uint64_t core_global) {
+  if (!options_.enabled) {
+    return;
+  }
+  size_t write = 0;
+  for (size_t read = 0; read < tasks_.size(); ++read) {
+    Task& task = tasks_[read];
+    if (task.core_global != core_global) {
+      tasks_[write++] = std::move(task);
+      continue;
+    }
+    ++stats_.reinstated_epochs_cancelled;
+    stats_.reinstated_artifacts_cancelled += task.remaining_produced();
+    backlog_artifacts_ -= task.remaining_produced();
+    Trace(core_global, TraceEventKind::kRepairShed, TraceCause::kReinstated,
+          task.remaining_corrupt());
+  }
+  tasks_.resize(write);
+}
+
 void RepairOrchestrator::ShedToBacklogBound() {
   while (backlog_artifacts_ > options_.max_backlog_artifacts && !tasks_.empty()) {
     // Lowest risk first: the oldest epoch is the furthest from the conviction evidence and

@@ -16,6 +16,8 @@ const char* CoreStateName(CoreState state) {
       return "quarantined";
     case CoreState::kRetired:
       return "retired";
+    case CoreState::kProbation:
+      return "probation";
   }
   return "unknown";
 }
@@ -38,6 +40,9 @@ void CoreScheduler::SetState(uint64_t core, CoreState next) {
   if (prev == CoreState::kQuarantined) {
     --quarantined_count_;
   }
+  if (prev == CoreState::kProbation) {
+    --probation_count_;
+  }
   if (next == CoreState::kActive) {
     ++active_count_;
   }
@@ -49,6 +54,9 @@ void CoreScheduler::SetState(uint64_t core, CoreState next) {
   }
   if (next == CoreState::kRetired) {
     ++retired_count_;
+  }
+  if (next == CoreState::kProbation) {
+    ++probation_count_;
   }
   states_[core] = next;
 }
@@ -95,13 +103,31 @@ void CoreScheduler::Retire(uint64_t core) {
   SetState(core, CoreState::kRetired);
 }
 
+void CoreScheduler::Probation(uint64_t core) {
+  MERCURIAL_CHECK(states_[core] == CoreState::kQuarantined)
+      << "probation for core in state " << CoreStateName(states_[core]);
+  ++stats_.probations;
+  SetState(core, CoreState::kProbation);
+}
+
+void CoreScheduler::Reinstate(uint64_t core) {
+  MERCURIAL_CHECK(states_[core] == CoreState::kProbation)
+      << "reinstating core in state " << CoreStateName(states_[core]);
+  ++stats_.reinstatements;
+  SetState(core, CoreState::kActive);
+}
+
 void CoreScheduler::AccumulateStranding(SimTime dt) {
   // Draining cores count: a core being vacated across ticks (control-plane drain latency) is
   // just as unavailable as a quarantined one. Intra-tick drains resolve before this is called,
-  // so the legacy engine's accounting is unchanged.
+  // so the legacy engine's accounting is unchanged. Probation cores are serving (restricted)
+  // work — the recovered capacity the probation lifecycle exists for — so they integrate into
+  // their own bucket, not into stranding.
   const double stranded =
       static_cast<double>(draining_count_ + quarantined_count_ + retired_count_);
   stats_.stranded_core_seconds += stranded * static_cast<double>(dt.seconds());
+  stats_.probation_core_seconds +=
+      static_cast<double>(probation_count_) * static_cast<double>(dt.seconds());
 }
 
 std::optional<uint64_t> CoreScheduler::NextActiveCore() {

@@ -24,6 +24,8 @@ enum class CoreState : uint8_t {
   kDraining,       // being vacated for offline screening or quarantine
   kQuarantined,    // isolated pending deeper analysis; can be released (false positive)
   kRetired,        // permanently removed (confirmed mercurial)
+  kProbation,      // weak-evidence conviction: serving restricted placements under shadow
+                   // screening, pending reinstatement or escalation to retirement
 };
 
 const char* CoreStateName(CoreState state);
@@ -43,10 +45,15 @@ struct SchedulerStats {
   uint64_t quarantines = 0;
   uint64_t releases = 0;        // quarantined cores put back (false accusations cleared)
   uint64_t retirements = 0;
+  uint64_t probations = 0;      // weak-evidence convictions moved to restricted service
+  uint64_t reinstatements = 0;  // probation cores cleared back to unrestricted service
   double migration_cost_core_seconds = 0.0;
   double lost_work_core_seconds = 0.0;
   // Integral of (quarantined + retired cores) over time, in core-seconds: stranded capacity.
+  // Probation cores are NOT stranded — restricted service is the capacity the probation
+  // lifecycle recovers — and integrate separately below.
   double stranded_core_seconds = 0.0;
+  double probation_core_seconds = 0.0;
 };
 
 class CoreScheduler {
@@ -60,6 +67,7 @@ class CoreScheduler {
   size_t draining_count() const { return draining_count_; }
   size_t quarantined_count() const { return quarantined_count_; }
   size_t retired_count() const { return retired_count_; }
+  size_t probation_count() const { return probation_count_; }
 
   // Cores currently held out of service awaiting a verdict (draining or quarantined, not
   // retired): the reversible stranding the control plane's capacity guardrail budgets.
@@ -79,6 +87,12 @@ class CoreScheduler {
   void Release(uint64_t core);  // cleared: back to active
   void Retire(uint64_t core);   // confirmed mercurial: permanent
 
+  // Probation lifecycle (weak-evidence convictions, detect/quorum.h). A quarantined core
+  // moves to restricted service instead of retirement; reinstatement clears it back to
+  // active. Escalation to permanent removal goes through Retire (legal from any state).
+  void Probation(uint64_t core);   // quarantined -> probation
+  void Reinstate(uint64_t core);   // probation -> active
+
   // Accumulates stranded-capacity accounting for a tick of length `dt`.
   void AccumulateStranding(SimTime dt);
 
@@ -97,6 +111,7 @@ class CoreScheduler {
   size_t draining_count_ = 0;
   size_t quarantined_count_ = 0;
   size_t retired_count_ = 0;
+  size_t probation_count_ = 0;
   uint64_t rr_cursor_ = 0;
 };
 

@@ -72,6 +72,9 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kRepairPass: return "repair_pass";
     case TraceEventKind::kRepairRetry: return "repair_retry";
     case TraceEventKind::kRepairShed: return "repair_shed";
+    case TraceEventKind::kProbationStart: return "probation_start";
+    case TraceEventKind::kProbationEnd: return "probation_end";
+    case TraceEventKind::kQuorumVerdict: return "quorum_verdict";
   }
   return "unknown";
 }
@@ -107,6 +110,13 @@ const char* TraceCauseName(TraceCause cause) {
     case TraceCause::kBacklogBound: return "backlog_bound";
     case TraceCause::kAbandoned: return "abandoned";
     case TraceCause::kUserReportSignal: return "user_report";
+    case TraceCause::kWeakEvidence: return "weak_evidence";
+    case TraceCause::kReinstated: return "reinstated";
+    case TraceCause::kProbationEscalated: return "probation_escalated";
+    case TraceCause::kProbationSignal: return "probation_signal";
+    case TraceCause::kQuorumAgreed: return "quorum_agreed";
+    case TraceCause::kQuorumSplit: return "quorum_split";
+    case TraceCause::kQuorumFallback: return "quorum_fallback";
   }
   return "unknown";
 }

@@ -50,8 +50,11 @@ enum class TraceEventKind : uint8_t {
   kRepairPass = 10,          // a retroactive-repair pass ran for a convicted core
   kRepairRetry = 11,         // a repair task was rescheduled for another pass
   kRepairShed = 12,          // suspect epochs were shed or the task abandoned
+  kProbationStart = 13,      // weak-evidence conviction: restricted service, not retirement
+  kProbationEnd = 14,        // probation resolved (reinstated or escalated to retirement)
+  kQuorumVerdict = 15,       // witness quorum judged an interrogation battery
 };
-inline constexpr size_t kTraceEventKindCount = 13;
+inline constexpr size_t kTraceEventKindCount = 16;
 
 // Why the event happened. One flat namespace across kinds keeps the wire format to a byte;
 // names are scoped by the kind they accompany.
@@ -95,8 +98,18 @@ enum class TraceCause : uint8_t {
   kAbandoned = 27,
   // kSignalEmitted (appended)
   kUserReportSignal = 28,  // delayed human suspicion report reached the service
+  // kConviction / kProbationStart (appended)
+  kWeakEvidence = 29,      // conviction evidence too weak for terminal retirement
+  // kProbationEnd (appended)
+  kReinstated = 30,          // N clean windows: suspicion cleared, capacity recovered
+  kProbationEscalated = 31,  // shadow screen extracted a confession: permanent retirement
+  kProbationSignal = 32,     // fresh accusation during probation: permanent retirement
+  // kQuorumVerdict (appended)
+  kQuorumAgreed = 33,    // the first quorum reached a majority
+  kQuorumSplit = 34,     // split vote(s): a wider quorum decided after escalation
+  kQuorumFallback = 35,  // still split after max escalations; single tester decided
 };
-inline constexpr size_t kTraceCauseCount = 29;
+inline constexpr size_t kTraceCauseCount = 36;
 
 const char* TraceEventKindName(TraceEventKind kind);
 const char* TraceCauseName(TraceCause cause);

@@ -276,6 +276,50 @@ TEST(RepairOrchestratorTest, DisabledOrchestratorIsInert) {
   EXPECT_EQ(repair.stats().corruptions_still_at_rest, 0u);
 }
 
+TEST(RepairOrchestratorTest, ReinstatementCancelsQueuedRepairWork) {
+  // Two convicted cores share the queue; core 7 is then reinstated (probation cleared), so
+  // its still-queued passes are withdrawn with accounting while core 9's task runs as usual.
+  BlastRadiusLedger ledger;
+  for (uint64_t epoch = 0; epoch < 5; ++epoch) {
+    ledger.RecordArtifacts(7, epoch, ArtifactKind::kChecksummedWrite, 10, 1);
+  }
+  ledger.NoteSignal(7, SimTime::Days(1));
+  ledger.RecordArtifacts(9, 2, ArtifactKind::kPlainOutput, 8, 2);
+  ledger.NoteSignal(9, SimTime::Days(1));
+
+  RepairOrchestrator repair(BaseRepairOptions(), Rng(9));
+  HealthyPool(repair);
+  repair.OnConviction(SimTime::Days(6), 7, ledger);
+  repair.OnConviction(SimTime::Days(6), 9, ledger);
+  EXPECT_EQ(repair.queued_tasks(), 6u);
+  EXPECT_EQ(repair.backlog_artifacts(), 58u);
+
+  repair.OnReinstated(7);
+  EXPECT_EQ(repair.stats().reinstated_epochs_cancelled, 5u);
+  EXPECT_EQ(repair.stats().reinstated_artifacts_cancelled, 50u);
+  EXPECT_EQ(repair.backlog_artifacts(), 8u);
+  EXPECT_EQ(repair.queued_tasks(), 1u);
+
+  repair.Tick(SimTime::Days(6));
+  repair.FinalizeAccounting(ledger);
+  // Conservation: 7 corrupt total = core 9's 2 repaired + core 7's 5 left at rest (the
+  // cleared core's artifacts need no pass, so they are at-rest remainder — not shed).
+  EXPECT_EQ(repair.stats().corruptions_repaired, 2u);
+  EXPECT_EQ(repair.stats().corruptions_shed, 0u);
+  EXPECT_EQ(repair.stats().corruptions_still_at_rest, 5u);
+  EXPECT_EQ(repair.stats().corruptions_repaired + repair.stats().corruptions_shed +
+                repair.stats().corruptions_still_at_rest,
+            ledger.corrupt_recorded());
+
+  // A disabled orchestrator ignores reinstatement hooks entirely.
+  RepairOptions off = BaseRepairOptions();
+  off.enabled = false;
+  RepairOrchestrator inert(off, Rng(10));
+  inert.OnReinstated(7);
+  EXPECT_EQ(inert.stats().reinstated_epochs_cancelled, 0u);
+  EXPECT_EQ(inert.stats().reinstated_artifacts_cancelled, 0u);
+}
+
 // --- Audited fleet study under repair chaos ---------------------------------------------------
 
 TEST(BlastRadiusStudyTest, ChaoticRepairConservesEveryInjectedCorruption) {

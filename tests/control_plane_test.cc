@@ -12,14 +12,17 @@
 //      seed (ChaosRetriesRecoverAtLeastNoRetryBaseline).
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/core/fleet_study.h"
 #include "src/detect/chaos.h"
+#include "src/detect/confession.h"
 #include "src/detect/control_plane.h"
 #include "src/detect/quarantine.h"
+#include "src/detect/quorum.h"
 #include "src/detect/report_service.h"
 #include "src/detect/screening.h"
 #include "src/fleet/fleet.h"
@@ -113,6 +116,106 @@ TEST(ControlPlaneOptionsTest, RejectsInvalidChaos) {
   EXPECT_FALSE(options.Validate().ok());
 }
 
+// One invalid field at a time, each starting from valid defaults, so every range check in
+// QuorumOptions::Validate is individually proven to fire (and to name its own field).
+TEST(ControlPlaneOptionsTest, RejectsInvalidQuorumOptions) {
+  {
+    ControlPlaneOptions options;
+    options.quorum.witnesses = 0;
+    EXPECT_FALSE(options.Validate().ok()) << "witnesses = 0";
+  }
+  {
+    ControlPlaneOptions options;
+    options.quorum.witnesses = -3;
+    EXPECT_FALSE(options.Validate().ok()) << "negative witnesses";
+  }
+  {
+    ControlPlaneOptions options;
+    options.quorum.max_escalations = -1;
+    EXPECT_FALSE(options.Validate().ok()) << "negative max_escalations";
+  }
+  {
+    ControlPlaneOptions options;
+    options.quorum.witness_error_rate = 1.5;
+    EXPECT_FALSE(options.Validate().ok()) << "witness_error_rate > 1";
+  }
+  {
+    ControlPlaneOptions options;
+    options.quorum.witness_error_rate = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(options.Validate().ok()) << "NaN witness_error_rate";
+  }
+  {
+    ControlPlaneOptions options;
+    options.quorum.strong_agreement = -0.1;
+    EXPECT_FALSE(options.Validate().ok()) << "negative strong_agreement";
+  }
+  {
+    ControlPlaneOptions options;
+    options.quorum.enabled = true;  // the largest valid configuration must still pass
+    options.quorum.witnesses = 1;
+    options.quorum.max_escalations = 0;
+    options.quorum.witness_error_rate = 1.0;
+    options.quorum.strong_agreement = 0.0;
+    EXPECT_TRUE(options.Validate().ok());
+  }
+}
+
+TEST(ControlPlaneOptionsTest, RejectsInvalidProbationOptions) {
+  {
+    ControlPlaneOptions options;
+    options.probation.window = SimTime::Seconds(0);
+    EXPECT_FALSE(options.Validate().ok()) << "zero window";
+  }
+  {
+    ControlPlaneOptions options;
+    options.probation.window = SimTime::Seconds(-5);
+    EXPECT_FALSE(options.Validate().ok()) << "negative window";
+  }
+  {
+    ControlPlaneOptions options;
+    options.probation.clean_windows_to_reinstate = 0;
+    EXPECT_FALSE(options.Validate().ok()) << "zero clean windows";
+  }
+  {
+    ControlPlaneOptions options;
+    options.probation.weak_after_attempts = -1;
+    EXPECT_FALSE(options.Validate().ok()) << "negative weak_after_attempts";
+  }
+  {
+    ControlPlaneOptions options;
+    options.probation.enabled = true;
+    options.probation.window = SimTime::Seconds(1);
+    options.probation.clean_windows_to_reinstate = 1;
+    options.probation.weak_after_attempts = 0;  // 0 = criterion disabled, still valid
+    EXPECT_TRUE(options.Validate().ok());
+  }
+}
+
+TEST(ControlPlaneOptionsTest, RejectsInvalidVerdictChaos) {
+  {
+    ControlPlaneOptions options;
+    options.chaos.lying_witness = 1.5;
+    EXPECT_FALSE(options.Validate().ok()) << "lying_witness > 1";
+  }
+  {
+    ControlPlaneOptions options;
+    options.chaos.witness_crash = -0.1;
+    EXPECT_FALSE(options.Validate().ok()) << "negative witness_crash";
+  }
+  {
+    ControlPlaneOptions options;
+    options.chaos.probation_suppress = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(options.Validate().ok()) << "NaN probation_suppress";
+  }
+  {
+    ControlPlaneOptions options;
+    options.chaos.lying_witness = 1.0;
+    options.chaos.witness_crash = 1.0;
+    options.chaos.probation_suppress = 1.0;
+    EXPECT_TRUE(options.Validate().ok());
+  }
+}
+
 // --- Chaos injector -------------------------------------------------------------------------
 
 TEST(ChaosInjectorTest, DisabledInjectorIsTransparent) {
@@ -182,6 +285,129 @@ TEST(ChaosInjectorTest, RestartsDrawFromInstalledMachines) {
   for (size_t i = 1; i < restarted.size(); ++i) {
     EXPECT_LT(restarted[i - 1], restarted[i]) << "sorted and deduplicated";
   }
+}
+
+// --- Quorum interrogator --------------------------------------------------------------------
+
+// A healthy fleet for witness duty: no mercurial cores, so every witness reports the battery
+// outcome faithfully unless chaos interferes.
+struct QuorumBench {
+  QuorumBench()
+      : fleet([] {
+          FleetOptions options;
+          options.machine_count = 2;
+          options.mercurial_rate_multiplier = 0.0;
+          return Fleet::Build(options);
+        }()),
+        scheduler(fleet.core_count(), SchedulerCosts{}) {}
+
+  Fleet fleet;
+  CoreScheduler scheduler;
+};
+
+TEST(QuorumInterrogatorTest, FaithfulWitnessesConfirmUnanimously) {
+  QuorumBench bench;
+  QuorumOptions options;
+  options.enabled = true;
+  options.witnesses = 3;
+  QuorumInterrogator quorum(options, Rng(5));
+  ChaosInjector chaos(ChaosOptions{}, Rng(6));
+
+  const QuorumVerdict guilty = quorum.Judge(0, /*tester_confessed=*/true, bench.fleet,
+                                            bench.scheduler, chaos);
+  EXPECT_TRUE(guilty.confessed);
+  EXPECT_EQ(guilty.votes_for, 3);
+  EXPECT_EQ(guilty.votes_against, 0);
+  EXPECT_EQ(guilty.escalations, 0);
+  EXPECT_FALSE(guilty.fell_back);
+  EXPECT_EQ(guilty.agreement, 1.0);
+
+  const QuorumVerdict clean = quorum.Judge(0, /*tester_confessed=*/false, bench.fleet,
+                                           bench.scheduler, chaos);
+  EXPECT_FALSE(clean.confessed);
+  EXPECT_EQ(clean.votes_for, 3);
+
+  EXPECT_EQ(quorum.stats().judgments, 2u);
+  EXPECT_EQ(quorum.stats().votes_cast, 6u);
+  EXPECT_EQ(quorum.stats().splits, 0u);
+  EXPECT_EQ(quorum.stats().overrides, 0u);
+  EXPECT_EQ(quorum.stats().fallbacks, 0u);
+}
+
+TEST(QuorumInterrogatorTest, MajorityOutvotesLyingMinority) {
+  QuorumBench bench;
+  QuorumOptions options;
+  options.enabled = true;
+  options.witnesses = 3;
+  QuorumInterrogator quorum(options, Rng(7));
+  ChaosOptions chaos_options;
+  chaos_options.lying_witness = 0.2;  // per-vote flip; an override needs 2 of 3 flipped
+  ChaosInjector chaos(chaos_options, Rng(8));
+
+  const uint64_t judgments = 300;
+  for (uint64_t i = 0; i < judgments; ++i) {
+    quorum.Judge(0, /*tester_confessed=*/true, bench.fleet, bench.scheduler, chaos);
+  }
+  EXPECT_GT(chaos.stats().witnesses_lied, 0u) << "chaos must actually flip votes";
+  EXPECT_GT(quorum.stats().overrides, 0u) << "a lying majority occasionally forms";
+  // The point of the quorum: most flipped votes are outvoted, so overrides (wrong verdicts)
+  // are far rarer than the lies themselves (~10% of judgments at p=0.2 vs ~60% with a vote
+  // flipped). With a lone tester every one of those flips would have been a wrong verdict.
+  EXPECT_LT(quorum.stats().overrides, judgments / 4);
+  EXPECT_GT(chaos.stats().witnesses_lied, 2 * quorum.stats().overrides);
+}
+
+TEST(QuorumInterrogatorTest, AllWitnessesCrashingEscalatesThenFallsBack) {
+  QuorumBench bench;
+  QuorumOptions options;
+  options.enabled = true;
+  options.witnesses = 3;
+  options.max_escalations = 2;
+  QuorumInterrogator quorum(options, Rng(9));
+  ChaosOptions chaos_options;
+  chaos_options.witness_crash = 1.0;  // every seated witness dies mid-vote
+  ChaosInjector chaos(chaos_options, Rng(10));
+
+  const QuorumVerdict verdict =
+      quorum.Judge(0, /*tester_confessed=*/true, bench.fleet, bench.scheduler, chaos);
+  EXPECT_TRUE(verdict.fell_back) << "no vote was ever cast; the lone tester decided";
+  EXPECT_TRUE(verdict.confessed) << "the fallback preserves the tester's verdict";
+  EXPECT_EQ(verdict.votes_for, 0);
+  EXPECT_EQ(verdict.votes_against, 0);
+  EXPECT_EQ(verdict.escalations, 2);
+  EXPECT_EQ(verdict.agreement, 0.5) << "a fallback verdict is weak evidence by definition";
+
+  // Rounds of 3, 7, and 15 witnesses were seated and all crashed.
+  EXPECT_EQ(quorum.stats().splits, 3u);
+  EXPECT_EQ(quorum.stats().escalations, 2u);
+  EXPECT_EQ(quorum.stats().fallbacks, 1u);
+  EXPECT_EQ(quorum.stats().votes_cast, 0u);
+  EXPECT_GE(chaos.stats().witnesses_crashed, 15u);
+}
+
+TEST(QuorumInterrogatorTest, PackedDetailRoundTrips) {
+  QuorumVerdict verdict;
+  verdict.confessed = true;
+  verdict.votes_for = 5;
+  verdict.votes_against = 2;
+  verdict.escalations = 1;
+  verdict.fell_back = false;
+  const QuorumVerdict back = UnpackQuorumDetail(PackQuorumDetail(verdict));
+  EXPECT_EQ(back.confessed, verdict.confessed);
+  EXPECT_EQ(back.votes_for, verdict.votes_for);
+  EXPECT_EQ(back.votes_against, verdict.votes_against);
+  EXPECT_EQ(back.escalations, verdict.escalations);
+  EXPECT_EQ(back.fell_back, verdict.fell_back);
+  EXPECT_NEAR(back.agreement, 5.0 / 7.0, 1e-12);
+
+  QuorumVerdict fallback;
+  fallback.confessed = false;
+  fallback.fell_back = true;
+  fallback.votes_for = 0;
+  fallback.votes_against = 0;
+  const QuorumVerdict fallback_back = UnpackQuorumDetail(PackQuorumDetail(fallback));
+  EXPECT_TRUE(fallback_back.fell_back);
+  EXPECT_EQ(fallback_back.agreement, 0.5);
 }
 
 // --- Transparency: defaults are the legacy pipeline -----------------------------------------
@@ -461,6 +687,393 @@ TEST(ControlPlaneTest, MachineRestartResetsInFlightQuarantine) {
   EXPECT_GE(plane.stats().chaos.machine_restarts, 1u);
   EXPECT_TRUE(scheduler.Schedulable(0)) << "the core reboots back into the schedule";
   EXPECT_EQ(plane.manager().stats().retirements, 0u) << "a reset is not a verdict";
+}
+
+// --- Quorum verdicts in the pipeline --------------------------------------------------------
+
+// With faithful witnesses (no mercurial cores erring, no chaos) the quorum unanimously
+// confirms every battery, so the verdict stream must be identical to a quorum-off twin — the
+// quorum draws only from its own dedicated stream and never perturbs the manager's.
+TEST(ControlPlaneTest, FaithfulQuorumMatchesQuorumOffVerdicts) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 10;
+  fleet_options.mercurial_rate_multiplier = 300.0;
+  Fleet fleet_a = Fleet::Build(fleet_options);
+  Fleet fleet_b = Fleet::Build(fleet_options);
+  CoreScheduler sched_a(fleet_a.core_count(), SchedulerCosts{});
+  CoreScheduler sched_b(fleet_b.core_count(), SchedulerCosts{});
+  CeeReportService service_a = MakeService(fleet_a);
+  CeeReportService service_b = MakeService(fleet_b);
+
+  QuarantinePolicy policy;
+  policy.confession.stress.iterations_per_unit = 64;
+  ControlPlaneOptions plain;
+  ControlPlaneOptions quorum_on;
+  quorum_on.quorum.enabled = true;
+  quorum_on.quorum.witnesses = 3;
+  quorum_on.quorum.witness_error_rate = 0.25;  // irrelevant: no witness is mercurial-active
+  QuarantineControlPlane plane_a(plain, policy, Rng(7), Rng(0xaaaa));
+  QuarantineControlPlane plane_b(quorum_on, policy, Rng(7), Rng(0xbbbb));
+
+  for (int day = 1; day <= 40; ++day) {
+    const SimTime now = SimTime::Days(day);
+    fleet_a.SetAges(now);
+    fleet_b.SetAges(now);
+    std::vector<uint64_t> accused = fleet_a.mercurial_cores();
+    if (day % 5 == 0) {
+      accused.push_back(1);
+    }
+    for (uint64_t core : accused) {
+      plane_a.Report(ScreenFailAt(now, fleet_a, core), service_a);
+      plane_b.Report(ScreenFailAt(now, fleet_b, core), service_b);
+    }
+    const auto verdicts_a = plane_a.Tick(now, SimTime::Days(1), fleet_a, sched_a, service_a,
+                                         nullptr);
+    const auto verdicts_b = plane_b.Tick(now, SimTime::Days(1), fleet_b, sched_b, service_b,
+                                         nullptr);
+    ASSERT_EQ(verdicts_a.size(), verdicts_b.size()) << "day " << day;
+    for (size_t v = 0; v < verdicts_a.size(); ++v) {
+      EXPECT_EQ(verdicts_a[v].core_global, verdicts_b[v].core_global) << "day " << day;
+      EXPECT_EQ(verdicts_a[v].confessed, verdicts_b[v].confessed) << "day " << day;
+      EXPECT_EQ(verdicts_a[v].retired, verdicts_b[v].retired) << "day " << day;
+    }
+  }
+  ExpectQuarantineStatsEqual(plane_a.manager().stats(), plane_b.manager().stats());
+  EXPECT_GT(plane_b.stats().quorum.judgments, 0u) << "the quorum must actually judge";
+  EXPECT_EQ(plane_b.stats().quorum.overrides, 0u) << "faithful witnesses never overturn";
+  EXPECT_EQ(plane_b.stats().quorum.fallbacks, 0u);
+  EXPECT_GT(plane_a.manager().stats().retirements, 0u);
+}
+
+// The false-conviction source the quorum exists to suppress: with testimony chaos and no
+// quorum, the lone tester's flipped verdicts retire healthy cores; the same chaos rate with a
+// 5-witness quorum needs a majority of votes flipped, which is far rarer.
+TEST(ControlPlaneTest, QuorumSuppressesLyingTesterFalseConvictions) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 4;
+  fleet_options.mercurial_rate_multiplier = 0.0;  // every conviction is a false positive
+
+  QuarantinePolicy policy;
+  policy.recidivism_retire_after = 0;  // isolate the lying-verdict path
+
+  auto run = [&](bool quorum_enabled) {
+    Fleet fleet = Fleet::Build(fleet_options);
+    CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+    CeeReportService service = MakeService(fleet);
+    ControlPlaneOptions options;
+    options.chaos.lying_witness = 0.15;
+    options.quorum.enabled = quorum_enabled;
+    options.quorum.witnesses = 5;
+    QuarantineControlPlane plane(options, policy, Rng(31), Rng(32));
+    for (int day = 1; day <= 12; ++day) {
+      const SimTime now = SimTime::Days(day);
+      fleet.SetAges(now);
+      for (uint64_t core = 1; core <= 8; ++core) {
+        if (scheduler.Schedulable(core)) {
+          for (int r = 0; r < 3; ++r) {
+            plane.Report(ScreenFailAt(now, fleet, core), service);
+          }
+        }
+      }
+      plane.Tick(now, SimTime::Days(1), fleet, scheduler, service, nullptr);
+    }
+    return plane.manager().stats().false_positive_retirements;
+  };
+
+  const uint64_t single_tester_fp = run(/*quorum_enabled=*/false);
+  const uint64_t quorum_fp = run(/*quorum_enabled=*/true);
+  EXPECT_GT(single_tester_fp, 0u) << "the lying tester must actually convict";
+  EXPECT_LT(quorum_fp, single_tester_fp);
+}
+
+// --- Probation lifecycle --------------------------------------------------------------------
+
+// A healthy core convicted on recidivism alone (weak evidence: no confession) must be held in
+// probation and, after N clean shadow windows, reinstated — the false positive costs windows
+// of restricted service instead of a permanently stranded core.
+TEST(ControlPlaneTest, HealthyRecidivistReinstatesAfterCleanWindows) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  CeeReportService service = MakeService(fleet);
+
+  QuarantinePolicy policy;
+  policy.recidivism_retire_after = 2;
+  ControlPlaneOptions options;
+  options.probation.enabled = true;
+  options.probation.window = SimTime::Days(1);
+  options.probation.clean_windows_to_reinstate = 3;
+  QuarantineControlPlane plane(options, policy, Rng(41), Rng(42));
+  int reinstatement_hook_calls = 0;
+  plane.set_reinstatement_hook(
+      [&reinstatement_hook_calls](SimTime, uint64_t core) {
+        EXPECT_EQ(core, 4u);
+        ++reinstatement_hook_calls;
+      });
+
+  // Day 1: first accusation, released. Day 2: re-accused, recidivism convicts — weakly.
+  for (int day = 1; day <= 2; ++day) {
+    const SimTime now = SimTime::Days(day);
+    for (int r = 0; r < 3; ++r) {
+      plane.Report(ScreenFailAt(now, fleet, 4), service);
+    }
+    const auto verdicts = plane.Tick(now, SimTime::Days(1), fleet, scheduler, service, nullptr);
+    ASSERT_EQ(verdicts.size(), 1u) << "day " << day;
+    EXPECT_FALSE(verdicts[0].retired) << "probation holds the conviction open (day " << day
+                                      << ")";
+  }
+  EXPECT_EQ(static_cast<int>(scheduler.state(4)), static_cast<int>(CoreState::kProbation));
+  EXPECT_EQ(plane.probation_count(), 1u);
+  EXPECT_EQ(plane.manager().stats().probation_entries, 1u);
+  EXPECT_EQ(plane.manager().stats().retirements, 0u);
+  EXPECT_EQ(scheduler.stats().probations, 1u);
+
+  // Three clean shadow windows (healthy cores cannot confess), then reinstatement.
+  for (int day = 3; day <= 5; ++day) {
+    EXPECT_EQ(plane.probation_count(), 1u) << "day " << day;
+    plane.Tick(SimTime::Days(day), SimTime::Days(1), fleet, scheduler, service, nullptr);
+  }
+  EXPECT_TRUE(scheduler.Schedulable(4));
+  EXPECT_EQ(plane.probation_count(), 0u);
+  EXPECT_EQ(reinstatement_hook_calls, 1);
+  EXPECT_EQ(plane.manager().stats().reinstatements, 1u);
+  EXPECT_EQ(scheduler.stats().reinstatements, 1u);
+  EXPECT_EQ(plane.manager().stats().retirements, 0u);
+  EXPECT_EQ(plane.manager().stats().false_positive_retirements, 0u)
+      << "the appeal path saved a healthy core from a wrongful retirement";
+  EXPECT_EQ(plane.manager().stats().missed_confessions, 0u)
+      << "reinstating a healthy core misses nothing";
+
+  // The slate is clean: a later accusation starts the lifecycle over instead of escalating.
+  for (int r = 0; r < 3; ++r) {
+    plane.Report(ScreenFailAt(SimTime::Days(20), fleet, 4), service);
+  }
+  const auto verdicts =
+      plane.Tick(SimTime::Days(20), SimTime::Days(1), fleet, scheduler, service, nullptr);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].retired) << "recidivism must re-accumulate after reinstatement";
+  EXPECT_TRUE(scheduler.Schedulable(4));
+}
+
+// A fresh accusation while the conviction is held in appeal ends the appeal: straight to
+// permanent retirement, no second interrogation.
+TEST(ControlPlaneTest, FreshAccusationDuringProbationEscalatesToRetirement) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  CeeReportService service = MakeService(fleet);
+
+  QuarantinePolicy policy;
+  policy.recidivism_retire_after = 2;
+  ControlPlaneOptions options;
+  options.probation.enabled = true;
+  options.probation.window = SimTime::Days(30);  // no shadow window fires in this test
+  options.probation.clean_windows_to_reinstate = 3;
+  QuarantineControlPlane plane(options, policy, Rng(51), Rng(52));
+
+  for (int day = 1; day <= 2; ++day) {
+    for (int r = 0; r < 3; ++r) {
+      plane.Report(ScreenFailAt(SimTime::Days(day), fleet, 4), service);
+    }
+    plane.Tick(SimTime::Days(day), SimTime::Days(1), fleet, scheduler, service, nullptr);
+  }
+  ASSERT_EQ(static_cast<int>(scheduler.state(4)), static_cast<int>(CoreState::kProbation));
+
+  for (int r = 0; r < 3; ++r) {
+    plane.Report(ScreenFailAt(SimTime::Days(3), fleet, 4), service);
+  }
+  const auto verdicts =
+      plane.Tick(SimTime::Days(3), SimTime::Days(1), fleet, scheduler, service, nullptr);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].retired);
+  EXPECT_EQ(static_cast<int>(scheduler.state(4)), static_cast<int>(CoreState::kRetired));
+  EXPECT_EQ(plane.probation_count(), 0u);
+  EXPECT_EQ(plane.manager().stats().probation_escalations, 1u);
+  EXPECT_EQ(plane.manager().stats().retirements, 1u);
+  EXPECT_EQ(plane.manager().stats().false_positive_retirements, 1u)
+      << "ground truth: the healthy core was wrongly escalated (the accusations were noise)";
+  EXPECT_EQ(plane.manager().stats().reinstatements, 0u);
+}
+
+// A quorum fallback (agreement 0.5) makes even a confessed conviction weak evidence: the core
+// enters probation with its confessed units as the placement restriction.
+TEST(ControlPlaneTest, FallbackVerdictDivertsConfessionToRestrictedProbation) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 10;
+  fleet_options.mercurial_rate_multiplier = 300.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  ASSERT_FALSE(fleet.mercurial_cores().empty());
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+  CeeReportService service = MakeService(fleet);
+
+  QuarantinePolicy policy;
+  policy.recidivism_retire_after = 0;  // only confessions convict here
+  ControlPlaneOptions options;
+  options.quorum.enabled = true;
+  options.quorum.witnesses = 3;
+  options.quorum.max_escalations = 1;
+  options.chaos.witness_crash = 1.0;  // every quorum round dies => every judgment falls back
+  options.probation.enabled = true;
+  options.probation.window = SimTime::Days(365);  // hold the record open for inspection
+  options.probation.clean_windows_to_reinstate = 1;
+  QuarantineControlPlane plane(options, policy, Rng(61), Rng(62));
+
+  // Accuse every mercurial core daily until one confesses; the confession must land in
+  // probation (weak: fallback agreement 0.5 < strong_agreement 1.0), not in retirement.
+  bool entered_probation = false;
+  uint64_t probation_core = 0;
+  std::vector<ExecUnit> confessed_units;
+  for (int day = 1; day <= 60 && !entered_probation; ++day) {
+    const SimTime now = SimTime::Days(day);
+    fleet.SetAges(now);
+    for (uint64_t core : fleet.mercurial_cores()) {
+      if (scheduler.Schedulable(core)) {
+        for (int r = 0; r < 3; ++r) {
+          plane.Report(ScreenFailAt(now, fleet, core), service);
+        }
+      }
+    }
+    const auto verdicts = plane.Tick(now, SimTime::Days(1), fleet, scheduler, service, nullptr);
+    for (const QuarantineVerdict& verdict : verdicts) {
+      EXPECT_FALSE(verdict.retired) << "every conviction here is weak evidence";
+      if (verdict.confessed) {
+        entered_probation = true;
+        probation_core = verdict.core_global;
+        confessed_units = verdict.failed_units;
+      }
+    }
+  }
+  ASSERT_TRUE(entered_probation) << "no mercurial core confessed in 60 days";
+  ASSERT_FALSE(confessed_units.empty()) << "a real confession names failed units";
+  EXPECT_EQ(static_cast<int>(scheduler.state(probation_core)),
+            static_cast<int>(CoreState::kProbation));
+  EXPECT_GT(plane.stats().quorum.fallbacks, 0u);
+  EXPECT_GE(plane.manager().stats().probation_entries, 1u);
+
+  const std::vector<ExecUnit>* restricted = plane.ProbationRestrictedUnits(probation_core);
+  ASSERT_NE(restricted, nullptr);
+  EXPECT_EQ(*restricted, confessed_units)
+      << "the placement restriction is exactly the confessed failed units";
+  EXPECT_EQ(plane.ProbationRestrictedUnits(probation_core + 1), nullptr);
+}
+
+// A truly mercurial core that slips into probation is caught by the shadow screen (escalated),
+// unless probation-signal suppression swallows the confessions — then the windows look clean
+// and the defective core is wrongly reinstated, visibly: a missed confession is counted.
+//
+// Determinism comes from latent-defect aging: the accused core's defect onsets AFTER the
+// conviction days, so the conviction batteries can only miss (fire probability is exactly 0
+// before onset) and recidivism convicts on weak evidence. Once the defect ages in, the
+// shadow screen's full-strength batteries start confessing.
+TEST(ControlPlaneTest, ShadowConfessionEscalatesUnlessSuppressed) {
+  // A large fleet with a high defect rate, so the probe below reliably finds a latent core.
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 100;
+  fleet_options.mercurial_rate_multiplier = 2000.0;
+
+  QuarantinePolicy policy;
+  policy.recidivism_retire_after = 2;
+
+  // Probe an identical twin fleet for a latent core: every defect onsets after day 3 (so the
+  // two conviction days deterministically miss), at least one onsets within 60 days, and the
+  // standard battery confesses reliably once past onset.
+  uint64_t accused = 0;
+  int onset_days = 0;
+  bool found = false;
+  {
+    Fleet probe_fleet = Fleet::Build(fleet_options);
+    ConfessionTester probe_tester(policy.confession);
+    Rng probe_rng(987);
+    for (uint64_t core : probe_fleet.mercurial_cores()) {
+      SimTime min_onset = SimTime::Days(1 << 20);
+      for (const Defect& defect : probe_fleet.core(core).defects()) {
+        if (defect.spec().aging.onset < min_onset) {
+          min_onset = defect.spec().aging.onset;
+        }
+      }
+      // Onset is measured in core AGE; machines install in the past, so the simulation day the
+      // defect activates is onset + install_time (install times are negative).
+      const SimTime install =
+          probe_fleet.machine(probe_fleet.core_id(core).machine).install_time();
+      const int64_t onset_day_seconds = min_onset.seconds() + install.seconds();
+      if (onset_day_seconds <= SimTime::Days(3).seconds() ||
+          onset_day_seconds > SimTime::Days(60).seconds()) {
+        continue;
+      }
+      probe_fleet.SetAges(SimTime::Seconds(onset_day_seconds) + SimTime::Days(5));
+      int hits = 0;
+      for (int battery = 0; battery < 6; ++battery) {
+        hits += probe_tester.Interrogate(probe_fleet.core(core), probe_rng).confessed ? 1 : 0;
+      }
+      if (hits >= 5) {
+        accused = core;
+        onset_days = static_cast<int>(onset_day_seconds / (24 * 3600)) + 1;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "no reliably-confessing latent-onset mercurial core in this fleet";
+
+  // Drives the latent core into probation via recidivism (two accusation days before onset),
+  // then lets shadow windows run with no further accusations.
+  auto run = [&](double suppress, int clean_windows, int days) {
+    Fleet fleet = Fleet::Build(fleet_options);
+    CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+    CeeReportService service = MakeService(fleet);
+    ControlPlaneOptions options;
+    options.probation.enabled = true;
+    options.probation.window = SimTime::Days(1);
+    options.probation.clean_windows_to_reinstate = clean_windows;
+    options.chaos.probation_suppress = suppress;
+    QuarantineControlPlane plane(options, policy, Rng(71), Rng(72));
+    for (int day = 1; day <= days; ++day) {
+      const SimTime now = SimTime::Days(day);
+      fleet.SetAges(now);
+      if (day <= 2) {
+        for (int r = 0; r < 3; ++r) {
+          plane.Report(ScreenFailAt(now, fleet, accused), service);
+        }
+      }
+      plane.Tick(now, SimTime::Days(1), fleet, scheduler, service, nullptr);
+    }
+    return plane;
+  };
+
+  // Arm A: no suppression, reinstatement far away. Once the defect onsets, the shadow screen
+  // extracts a confession and escalates to permanent retirement.
+  {
+    QuarantineControlPlane plane =
+        run(/*suppress=*/0.0, /*clean_windows=*/10000, /*days=*/onset_days + 40);
+    ASSERT_EQ(plane.manager().stats().probation_entries, 1u)
+        << "pre-onset batteries cannot confess, so recidivism must convict weakly";
+    EXPECT_EQ(plane.manager().stats().probation_escalations, 1u)
+        << "the shadow screen must catch the defective core after onset";
+    EXPECT_EQ(plane.manager().stats().true_positive_retirements, 1u);
+    EXPECT_EQ(plane.manager().stats().reinstatements, 0u);
+    EXPECT_EQ(plane.probation_count(), 0u);
+    EXPECT_EQ(plane.manager().stats().missed_confessions, 1u)
+        << "only the day-1 release misses; the escalation does not";
+  }
+
+  // Arm B: every shadow confession is swallowed in flight. The same core sails through its
+  // clean-looking windows and is wrongly reinstated — counted as a missed confession.
+  {
+    QuarantineControlPlane plane =
+        run(/*suppress=*/1.0, /*clean_windows=*/onset_days + 10, /*days=*/onset_days + 40);
+    ASSERT_EQ(plane.manager().stats().probation_entries, 1u);
+    EXPECT_EQ(plane.manager().stats().probation_escalations, 0u);
+    EXPECT_EQ(plane.manager().stats().reinstatements, 1u);
+    EXPECT_GE(plane.manager().stats().missed_confessions, 2u)
+        << "wrongly reinstating a defective core must be visible in ground truth";
+    EXPECT_GT(plane.stats().chaos.probation_signals_suppressed, 0u)
+        << "suppression must have actually swallowed a confession";
+    EXPECT_EQ(plane.manager().stats().retirements, 0u);
+  }
 }
 
 // --- Resilience: chaos + retries + guardrail ------------------------------------------------

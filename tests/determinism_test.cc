@@ -22,6 +22,10 @@
 //       event, byte for byte — is identical across threads {1, 2, 8} for every combination of
 //       chaos {off, high} x audit {on, off}; and tracing is an observer: enabling it leaves
 //       every legacy StudyReport field bit-identical to a tracing-off run.
+//   D9. Quorum + probation invariance: with quorum interrogation, probation/reinstatement, and
+//       testimony chaos all armed, the report — including every quorum, probation, and verdict
+//       chaos counter — stays bit-identical across threads {1, 2, 8}. All verdict machinery
+//       runs in the serial phase on dedicated streams, so threads remain execution-only.
 
 #include <atomic>
 #include <cstdint>
@@ -90,6 +94,9 @@ void ExpectReportsEqual(const StudyReport& a, const StudyReport& b) {
   EXPECT_EQ(a.quarantine.true_positive_retirements, b.quarantine.true_positive_retirements);
   EXPECT_EQ(a.quarantine.false_positive_retirements, b.quarantine.false_positive_retirements);
   EXPECT_EQ(a.quarantine.missed_confessions, b.quarantine.missed_confessions);
+  EXPECT_EQ(a.quarantine.probation_entries, b.quarantine.probation_entries);
+  EXPECT_EQ(a.quarantine.probation_escalations, b.quarantine.probation_escalations);
+  EXPECT_EQ(a.quarantine.reinstatements, b.quarantine.reinstatements);
 
   // Scheduler stats, including the floating-point cost accumulators (accumulated in a fixed
   // merge order, so exact equality is required, not approximate).
@@ -101,6 +108,24 @@ void ExpectReportsEqual(const StudyReport& a, const StudyReport& b) {
   EXPECT_EQ(a.scheduler.migration_cost_core_seconds, b.scheduler.migration_cost_core_seconds);
   EXPECT_EQ(a.scheduler.lost_work_core_seconds, b.scheduler.lost_work_core_seconds);
   EXPECT_EQ(a.scheduler.stranded_core_seconds, b.scheduler.stranded_core_seconds);
+  EXPECT_EQ(a.scheduler.probations, b.scheduler.probations);
+  EXPECT_EQ(a.scheduler.reinstatements, b.scheduler.reinstatements);
+  EXPECT_EQ(a.scheduler.probation_core_seconds, b.scheduler.probation_core_seconds);
+
+  // Quorum verdicts, probation backlog, and testimony chaos: the untrusted-interrogator
+  // machinery must also be execution-invariant.
+  EXPECT_EQ(a.control_plane.quorum.judgments, b.control_plane.quorum.judgments);
+  EXPECT_EQ(a.control_plane.quorum.votes_cast, b.control_plane.quorum.votes_cast);
+  EXPECT_EQ(a.control_plane.quorum.splits, b.control_plane.quorum.splits);
+  EXPECT_EQ(a.control_plane.quorum.escalations, b.control_plane.quorum.escalations);
+  EXPECT_EQ(a.control_plane.quorum.fallbacks, b.control_plane.quorum.fallbacks);
+  EXPECT_EQ(a.control_plane.quorum.overrides, b.control_plane.quorum.overrides);
+  EXPECT_EQ(a.control_plane.probation_pending_at_end, b.control_plane.probation_pending_at_end);
+  EXPECT_EQ(a.control_plane.chaos.witnesses_lied, b.control_plane.chaos.witnesses_lied);
+  EXPECT_EQ(a.control_plane.chaos.witnesses_crashed, b.control_plane.chaos.witnesses_crashed);
+  EXPECT_EQ(a.control_plane.chaos.probation_signals_suppressed,
+            b.control_plane.chaos.probation_signals_suppressed);
+  EXPECT_EQ(a.probation_work_declined, b.probation_work_declined);
 
   EXPECT_EQ(a.screen_failures, b.screen_failures);
   EXPECT_EQ(a.screening_ops, b.screening_ops);
@@ -400,6 +425,49 @@ TEST(DeterminismTest, TracingIsBitInvisibleToLegacyReport) {
     // Strip the trace-only output; everything that remains must match exactly.
     on.trace = IncidentTrace{};
     ExpectReportsEqual(on, off);
+  }
+}
+
+// --- D9: quorum + probation determinism ------------------------------------------------------
+
+// The FastPathHarness matrix with the untrusted-interrogator stack armed: quorum witnesses,
+// probation with reinstatement, and (in the chaos arm) lying witnesses, witness crashes, and
+// suppressed probation signals.
+StudyOptions QuorumHarness(bool chaos, int threads) {
+  StudyOptions options = FastPathHarness(/*seed=*/20210531, chaos, threads);
+  options.fleet.mercurial_rate_multiplier = 400.0;  // enough convictions to matter
+  options.quarantine.recidivism_retire_after = 2;   // a chaos-free weak-evidence source
+  options.control_plane.quorum.enabled = true;
+  options.control_plane.quorum.witnesses = 3;
+  options.control_plane.quorum.witness_error_rate = 0.30;
+  options.control_plane.probation.enabled = true;
+  options.control_plane.probation.window = SimTime::Days(5);
+  options.control_plane.probation.clean_windows_to_reinstate = 2;
+  options.control_plane.probation.weak_after_attempts = 1;
+  if (chaos) {
+    options.control_plane.chaos.lying_witness = 0.15;
+    options.control_plane.chaos.witness_crash = 0.10;
+    options.control_plane.chaos.probation_suppress = 0.25;
+  }
+  return options;
+}
+
+// D9: quorum verdicts, probation windows, and reinstatement all happen in the serial phase on
+// dedicated Split streams, so the full report is bit-identical across thread counts whether
+// testimony chaos is off or high.
+TEST(DeterminismTest, QuorumProbationReportIsThreadCountInvariant) {
+  for (const bool chaos : {false, true}) {
+    SCOPED_TRACE(std::string("chaos=") + (chaos ? "high" : "off"));
+    const StudyReport one = RunStudy(QuorumHarness(chaos, /*threads=*/1));
+    EXPECT_GT(one.control_plane.quorum.judgments, 0u)
+        << "harness produced no quorum judgments; invariance is vacuous";
+    EXPECT_GT(one.quarantine.probation_entries, 0u)
+        << "harness produced no probation entries; invariance is vacuous";
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      const StudyReport other = RunStudy(QuorumHarness(chaos, threads));
+      ExpectReportsEqual(one, other);
+    }
   }
 }
 

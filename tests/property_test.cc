@@ -24,6 +24,14 @@
 //       end, which the report counts explicitly.
 //   P11. Flight-recorder conservation: under adversarially tiny ring capacities and sampling,
 //       events_dropped + events_recorded == events_emitted — loss is loud, never silent.
+//   P12. Conviction lifecycle conservation: with quorum + probation + verdict chaos on, every
+//       conviction either retires on strong evidence or opens a probation record that is
+//       closed by exactly one kProbationEnd (reinstated / escalated / fresh signal) or is
+//       still pending at study end.
+//   P13. Probation books balance per core: starts minus ends equals the pending count, and no
+//       core holds more than one open probation record.
+//   P14. Configured-but-disabled invisibility: quorum/probation options that are set but not
+//       enabled leave the serialized trace byte-identical to an all-defaults run.
 
 #include <algorithm>
 #include <cstring>
@@ -562,6 +570,146 @@ TEST(PropertyTest, TraceAccountingConservesEventsUnderTinyCapacities) {
     EXPECT_LE(report.trace.events.size(),
               capacity * static_cast<size_t>(report.trace.shards));
   }
+}
+
+// --- P12/P13/P14: quorum + probation lifecycle properties --------------------------------------
+
+namespace {
+
+// The traced lifecycle harness with the full verdict stack on: quorum interrogation, probation
+// with reinstatement, and testimony chaos (lying witnesses, witness crashes, suppressed
+// probation signals) so every lifecycle edge actually fires.
+StudyOptions QuorumProbationLifecycleOptions() {
+  StudyOptions options = TracedLifecycleOptions();
+  options.fleet.mercurial_rate_multiplier = 400.0;  // more convictions => richer lifecycle
+  options.control_plane.quorum.enabled = true;
+  options.control_plane.quorum.witnesses = 3;
+  options.control_plane.probation.enabled = true;
+  options.control_plane.probation.window = SimTime::Days(2);
+  options.control_plane.probation.clean_windows_to_reinstate = 2;
+  // Convictions that needed a retry count as weak evidence — with 30% interrogation aborts
+  // this keeps the probation path busy.
+  options.control_plane.probation.weak_after_attempts = 1;
+  options.control_plane.chaos.lying_witness = 0.20;
+  options.control_plane.chaos.witness_crash = 0.15;
+  options.control_plane.chaos.probation_suppress = 0.25;
+  return options;
+}
+
+}  // namespace
+
+// P12: every conviction is accounted for. Strong convictions retire immediately; weak ones
+// open a probation record, and each record is closed by exactly one kProbationEnd or is still
+// pending when the study ends.
+TEST(PropertyTest, ConvictionLifecycleConservesProbationRecords) {
+  FleetStudy study(QuorumProbationLifecycleOptions());
+  const StudyReport report = study.Run();
+
+  uint64_t convictions = 0;
+  uint64_t strong_convictions = 0;
+  uint64_t probation_starts = 0;
+  uint64_t probation_ends = 0;
+  uint64_t quorum_verdicts = 0;
+  for (const TraceEvent& event : report.trace.events) {
+    switch (event.kind) {
+      case TraceEventKind::kConviction:
+        ++convictions;
+        if (event.cause != TraceCause::kWeakEvidence) {
+          ++strong_convictions;
+        }
+        break;
+      case TraceEventKind::kProbationStart:
+        ++probation_starts;
+        EXPECT_EQ(event.cause, TraceCause::kWeakEvidence);
+        break;
+      case TraceEventKind::kProbationEnd:
+        ++probation_ends;
+        EXPECT_TRUE(event.cause == TraceCause::kReinstated ||
+                    event.cause == TraceCause::kProbationEscalated ||
+                    event.cause == TraceCause::kProbationSignal)
+            << "unexpected probation-end cause " << static_cast<int>(event.cause);
+        break;
+      case TraceEventKind::kQuorumVerdict:
+        ++quorum_verdicts;
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_GT(convictions, 0u) << "no convictions; conservation is vacuous";
+  ASSERT_GT(probation_starts, 0u) << "no weak convictions; probation path untested";
+  EXPECT_EQ(convictions,
+            strong_convictions + probation_ends + report.control_plane.probation_pending_at_end);
+  EXPECT_EQ(convictions - strong_convictions, probation_starts)
+      << "every weak conviction opens exactly one probation record";
+  EXPECT_EQ(quorum_verdicts, report.control_plane.quorum.judgments)
+      << "every quorum judgment must be traced";
+  EXPECT_GT(report.control_plane.quorum.judgments, 0u);
+}
+
+// P13: per-core probation books. A core can hold at most one open probation record, so starts
+// minus ends is 0 or 1 per core, and the fleet-wide deficit is the control plane's pending
+// count.
+TEST(PropertyTest, ProbationBooksBalancePerCore) {
+  FleetStudy study(QuorumProbationLifecycleOptions());
+  const StudyReport report = study.Run();
+
+  std::map<uint64_t, int64_t> starts;
+  std::map<uint64_t, int64_t> ends;
+  for (const TraceEvent& event : report.trace.events) {
+    if (event.kind == TraceEventKind::kProbationStart) {
+      ++starts[event.core];
+    } else if (event.kind == TraceEventKind::kProbationEnd) {
+      ++ends[event.core];
+    }
+  }
+  ASSERT_FALSE(starts.empty()) << "no probation starts; books are vacuous";
+
+  uint64_t deficit_total = 0;
+  for (const auto& [core, started] : starts) {
+    const int64_t closed = ends.count(core) ? ends.at(core) : 0;
+    const int64_t deficit = started - closed;
+    EXPECT_GE(deficit, 0) << "core " << core << " ended probation it never started";
+    EXPECT_LE(deficit, 1) << "core " << core << " holds multiple open probation records";
+    deficit_total += static_cast<uint64_t>(deficit);
+  }
+  for (const auto& [core, closed] : ends) {
+    EXPECT_TRUE(starts.count(core)) << "core " << core << " ended probation without starting";
+  }
+  EXPECT_EQ(deficit_total, report.control_plane.probation_pending_at_end);
+}
+
+// P14: configuring quorum and probation without enabling them must be bit-invisible — the
+// serialized trace and the headline counters are identical to an all-defaults run.
+TEST(PropertyTest, DisabledQuorumAndProbationAreBitInvisible) {
+  StudyOptions baseline = TracedLifecycleOptions();
+
+  StudyOptions configured = TracedLifecycleOptions();
+  configured.control_plane.quorum.witnesses = 9;
+  configured.control_plane.quorum.witness_error_rate = 0.9;
+  configured.control_plane.quorum.strong_agreement = 0.6;
+  configured.control_plane.quorum.max_escalations = 4;
+  configured.control_plane.probation.window = SimTime::Days(2);
+  configured.control_plane.probation.clean_windows_to_reinstate = 7;
+  configured.control_plane.probation.weak_after_attempts = 1;
+  ASSERT_FALSE(configured.control_plane.quorum.enabled);
+  ASSERT_FALSE(configured.control_plane.probation.enabled);
+
+  FleetStudy study_a(baseline);
+  const StudyReport report_a = study_a.Run();
+  FleetStudy study_b(configured);
+  const StudyReport report_b = study_b.Run();
+
+  EXPECT_EQ(SerializeTrace(report_a.trace), SerializeTrace(report_b.trace))
+      << "disabled quorum/probation options leaked into the trace";
+  EXPECT_EQ(report_a.quarantine.retirements, report_b.quarantine.retirements);
+  EXPECT_EQ(report_a.quarantine.confessions, report_b.quarantine.confessions);
+  EXPECT_EQ(report_a.quarantine.probation_entries, 0u);
+  EXPECT_EQ(report_b.quarantine.probation_entries, 0u);
+  EXPECT_EQ(report_a.control_plane.quorum.judgments, 0u);
+  EXPECT_EQ(report_b.control_plane.quorum.judgments, 0u);
+  EXPECT_EQ(report_a.silent_corruptions, report_b.silent_corruptions);
+  EXPECT_EQ(report_a.work_units_executed, report_b.work_units_executed);
 }
 
 TEST(PropertyTest, AbftCorrectionNeverWorsensHealthyResult) {

@@ -23,6 +23,7 @@
 #include "src/core/fleet_study.h"
 #include "src/core/tradeoff.h"
 #include "src/detect/confession.h"
+#include "src/detect/quorum.h"
 #include "src/mitigate/blast_radius.h"
 #include "src/sim/defect_catalog.h"
 #include "src/telemetry/trace.h"
@@ -52,10 +53,26 @@ StatusOr<DefectClass> FindDefectClass(const std::string& name) {
 // --- incident timeline printing ---------------------------------------------------------------
 
 void PrintTraceEvent(const TraceEvent& event) {
-  std::printf("    day %8.3f  epoch %-4llu %-24s %-22s detail=%llu\n",
+  std::printf("    day %8.3f  epoch %-4llu %-24s %-22s detail=%llu",
               static_cast<double>(event.time_seconds) / 86400.0,
               static_cast<unsigned long long>(event.epoch), TraceEventKindName(event.kind),
               TraceCauseName(event.cause), static_cast<unsigned long long>(event.detail));
+  // Verdict annotations: quorum events pack the vote breakdown into detail; probation-end
+  // events carry the clean windows served, with the cause naming the outcome.
+  if (event.kind == TraceEventKind::kQuorumVerdict) {
+    const QuorumVerdict verdict = UnpackQuorumDetail(event.detail);
+    std::printf("  [votes %d-%d%s%s -> %s]", verdict.votes_for, verdict.votes_against,
+                verdict.escalations > 0 ? ", escalated" : "",
+                verdict.fell_back ? ", fell back to tester" : "",
+                verdict.confessed ? "confessed" : "clean");
+  } else if (event.kind == TraceEventKind::kProbationEnd) {
+    const char* outcome = event.cause == TraceCause::kReinstated ? "reinstated" : "retired";
+    std::printf("  [%llu clean window(s) -> %s]",
+                static_cast<unsigned long long>(event.detail), outcome);
+  } else if (event.kind == TraceEventKind::kProbationStart) {
+    std::printf("  [%llu restricted unit(s)]", static_cast<unsigned long long>(event.detail));
+  }
+  std::printf("\n");
 }
 
 // Prints the flight-recorder summary plus a per-core incident timeline: the full cause chain
@@ -171,6 +188,29 @@ int CmdStudy(int argc, const char* const* argv) {
   flags.DefineDouble("chaos-abort", 0.0, "P(interrogation battery preempted mid-run)");
   flags.DefineDouble("chaos-restarts", 0.0,
                      "machine crash-restart rate per machine-day (resets in-flight quarantines)");
+  flags.DefineBool("quorum", false,
+                   "judge each interrogation battery by a quorum of witness cores");
+  flags.DefineInt("quorum-witnesses", 3, "initial quorum size");
+  flags.DefineInt("quorum-max-escalations", 2,
+                  "wider quorums (2W+1) convened after split votes before falling back");
+  flags.DefineDouble("quorum-witness-error", 0.25,
+                     "P(a mercurial witness with an active defect misreads the battery)");
+  flags.DefineDouble("quorum-strong-agreement", 1.0,
+                     "agreement below this marks the conviction's evidence weak (1.0 = only "
+                     "unanimity is strong)");
+  flags.DefineBool("probation", false,
+                   "weak-evidence convictions enter restricted service + shadow screening "
+                   "instead of terminal retirement");
+  flags.DefineDouble("probation-window-days", 7.0, "shadow-screen cadence in days");
+  flags.DefineInt("probation-clean-windows", 3, "clean windows before reinstatement");
+  flags.DefineInt("probation-weak-attempts", 0,
+                  "confessions needing more interrogation attempts than this are weak "
+                  "evidence (0 = off)");
+  flags.DefineDouble("chaos-lying-witness", 0.0,
+                     "P(a cast witness vote — or the lone tester's verdict — is flipped)");
+  flags.DefineDouble("chaos-witness-crash", 0.0, "P(a witness crashes mid-vote, casting none)");
+  flags.DefineDouble("chaos-probation-suppress", 0.0,
+                     "P(a probation shadow-screen confession is swallowed in flight)");
   flags.DefineBool("audit", false,
                    "blast-radius auditing + retroactive repair after conviction");
   flags.DefineInt("audit-repair-budget", 4096,
@@ -232,6 +272,22 @@ int CmdStudy(int argc, const char* const* argv) {
       static_cast<int64_t>(flags.GetDouble("chaos-delay-days") * 86400.0));
   options.control_plane.chaos.abort_interrogation = flags.GetDouble("chaos-abort");
   options.control_plane.chaos.machine_restart_per_day = flags.GetDouble("chaos-restarts");
+  options.control_plane.quorum.enabled = flags.GetBool("quorum");
+  options.control_plane.quorum.witnesses = static_cast<int>(flags.GetInt("quorum-witnesses"));
+  options.control_plane.quorum.max_escalations =
+      static_cast<int>(flags.GetInt("quorum-max-escalations"));
+  options.control_plane.quorum.witness_error_rate = flags.GetDouble("quorum-witness-error");
+  options.control_plane.quorum.strong_agreement = flags.GetDouble("quorum-strong-agreement");
+  options.control_plane.probation.enabled = flags.GetBool("probation");
+  options.control_plane.probation.window = SimTime::Seconds(
+      static_cast<int64_t>(flags.GetDouble("probation-window-days") * 86400.0));
+  options.control_plane.probation.clean_windows_to_reinstate =
+      static_cast<int>(flags.GetInt("probation-clean-windows"));
+  options.control_plane.probation.weak_after_attempts =
+      static_cast<int>(flags.GetInt("probation-weak-attempts"));
+  options.control_plane.chaos.lying_witness = flags.GetDouble("chaos-lying-witness");
+  options.control_plane.chaos.witness_crash = flags.GetDouble("chaos-witness-crash");
+  options.control_plane.chaos.probation_suppress = flags.GetDouble("chaos-probation-suppress");
   options.audit.enabled = flags.GetBool("audit");
   options.audit.repair_budget_per_tick =
       static_cast<uint64_t>(flags.GetInt("audit-repair-budget"));
@@ -323,6 +379,39 @@ int CmdStudy(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(plane.chaos.interrogations_aborted),
                 static_cast<unsigned long long>(plane.chaos.machine_restarts),
                 static_cast<unsigned long long>(plane.restarts_reset));
+  }
+
+  if (options.control_plane.quorum.enabled || options.control_plane.probation.enabled) {
+    std::printf("\nverdicts (quorum/probation):\n");
+    if (options.control_plane.quorum.enabled) {
+      const QuorumStats& quorum = plane.quorum;
+      std::printf("  quorum judgments       %llu (%llu votes cast)\n",
+                  static_cast<unsigned long long>(quorum.judgments),
+                  static_cast<unsigned long long>(quorum.votes_cast));
+      std::printf("  splits -> escalations  %llu -> %llu (fallbacks %llu)\n",
+                  static_cast<unsigned long long>(quorum.splits),
+                  static_cast<unsigned long long>(quorum.escalations),
+                  static_cast<unsigned long long>(quorum.fallbacks));
+      std::printf("  tester overridden      %llu\n",
+                  static_cast<unsigned long long>(quorum.overrides));
+    }
+    if (options.control_plane.probation.enabled) {
+      std::printf("  probation entries      %llu (escalated %llu, reinstated %llu, "
+                  "open at end %llu)\n",
+                  static_cast<unsigned long long>(report.quarantine.probation_entries),
+                  static_cast<unsigned long long>(report.quarantine.probation_escalations),
+                  static_cast<unsigned long long>(report.quarantine.reinstatements),
+                  static_cast<unsigned long long>(plane.probation_pending_at_end));
+      std::printf("  restricted work        %llu unit(s) declined; %.0f probation core-days\n",
+                  static_cast<unsigned long long>(report.probation_work_declined),
+                  report.scheduler.probation_core_seconds / 86400.0);
+    }
+    if (options.control_plane.chaos.verdict_enabled()) {
+      std::printf("  verdict chaos          lied=%llu crashed=%llu suppressed=%llu\n",
+                  static_cast<unsigned long long>(plane.chaos.witnesses_lied),
+                  static_cast<unsigned long long>(plane.chaos.witnesses_crashed),
+                  static_cast<unsigned long long>(plane.chaos.probation_signals_suppressed));
+    }
   }
 
   if (report.audit_enabled) {
