@@ -1,24 +1,38 @@
 // Parallel-scaling benchmark for the sharded fleet-study engine.
 //
-// Runs one fleet study at a fixed shard count across a ladder of thread counts and reports
-// wall-clock speedup over (a) the legacy serial engine (shards=1) and (b) the sharded engine
-// at threads=1. Because the engine is bit-deterministic in the shard count and independent of
-// the thread count, every row of the ladder computes the *same* StudyReport — the work-unit
-// total is printed per row so a scheduling bug that drops work shows up immediately.
+// Two sections:
+//
+//   1. Thread ladder: one fleet study at a fixed shard count across a ladder of thread
+//      counts, reporting wall-clock speedup over (a) the legacy serial engine (shards=1) and
+//      (b) the sharded engine at threads=1. The engine is bit-deterministic in the shard
+//      count and independent of the thread count, so every ladder row computes the *same*
+//      StudyReport — the work-unit total is printed per row so a scheduling bug that drops
+//      work shows up immediately.
+//
+//   2. Sparse vs dense: a large healthy-heavy fleet (--big-machines at the default product
+//      mix is >= 100k cores; mercurial incidence at the paper's natural "few per thousand
+//      machines" rate) run twice at threads=1 — dense reference oracle (sparse_engine=false)
+//      vs the due-wheel + active-index sparse engine. This is the O(cores)-per-tick vs
+//      O(active-work)-per-tick comparison: almost every core is healthy and not due, so the
+//      dense per-tick scans are almost pure overhead. The two rows must be bit-identical
+//      (sparse_rows_bit_consistent); --min-sparse-speedup=N makes the binary exit nonzero
+//      if the sparse engine fails to deliver an Nx wall-clock win, so CI can gate on the
+//      perf claim, not just correctness.
 //
 // Each row runs --repeats times (default 3) and reports the median wall clock, so a one-off
 // scheduling hiccup or page-cache miss doesn't masquerade as a scaling cliff.
-//
-// The reference configuration (defaults) is a 20k-machine, 3-year study — the scale at which
-// a serial run stops being interactive and the ladder should show >=3x at 4 threads on a
-// 4-core runner. `hardware_concurrency` is recorded in the JSON, and any row that asks for
-// more threads than the machine has is flagged "underprovisioned" (this repo's CI runner has
-// 1 CPU, where no speedup is physically possible) so its numbers are interpretable next to
-// results from a real multi-core machine.
+// `hardware_concurrency` is recorded globally and per row (rows from different machines may
+// be merged into one artifact), and any row that asks for more threads than the machine has
+// is flagged "underprovisioned" (this repo's CI runner has 1 CPU, where no thread-scaling
+// speedup is physically possible — the sparse-vs-dense win is algorithmic and shows up
+// regardless) so its numbers are interpretable next to results from a real multi-core
+// machine.
 //
 //   bench_parallel_scaling --machines=20000 --days=1095 --json=BENCH_parallel.json
+//   bench_parallel_scaling --big-machines=2200 --big-days=120 --min-sparse-speedup=3
 //
-// Output: human-readable table on stdout plus a JSON artifact with median wall-clocks.
+// Output: human-readable table on stdout plus a JSON artifact with median wall-clocks (see
+// README.md, "BENCH_parallel.json field guide").
 
 #include <algorithm>
 #include <chrono>
@@ -38,10 +52,24 @@ struct LadderRow {
   std::string label;
   int shards = 1;
   int threads = 1;
+  bool sparse = true;
   double seconds = 0.0;  // median over repeats
+  size_t cores = 0;
   uint64_t work_units = 0;
   uint64_t screen_failures = 0;
+  uint64_t screening_ops = 0;
+  uint64_t silent_corruptions = 0;
+  unsigned hardware_threads = 0;
   bool underprovisioned = false;  // threads > hardware_concurrency
+  // Sparse-engine internals (all zero on dense rows): due-wheel traffic/occupancy and the
+  // active-production index's admission books.
+  uint64_t wheel_scheduled = 0;
+  uint64_t wheel_drained = 0;
+  uint64_t wheel_overflow_inserts = 0;
+  uint64_t wheel_max_bucket = 0;
+  uint64_t wheel_peak_occupancy = 0;
+  uint64_t active_admitted = 0;
+  uint64_t latent_at_end = 0;
 };
 
 StudyOptions BaseOptions(uint64_t seed, size_t machines, int days) {
@@ -55,17 +83,39 @@ StudyOptions BaseOptions(uint64_t seed, size_t machines, int days) {
   return options;
 }
 
+// The sparse-vs-dense configuration: a big fleet at the NATURAL mercurial incidence (a few
+// per several thousand machines, §1) — the healthy-heavy shape the sparse engine is for —
+// driven at a sub-daily control tick. The tick is the engine's discretization, not the
+// fleet's workload: screens per core-day, noise per core-day, and production draws are all
+// tick-invariant, but the dense engine re-scans every core's due table each tick, so its
+// overhead scales with tick frequency while the actual screening work does not. A
+// half-hourly tick is the realistic end of that regime (production control loops run
+// minutes-to-hours) and is exactly where O(cores)-per-tick stops being ignorable.
+StudyOptions BigHealthyOptions(uint64_t seed, size_t machines, int days, int tick_minutes) {
+  StudyOptions options = BaseOptions(seed, machines, days);
+  options.fleet.mercurial_rate_multiplier = 1.0;
+  options.tick = SimTime::Minutes(tick_minutes);
+  // Healthy-heavy also means signal-light: sample online screens at 0.2%/core-day and dial
+  // background noise to its natural floor, so the comparison isolates the per-tick engine
+  // overhead rather than the (engine-independent) screen execution cost.
+  options.screening.online_fraction_per_day = 0.002;
+  options.background_signal_rate_per_core_day = 5e-5;
+  return options;
+}
+
 double MedianSeconds(std::vector<double> samples) {
   std::sort(samples.begin(), samples.end());
   return samples[samples.size() / 2];
 }
 
 LadderRow RunRow(const std::string& label, const StudyOptions& base, int shards, int threads,
-                 int repeats, unsigned hardware_threads) {
+                 bool sparse, int repeats, unsigned hardware_threads) {
   LadderRow row;
   row.label = label;
   row.shards = shards;
   row.threads = threads;
+  row.sparse = sparse;
+  row.hardware_threads = hardware_threads;
   row.underprovisioned =
       hardware_threads > 0 && static_cast<unsigned>(threads) > hardware_threads;
   std::vector<double> samples;
@@ -73,28 +123,83 @@ LadderRow RunRow(const std::string& label, const StudyOptions& base, int shards,
     StudyOptions options = base;
     options.shards = shards;
     options.threads = threads;
+    options.sparse_engine = sparse;
     FleetStudy study(options);
     const auto start = std::chrono::steady_clock::now();
     const StudyReport report = study.Run();
     const auto stop = std::chrono::steady_clock::now();
     samples.push_back(std::chrono::duration<double>(stop - start).count());
     // Identical every repeat (the engine is deterministic), so last-write is fine.
+    row.cores = report.cores;
     row.work_units = report.work_units_executed;
     row.screen_failures = report.screen_failures;
+    row.screening_ops = report.screening_ops;
+    row.silent_corruptions = report.silent_corruptions;
+    const MetricRegistry& metrics = study.metrics();
+    row.wheel_scheduled = metrics.counter("screening.wheel_scheduled");
+    row.wheel_drained = metrics.counter("screening.wheel_drained");
+    row.wheel_overflow_inserts = metrics.counter("screening.wheel_overflow_inserts");
+    row.wheel_max_bucket = metrics.gauge_max("screening.wheel_max_bucket");
+    row.wheel_peak_occupancy = metrics.gauge_max("screening.wheel_peak_occupancy");
+    row.active_admitted = metrics.counter("production.active_admitted");
+    row.latent_at_end = metrics.counter("production.latent_at_end");
   }
   row.seconds = MedianSeconds(samples);
   return row;
+}
+
+// The sparse engine must stay an execution detail: every report-level observable the rows
+// capture has to match the dense oracle bit for bit.
+bool RowsBitConsistent(const LadderRow& a, const LadderRow& b) {
+  return a.work_units == b.work_units && a.screen_failures == b.screen_failures &&
+         a.screening_ops == b.screening_ops && a.silent_corruptions == b.silent_corruptions;
+}
+
+void PrintRowJson(std::FILE* f, const LadderRow& row, double serial_s, double sharded_t1_s,
+                  bool last) {
+  std::fprintf(f,
+               "    {\"config\": \"%s\", \"shards\": %d, \"threads\": %d, "
+               "\"sparse_engine\": %s, \"cores\": %zu, \"wall_seconds\": %.6f, "
+               "\"speedup_vs_serial\": %.4f, \"speedup_vs_threads1\": %.4f, "
+               "\"work_units\": %llu, \"screening_ops\": %llu, "
+               "\"hardware_concurrency\": %u, \"underprovisioned\": %s, "
+               "\"wheel_scheduled\": %llu, \"wheel_drained\": %llu, "
+               "\"wheel_overflow_inserts\": %llu, \"wheel_max_bucket\": %llu, "
+               "\"wheel_peak_occupancy\": %llu, \"active_admitted\": %llu, "
+               "\"latent_at_end\": %llu}%s\n",
+               row.label.c_str(), row.shards, row.threads, row.sparse ? "true" : "false",
+               row.cores, row.seconds, serial_s / row.seconds, sharded_t1_s / row.seconds,
+               static_cast<unsigned long long>(row.work_units),
+               static_cast<unsigned long long>(row.screening_ops), row.hardware_threads,
+               row.underprovisioned ? "true" : "false",
+               static_cast<unsigned long long>(row.wheel_scheduled),
+               static_cast<unsigned long long>(row.wheel_drained),
+               static_cast<unsigned long long>(row.wheel_overflow_inserts),
+               static_cast<unsigned long long>(row.wheel_max_bucket),
+               static_cast<unsigned long long>(row.wheel_peak_occupancy),
+               static_cast<unsigned long long>(row.active_admitted),
+               static_cast<unsigned long long>(row.latent_at_end), last ? "" : ",");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   FlagSet flags;
-  flags.DefineInt("machines", 20000, "fleet size in machines");
-  flags.DefineInt("days", 1095, "simulated study duration (3 years)");
+  flags.DefineInt("machines", 20000, "ladder fleet size in machines");
+  flags.DefineInt("days", 1095, "ladder study duration (3 years)");
+  flags.DefineInt("big-machines", 2200,
+                  "sparse-vs-dense fleet size (>=100k cores at the default mix; 0 skips)");
+  flags.DefineInt("big-days", 120, "sparse-vs-dense study duration in days");
+  flags.DefineInt("big-tick-minutes", 30, "sparse-vs-dense control tick, in minutes");
+  flags.DefineInt("big-shards", 8,
+                  "shard count for the sparse-vs-dense rows (threads=1 there, so shards are "
+                  "pure granularity: both engines pay the same per-shard fixed costs)");
   flags.DefineInt("seed", 42, "master seed");
   flags.DefineInt("shards", 32, "shard count for the parallel rows (fixed across the ladder)");
   flags.DefineInt("repeats", 3, "timed runs per row (median reported)");
+  flags.DefineDouble("min-sparse-speedup", 0.0,
+                     "fail (exit 3) if sparse wall-clock speedup over dense is below this "
+                     "(0 = report only)");
   flags.DefineString("json", "BENCH_parallel.json", "path for the JSON artifact ('' = skip)");
   const Status status = flags.Parse(argc, argv, 1);
   if (!status.ok()) {
@@ -104,10 +209,16 @@ int main(int argc, char** argv) {
 
   const size_t machines = static_cast<size_t>(flags.GetInt("machines"));
   const int days = static_cast<int>(flags.GetInt("days"));
+  const size_t big_machines = static_cast<size_t>(flags.GetInt("big-machines"));
+  const int big_days = static_cast<int>(flags.GetInt("big-days"));
+  const int big_tick_minutes = static_cast<int>(flags.GetInt("big-tick-minutes"));
+  const int big_shards = static_cast<int>(flags.GetInt("big-shards"));
   const int shards = static_cast<int>(flags.GetInt("shards"));
   const int repeats = std::max(1, static_cast<int>(flags.GetInt("repeats")));
+  const double min_sparse_speedup = flags.GetDouble("min-sparse-speedup");
   const unsigned hw = std::thread::hardware_concurrency();
-  const StudyOptions base = BaseOptions(static_cast<uint64_t>(flags.GetInt("seed")), machines, days);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const StudyOptions base = BaseOptions(seed, machines, days);
 
   std::printf(
       "# parallel scaling — %zu machines, %d days, %d shards, %u hardware threads, median of "
@@ -115,10 +226,11 @@ int main(int argc, char** argv) {
       machines, days, shards, hw, repeats);
 
   std::vector<LadderRow> rows;
-  rows.push_back(RunRow("serial (legacy engine)", base, /*shards=*/1, /*threads=*/1, repeats, hw));
+  rows.push_back(RunRow("serial (legacy engine)", base, /*shards=*/1, /*threads=*/1,
+                        /*sparse=*/true, repeats, hw));
   for (const int threads : {1, 2, 4}) {
-    rows.push_back(
-        RunRow("sharded t=" + std::to_string(threads), base, shards, threads, repeats, hw));
+    rows.push_back(RunRow("sharded t=" + std::to_string(threads), base, shards, threads,
+                          /*sparse=*/true, repeats, hw));
   }
 
   const double serial_s = rows[0].seconds;
@@ -143,12 +255,47 @@ int main(int argc, char** argv) {
   // invariance); the serial row is a different stream layout and may legitimately differ.
   bool deterministic = true;
   for (size_t i = 2; i < rows.size(); ++i) {
-    if (rows[i].work_units != rows[1].work_units ||
-        rows[i].screen_failures != rows[1].screen_failures) {
+    if (!RowsBitConsistent(rows[i], rows[1])) {
       deterministic = false;
     }
   }
   std::printf("# sharded rows bit-consistent: %s\n", deterministic ? "yes" : "NO — BUG");
+
+  // Section 2: sparse vs dense on the big healthy-heavy fleet.
+  std::vector<LadderRow> big_rows;
+  double sparse_speedup = 0.0;
+  bool sparse_consistent = true;
+  if (big_machines > 0) {
+    const StudyOptions big = BigHealthyOptions(seed, big_machines, big_days, big_tick_minutes);
+    std::printf(
+        "# sparse vs dense — %zu machines, %d days, %dmin tick, %d shards, threads=1\n",
+        big_machines, big_days, big_tick_minutes, big_shards);
+    big_rows.push_back(RunRow("big dense (oracle)", big, big_shards, /*threads=*/1,
+                              /*sparse=*/false, repeats, hw));
+    big_rows.push_back(
+        RunRow("big sparse", big, big_shards, /*threads=*/1, /*sparse=*/true, repeats, hw));
+    const LadderRow& dense = big_rows[0];
+    const LadderRow& sparse = big_rows[1];
+    sparse_speedup = dense.seconds / sparse.seconds;
+    sparse_consistent = RowsBitConsistent(dense, sparse);
+    std::printf("%-24s %12s %12s %10s\n", "config", "cores", "wall_s", "speedup");
+    std::printf("%-24s %12zu %12.3f %9s\n", dense.label.c_str(), dense.cores, dense.seconds,
+                "1.00x");
+    std::printf("%-24s %12zu %12.3f %9.2fx\n", sparse.label.c_str(), sparse.cores,
+                sparse.seconds, sparse_speedup);
+    std::printf(
+        "# wheel: scheduled=%llu drained=%llu overflow=%llu max_bucket=%llu peak=%llu; "
+        "active index: admitted=%llu latent_at_end=%llu\n",
+        static_cast<unsigned long long>(sparse.wheel_scheduled),
+        static_cast<unsigned long long>(sparse.wheel_drained),
+        static_cast<unsigned long long>(sparse.wheel_overflow_inserts),
+        static_cast<unsigned long long>(sparse.wheel_max_bucket),
+        static_cast<unsigned long long>(sparse.wheel_peak_occupancy),
+        static_cast<unsigned long long>(sparse.active_admitted),
+        static_cast<unsigned long long>(sparse.latent_at_end));
+    std::printf("# sparse row bit-consistent with dense oracle: %s\n",
+                sparse_consistent ? "yes" : "NO — BUG");
+  }
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
@@ -165,23 +312,35 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"repeats\": %d,\n", repeats);
     std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
     std::fprintf(f, "  \"underprovisioned\": %s,\n", any_underprovisioned ? "true" : "false");
-    std::fprintf(f, "  \"sharded_rows_bit_consistent\": %s,\n", deterministic ? "true" : "false");
+    std::fprintf(f, "  \"sharded_rows_bit_consistent\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(f, "  \"big_machines\": %zu,\n", big_machines);
+    std::fprintf(f, "  \"big_days\": %d,\n", big_days);
+    std::fprintf(f, "  \"big_tick_minutes\": %d,\n", big_tick_minutes);
+    std::fprintf(f, "  \"sparse_speedup\": %.4f,\n", sparse_speedup);
+    std::fprintf(f, "  \"min_sparse_speedup\": %.4f,\n", min_sparse_speedup);
+    std::fprintf(f, "  \"sparse_rows_bit_consistent\": %s,\n",
+                 sparse_consistent ? "true" : "false");
     std::fprintf(f, "  \"rows\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
-      const LadderRow& row = rows[i];
-      std::fprintf(f,
-                   "    {\"config\": \"%s\", \"shards\": %d, \"threads\": %d, "
-                   "\"wall_seconds\": %.6f, \"speedup_vs_serial\": %.4f, "
-                   "\"speedup_vs_threads1\": %.4f, \"work_units\": %llu, "
-                   "\"underprovisioned\": %s}%s\n",
-                   row.label.c_str(), row.shards, row.threads, row.seconds,
-                   serial_s / row.seconds, sharded_t1_s / row.seconds,
-                   static_cast<unsigned long long>(row.work_units),
-                   row.underprovisioned ? "true" : "false", i + 1 < rows.size() ? "," : "");
+      PrintRowJson(f, rows[i], serial_s, sharded_t1_s,
+                   i + 1 == rows.size() && big_rows.empty());
+    }
+    for (size_t i = 0; i < big_rows.size(); ++i) {
+      PrintRowJson(f, big_rows[i], serial_s, sharded_t1_s, i + 1 == big_rows.size());
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("# wrote %s\n", json_path.c_str());
   }
-  return deterministic ? 0 : 2;
+
+  if (!deterministic || !sparse_consistent) {
+    return 2;
+  }
+  if (min_sparse_speedup > 0.0 && big_machines > 0 && sparse_speedup < min_sparse_speedup) {
+    std::fprintf(stderr, "sparse speedup %.2fx below required %.2fx\n", sparse_speedup,
+                 min_sparse_speedup);
+    return 3;
+  }
+  return 0;
 }

@@ -1,5 +1,7 @@
 #include "src/common/thread_pool.h"
 
+#include <algorithm>
+
 namespace mercurial {
 
 ThreadPool::ThreadPool(size_t threads) {
@@ -80,6 +82,26 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
   fn_ = nullptr;
+}
+
+void ThreadPool::ParallelForChunks(size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  const size_t parts = std::min(n, thread_count());
+  if (parts <= 1) {
+    fn(0, n);
+    return;
+  }
+  // Standard balanced partition: the first n % parts chunks get one extra index, so chunk
+  // sizes differ by at most one and the mapping is a pure function of (n, parts).
+  const size_t base = n / parts;
+  const size_t extra = n % parts;
+  ParallelFor(parts, [&](size_t chunk) {
+    const size_t begin = chunk * base + std::min(chunk, extra);
+    const size_t end = begin + base + (chunk < extra ? 1 : 0);
+    fn(begin, end);
+  });
 }
 
 }  // namespace mercurial

@@ -41,6 +41,15 @@ class ThreadPool {
   // for distinct indices. Not reentrant: one batch at a time.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  // Static-partition variant for batches of many cheap, uniform items: splits [0, n) into at
+  // most thread_count() contiguous chunks and runs fn(begin, end) once per chunk, covering
+  // every index exactly once. One cursor fetch per *chunk* instead of per index, so the
+  // per-batch synchronization cost is O(threads) no matter how large n is — this is the
+  // sparse tick engine's dispatch, where per-shard work can be a handful of cores and the
+  // dynamic cursor's cacheline traffic would dominate. Same barrier and reentrancy contract
+  // as ParallelFor.
+  void ParallelForChunks(size_t n, const std::function<void(size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
   void RunIndices(const std::function<void(size_t)>& fn, size_t n);

@@ -1,0 +1,82 @@
+#include "src/core/active_index.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+std::vector<ShardRange> PartitionCores(uint64_t core_count, int shards) {
+  MERCURIAL_CHECK_GT(shards, 0);
+  const auto k = static_cast<uint64_t>(shards);
+  const uint64_t per_shard = (core_count + k - 1) / k;
+  std::vector<ShardRange> ranges(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    ranges[i].begin = std::min(core_count, i * per_shard);
+    ranges[i].end = std::min(core_count, (i + 1) * per_shard);
+  }
+  return ranges;
+}
+
+void ActiveProductionIndex::Build(const Fleet& fleet, const std::vector<ShardRange>& ranges) {
+  MERCURIAL_CHECK(pending_.empty() && active_.empty()) << "Build may be called at most once";
+  MERCURIAL_CHECK(!ranges.empty());
+  active_.resize(ranges.size());
+  range_ends_.reserve(ranges.size());
+  for (const ShardRange& range : ranges) {
+    range_ends_.push_back(range.end);
+  }
+  pending_.reserve(fleet.mercurial_cores().size());
+  for (const uint64_t core : fleet.mercurial_cores()) {
+    const Machine& machine = fleet.machine(fleet.core_id(core).machine);
+    const SimTime onset = fleet.core(core).EarliestDefectOnset();
+    // Born-active defects (onset <= 0) must be admitted from tick one regardless of install
+    // time: Fleet::SetAges clamps age at zero, so Defect::Active is true for them even on a
+    // machine that has not racked yet (the Installed gate, not activation, skips those).
+    const SimTime activation =
+        onset.seconds() <= 0 ? SimTime::Seconds(0) : machine.install_time() + onset;
+    pending_.push_back({activation, core, static_cast<uint32_t>(ShardOf(core))});
+  }
+  std::sort(pending_.begin(), pending_.end(), [](const Pending& a, const Pending& b) {
+    return a.activation.seconds() != b.activation.seconds()
+               ? a.activation < b.activation
+               : a.core < b.core;
+  });
+}
+
+size_t ActiveProductionIndex::ShardOf(uint64_t core) const {
+  const auto it = std::upper_bound(range_ends_.begin(), range_ends_.end(), core);
+  MERCURIAL_CHECK(it != range_ends_.end());
+  return static_cast<size_t>(it - range_ends_.begin());
+}
+
+void ActiveProductionIndex::Advance(SimTime now) {
+  while (pending_cursor_ < pending_.size() &&
+         pending_[pending_cursor_].activation <= now) {
+    const Pending& p = pending_[pending_cursor_++];
+    if (retired_pending_.erase(p.core) > 0) {
+      continue;  // convicted while still latent; never enters the scanned set
+    }
+    std::vector<uint64_t>& slice = active_[p.shard];
+    slice.insert(std::upper_bound(slice.begin(), slice.end(), p.core), p.core);
+    ++admitted_;
+  }
+}
+
+void ActiveProductionIndex::Retire(uint64_t core) {
+  if (active_.empty()) {
+    return;  // index not built (dense engine); retirement tracking not needed
+  }
+  std::vector<uint64_t>& slice = active_[ShardOf(core)];
+  const auto it = std::lower_bound(slice.begin(), slice.end(), core);
+  if (it != slice.end() && *it == core) {
+    slice.erase(it);
+    ++retired_;
+    return;
+  }
+  // Not admitted yet (or not mercurial at all — the listener reports every retirement).
+  // Recording non-mercurial cores here is harmless: Advance never looks them up.
+  retired_pending_.insert(core);
+}
+
+}  // namespace mercurial

@@ -14,11 +14,6 @@ namespace {
 constexpr const char* kUserSeries = "incidents.user_reported";
 constexpr const char* kAutoSeries = "incidents.auto_reported";
 
-// Stream salts separating the per-(shard, tick) random streams of the two parallel stages, so
-// production/noise draws and screening draws never alias (see DeriveStreamSeed).
-constexpr uint64_t kProductionStreamSalt = 0x70726f64756374ull;  // "product"
-constexpr uint64_t kScreeningStreamSalt = 0x73637265656e00ull;   // "screen"
-
 // The study owns the provenance-epoch granularity: one epoch per tick, so the repair
 // pipeline's suspect window maps 1:1 onto ledger entries.
 RepairOptions ResolveAuditOptions(const StudyOptions& options) {
@@ -28,18 +23,6 @@ RepairOptions ResolveAuditOptions(const StudyOptions& options) {
 }
 
 }  // namespace
-
-std::vector<ShardRange> PartitionCores(uint64_t core_count, int shards) {
-  MERCURIAL_CHECK_GT(shards, 0);
-  const auto k = static_cast<uint64_t>(shards);
-  const uint64_t per_shard = (core_count + k - 1) / k;
-  std::vector<ShardRange> ranges(k);
-  for (uint64_t i = 0; i < k; ++i) {
-    ranges[i].begin = std::min(core_count, i * per_shard);
-    ranges[i].end = std::min(core_count, (i + 1) * per_shard);
-  }
-  return ranges;
-}
 
 // Everything one shard's production + noise pass may produce, buffered so the tick's side
 // effects can be applied to the shared services serially in shard-index order. Buffers are
@@ -245,15 +228,22 @@ void FleetStudy::HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom
 
 void FleetStudy::RunProductionShard(SimTime now, uint64_t core_begin, uint64_t core_end,
                                     Rng& rng, std::vector<std::unique_ptr<Workload>>& corpus,
-                                    ShardDelta& delta) {
+                                    ShardDelta& delta,
+                                    const std::vector<uint64_t>* active_cores) {
   const double busy_units = static_cast<double>(options_.work_units_per_core_day) *
                             options_.tick.days();
   const bool audit = options_.audit.enabled;
   const bool probation_enabled = options_.control_plane.probation.enabled;
   const uint64_t epoch =
       static_cast<uint64_t>(now.seconds() / options_.tick.seconds());
-  for (uint64_t core_index : fleet_.mercurial_cores()) {
-    if (core_index < core_begin || core_index >= core_end) {
+  // Sparse engine: the index slice is exactly the dense scan's surviving cores (same
+  // ascending order) minus cores whose every gate below would fail draw-free — latent
+  // defects and retired cores — so both loops consume identical streams. Dense (nullptr):
+  // walk the full mercurial list and range-filter, the reference-oracle behavior.
+  const std::vector<uint64_t>& scan =
+      active_cores != nullptr ? *active_cores : fleet_.mercurial_cores();
+  for (uint64_t core_index : scan) {
+    if (active_cores == nullptr && (core_index < core_begin || core_index >= core_end)) {
       continue;
     }
     // A probation core is not Schedulable (general placement) but does serve restricted
@@ -318,6 +308,12 @@ void FleetStudy::EmitBackgroundNoiseShard(SimTime now, SimTime dt, uint64_t core
                           options_.background_signal_rate_per_core_day * dt.days();
   const uint64_t events = rng.Poisson(expected);
   for (uint64_t e = 0; e < events; ++e) {
+    // Draw accounting (pinned by the replay regression test in determinism_test.cc): the
+    // uniform core pick is drawn unconditionally — BEFORE the Installed check — and an
+    // uninstalled pick consumes exactly that one draw, skipping the signal-type NextDouble
+    // below. Fleet growth therefore thins the noise rate without shifting the stream for
+    // installed picks; reordering the pick after the check, or consuming the type draw for
+    // skipped picks, would silently re-randomize every study with future installs.
     const uint64_t core_index = core_begin + rng.UniformInt(0, core_end - core_begin - 1);
     if (!fleet_.Installed(core_index, now)) {
       continue;  // not racked yet; thins the noise rate in proportion to fleet growth
@@ -432,6 +428,22 @@ std::unordered_map<uint64_t, SimTime> FleetStudy::ComputeActivationTimes() {
   return activation_time;
 }
 
+void FleetStudy::EnableSparseEngine(const std::vector<ShardRange>& ranges) {
+  // The burn-in orchestrator (RunBurnIn) is a separate dense instance ticked once at t=0;
+  // only the steady-state orchestrator gets wheels, and it gets them before its first tick.
+  std::vector<std::pair<uint64_t, uint64_t>> spans;
+  spans.reserve(ranges.size());
+  for (const ShardRange& range : ranges) {
+    spans.emplace_back(range.begin, range.end);
+  }
+  screening_.EnableSparse(options_.tick, spans);
+  active_index_.Build(fleet_, ranges);
+  // Retirement is the scheduler's only irreversible transition, so it is the only one the
+  // index mirrors; quarantine/probation stay in the slice and are re-gated per visit
+  // (draw-free, hence stream-neutral) exactly like the dense scan.
+  scheduler_.set_retirement_listener([this](uint64_t core) { active_index_.Retire(core); });
+}
+
 void FleetStudy::RunBurnIn() {
   // Pre-deployment acceptance testing: one thorough screen of every core at t=0 with
   // whatever corpus coverage exists at t=0.
@@ -460,6 +472,7 @@ void FleetStudy::RunTicksSerial(
   // the end of the stage pair; nothing inside the stages reads the affected services, so
   // this is bit-identical to applying them inline. The delta buffer is pooled across ticks
   // (clear-and-reuse keeps its vectors' capacity and interned metric handles).
+  const bool sparse = options_.sparse_engine;
   ShardDelta delta;
   for (int64_t t = 0; t < ticks; ++t) {
     clock.Advance(options_.tick);
@@ -469,9 +482,13 @@ void FleetStudy::RunTicksSerial(
       trace_->SetTickContext(now, static_cast<uint64_t>(now.seconds() /
                                                         options_.tick.seconds()));
     }
+    if (sparse) {
+      active_index_.Advance(now);
+    }
 
     delta.Reset();
-    RunProductionShard(now, 0, fleet_.core_count(), rng_, corpus_, delta);
+    RunProductionShard(now, 0, fleet_.core_count(), rng_, corpus_, delta,
+                       sparse ? &active_index_.ActiveInShard(0) : nullptr);
     EmitBackgroundNoiseShard(now, options_.tick, 0, fleet_.core_count(), rng_, delta);
     ApplyShardDelta(delta);
     FlushHumanReports(now);
@@ -506,6 +523,7 @@ void FleetStudy::RunTicksSharded(
   }
 
   ThreadPool pool(static_cast<size_t>(threads));
+  const bool sparse = options_.sparse_engine;
   // One pooled delta buffer per shard, reused for every tick: each buffer converges on its
   // shard's per-tick high-water event counts, after which the parallel phase stops
   // allocating. The per-tick Reset runs inside the worker task so clearing parallelizes too.
@@ -520,24 +538,35 @@ void FleetStudy::RunTicksSharded(
       trace_->SetTickContext(now, static_cast<uint64_t>(now.seconds() /
                                                         options_.tick.seconds()));
     }
+    if (sparse) {
+      // Serial admissions: the per-shard active slices are frozen shared state during the
+      // parallel phase, exactly like the scheduler's states.
+      active_index_.Advance(now);
+    }
 
     // Parallel phase: every shard reads frozen shared state (scheduler, fleet layout,
     // coverage schedule) and writes only shard-private state — its own cores, its slice of
-    // the offline-due table, and its delta buffer. Randomness is counter-based per
-    // (seed, shard, tick), so neither thread count nor completion order can change a draw.
-    pool.ParallelFor(static_cast<size_t>(shards), [&](size_t k) {
-      const ShardRange range = ranges[k];
-      ShardDelta& delta = deltas[k];
-      delta.Reset();
-      Rng production_rng(DeriveStreamSeed(options_.seed ^ kProductionStreamSalt, k,
-                                          static_cast<uint64_t>(t)));
-      RunProductionShard(now, range.begin, range.end, production_rng, corpora[k], delta);
-      EmitBackgroundNoiseShard(now, options_.tick, range.begin, range.end, production_rng,
-                               delta);
-      Rng screening_rng(DeriveStreamSeed(options_.seed ^ kScreeningStreamSalt, k,
-                                         static_cast<uint64_t>(t)));
-      delta.screen = screening_.TickShard(now, options_.tick, range.begin, range.end, fleet_,
-                                          scheduler_, screening_rng);
+    // the offline-due table (plus its due-wheel), and its delta buffer. Randomness is
+    // counter-based per (seed, shard, tick), so neither thread count nor completion order
+    // can change a draw. Chunked dispatch: each participating thread claims one contiguous
+    // run of shards (one cursor fetch per chunk, one barrier per tick), so the sparse
+    // engine's tiny per-shard work is not drowned by per-shard synchronization.
+    pool.ParallelForChunks(static_cast<size_t>(shards), [&](size_t k_begin, size_t k_end) {
+      for (size_t k = k_begin; k < k_end; ++k) {
+        const ShardRange range = ranges[k];
+        ShardDelta& delta = deltas[k];
+        delta.Reset();
+        Rng production_rng(DeriveStreamSeed(options_.seed ^ kProductionStreamSalt, k,
+                                            static_cast<uint64_t>(t)));
+        RunProductionShard(now, range.begin, range.end, production_rng, corpora[k], delta,
+                           sparse ? &active_index_.ActiveInShard(k) : nullptr);
+        EmitBackgroundNoiseShard(now, options_.tick, range.begin, range.end, production_rng,
+                                 delta);
+        Rng screening_rng(DeriveStreamSeed(options_.seed ^ kScreeningStreamSalt, k,
+                                           static_cast<uint64_t>(t)));
+        delta.screen = screening_.TickShard(now, options_.tick, range.begin, range.end,
+                                            fleet_, scheduler_, screening_rng);
+      }
     });
 
     // Merge barrier: apply buffered effects in shard-index order — the one fixed order that
@@ -654,6 +683,22 @@ void FleetStudy::Finalize() {
     metrics_.Increment("chaos.partial_repairs", report_.repair.chaos.partial_repairs);
   }
 
+  if (options_.sparse_engine) {
+    // Sparse-engine health counters. These exist only under the sparse engine (the dense
+    // oracle has no wheel), which is safe because StudyReport carries no metric map — D10's
+    // field-by-field comparison is unaffected. The parallel bench exports them as the wheel
+    // occupancy stats in BENCH_parallel.json.
+    const DueWheelStats wheel = screening_.wheel_stats();
+    metrics_.Increment("screening.wheel_scheduled", wheel.scheduled);
+    metrics_.Increment("screening.wheel_drained", wheel.drained);
+    metrics_.Increment("screening.wheel_overflow_inserts", wheel.overflow_inserts);
+    metrics_.ObserveMax("screening.wheel_max_bucket", wheel.max_bucket);
+    metrics_.ObserveMax("screening.wheel_peak_occupancy", wheel.peak_occupancy);
+    metrics_.Increment("production.active_admitted", active_index_.admitted_count());
+    metrics_.Increment("production.active_retired", active_index_.retired_count());
+    metrics_.Increment("production.latent_at_end", active_index_.pending_count());
+  }
+
   if (trace_ != nullptr) {
     report_.trace = trace_->Assemble();
     metrics_.Increment("trace.events_emitted", report_.trace.counters.events_emitted);
@@ -740,6 +785,10 @@ StudyReport FleetStudy::Run() {
 
   if (options_.burn_in) {
     RunBurnIn();
+  }
+
+  if (options_.sparse_engine) {
+    EnableSparseEngine(PartitionCores(fleet_.core_count(), shards));
   }
 
   const int64_t ticks = options_.duration.seconds() / options_.tick.seconds();

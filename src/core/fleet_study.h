@@ -32,6 +32,7 @@
 
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
+#include "src/core/active_index.h"
 #include "src/detect/control_plane.h"
 #include "src/detect/mca_log.h"
 #include "src/detect/quarantine.h"
@@ -85,6 +86,15 @@ struct StudyOptions {
   // for every threads value (clamped to [1, shards]).
   int shards = 1;
   int threads = 1;
+
+  // Sparse tick engine: due-wheel offline screening (visit only cores whose screen is due),
+  // the active-production index (scan only mercurial cores past their earliest defect
+  // onset), and chunked thread-pool dispatch — per-tick cost O(active work) instead of
+  // O(cores + mercurial × shards). Bit-identical to the dense path for every (shards,
+  // threads): skipped cores consume no randomness, so eliding their visits cannot shift any
+  // stream (determinism suite D10 proves it against the retained dense reference oracle).
+  // See DESIGN.md, "Decision: sparsity is free when streams are counter-keyed".
+  bool sparse_engine = true;
 
   // Production-load model: logical work units each busy core runs per day. Only mercurial
   // cores execute real work (healthy cores cannot produce CEEs; their load is accounted, not
@@ -169,16 +179,16 @@ struct StudyReport {
   IncidentTrace trace;
 };
 
-// One shard's contiguous slice of the fleet's global core indices.
-struct ShardRange {
-  uint64_t begin = 0;
-  uint64_t end = 0;  // exclusive
-};
+// ShardRange and PartitionCores moved to src/core/active_index.h (included above) so the
+// sparse index can share the partition type without a dependency cycle.
 
-// Partitions [0, core_count) into `shards` contiguous, disjoint, ordered ranges covering
-// every core exactly once (trailing ranges may be empty when shards > core_count). A pure
-// function of its arguments — the partition never depends on thread count.
-std::vector<ShardRange> PartitionCores(uint64_t core_count, int shards);
+// Stream salts separating the per-(shard, tick) random streams of the two parallel stages,
+// so production/noise draws and screening draws never alias:
+// Rng(DeriveStreamSeed(seed ^ salt, shard, tick)). Public because the salts are part of the
+// experiment's identity — replay tests reconstruct a stage's stream from (seed, shard, tick)
+// to pin its draw accounting (e.g. the background-noise pick-then-check contract).
+inline constexpr uint64_t kProductionStreamSalt = 0x70726f64756374ull;  // "product"
+inline constexpr uint64_t kScreeningStreamSalt = 0x73637265656e00ull;   // "screen"
 
 class FleetStudy {
  public:
@@ -207,8 +217,12 @@ class FleetStudy {
   // serves both engines: the serial engine passes (0, core_count, rng_) and keeps the legacy
   // stream; the sharded engine passes each shard's range and its counter-derived stream.
   // All side effects land in `delta`, never in shared state.
+  // `active_cores` selects the engine: nullptr scans the full mercurial list with a range
+  // filter (dense reference oracle); non-null is the sparse index's pre-partitioned slice of
+  // cores past their earliest defect onset, visited in the identical ascending order.
   void RunProductionShard(SimTime now, uint64_t core_begin, uint64_t core_end, Rng& rng,
-                          std::vector<std::unique_ptr<Workload>>& corpus, ShardDelta& delta);
+                          std::vector<std::unique_ptr<Workload>>& corpus, ShardDelta& delta,
+                          const std::vector<uint64_t>* active_cores);
   void EmitBackgroundNoiseShard(SimTime now, SimTime dt, uint64_t core_begin,
                                 uint64_t core_end, Rng& rng, ShardDelta& delta);
   void HandleSymptom(SimTime now, uint64_t core_index, Symptom symptom, Rng& rng,
@@ -237,6 +251,9 @@ class FleetStudy {
                        const std::unordered_map<uint64_t, SimTime>& activation_time);
   void RunBurnIn();
   std::unordered_map<uint64_t, SimTime> ComputeActivationTimes();
+  // Arms the sparse engine for the resolved shard partition: builds the screening due-wheels
+  // and the active-production index, and hooks scheduler retirements to index removal.
+  void EnableSparseEngine(const std::vector<ShardRange>& ranges);
   void Finalize();
 
   void RunTicksSerial(SimClock& clock, int64_t ticks,
@@ -274,6 +291,9 @@ class FleetStudy {
   // Workload placement profiles, index-aligned with the corpus (one per WorkloadKind), used
   // to honor probation placement restrictions. Populated only when probation is enabled.
   std::vector<WorkloadProfile> placement_profiles_;
+  // Sparse production scan set (empty under the dense oracle). Built once the shard count is
+  // resolved; advanced serially each tick; pruned via the scheduler's retirement listener.
+  ActiveProductionIndex active_index_;
   McaLog mca_log_;
   StudyReport report_;
   bool ran_ = false;

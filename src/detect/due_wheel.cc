@@ -1,0 +1,76 @@
+#include "src/detect/due_wheel.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/logging.h"
+
+namespace mercurial {
+
+DueWheel::DueWheel(int64_t min_span_ticks)
+    : ring_ticks_(static_cast<int64_t>(std::bit_ceil(
+          static_cast<uint64_t>(std::max(min_span_ticks, kRingTicks))))),
+      ring_(static_cast<size_t>(ring_ticks_)) {}
+
+void DueWheel::Schedule(uint32_t core, int64_t tick) {
+  MERCURIAL_CHECK_GT(tick, current_);
+  if (tick - current_ <= ring_ticks_ - 1) {
+    // Ring slots are single-tick: every live ring entry fires within (current_, current_ +
+    // ring_ticks_), and that half-open span meets each residue class mod ring_ticks_ exactly
+    // once, so `tick` is the only tick this slot can currently hold.
+    ring_[Slot(tick)].push_back(core);
+  } else {
+    overflow_[tick].push_back(core);
+    ++stats_.overflow_inserts;
+  }
+  ++size_;
+  ++stats_.scheduled;
+  stats_.peak_occupancy = std::max<uint64_t>(stats_.peak_occupancy, size_);
+}
+
+const std::vector<uint32_t>& DueWheel::Drain(int64_t tick) {
+  MERCURIAL_CHECK_EQ(tick, current_ + 1);
+  current_ = tick;
+  drain_buf_.clear();
+  std::vector<uint32_t>& slot = ring_[Slot(tick)];
+  drain_buf_.swap(slot);
+  if (!overflow_.empty()) {
+    const auto far = overflow_.find(tick);
+    if (far != overflow_.end()) {
+      drain_buf_.insert(drain_buf_.end(), far->second.begin(), far->second.end());
+      overflow_.erase(far);
+    }
+  }
+  // Ascending core order: the drained bucket must replay the dense scan's visit order so the
+  // screening stream sees draws in the same sequence.
+  if (drain_buf_.size() > 1) {
+    std::sort(drain_buf_.begin(), drain_buf_.end());
+  }
+  size_ -= drain_buf_.size();
+  stats_.drained += drain_buf_.size();
+  stats_.max_bucket = std::max<uint64_t>(stats_.max_bucket, drain_buf_.size());
+  return drain_buf_;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> DueWheel::ExtractWindow(int64_t first, int64_t last) {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  first = std::max(first, current_ + 1);
+  for (int64_t tick = first; tick <= std::min(last, current_ + ring_ticks_ - 1); ++tick) {
+    std::vector<uint32_t>& slot = ring_[Slot(tick)];
+    for (const uint32_t core : slot) {
+      out.emplace_back(core, tick);
+    }
+    slot.clear();
+  }
+  for (auto it = overflow_.lower_bound(first);
+       it != overflow_.end() && it->first <= last;) {
+    for (const uint32_t core : it->second) {
+      out.emplace_back(core, it->first);
+    }
+    it = overflow_.erase(it);
+  }
+  size_ -= out.size();
+  return out;
+}
+
+}  // namespace mercurial

@@ -1,5 +1,6 @@
 #include "src/detect/report_service.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/logging.h"
@@ -26,20 +27,29 @@ const char* SignalTypeName(SignalType type) {
   return "unknown";
 }
 
-void CeeReportService::DecayedScore::DecayTo(SimTime now, double half_life_days) {
+double CeeReportService::Exp2Memo::Factor(SimTime dt, double half_life_days) {
+  if (dt.seconds() != dt_seconds) {
+    dt_seconds = dt.seconds();
+    factor = std::exp2(-dt.days() / half_life_days);
+  }
+  return factor;
+}
+
+void CeeReportService::DecayedScore::DecayTo(SimTime now, double half_life_days,
+                                             Exp2Memo& memo) {
   if (now <= last_update) {
     return;
   }
-  const double dt_days = (now - last_update).days();
-  score *= std::exp2(-dt_days / half_life_days);
+  score *= memo.Factor(now - last_update, half_life_days);
   last_update = now;
 }
 
-void CeeReportService::CoreRecord::DecayTo(SimTime now, double half_life_days) {
+void CeeReportService::CoreRecord::DecayTo(SimTime now, double half_life_days,
+                                           Exp2Memo& memo) {
   if (now <= last_update) {
     return;
   }
-  const double factor = std::exp2(-(now - last_update).days() / half_life_days);
+  const double factor = memo.Factor(now - last_update, half_life_days);
   score *= factor;
   raw_count *= factor;
   direct_score *= factor;
@@ -58,27 +68,37 @@ void CeeReportService::Report(const Signal& signal) {
 
   CoreRecord& core = core_records_[signal.core_global];
   core.machine = signal.machine;
-  core.DecayTo(signal.time, options_.half_life_days);
+  core.DecayTo(signal.time, options_.half_life_days, decay_memo_);
   core.score += weight;
   core.raw_count += 1.0;
   if (signal.type == SignalType::kScreenFail) {
     core.direct_score += weight;
   }
 
-  DecayedScore& machine = machine_records_[signal.machine];
-  machine.DecayTo(signal.time, options_.half_life_days);
+  DecayedScore& machine = MachineScore(signal.machine);
+  machine.DecayTo(signal.time, options_.half_life_days, decay_memo_);
   machine.score += 1.0;
+}
+
+CeeReportService::DecayedScore& CeeReportService::MachineScore(uint64_t machine) {
+  const auto it = std::lower_bound(
+      machine_records_.begin(), machine_records_.end(), machine,
+      [](const MachineRecord& record, uint64_t id) { return record.machine < id; });
+  if (it != machine_records_.end() && it->machine == machine) {
+    return it->score;
+  }
+  return machine_records_.insert(it, MachineRecord{machine, DecayedScore{}})->score;
 }
 
 std::vector<SuspectCore> CeeReportService::Suspects(SimTime now) {
   std::vector<SuspectCore> suspects;
-  // Decay machine records first so the binomial n is current.
-  for (auto& [machine_id, record] : machine_records_) {
-    record.DecayTo(now, options_.half_life_days);
+  // Decay machine records first so the binomial n is current (contiguous sweep).
+  for (MachineRecord& record : machine_records_) {
+    record.score.DecayTo(now, options_.half_life_days, decay_memo_);
   }
   for (auto it = core_records_.begin(); it != core_records_.end();) {
     CoreRecord& record = it->second;
-    record.DecayTo(now, options_.half_life_days);
+    record.DecayTo(now, options_.half_life_days, decay_memo_);
     if (record.score < options_.prune_below) {
       it = core_records_.erase(it);
       continue;
@@ -95,9 +115,13 @@ std::vector<SuspectCore> CeeReportService::Suspects(SimTime now) {
     if (record.score >= options_.min_score) {
       const uint32_t core_count = cores_on_machine_(record.machine);
       MERCURIAL_CHECK_GT(core_count, 0u);
-      const auto machine_it = machine_records_.find(record.machine);
+      const auto machine_it = std::lower_bound(
+          machine_records_.begin(), machine_records_.end(), record.machine,
+          [](const MachineRecord& rec, uint64_t id) { return rec.machine < id; });
       const double machine_mass =
-          machine_it == machine_records_.end() ? 0.0 : machine_it->second.score;
+          machine_it != machine_records_.end() && machine_it->machine == record.machine
+              ? machine_it->score.score
+              : 0.0;
       // Null hypothesis: the machine's reports are spread uniformly over its cores.
       const auto k = static_cast<uint64_t>(std::lround(std::max(record.raw_count, 1.0)));
       const auto n = static_cast<uint64_t>(

@@ -71,11 +71,22 @@ class CeeReportService {
   size_t tracked_cores() const { return core_records_.size(); }
 
  private:
+  // Memo for the per-step decay factor exp2(-dt / half_life). The per-tick sweep in
+  // Suspects() brings every record to a common last_update, so from the second sweep on
+  // every decay step is exactly one tick — the same exp2 input over and over. Keyed on the
+  // exact dt in seconds, so a hit returns bit-identical results to recomputing.
+  struct Exp2Memo {
+    int64_t dt_seconds = -1;
+    double factor = 1.0;
+
+    double Factor(SimTime dt, double half_life_days);
+  };
+
   struct DecayedScore {
     double score = 0.0;
     SimTime last_update;
 
-    void DecayTo(SimTime now, double half_life_days);
+    void DecayTo(SimTime now, double half_life_days, Exp2Memo& memo);
   };
 
   struct CoreRecord {
@@ -85,14 +96,27 @@ class CeeReportService {
     SimTime last_update;
     uint64_t machine = 0;
 
-    void DecayTo(SimTime now, double half_life_days);
+    void DecayTo(SimTime now, double half_life_days, Exp2Memo& memo);
   };
+
+  // Machine records live in a flat vector sorted by machine id: Suspects() decays every
+  // machine record every tick, and a contiguous sweep beats node-hopping a map. Nothing
+  // observable depends on this container's iteration order (decay is per-record independent
+  // and lookups are keyed), unlike core_records_, whose iteration order fixes the suspect
+  // emission order and is pinned by the golden traces.
+  struct MachineRecord {
+    uint64_t machine = 0;
+    DecayedScore score;
+  };
+  // Returns the record for `machine`, inserting (sorted) if absent.
+  DecayedScore& MachineScore(uint64_t machine);
 
   ReportServiceOptions options_;
   std::function<uint32_t(uint64_t)> cores_on_machine_;
   std::unordered_map<uint64_t, CoreRecord> core_records_;
-  std::unordered_map<uint64_t, DecayedScore> machine_records_;  // unweighted count per machine
+  std::vector<MachineRecord> machine_records_;  // sorted by machine id
   uint64_t total_reports_ = 0;
+  Exp2Memo decay_memo_;
   TraceRecorder* trace_ = nullptr;
 };
 

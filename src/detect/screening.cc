@@ -1,6 +1,7 @@
 #include "src/detect/screening.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/common/logging.h"
 #include "src/telemetry/trace.h"
@@ -43,12 +44,25 @@ std::vector<ExecUnit> ScreeningOrchestrator::CoveredUnits(SimTime now) const {
   return units;
 }
 
+uint64_t ScreeningOrchestrator::CoveredUnitCount(SimTime now) const {
+  // Allocation-free CoveredUnits(now).size(): the count is all the battery-cost accounting
+  // needs, and it sits on the healthy-core fast path (every screen of every healthy core),
+  // where materializing the unit vector was the dominant per-screen cost at fleet scale.
+  size_t count = options_.initial_coverage.size();
+  for (const auto& [when, unit] : options_.coverage_schedule) {
+    if (now >= when) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 uint64_t ScreeningOrchestrator::OfflineBatteryOps(SimTime now) const {
-  return options_.offline_iterations * CoveredUnits(now).size();
+  return options_.offline_iterations * CoveredUnitCount(now);
 }
 
 uint64_t ScreeningOrchestrator::OnlineBatteryOps(SimTime now) const {
-  return options_.online_iterations * CoveredUnits(now).size();
+  return options_.online_iterations * CoveredUnitCount(now);
 }
 
 uint64_t ScreeningOrchestrator::ThrottleOffline(SimTime now, SimTime defer) {
@@ -56,6 +70,29 @@ uint64_t ScreeningOrchestrator::ThrottleOffline(SimTime now, SimTime defer) {
     return 0;
   }
   const SimTime pushed_to = now + defer;
+  if (sparse_enabled()) {
+    // Sparse path: only wheel entries with fire ticks inside the deferral window can have
+    // due times inside (now, pushed_to) — fire = ceil(due / dt) and due > now imply
+    // fire <= ceil(pushed_to / dt) — so extract those buckets and re-check the *exact* due
+    // time per entry. Quantized fire ticks alone cannot decide membership: a due inside the
+    // horizon's bucket may sit on either side of pushed_to.
+    const int64_t push_tick = FireTick(pushed_to);
+    uint64_t deferred = 0;
+    for (ShardWheel& sw : wheels_) {
+      for (const auto& [core, fire] :
+           sw.wheel.ExtractWindow(sw.wheel.current() + 1, push_tick)) {
+        SimTime& due = next_offline_due_[core];
+        if (due > now && due < pushed_to) {
+          due = pushed_to;
+          ++deferred;
+          sw.wheel.Schedule(core, push_tick);
+        } else {
+          sw.wheel.Schedule(core, fire);  // outside the exact window: restore untouched
+        }
+      }
+    }
+    return deferred;
+  }
   uint64_t deferred = 0;
   for (SimTime& due : next_offline_due_) {
     // Strictly inside the window: a screen already pushed to the horizon needs no new push,
@@ -68,17 +105,98 @@ uint64_t ScreeningOrchestrator::ThrottleOffline(SimTime now, SimTime defer) {
   return deferred;
 }
 
+int64_t ScreeningOrchestrator::FireTick(SimTime due) const {
+  const int64_t dt_sec = sparse_dt_.seconds();
+  const int64_t due_sec = due.seconds() < 0 ? 0 : due.seconds();
+  return (due_sec + dt_sec - 1) / dt_sec;
+}
+
+int64_t ScreeningOrchestrator::TickIndex(SimTime now) const {
+  const int64_t tick = now.seconds() / sparse_dt_.seconds();
+  MERCURIAL_CHECK_EQ(tick * sparse_dt_.seconds(), now.seconds())
+      << "sparse screening requires ticks on the dt grid";
+  return tick;
+}
+
+ScreeningOrchestrator::ShardWheel& ScreeningOrchestrator::WheelForRange(uint64_t core_begin,
+                                                                        uint64_t core_end) {
+  const auto it = std::lower_bound(
+      wheels_.begin(), wheels_.end(), core_begin,
+      [](const ShardWheel& sw, uint64_t begin) { return sw.begin < begin; });
+  MERCURIAL_CHECK(it != wheels_.end() && it->begin == core_begin && it->end == core_end)
+      << "sparse screening tick for a range that is not part of the enabled partition";
+  return *it;
+}
+
+bool ScreeningOrchestrator::RescheduleDrained(SimTime now, int64_t tick, uint64_t core,
+                                              Fleet& fleet, ShardWheel& sw) {
+  // Fire ticks satisfy fire * dt >= due, so a drained core is due now — the dense scan's
+  // `due > now` skip can never apply to a wheel drain.
+  MERCURIAL_CHECK_LE(next_offline_due_[core].seconds(), now.seconds());
+  const auto c = static_cast<uint32_t>(core);
+  if (!fleet.Installed(core, now)) {
+    // Dense marks the core due-now each tick until its machine racks; the exact due value it
+    // converges to at the install tick is `some earlier now`, which fires and throttles
+    // identically to ours (both are <= now at every comparison). Jump straight to the
+    // install tick instead of re-draining every tick.
+    next_offline_due_[core] = now;
+    const SimTime install = fleet.machine(fleet.core_id(core).machine).install_time();
+    sw.wheel.Schedule(c, std::max(tick + 1, FireTick(install)));
+    return false;
+  }
+  next_offline_due_[core] = now + options_.offline_period;
+  sw.wheel.Schedule(c, std::max(tick + 1, FireTick(next_offline_due_[core])));
+  return true;
+}
+
+void ScreeningOrchestrator::EnableSparse(
+    SimTime dt, const std::vector<std::pair<uint64_t, uint64_t>>& shard_ranges) {
+  MERCURIAL_CHECK(wheels_.empty()) << "EnableSparse may be called at most once";
+  MERCURIAL_CHECK_GT(dt.seconds(), 0);
+  sparse_dt_ = dt;
+  if (!options_.offline_enabled) {
+    return;  // online sampling is already O(samples); nothing to index
+  }
+  MERCURIAL_CHECK_LE(next_offline_due_.size(),
+                     static_cast<size_t>(std::numeric_limits<uint32_t>::max()));
+  // Size each ring to the cadence so steady-state reschedules (one per screen) stay in the
+  // ring instead of the overflow map; +2 covers the fire-tick ceiling and the next-tick floor.
+  const int64_t span_ticks =
+      (options_.offline_period.seconds() + dt.seconds() - 1) / dt.seconds() + 2;
+  wheels_.reserve(shard_ranges.size());
+  for (const auto& [begin, end] : shard_ranges) {
+    ShardWheel& sw = wheels_.emplace_back(ShardWheel{begin, end, DueWheel(span_ticks)});
+    for (uint64_t core = begin; core < end; ++core) {
+      // Construction staggered dues over [0, period); the first tick that fires each is
+      // ceil(due / dt), clamped to tick 1 (the wheel starts at position 0).
+      sw.wheel.Schedule(static_cast<uint32_t>(core),
+                        std::max<int64_t>(1, FireTick(next_offline_due_[core])));
+    }
+  }
+}
+
+DueWheelStats ScreeningOrchestrator::wheel_stats() const {
+  DueWheelStats total;
+  for (const ShardWheel& sw : wheels_) {
+    total.Merge(sw.wheel.stats());
+  }
+  return total;
+}
+
 bool ScreeningOrchestrator::ScreenOne(SimTime now, uint64_t core_index, bool offline,
                                       Fleet& fleet, Rng& rng,
                                       const std::function<void(const Signal&)>& emit,
                                       ScreeningTickStats& stats) {
-  SimCore& core = fleet.core(core_index);
-  if (core.healthy()) {
+  if (fleet.Healthy(core_index)) {
     // Fast path: a defect-free core cannot fail (sound per DESIGN.md decision 1); charge the
-    // battery's cost without executing it.
+    // battery's cost without executing it. Fleet::Healthy is a write-through mirror the core
+    // itself maintains, so defects planted after Fleet::Build (tests, chaos hooks) are still
+    // seen — while the common healthy case costs one flat byte load instead of the
+    // cache-cold core -> defects_ pointer chain.
     stats.ops_spent += offline ? OfflineBatteryOps(now) : OnlineBatteryOps(now);
     return false;
   }
+  SimCore& core = fleet.core(core_index);
   StressOptions stress;
   stress.units = CoveredUnits(now);
   stress.iterations_per_unit = offline ? options_.offline_iterations : options_.online_iterations;
@@ -105,7 +223,27 @@ ScreeningTickStats ScreeningOrchestrator::Tick(SimTime now, SimTime dt, Fleet& f
                                                const std::function<void(const Signal&)>& emit) {
   ScreeningTickStats stats;
 
-  if (options_.offline_enabled) {
+  if (options_.offline_enabled && sparse_enabled()) {
+    // Sparse path: drain this tick's wheel bucket instead of scanning every core. Drains are
+    // ascending, so visits (and therefore draws) happen in the dense scan's order.
+    MERCURIAL_CHECK_EQ(wheels_.size(), 1u)
+        << "the serial engine enables sparse screening with a single-shard partition";
+    const int64_t tick = TickIndex(now);
+    ShardWheel& sw = wheels_.front();
+    for (const uint32_t core : sw.wheel.Drain(tick)) {
+      if (!RescheduleDrained(now, tick, core, fleet, sw)) {
+        continue;  // not racked yet; parked until its install tick
+      }
+      if (!scheduler.Schedulable(core)) {
+        continue;  // quarantined/retired cores are handled by the confession path
+      }
+      // Offline screening requires vacating the core, then it returns to service.
+      scheduler.Drain(core);
+      ++stats.offline_screens;
+      ScreenOne(now, core, /*offline=*/true, fleet, rng_, emit, stats);
+      scheduler.Release(core);
+    }
+  } else if (options_.offline_enabled) {
     for (uint64_t core = 0; core < next_offline_due_.size(); ++core) {
       if (next_offline_due_[core] > now) {
         continue;
@@ -151,7 +289,25 @@ ShardScreenOutcome ScreeningOrchestrator::TickShard(SimTime now, SimTime dt,
   ShardScreenOutcome outcome;
   const auto emit = [&outcome](const Signal& signal) { outcome.failures.push_back(signal); };
 
-  if (options_.offline_enabled) {
+  if (options_.offline_enabled && sparse_enabled() && core_end > core_begin) {
+    // Sparse path: drain this shard's wheel bucket (ascending — the dense visit order)
+    // instead of scanning the whole range. Safe concurrently with other shards: the wheel,
+    // the due-table slice, and the drained cores all belong to this shard.
+    const int64_t tick = TickIndex(now);
+    ShardWheel& sw = WheelForRange(core_begin, core_end);
+    for (const uint32_t core : sw.wheel.Drain(tick)) {
+      if (!RescheduleDrained(now, tick, core, fleet, sw)) {
+        continue;  // not racked yet; parked until its install tick
+      }
+      if (!scheduler.Schedulable(core)) {
+        continue;  // quarantined/retired cores are handled by the confession path
+      }
+      // Drain/release deferral: same contract as the dense loop below.
+      outcome.offline_drained.push_back(core);
+      ++outcome.stats.offline_screens;
+      ScreenOne(now, core, /*offline=*/true, fleet, rng, emit, outcome.stats);
+    }
+  } else if (options_.offline_enabled) {
     for (uint64_t core = core_begin; core < core_end; ++core) {
       if (next_offline_due_[core] > now) {
         continue;

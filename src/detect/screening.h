@@ -15,11 +15,13 @@
 #define MERCURIAL_SRC_DETECT_SCREENING_H_
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
 #include "src/common/status.h"
+#include "src/detect/due_wheel.h"
 #include "src/detect/signal.h"
 #include "src/fleet/fleet.h"
 #include "src/sched/scheduler.h"
@@ -89,6 +91,10 @@ class ScreeningOrchestrator {
   // Units the corpus can test at `now`.
   std::vector<ExecUnit> CoveredUnits(SimTime now) const;
 
+  // CoveredUnits(now).size() without materializing the vector; the battery-cost accounting
+  // on the healthy-core fast path only needs the count.
+  uint64_t CoveredUnitCount(SimTime now) const;
+
   // Runs screening due in (now - dt, now]. Failures are emitted through `emit` as kScreenFail
   // signals. Cores that are not schedulable are skipped (quarantined cores are tested by the
   // confession path instead). The fleet's healthy cores are fast-pathed: a defect-free core
@@ -124,14 +130,55 @@ class ScreeningOrchestrator {
   // the failure site, so the sharded engine records it on the shard that owns the core.
   void set_trace_recorder(TraceRecorder* recorder) { trace_ = recorder; }
 
+  // Sparse offline screening: builds one due-wheel per shard over `shard_ranges` (the
+  // engine's core partition, [begin, end) pairs in shard order) so each tick visits only the
+  // cores whose screen is due instead of scanning the whole range. Must be called at most
+  // once, before the first Tick/TickShard, with the tick length the engine will use; every
+  // subsequent tick must advance by exactly `dt` (the wheel drains tick by tick).
+  //
+  // Bit-identity with the dense scan: the wheel is only an index — next_offline_due_ remains
+  // the exact source of truth, buckets drain in ascending core order (the dense visit
+  // order), and cores skipped by the dense scan (due in the future) consume no randomness,
+  // so eliding their visits cannot shift any stream. DeferOffline throttles, install-time
+  // first screens, and the post-screen cadence all become wheel reschedules. See DESIGN.md,
+  // "Decision: sparsity is free when streams are counter-keyed".
+  void EnableSparse(SimTime dt, const std::vector<std::pair<uint64_t, uint64_t>>& shard_ranges);
+  bool sparse_enabled() const { return !wheels_.empty(); }
+
+  // Aggregate wheel occupancy/traffic over all shards; zeros when sparse is off.
+  DueWheelStats wheel_stats() const;
+
  private:
+  // One shard's slice of the due table plus its calendar queue. Drained only by the owning
+  // shard during the parallel phase; rebucketed (throttle) only in the serial phase.
+  struct ShardWheel {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    DueWheel wheel;
+  };
+
   bool ScreenOne(SimTime now, uint64_t core_index, bool offline, Fleet& fleet, Rng& rng,
                  const std::function<void(const Signal&)>& emit, ScreeningTickStats& stats);
+
+  // Earliest tick T with T * dt >= due — the first tick whose dense scan would fire `due`.
+  int64_t FireTick(SimTime due) const;
+  // Wheel position for `now` (now must sit exactly on the tick grid).
+  int64_t TickIndex(SimTime now) const;
+  // The wheel owning [core_begin, core_end); dies if sparse is on but the range is unknown.
+  ShardWheel& WheelForRange(uint64_t core_begin, uint64_t core_end);
+  // Reschedules `core` after a drain visit at tick `tick` (time `now`): uninstalled cores
+  // park until their machine's install tick, screened cores ride the cadence. Returns true
+  // if the core should actually be screened this tick (mirrors the dense loop's decision).
+  bool RescheduleDrained(SimTime now, int64_t tick, uint64_t core, Fleet& fleet,
+                         ShardWheel& sw);
 
   ScreeningOptions options_;
   Rng rng_;
   std::vector<SimTime> next_offline_due_;  // staggered per core
   TraceRecorder* trace_ = nullptr;
+  // Sparse-engine state; empty when running dense.
+  std::vector<ShardWheel> wheels_;
+  SimTime sparse_dt_;
 };
 
 }  // namespace mercurial

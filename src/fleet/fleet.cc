@@ -72,33 +72,20 @@ Fleet Fleet::Build(const FleetOptions& options, const std::vector<CpuProduct>& p
         fleet.mercurial_cores_.push_back(global_index);
       }
       fleet.core_index_.push_back(CoreId{global_index, m, static_cast<uint32_t>(c)});
+      fleet.install_seconds_.push_back(install.seconds());
       machine->AddCore(std::move(core));
       ++global_index;
     }
     fleet.machines_.push_back(std::move(machine));
   }
+  // Bind the flat health mirror last so the buffer never reallocates under a bound slot
+  // (healthy_ is never resized again; moving the Fleet moves buffer ownership, not the
+  // buffer, so the slots survive the return-by-value).
+  fleet.healthy_.resize(global_index);
+  for (uint64_t i = 0; i < global_index; ++i) {
+    fleet.core(i).BindHealthSlot(&fleet.healthy_[i]);
+  }
   return fleet;
-}
-
-SimCore& Fleet::core(uint64_t global_index) {
-  MERCURIAL_CHECK_LT(global_index, core_index_.size());
-  const CoreId& id = core_index_[global_index];
-  return machines_[id.machine]->core(id.core);
-}
-
-const SimCore& Fleet::core(uint64_t global_index) const {
-  MERCURIAL_CHECK_LT(global_index, core_index_.size());
-  const CoreId& id = core_index_[global_index];
-  return machines_[id.machine]->core(id.core);
-}
-
-bool Fleet::IsMercurial(uint64_t global_index) const {
-  return std::binary_search(mercurial_cores_.begin(), mercurial_cores_.end(), global_index);
-}
-
-bool Fleet::Installed(uint64_t global_index, SimTime now) const {
-  MERCURIAL_CHECK_LT(global_index, core_index_.size());
-  return machines_[core_index_[global_index].machine]->install_time() <= now;
 }
 
 size_t Fleet::InstalledMachines(SimTime now) const {

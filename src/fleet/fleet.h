@@ -8,6 +8,7 @@
 #ifndef MERCURIAL_SRC_FLEET_FLEET_H_
 #define MERCURIAL_SRC_FLEET_FLEET_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -77,17 +78,40 @@ class Fleet {
   Machine& machine(size_t index) { return *machines_[index]; }
   const Machine& machine(size_t index) const { return *machines_[index]; }
 
-  SimCore& core(uint64_t global_index);
-  const SimCore& core(uint64_t global_index) const;
+  // Inline: one lookup per screened/visited core on the engine hot path.
+  SimCore& core(uint64_t global_index) {
+    const CoreId& id = core_index_[global_index];
+    return machines_[id.machine]->core(id.core);
+  }
+  const SimCore& core(uint64_t global_index) const {
+    const CoreId& id = core_index_[global_index];
+    return machines_[id.machine]->core(id.core);
+  }
   CoreId core_id(uint64_t global_index) const { return core_index_[global_index]; }
 
-  // Ground truth for metrics: global indices of cores that carry defects.
+  // Ground truth for metrics: global indices of cores that carry defects. Health never
+  // changes after Build (defects are only planted there), so IsMercurial is equivalent to
+  // !core(i).healthy() for the fleet's lifetime — and, being a binary search over a small
+  // cache-resident list, is the cheap way to ask on hot paths.
   const std::vector<uint64_t>& mercurial_cores() const { return mercurial_cores_; }
-  bool IsMercurial(uint64_t global_index) const;
+  bool IsMercurial(uint64_t global_index) const {
+    return std::binary_search(mercurial_cores_.begin(), mercurial_cores_.end(), global_index);
+  }
+
+  // Write-through mirror of core(i).healthy(): one contiguous byte per core, maintained by
+  // the core itself (SimCore::BindHealthSlot), so it stays correct even for defects planted
+  // after Build. The screening fast path asks this per screened core; reading the flat byte
+  // avoids the core_index_ -> machine -> core -> defects_ pointer chain, which is cache-cold
+  // at fleet scale.
+  bool Healthy(uint64_t global_index) const { return healthy_[global_index] != 0; }
 
   // True once the core's machine has been installed (install times can be in the future when
-  // FleetOptions::future_install_spread > 0).
-  bool Installed(uint64_t global_index, SimTime now) const;
+  // FleetOptions::future_install_spread > 0). Checked per visited core per tick, so it reads
+  // a flat per-core copy of the machine's (immutable) install time instead of chasing
+  // core -> machine pointers.
+  bool Installed(uint64_t global_index, SimTime now) const {
+    return install_seconds_[global_index] <= now.seconds();
+  }
 
   // Number of machines installed by `now`.
   size_t InstalledMachines(SimTime now) const;
@@ -113,6 +137,8 @@ class Fleet {
   std::vector<CpuProduct> products_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::vector<CoreId> core_index_;
+  std::vector<int64_t> install_seconds_;   // per core: owning machine's install time
+  std::vector<uint8_t> healthy_;           // per core: write-through healthy() mirror
   std::vector<uint64_t> mercurial_cores_;  // sorted global indices
 };
 

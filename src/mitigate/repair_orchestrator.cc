@@ -82,9 +82,13 @@ void RepairOrchestrator::OnConviction(SimTime now, uint64_t core_global,
   const uint64_t epoch_lo =
       static_cast<uint64_t>(onset.seconds() / options_.epoch_length.seconds());
 
+  std::unordered_set<uint64_t>& swept = enqueued_epochs_[core_global];
   for (const BlastRadiusLedger::EpochArtifacts& epoch : record->epochs) {
     if (epoch.epoch < epoch_lo || epoch.produced() == 0) {
       continue;  // outside the suspect window; any corruption there stays at rest
+    }
+    if (!swept.insert(epoch.epoch).second) {
+      continue;  // a prior conviction already swept this epoch (see header contract)
     }
     Task task;
     task.core_global = core_global;

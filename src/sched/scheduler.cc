@@ -59,6 +59,9 @@ void CoreScheduler::SetState(uint64_t core, CoreState next) {
     ++probation_count_;
   }
   states_[core] = next;
+  if (next == CoreState::kRetired && listener_) {
+    listener_(core);
+  }
 }
 
 bool CoreScheduler::Drain(uint64_t core) {

@@ -11,6 +11,7 @@
 #define MERCURIAL_SRC_SCHED_SCHEDULER_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -96,6 +97,17 @@ class CoreScheduler {
   // Accumulates stranded-capacity accounting for a tick of length `dt`.
   void AccumulateStranding(SimTime dt);
 
+  // Observer of retirements, invoked after the counters update. Pure observer: the callback
+  // must not reenter the scheduler, and installing one changes no scheduler behavior. The
+  // sparse tick engine uses it to drop retired cores from the production scan set
+  // (retirement is the one irreversible transition, which is also why the hook is
+  // retirement-only: every other transition is re-gated per visit, and the screening path
+  // flips drain/release state per screened core — far too hot for an observer callback).
+  // State changes only happen in the engines' serial phases, so the listener inherits that
+  // guarantee.
+  using RetirementListener = std::function<void(uint64_t core)>;
+  void set_retirement_listener(RetirementListener listener) { listener_ = std::move(listener); }
+
   const SchedulerStats& stats() const { return stats_; }
 
   // Round-robin pick of the next active core, if any.
@@ -113,6 +125,7 @@ class CoreScheduler {
   size_t retired_count_ = 0;
   size_t probation_count_ = 0;
   uint64_t rr_cursor_ = 0;
+  RetirementListener listener_;
 };
 
 // §6.1's speculative placement: "identify a set of tasks that can run safely on a given

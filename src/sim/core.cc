@@ -71,6 +71,9 @@ void SimCore::AddDefect(DefectSpec spec) {
   MERCURIAL_CHECK_LT(unit_index, static_cast<size_t>(kExecUnitCount));
   defects_.emplace_back(std::move(spec));
   defects_by_unit_[unit_index].push_back(static_cast<uint16_t>(defects_.size() - 1));
+  if (health_slot_ != nullptr) {
+    *health_slot_ = 0;
+  }
   ++env_revision_;  // the armed lists must pick up the new defect
 }
 
@@ -82,6 +85,15 @@ bool SimCore::AnyDefectActive() const {
     }
   }
   return false;
+}
+
+SimTime SimCore::EarliestDefectOnset() const {
+  MERCURIAL_CHECK(!defects_.empty());
+  SimTime earliest = defects_.front().spec().aging.onset;
+  for (const Defect& defect : defects_) {
+    earliest = std::min(earliest, defect.spec().aging.onset);
+  }
+  return earliest;
 }
 
 double SimCore::UnitFireProbability(ExecUnit unit) const {

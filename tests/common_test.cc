@@ -162,6 +162,37 @@ TEST(RngTest, PoissonZeroMean) {
   EXPECT_EQ(rng.Poisson(-1.0), 0u);
 }
 
+// Pins Poisson's algorithm crossover: mean <= 64 runs Knuth inversion, mean > 64 (strictly)
+// the normal approximation. The two consume DIFFERENT draw counts from the stream, so the
+// boundary is part of every seeded study's identity — background-noise means scale with
+// shard width and cross 64 as fleets grow or shard counts change, and a drifted boundary
+// (>= instead of >, or a different constant) would silently re-randomize those studies. The
+// values are exact outputs for seed 20210531, four consecutive draws per fresh stream.
+TEST(RngTest, PoissonInversionToNormalCrossoverIsPinned) {
+  const auto draws4 = [](double mean) {
+    Rng rng(20210531);
+    std::vector<uint64_t> out;
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(rng.Poisson(mean));
+    }
+    return out;
+  };
+  using V = std::vector<uint64_t>;
+  // Inversion side (mean <= 64). 63.999 and 64.0 agree because the inversion threshold
+  // exp(-mean) moves too little to change any count at this seed.
+  EXPECT_EQ(draws4(63.0), (V{68, 64, 51, 52}));
+  EXPECT_EQ(draws4(63.999), (V{70, 64, 51, 53}));
+  EXPECT_EQ(draws4(64.0), (V{70, 64, 51, 53}));
+  // Normal side (mean > 64): the very next representable double switches algorithms — a
+  // different draw pattern from the identical stream.
+  EXPECT_EQ(draws4(std::nextafter(64.0, 65.0)), (V{74, 50, 80, 61}));
+  EXPECT_EQ(draws4(64.001), (V{74, 50, 80, 61}));
+  EXPECT_EQ(draws4(65.0), (V{75, 51, 81, 62}));
+  EXPECT_EQ(draws4(128.0), (V{142, 108, 151, 123}));
+  // The crossover is observable: the two sides disagree on the same stream.
+  EXPECT_NE(draws4(64.0), draws4(std::nextafter(64.0, 65.0)));
+}
+
 TEST(RngTest, ShuffleIsPermutation) {
   Rng rng(19);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};

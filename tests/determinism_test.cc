@@ -26,9 +26,18 @@
 //       testimony chaos all armed, the report — including every quorum, probation, and verdict
 //       chaos counter — stays bit-identical across threads {1, 2, 8}. All verdict machinery
 //       runs in the serial phase on dedicated streams, so threads remain execution-only.
+//   D10. Sparse-engine equivalence: the due-wheel + active-index sparse tick engine produces
+//       a StudyReport (including trace bytes, quorum, audit, and probation fields) EXACTLY
+//       equal to the dense reference oracle, across 3 seeds x chaos {off, high} x audit
+//       {off, on} x threads {1, 2, 8}, plus the serial (shards = 1) engine. This is the
+//       stream-neutrality obligation of the sparse overhaul (DESIGN.md, "Decision: sparsity
+//       is free when streams are counter-keyed"): skipped cores draw nothing, so visiting
+//       only due/active cores cannot shift any stream.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -111,6 +120,24 @@ void ExpectReportsEqual(const StudyReport& a, const StudyReport& b) {
   EXPECT_EQ(a.scheduler.probations, b.scheduler.probations);
   EXPECT_EQ(a.scheduler.reinstatements, b.scheduler.reinstatements);
   EXPECT_EQ(a.scheduler.probation_core_seconds, b.scheduler.probation_core_seconds);
+
+  // Control-plane pipeline accounting. screening_deferrals in particular is driven by the
+  // guardrail's ThrottleOffline, whose sparse path rebuckets due-wheel entries — any
+  // over/under-deferral in the wheel window extraction shows up here first.
+  EXPECT_EQ(a.control_plane.suspects_admitted, b.control_plane.suspects_admitted);
+  EXPECT_EQ(a.control_plane.suspects_shed, b.control_plane.suspects_shed);
+  EXPECT_EQ(a.control_plane.queue_peak, b.control_plane.queue_peak);
+  EXPECT_EQ(a.control_plane.retries_scheduled, b.control_plane.retries_scheduled);
+  EXPECT_EQ(a.control_plane.retry_interrogations, b.control_plane.retry_interrogations);
+  EXPECT_EQ(a.control_plane.drain_escalations, b.control_plane.drain_escalations);
+  EXPECT_EQ(a.control_plane.guardrail_activations, b.control_plane.guardrail_activations);
+  EXPECT_EQ(a.control_plane.guardrail_releases, b.control_plane.guardrail_releases);
+  EXPECT_EQ(a.control_plane.screening_deferrals, b.control_plane.screening_deferrals);
+  EXPECT_EQ(a.control_plane.restarts_reset, b.control_plane.restarts_reset);
+  EXPECT_EQ(a.control_plane.peak_pending_isolation, b.control_plane.peak_pending_isolation);
+  EXPECT_EQ(a.control_plane.pending_isolation_core_seconds,
+            b.control_plane.pending_isolation_core_seconds);
+  EXPECT_EQ(a.control_plane.pending_at_end, b.control_plane.pending_at_end);
 
   // Quorum verdicts, probation backlog, and testimony chaos: the untrusted-interrogator
   // machinery must also be execution-invariant.
@@ -471,6 +498,194 @@ TEST(DeterminismTest, QuorumProbationReportIsThreadCountInvariant) {
   }
 }
 
+// --- D10: sparse-engine equivalence ----------------------------------------------------------
+
+// The widest harness in this file: fleet growth (install-time wheel reschedules), chaos
+// (guardrail throttles -> wheel rebucketing), quorum + probation (reinstatement churn in the
+// scanned set), recidivism retirement (index removals), optional audit, and tracing always on
+// (byte-for-byte trace equality is the strongest oracle available).
+StudyOptions SparseHarness(uint64_t seed, bool chaos, bool audit, bool sparse, int shards,
+                           int threads) {
+  StudyOptions options = FastPathHarness(seed, chaos, threads);
+  options.fleet.future_install_spread = SimTime::Days(40);
+  options.fleet.mercurial_rate_multiplier = 400.0;
+  options.quarantine.recidivism_retire_after = 2;
+  options.control_plane.quorum.enabled = true;
+  options.control_plane.quorum.witnesses = 3;
+  options.control_plane.quorum.witness_error_rate = 0.30;
+  options.control_plane.probation.enabled = true;
+  options.control_plane.probation.window = SimTime::Days(5);
+  options.control_plane.probation.clean_windows_to_reinstate = 2;
+  options.control_plane.probation.weak_after_attempts = 1;
+  if (chaos) {
+    options.control_plane.chaos.lying_witness = 0.15;
+    options.control_plane.chaos.witness_crash = 0.10;
+    options.control_plane.chaos.probation_suppress = 0.25;
+    // Far tighter than FastPathHarness's 0.25: pending isolation peaks at ~3 cores on this
+    // fleet, so the budget must round down to a single core for the guardrail to ever engage
+    // and throttle offline screens — exercising the sparse path's due-wheel window extraction.
+    options.control_plane.quarantine_budget_fraction = 0.0005;
+  }
+  if (audit) {
+    options.audit.enabled = true;
+    options.audit.repair_budget_per_tick = 256;
+    options.audit.max_attempts = 3;
+    options.audit.retry_backoff = SimTime::Days(1);
+    options.audit.chaos.repair_fail_reverify = 0.02;
+    options.audit.chaos.repair_on_defective = 0.10;
+    options.audit.chaos.repair_partial = 0.10;
+  }
+  options.trace.enabled = true;
+  options.sparse_engine = sparse;
+  options.shards = shards;
+  options.threads = threads;
+  return options;
+}
+
+// D10a: sparse == dense, full matrix. The dense run (sparse_engine = false) is the reference
+// oracle; the sparse engine must reproduce it bit-for-bit at every thread count.
+TEST(DeterminismTest, SparseEngineMatchesDenseOracle) {
+  for (const uint64_t seed : {uint64_t{7}, uint64_t{20210531}, uint64_t{424242}}) {
+    for (const bool chaos : {false, true}) {
+      for (const bool audit : {false, true}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) + " chaos=" + (chaos ? "high" : "off") +
+                     " audit=" + (audit ? "on" : "off"));
+        const StudyReport dense = RunStudy(
+            SparseHarness(seed, chaos, audit, /*sparse=*/false, /*shards=*/8, /*threads=*/1));
+        const std::vector<uint8_t> golden = SerializeTrace(dense.trace);
+        ASSERT_GT(dense.trace.events.size(), 0u) << "harness recorded no events";
+        for (const int threads : {1, 2, 8}) {
+          SCOPED_TRACE("threads=" + std::to_string(threads));
+          const StudyReport sparse = RunStudy(
+              SparseHarness(seed, chaos, audit, /*sparse=*/true, /*shards=*/8, threads));
+          ExpectReportsEqual(dense, sparse);
+          EXPECT_EQ(golden, SerializeTrace(sparse.trace));
+        }
+      }
+    }
+  }
+}
+
+// D10b: the serial engine (shards = 1, legacy stream on rng_) sparsifies identically — the
+// wheel and index do not depend on the counter-keyed streams, only on skipped visits being
+// draw-free, which holds for the persistent serial stream too.
+TEST(DeterminismTest, SparseSerialEngineMatchesDenseOracle) {
+  for (const uint64_t seed : {uint64_t{7}, uint64_t{20210531}, uint64_t{424242}}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const StudyReport dense = RunStudy(SparseHarness(seed, /*chaos=*/true, /*audit=*/true,
+                                                     /*sparse=*/false, /*shards=*/1,
+                                                     /*threads=*/1));
+    const StudyReport sparse = RunStudy(SparseHarness(seed, /*chaos=*/true, /*audit=*/true,
+                                                      /*sparse=*/true, /*shards=*/1,
+                                                      /*threads=*/1));
+    ExpectReportsEqual(dense, sparse);
+    EXPECT_EQ(SerializeTrace(dense.trace), SerializeTrace(sparse.trace));
+  }
+}
+
+// D10c: the harness actually exercises what the engine claims to sparsify — without
+// retirements and fleet growth, D10a would pass vacuously on the hard cases.
+TEST(DeterminismTest, SparseHarnessExercisesTheHardPaths) {
+  const StudyReport report = RunStudy(SparseHarness(/*seed=*/20210531, /*chaos=*/true,
+                                                    /*audit=*/true, /*sparse=*/true,
+                                                    /*shards=*/8, /*threads=*/2));
+  EXPECT_GT(report.quarantine.retirements, 0u) << "no index removals exercised";
+  EXPECT_GT(report.quarantine.probation_entries, 0u) << "no probation churn exercised";
+  EXPECT_GT(report.control_plane.screening_deferrals, 0u)
+      << "no guardrail throttle -> wheel rebucketing exercised"
+      << " peak_iso=" << report.control_plane.peak_pending_isolation
+      << " activations=" << report.control_plane.guardrail_activations
+      << " releases=" << report.control_plane.guardrail_releases
+      << " cores=" << report.cores;
+}
+
+// --- Background-noise draw accounting (stream pin) -------------------------------------------
+
+// EmitBackgroundNoiseShard's contract: the uniform core pick is drawn BEFORE the Installed
+// check, and an uninstalled pick consumes exactly that one draw (the signal-type NextDouble
+// is skipped). This test pins the contract by replaying the production/noise stream from
+// first principles — same seed, salt, shard, tick — and demanding the study's traced noise
+// signals match the replay event for event while fleet growth is thinning the noise. Any
+// reordering of the pick draw, or any draw added/removed on the uninstalled path, diverges.
+TEST(DeterminismTest, BackgroundNoiseDrawAccountingIsPinnedUnderFleetGrowth) {
+  StudyOptions options;
+  options.seed = 20210531;
+  options.fleet.machine_count = 8;
+  options.fleet.seed = 99;
+  options.fleet.mercurial_rate_multiplier = 0.0;  // no mercurial cores: noise draws lead
+  // Most machines install DURING the study, so uninstalled picks (the one-draw skip path
+  // under test) are common in the first half.
+  options.fleet.install_spread = SimTime::Days(20);
+  options.fleet.future_install_spread = SimTime::Days(60);
+  options.duration = SimTime::Days(80);
+  options.background_signal_rate_per_core_day = 0.02;
+  options.shards = 2;
+  options.threads = 1;
+  options.trace.enabled = true;
+
+  FleetStudy study(options);
+  const Fleet& fleet = study.fleet();
+  ASSERT_TRUE(fleet.mercurial_cores().empty())
+      << "replay assumes the production pass consumes no draws before the noise pass";
+  const StudyReport report = study.Run();
+
+  // Replay the per-(shard, tick) production streams. With zero mercurial cores the noise
+  // draws are the first draws on each stream. Install times are construction state, so the
+  // study's own fleet serves as the replay's layout oracle.
+  const std::vector<ShardRange> ranges = PartitionCores(fleet.core_count(), options.shards);
+  struct NoiseEvent {
+    int64_t time_seconds;
+    uint64_t core;
+    uint64_t type;
+  };
+  std::vector<NoiseEvent> expected;
+  uint64_t skipped_uninstalled = 0;
+  const int64_t ticks = options.duration.seconds() / options.tick.seconds();
+  for (int64_t t = 0; t < ticks; ++t) {
+    const SimTime now = SimTime::Seconds((t + 1) * options.tick.seconds());
+    for (size_t k = 0; k < ranges.size(); ++k) {
+      Rng rng(DeriveStreamSeed(options.seed ^ kProductionStreamSalt, k,
+                               static_cast<uint64_t>(t)));
+      const uint64_t span = ranges[k].end - ranges[k].begin;
+      const double mean = static_cast<double>(span) *
+                          options.background_signal_rate_per_core_day *
+                          options.tick.days();
+      const uint64_t events = rng.Poisson(mean);
+      for (uint64_t e = 0; e < events; ++e) {
+        const uint64_t core = ranges[k].begin + rng.UniformInt(0, span - 1);
+        if (!fleet.Installed(core, now)) {
+          ++skipped_uninstalled;  // exactly one draw consumed: the pick above
+          continue;
+        }
+        const double draw = rng.NextDouble();
+        uint64_t type = static_cast<uint64_t>(SignalType::kCrash);
+        if (draw < 0.15) {
+          type = static_cast<uint64_t>(SignalType::kSanitizer);
+        } else if (draw < 0.30) {
+          type = static_cast<uint64_t>(SignalType::kAppReport);
+        }
+        expected.push_back({now.seconds(), core, type});
+      }
+    }
+  }
+  ASSERT_GT(skipped_uninstalled, 0u) << "growth never thinned the noise; pin is vacuous";
+  ASSERT_GT(expected.size(), 0u);
+
+  std::vector<NoiseEvent> traced;
+  for (const TraceEvent& event : report.trace.events) {
+    if (event.kind == TraceEventKind::kSignalEmitted &&
+        event.cause == TraceCause::kBackgroundNoise) {
+      traced.push_back({event.time_seconds, event.core, event.detail});
+    }
+  }
+  ASSERT_EQ(traced.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(traced[i].time_seconds, expected[i].time_seconds) << "event " << i;
+    EXPECT_EQ(traced[i].core, expected[i].core) << "event " << i;
+    EXPECT_EQ(traced[i].type, expected[i].type) << "event " << i;
+  }
+}
+
 // Different seeds must (overwhelmingly) give different studies — guards against the harness
 // comparing constants.
 TEST(DeterminismTest, DifferentSeedsDiverge) {
@@ -497,6 +712,40 @@ TEST(DeterminismTest, ThreadPoolRunsEachIndexExactlyOnce) {
     }
     for (size_t i = 0; i < kN; ++i) {
       ASSERT_EQ(hits[i].load(), 3u) << "threads=" << threads << " index " << i;
+    }
+  }
+}
+
+// ParallelForChunks: the chunked dispatch the sparse engine batches shards through must cover
+// [0, n) exactly once with contiguous, non-overlapping ranges, for n above, equal to, and
+// below the thread count — plus the n = 0 and single-thread degenerate cases.
+TEST(DeterminismTest, ParallelForChunksCoversEveryIndexExactlyOnce) {
+  for (const size_t threads : {size_t{1}, size_t{3}, size_t{16}}) {
+    ThreadPool pool(threads);
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{16}, size_t{1000}}) {
+      std::vector<std::atomic<uint32_t>> hits(n);
+      for (auto& h : hits) {
+        h.store(0);
+      }
+      std::atomic<uint32_t> chunks{0};
+      pool.ParallelForChunks(n, [&](size_t begin, size_t end) {
+        ASSERT_LT(begin, end) << "empty chunk dispatched";
+        ASSERT_LE(end, n);
+        chunks.fetch_add(1);
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1);
+        }
+      });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1u)
+            << "threads=" << threads << " n=" << n << " index " << i;
+      }
+      // At most one chunk per worker (that is the whole point: O(threads) sync per batch),
+      // and none at all for n = 0.
+      EXPECT_LE(chunks.load(), static_cast<uint32_t>(std::min(n, pool.thread_count())));
+      if (n == 0) {
+        EXPECT_EQ(chunks.load(), 0u);
+      }
     }
   }
 }

@@ -32,10 +32,20 @@
 //       core holds more than one open probation record.
 //   P14. Configured-but-disabled invisibility: quorum/probation options that are set but not
 //       enabled leave the serialized trace byte-identical to an all-defaults run.
+//   P15. Wheel completeness: a sparse (due-wheel) screening orchestrator, driven tick by tick
+//       against a dense twin with identical streams, scheduler churn, fleet growth, and
+//       guardrail throttles, screens exactly the same cores at exactly the same ticks — same
+//       visit order, same outcomes, same deferral counts.
+//   P16. Activation-queue exactness: the active-production index admits a core at the first
+//       tick >= its earliest defect activation (install + onset) and never later — every core
+//       with AnyDefectActive() is in its shard's slice — and retirement removes admitted and
+//       pending cores alike, permanently.
 
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <unordered_set>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -729,6 +739,213 @@ TEST(PropertyTest, AbftCorrectionNeverWorsensHealthyResult) {
     EXPECT_FALSE(result.corruption_detected);
     EXPECT_LT(result.product.MaxAbsDiff(Multiply(a, b)), 1e-9);
   }
+}
+
+// P15: wheel completeness. A sparse orchestrator and a dense twin — identical construction
+// stream (same due stagger), identical per-(shard, tick) draw streams, twin fleets from the
+// same options, and identical scheduler churn — must screen exactly the same cores at exactly
+// the same ticks, in the same order, with the same outcomes. The drive interleaves the three
+// reschedule sources the wheel must honor: the post-screen cadence, install-time parking
+// (future installs), and guardrail ThrottleOffline deferrals.
+TEST(PropertyTest, SparseWheelScreensExactlyTheDenseTicks) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 12;
+  fleet_options.seed = 4242;
+  fleet_options.mercurial_rate_multiplier = 300.0;
+  fleet_options.install_spread = SimTime::Days(30);
+  fleet_options.future_install_spread = SimTime::Days(45);  // install-tick parking exercised
+  Fleet fleet_dense = Fleet::Build(fleet_options);
+  Fleet fleet_sparse = Fleet::Build(fleet_options);
+  const size_t cores = fleet_dense.core_count();
+
+  ScreeningOptions screen_options;
+  screen_options.offline_period = SimTime::Days(9);
+  screen_options.offline_iterations = 64;  // keep the 120-tick drive cheap
+  screen_options.online_enabled = false;   // the wheel indexes only the offline cadence
+
+  CoreScheduler sched_dense(cores, SchedulerCosts{});
+  CoreScheduler sched_sparse(cores, SchedulerCosts{});
+  ScreeningOrchestrator dense(screen_options, cores, Rng(77));
+  ScreeningOrchestrator sparse(screen_options, cores, Rng(77));
+
+  const SimTime dt = SimTime::Days(1);
+  const std::vector<ShardRange> ranges = PartitionCores(cores, 3);
+  std::vector<std::pair<uint64_t, uint64_t>> spans;
+  for (const ShardRange& range : ranges) {
+    spans.emplace_back(range.begin, range.end);
+  }
+  sparse.EnableSparse(dt, spans);
+
+  Rng churn(999);
+  uint64_t total_screens = 0;
+  uint64_t total_deferred = 0;
+  for (int64_t t = 1; t <= 120; ++t) {
+    const SimTime now = SimTime::Seconds(t * dt.seconds());
+    fleet_dense.SetAges(now);
+    fleet_sparse.SetAges(now);
+
+    // Identical scheduler churn on both twins: the wheel must keep visiting unschedulable
+    // cores (their cadence advances; the confession path owns them) and must tolerate
+    // retirement (the core stays parked in the wheel, skipped forever).
+    for (int j = 0; j < 3; ++j) {
+      const uint64_t core = churn.UniformInt(0, cores - 1);
+      switch (churn.UniformInt(0, 3)) {
+        case 0:
+          if (sched_dense.Schedulable(core)) {
+            sched_dense.Drain(core);
+            sched_dense.Quarantine(core);
+            sched_sparse.Drain(core);
+            sched_sparse.Quarantine(core);
+          }
+          break;
+        case 1:
+          if (sched_dense.state(core) == CoreState::kQuarantined) {
+            sched_dense.Release(core);
+            sched_sparse.Release(core);
+          }
+          break;
+        case 2:
+          if (sched_dense.state(core) == CoreState::kQuarantined) {
+            sched_dense.Retire(core);
+            sched_sparse.Retire(core);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+
+    for (size_t k = 0; k < ranges.size(); ++k) {
+      Rng rng_dense(DeriveStreamSeed(123, k, static_cast<uint64_t>(t)));
+      Rng rng_sparse(DeriveStreamSeed(123, k, static_cast<uint64_t>(t)));
+      const ShardScreenOutcome out_dense = dense.TickShard(
+          now, dt, ranges[k].begin, ranges[k].end, fleet_dense, sched_dense, rng_dense);
+      const ShardScreenOutcome out_sparse = sparse.TickShard(
+          now, dt, ranges[k].begin, ranges[k].end, fleet_sparse, sched_sparse, rng_sparse);
+      ASSERT_EQ(out_dense.offline_drained, out_sparse.offline_drained)
+          << "tick " << t << " shard " << k;
+      ASSERT_EQ(out_dense.stats.offline_screens, out_sparse.stats.offline_screens);
+      ASSERT_EQ(out_dense.stats.screen_failures, out_sparse.stats.screen_failures);
+      ASSERT_EQ(out_dense.stats.ops_spent, out_sparse.stats.ops_spent);
+      ASSERT_EQ(out_dense.failures.size(), out_sparse.failures.size());
+      for (size_t i = 0; i < out_dense.failures.size(); ++i) {
+        EXPECT_EQ(out_dense.failures[i].core_global, out_sparse.failures[i].core_global);
+        EXPECT_EQ(out_dense.failures[i].type, out_sparse.failures[i].type);
+      }
+      total_screens += out_dense.stats.offline_screens;
+      for (const uint64_t core : out_dense.offline_drained) {
+        sched_dense.Drain(core);
+        sched_dense.Release(core);
+        sched_sparse.Drain(core);
+        sched_sparse.Release(core);
+      }
+    }
+
+    if (t % 10 == 0) {
+      // Guardrail throttle: both twins must defer exactly the same screens (the sparse path
+      // extracts the wheel window and re-checks the exact due times).
+      const uint64_t deferred_dense = dense.ThrottleOffline(now, SimTime::Days(5));
+      const uint64_t deferred_sparse = sparse.ThrottleOffline(now, SimTime::Days(5));
+      ASSERT_EQ(deferred_dense, deferred_sparse) << "tick " << t;
+      total_deferred += deferred_dense;
+    }
+  }
+  EXPECT_GT(total_screens, 0u) << "drive never screened; the property is vacuous";
+  EXPECT_GT(total_deferred, 0u) << "drive never deferred; throttle reschedules untested";
+  const DueWheelStats wheel = sparse.wheel_stats();
+  EXPECT_GE(wheel.scheduled, wheel.drained);
+  EXPECT_GT(wheel.drained, 0u);
+}
+
+// P16: activation-queue exactness. Brute-force oracle per (tick, core): a mercurial core
+// belongs to its shard's active slice iff now >= its activation (install + earliest onset,
+// clamped to 0 for born-active defects) and it has not been retired. In particular no core
+// with AnyDefectActive() may ever be missing — the index may only be early (one tick, on
+// float round-trip), never late.
+TEST(PropertyTest, ActiveIndexAdmitsExactlyTheOnsetWindow) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 30;
+  fleet_options.seed = 7331;
+  fleet_options.mercurial_rate_multiplier = 400.0;
+  fleet_options.install_spread = SimTime::Days(60);
+  fleet_options.future_install_spread = SimTime::Days(60);
+  // Mostly-latent defects with onsets short enough to activate DURING the 150-tick drive
+  // (the stock catalog spreads onsets over 3 years, which would leave admissions untested).
+  CatalogOptions catalog;
+  catalog.p_latent = 0.9;
+  catalog.max_onset = SimTime::Days(100);
+  fleet_options.catalog_override = catalog;
+  Fleet fleet = Fleet::Build(fleet_options);
+  ASSERT_GT(fleet.mercurial_cores().size(), 10u);
+
+  const std::vector<ShardRange> ranges = PartitionCores(fleet.core_count(), 4);
+  ActiveProductionIndex index;
+  index.Build(fleet, ranges);
+
+  const auto activation_of = [&fleet](uint64_t core) {
+    const SimTime onset = fleet.core(core).EarliestDefectOnset();
+    if (onset.seconds() <= 0) {
+      return SimTime::Seconds(0);
+    }
+    return fleet.machine(fleet.core_id(core).machine).install_time() + onset;
+  };
+
+  Rng churn(55);
+  std::unordered_set<uint64_t> retired;
+  bool retired_while_pending = false;
+  bool retired_while_admitted = false;
+  uint64_t late_admissions = 0;
+  const SimTime dt = SimTime::Days(1);
+  for (int64_t t = 1; t <= 150; ++t) {
+    const SimTime now = SimTime::Seconds(t * dt.seconds());
+    fleet.SetAges(now);
+    const uint64_t admitted_before = index.admitted_count();
+    index.Advance(now);
+    if (t > 1) {
+      late_admissions += index.admitted_count() - admitted_before;
+    }
+
+    for (size_t k = 0; k < ranges.size(); ++k) {
+      const std::vector<uint64_t>& slice = index.ActiveInShard(k);
+      ASSERT_TRUE(std::is_sorted(slice.begin(), slice.end()));
+      for (uint64_t core = ranges[k].begin; core < ranges[k].end; ++core) {
+        const bool in_slice = std::binary_search(slice.begin(), slice.end(), core);
+        if (!fleet.IsMercurial(core)) {
+          ASSERT_FALSE(in_slice) << "healthy core " << core << " admitted";
+          continue;
+        }
+        const bool expected =
+            retired.count(core) == 0 && activation_of(core) <= now;
+        ASSERT_EQ(in_slice, expected) << "tick " << t << " core " << core;
+        if (retired.count(core) == 0 && fleet.core(core).AnyDefectActive()) {
+          ASSERT_TRUE(in_slice) << "active defect missed at tick " << t << " core " << core;
+        }
+      }
+    }
+
+    // Retire a random not-yet-retired mercurial core every few ticks: sometimes already
+    // admitted (slice removal), sometimes still latent (pending-side removal).
+    if (t % 5 == 0) {
+      const std::vector<uint64_t>& mercurial = fleet.mercurial_cores();
+      const uint64_t pick =
+          mercurial[churn.UniformInt(0, mercurial.size() - 1)];
+      if (retired.insert(pick).second) {
+        if (activation_of(pick) <= now) {
+          retired_while_admitted = true;
+        } else {
+          retired_while_pending = true;
+        }
+        index.Retire(pick);
+      }
+    }
+  }
+  EXPECT_GT(late_admissions, 0u) << "every activation fired at t=1; onsets untested";
+  EXPECT_TRUE(retired_while_admitted) << "no slice-side retirement exercised";
+  EXPECT_TRUE(retired_while_pending) << "no pending-side retirement exercised";
+  // Books: slice-side removals are counted; pending-side ones are suppressed at admission,
+  // so the removal counter never exceeds the retirements actually issued.
+  EXPECT_GT(index.retired_count(), 0u);
+  EXPECT_LE(index.retired_count(), retired.size());
 }
 
 }  // namespace

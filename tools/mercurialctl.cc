@@ -173,6 +173,9 @@ int CmdStudy(int argc, const char* const* argv) {
   flags.DefineInt("shards", 0,
                   "random-stream shards (0 = auto: 1 when --threads=1, else 8x threads); "
                   "part of the experiment identity — results depend on shards, never threads");
+  flags.DefineBool("sparse-engine", true,
+                   "due-wheel sparse tick engine (O(active work) per tick); disable to run "
+                   "the dense reference oracle — results are bit-identical either way");
   flags.DefineBool("fig1", false, "also print the weekly incident-rate series as CSV");
   flags.DefineInt("quarantine-queue", 0,
                   "max suspects resident in the quarantine pipeline (0 = unbounded)");
@@ -250,6 +253,7 @@ int CmdStudy(int argc, const char* const* argv) {
   options.burn_in = flags.GetBool("burn-in");
   options.threads = static_cast<int>(flags.GetInt("threads"));
   options.shards = static_cast<int>(flags.GetInt("shards"));
+  options.sparse_engine = flags.GetBool("sparse-engine");
   if (options.shards <= 0) {
     // Auto: serial legacy engine for one thread; otherwise 8 shards per thread so the
     // dynamic scheduler can balance unevenly-loaded shards.
