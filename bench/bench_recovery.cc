@@ -1,0 +1,367 @@
+// Recovery benchmark: what the write-ahead journal costs while nothing crashes, and what a
+// crash costs when one does.
+//
+// All sections run the 2200-machine sparse-engine fleet (>= 100k cores at the default product
+// mix) with the control plane loaded: elevated mercurial incidence, quorum + probation armed,
+// and the audit ledger on. That load matters for honesty — on the healthy-heavy natural-
+// incidence fleet the sparse engine's per-tick baseline is microseconds, so any fixed journal
+// cost shows up as a triple-digit percentage that says nothing about a deployment actually
+// doing work. Overhead is therefore reported both as a percent of the loaded baseline and as
+// absolute microseconds per control tick.
+//
+//   * append_overhead — the journal's steady-state cost across snapshot cadences (0 = initial
+//     snapshot only): one serialize-and-compare pass per registered unit per tick. The gated
+//     number is the in-run fraction — wall time accumulated inside EndTick over the same run's
+//     total wall time — because both sides of that ratio see identical machine conditions; the
+//     cross-run wall-clock delta vs the durability-off baseline is printed alongside but is
+//     informational (container jitter dwarfs a sub-percent effect). --max-journal-overhead-pct
+//     turns the default-cadence (64) fraction into a CI gate. The durable and plain reports
+//     must stay bit-identical (durability off the crash path is a pure observer) — any
+//     divergence exits 2.
+//   * snapshot_size — bytes per full snapshot as the fleet grows, measured by running a short
+//     loaded study (audit + trace armed so the snapshot carries real state) at snapshot_every=1
+//     so every tick frame is a snapshot.
+//   * recovery — wall time of DurabilityManager::Recover() against the completed big studies'
+//     live units, as a function of the journal tail length (ticks replayed since the last
+//     snapshot; the snapshot_every=0 run makes the tail the entire study). This is a real
+//     recovery at full scale: restore every unit from the snapshot, replay the tail, rebuild
+//     the dirty caches. A failed or short replay exits 4.
+//
+//   bench_recovery --big-machines=2200 --big-days=240 --repeats=3 --json=BENCH_recovery.json
+//
+// Output: human-readable tables plus a JSON artifact. Exit 2 on durable-vs-plain divergence,
+// 3 if the overhead gate is exceeded, 4 if any recovery fails, 0 otherwise.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/core/fleet_study.h"
+#include "src/durability/journal.h"
+
+using namespace mercurial;
+
+namespace {
+
+double MedianSeconds(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// The big sparse fleet under load: elevated incidence keeps the quorum/probation control plane
+// and the audit ledger busy every tick, so the baseline the journal is measured against is a
+// controller with real work to do.
+StudyOptions LoadedFleetOptions(uint64_t seed, size_t machines, int days, double multiplier) {
+  StudyOptions options;
+  options.seed = seed;
+  options.fleet.machine_count = machines;
+  options.fleet.mercurial_rate_multiplier = multiplier;
+  options.duration = SimTime::Days(days);
+  options.work_units_per_core_day = 20;
+  options.workload.payload_bytes = 256;
+  options.sparse_engine = true;
+  options.shards = 8;
+  options.threads = 1;
+  options.control_plane.quorum.enabled = true;
+  options.control_plane.probation.enabled = true;
+  options.audit.enabled = true;
+  return options;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::unique_ptr<FleetStudy> study;  // kept alive so Recover() can be timed later
+  StudyReport report;
+};
+
+RunResult RunOnce(const StudyOptions& options) {
+  RunResult result;
+  result.study = std::make_unique<FleetStudy>(options);
+  const auto start = std::chrono::steady_clock::now();
+  result.report = result.study->Run();
+  const auto stop = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+bool ReportsMatch(const StudyReport& a, const StudyReport& b) {
+  return a.work_units_executed == b.work_units_executed &&
+         a.screen_failures == b.screen_failures &&
+         a.silent_corruptions == b.silent_corruptions &&
+         a.quarantine.retirements == b.quarantine.retirements;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineInt("seed", 42, "master seed");
+  flags.DefineInt("repeats", 3, "timed runs per configuration (min wall time reported)");
+  flags.DefineInt("big-machines", 2200,
+                  "fleet size for the overhead + recovery sections (default mix >= 100k cores)");
+  flags.DefineInt("big-days", 240,
+                  "study duration (= control ticks, daily cadence) for overhead + recovery");
+  flags.DefineDouble("multiplier", 25.0,
+                     "mercurial incidence multiplier; keeps the control plane loaded");
+  flags.DefineInt("ladder-machines", 200, "base fleet size for the snapshot-size ladder (x1/x4/x16)");
+  flags.DefineInt("ladder-days", 20, "study duration for the snapshot-size ladder");
+  flags.DefineDouble("max-journal-overhead-pct", 0.0,
+                     "fail (exit 3) if the default-cadence in-run journal fraction "
+                     "(EndTick time / study wall time) exceeds this percent (0 = report only)");
+  flags.DefineString("json", "BENCH_recovery.json", "path for the JSON artifact ('' = skip)");
+  const Status status = flags.Parse(argc, argv, 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const int repeats = std::max(1, static_cast<int>(flags.GetInt("repeats")));
+  const size_t big_machines = static_cast<size_t>(flags.GetInt("big-machines"));
+  const int big_days = static_cast<int>(flags.GetInt("big-days"));
+  const double multiplier = flags.GetDouble("multiplier");
+  const size_t ladder_machines = static_cast<size_t>(flags.GetInt("ladder-machines"));
+  const int ladder_days = static_cast<int>(flags.GetInt("ladder-days"));
+  const double max_overhead_pct = flags.GetDouble("max-journal-overhead-pct");
+
+  const StudyOptions big = LoadedFleetOptions(seed, big_machines, big_days, multiplier);
+  const double big_ticks = static_cast<double>(big_days);  // daily control tick
+
+  // --- append_overhead -------------------------------------------------------------------------
+  // Interleave baseline and durable runs (min of repeats on both sides) so machine noise hits
+  // both equally, and destroy every study the moment its wall clock is taken: a timed run must
+  // not execute with earlier runs' 100k-core fleets still resident, or the later configs pay a
+  // systematic allocator/memory-pressure tax the first one didn't. The recovery section re-runs
+  // its studies fresh (untimed) for the same reason. Cadence 0 = initial snapshot only, i.e.
+  // the pure-journal configuration with the longest possible replay tail.
+  const std::vector<uint64_t> cadences = {0, 16, 64, 256};
+  std::vector<double> base_times;
+  std::vector<std::vector<double>> durable_times(cadences.size());
+  std::vector<std::vector<double>> durable_fractions(cadences.size());
+  StudyReport base_report;
+  std::vector<StudyReport> durable_reports(cadences.size());
+  std::vector<JournalStats> durable_stats(cadences.size());
+  size_t cores = 0;
+  for (int r = 0; r < repeats; ++r) {
+    {
+      RunResult base = RunOnce(big);
+      base_times.push_back(base.seconds);
+      base_report = base.report;
+      cores = base.report.cores;
+    }
+    for (size_t c = 0; c < cadences.size(); ++c) {
+      StudyOptions durable = big;
+      durable.durability.enabled = true;
+      durable.durability.snapshot_every = cadences[c];
+      RunResult run = RunOnce(durable);
+      durable_times[c].push_back(run.seconds);
+      // In-process fraction: time spent inside EndTick over the run's own wall clock. Both
+      // sides of the ratio see the same machine conditions, so this is the gateable number;
+      // the cross-run delta against the baseline is reported alongside as a sanity check but
+      // is too noise-sensitive to gate (a 0.4% effect under ±5-10% container jitter).
+      const JournalStats& stats = run.study->durability()->stats();
+      durable_fractions[c].push_back(
+          static_cast<double>(stats.end_tick_nanos) / 1e9 / run.seconds * 100.0);
+      durable_reports[c] = run.report;
+      durable_stats[c] = stats;
+    }
+  }
+  const double base_s = *std::min_element(base_times.begin(), base_times.end());
+
+  std::printf("# recovery — append overhead: %zu machines / %zu cores, %d daily ticks, "
+              "multiplier %.0f, audit on, min of %d\n",
+              big_machines, cores, big_days, multiplier, repeats);
+  std::printf("%-26s %12s %10s %10s %12s %14s %12s\n", "config", "wall_s", "journal%",
+              "delta%", "us/tick", "journal_bytes", "snapshots");
+  std::printf("%-26s %12.3f %10s %10s %12s %14s %12s\n", "durability off", base_s, "-", "-",
+              "-", "-", "-");
+  bool reports_match = true;
+  double gated_overhead_pct = 0.0;
+  std::vector<double> journal_pcts(cadences.size());
+  std::vector<double> delta_pcts(cadences.size());
+  std::vector<double> journal_us_per_tick(cadences.size());
+  for (size_t c = 0; c < cadences.size(); ++c) {
+    const double durable_s =
+        *std::min_element(durable_times[c].begin(), durable_times[c].end());
+    journal_pcts[c] = MedianSeconds(durable_fractions[c]);
+    delta_pcts[c] = (durable_s / base_s - 1.0) * 100.0;
+    journal_us_per_tick[c] = journal_pcts[c] / 100.0 * durable_s / big_ticks * 1e6;
+    const JournalStats& stats = durable_stats[c];
+    char label[64];
+    std::snprintf(label, sizeof(label), "journal (snapshot=%llu)",
+                  static_cast<unsigned long long>(cadences[c]));
+    std::printf("%-26s %12.3f %9.2f%% %+9.2f%% %12.1f %14llu %12llu\n", label, durable_s,
+                journal_pcts[c], delta_pcts[c], journal_us_per_tick[c],
+                static_cast<unsigned long long>(stats.bytes_written),
+                static_cast<unsigned long long>(stats.snapshots_written));
+    reports_match = reports_match && ReportsMatch(base_report, durable_reports[c]);
+    if (cadences[c] == 64) {
+      gated_overhead_pct = journal_pcts[c];
+    }
+  }
+  std::printf("# journal%% = in-run EndTick time / study wall (median of %d, gateable); "
+              "delta%% = cross-run wall vs baseline (noise-prone, informational)\n",
+              repeats);
+  std::printf("# durable and plain reports bit-identical: %s\n",
+              reports_match ? "yes" : "NO — BUG");
+  const bool overhead_ok = max_overhead_pct <= 0.0 || gated_overhead_pct <= max_overhead_pct;
+  if (max_overhead_pct > 0.0) {
+    std::printf("# default-cadence journal overhead %.2f%% (budget %.2f%%): %s\n",
+                gated_overhead_pct, max_overhead_pct, overhead_ok ? "ok" : "EXCEEDED");
+  }
+
+  // --- snapshot_size ---------------------------------------------------------------------------
+  // snapshot_every=1 makes every tick frame a snapshot, so bytes/snapshots is the full-state
+  // serialization size (amortizing away the header, manifest, and framing). The trace rings are
+  // armed on top of the loaded control plane so the snapshot carries every registered unit.
+  struct SizeRow {
+    size_t machines = 0;
+    size_t cores = 0;
+    uint64_t snapshots = 0;
+    uint64_t avg_snapshot_bytes = 0;
+  };
+  std::vector<SizeRow> size_rows;
+  std::printf("\n# recovery — snapshot size vs fleet size (%d days, multiplier %.0f, "
+              "audit+trace, snapshot_every=1)\n",
+              ladder_days, multiplier);
+  std::printf("%-12s %12s %12s %18s\n", "machines", "cores", "snapshots", "bytes/snapshot");
+  for (size_t mult : {size_t{1}, size_t{4}, size_t{16}}) {
+    StudyOptions options =
+        LoadedFleetOptions(seed, ladder_machines * mult, ladder_days, multiplier);
+    options.trace.enabled = true;
+    options.durability.enabled = true;
+    options.durability.snapshot_every = 1;
+    RunResult run = RunOnce(options);
+    const JournalStats& stats = run.study->durability()->stats();
+    SizeRow row;
+    row.machines = ladder_machines * mult;
+    row.cores = run.report.cores;
+    row.snapshots = stats.snapshots_written;
+    row.avg_snapshot_bytes =
+        stats.snapshots_written > 0 ? stats.bytes_written / stats.snapshots_written : 0;
+    size_rows.push_back(row);
+    std::printf("%-12zu %12zu %12llu %18llu\n", row.machines, row.cores,
+                static_cast<unsigned long long>(row.snapshots),
+                static_cast<unsigned long long>(row.avg_snapshot_bytes));
+  }
+
+  // --- recovery --------------------------------------------------------------------------------
+  // Time Recover() against a completed durable study's live units, one fresh (untimed) study
+  // per cadence. The journal is clean (no crash damage), so each call restores the last
+  // snapshot, replays the whole tail, and must come back exact; the tail length is set by the
+  // cadence the study ran with, up to the full study for the snapshot_every=0 run.
+  struct RecoveryRow {
+    uint64_t snapshot_every = 0;
+    uint64_t tail_frames = 0;
+    uint64_t frames_replayed = 0;
+    size_t journal_bytes = 0;
+    double recover_ms = 0.0;
+  };
+  std::vector<RecoveryRow> recovery_rows;
+  bool recoveries_ok = true;
+  std::printf("\n# recovery — Recover() wall time vs journal tail (big fleet, median of 5)\n");
+  std::printf("%-14s %12s %12s %14s %12s\n", "snapshot_every", "tail_ticks", "replayed",
+              "journal_bytes", "recover_ms");
+  for (size_t c = 0; c < cadences.size(); ++c) {
+    StudyOptions durable = big;
+    durable.durability.enabled = true;
+    durable.durability.snapshot_every = cadences[c];
+    RunResult run = RunOnce(durable);
+    DurabilityManager* manager = run.study->durability();
+    RecoveryRow row;
+    row.snapshot_every = cadences[c];
+    row.tail_frames = manager->tick_frames_since_snapshot();
+    row.journal_bytes = manager->size();
+    std::vector<double> samples;
+    for (int r = 0; r < 5; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      StatusOr<DurabilityManager::RecoveryResult> recovered = manager->Recover();
+      const auto stop = std::chrono::steady_clock::now();
+      if (!recovered.ok() || !recovered->exact || recovered->frames_replayed != row.tail_frames) {
+        std::fprintf(stderr, "recovery failed at cadence %llu: %s\n",
+                     static_cast<unsigned long long>(cadences[c]),
+                     recovered.ok() ? "inexact or short replay"
+                                    : recovered.status().ToString().c_str());
+        recoveries_ok = false;
+        break;
+      }
+      samples.push_back(std::chrono::duration<double>(stop - start).count());
+      row.frames_replayed = recovered->frames_replayed;
+    }
+    if (!samples.empty()) {
+      row.recover_ms = MedianSeconds(samples) * 1000.0;
+    }
+    recovery_rows.push_back(row);
+    std::printf("%-14llu %12llu %12llu %14zu %12.3f\n",
+                static_cast<unsigned long long>(row.snapshot_every),
+                static_cast<unsigned long long>(row.tail_frames),
+                static_cast<unsigned long long>(row.frames_replayed), row.journal_bytes,
+                row.recover_ms);
+  }
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"recovery\",\n");
+    std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+    std::fprintf(f, "  \"big_machines\": %zu,\n", big_machines);
+    std::fprintf(f, "  \"big_cores\": %zu,\n", cores);
+    std::fprintf(f, "  \"big_days\": %d,\n", big_days);
+    std::fprintf(f, "  \"multiplier\": %.2f,\n", multiplier);
+    std::fprintf(f, "  \"append_overhead\": {\n");
+    std::fprintf(f, "    \"baseline_wall_seconds\": %.6f,\n", base_s);
+    std::fprintf(f, "    \"cadences\": [");
+    for (size_t c = 0; c < cadences.size(); ++c) {
+      std::fprintf(f,
+                   "%s{\"snapshot_every\": %llu, \"journal_pct\": %.4f, "
+                   "\"wall_delta_pct\": %.4f, \"journal_us_per_tick\": %.2f, \"bytes\": %llu}",
+                   c == 0 ? "" : ", ", static_cast<unsigned long long>(cadences[c]),
+                   journal_pcts[c], delta_pcts[c], journal_us_per_tick[c],
+                   static_cast<unsigned long long>(durable_stats[c].bytes_written));
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "    \"gated_overhead_pct\": %.4f,\n", gated_overhead_pct);
+    std::fprintf(f, "    \"budget_pct\": %.4f,\n", max_overhead_pct);
+    std::fprintf(f, "    \"within_budget\": %s,\n", overhead_ok ? "true" : "false");
+    std::fprintf(f, "    \"reports_bit_identical\": %s\n", reports_match ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"snapshot_size\": [");
+    for (size_t i = 0; i < size_rows.size(); ++i) {
+      std::fprintf(f,
+                   "%s{\"machines\": %zu, \"cores\": %zu, \"avg_snapshot_bytes\": %llu}",
+                   i == 0 ? "" : ", ", size_rows[i].machines, size_rows[i].cores,
+                   static_cast<unsigned long long>(size_rows[i].avg_snapshot_bytes));
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "  \"recovery\": [");
+    for (size_t i = 0; i < recovery_rows.size(); ++i) {
+      std::fprintf(f,
+                   "%s{\"snapshot_every\": %llu, \"tail_ticks\": %llu, \"journal_bytes\": %zu, "
+                   "\"recover_ms\": %.4f}",
+                   i == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(recovery_rows[i].snapshot_every),
+                   static_cast<unsigned long long>(recovery_rows[i].tail_frames),
+                   recovery_rows[i].journal_bytes, recovery_rows[i].recover_ms);
+    }
+    std::fprintf(f, "]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+
+  if (!reports_match) {
+    return 2;
+  }
+  if (!recoveries_ok) {
+    return 4;
+  }
+  return overhead_ok ? 0 : 3;
+}

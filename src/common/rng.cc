@@ -138,4 +138,18 @@ void Rng::FillBytes(void* out, size_t n) {
   }
 }
 
+void Rng::SaveState(uint64_t out[kStateWords]) const {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = state_[i];
+  }
+  out[4] = identity_;
+}
+
+void Rng::RestoreState(const uint64_t in[kStateWords]) {
+  for (int i = 0; i < 4; ++i) {
+    state_[i] = in[i];
+  }
+  identity_ = in[4];
+}
+
 }  // namespace mercurial

@@ -59,6 +59,15 @@ class Rng {
   // Fills `out` with random bytes.
   void FillBytes(void* out, size_t n);
 
+  // Exact stream-cursor save/restore for the durability journal (src/durability): the five
+  // words are the four xoshiro state words plus the split identity. RestoreState rebuilds a
+  // generator that continues bit-identically — same future draws, same Split() children —
+  // which is what makes a crashed-and-recovered controller indistinguishable from one that
+  // never crashed.
+  static constexpr size_t kStateWords = 5;
+  void SaveState(uint64_t out[kStateWords]) const;
+  void RestoreState(const uint64_t in[kStateWords]);
+
  private:
   uint64_t state_[4];
   // Immutable identity assigned at construction; Split() derives children from this, so the

@@ -1,6 +1,8 @@
 #include "src/core/fleet_study.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
@@ -505,6 +507,9 @@ void FleetStudy::RunTicksSerial(
 
     ProcessSuspects(now, activation_time);
     scheduler_.AccumulateStranding(options_.tick);
+    if (durability_ != nullptr) {
+      EndTickDurability(static_cast<uint64_t>(t));
+    }
   }
 }
 
@@ -582,6 +587,126 @@ void FleetStudy::RunTicksSharded(
 
     ProcessSuspects(now, activation_time);
     scheduler_.AccumulateStranding(options_.tick);
+    if (durability_ != nullptr) {
+      EndTickDurability(static_cast<uint64_t>(t));
+    }
+  }
+}
+
+void FleetStudy::SetupDurability() {
+  DurabilityManager::Options journal_options;
+  journal_options.snapshot_every = options_.durability.snapshot_every;
+  journal_options.path = options_.durability.journal_path;
+  durability_ = std::make_unique<DurabilityManager>(journal_options);
+
+  // Delta units log their mutations from here on; everything before Start() (construction,
+  // burn-in) is covered by the initial snapshot instead.
+  ledger_.EnableMutationLog(true);
+  if (trace_ != nullptr) {
+    trace_->EnableMutationLog(true);
+  }
+
+  // Registration order is the wire identity — append-only, like the frame format itself.
+  durability_->RegisterUnit(
+      "control_plane",
+      [this](ByteWriter& w) { control_plane_.SaveDurableState(w); },
+      [this](ByteReader& r) { return control_plane_.LoadDurableState(r); });
+  durability_->RegisterUnit(
+      "repair",
+      [this](ByteWriter& w) { repair_.SaveDurableState(w); },
+      [this](ByteReader& r) { return repair_.LoadDurableState(r); });
+  durability_->RegisterDeltaUnit(
+      "ledger",
+      [this](ByteWriter& w) { ledger_.SaveDurableState(w); },
+      [this](ByteReader& r) { return ledger_.LoadDurableState(r); },
+      [this]() { return ledger_.HasTickOps(); },
+      [this](ByteWriter& w) { ledger_.DrainTickOps(w); },
+      [this](ByteReader& r) { return ledger_.ApplyTickOps(r); });
+  if (trace_ != nullptr) {
+    durability_->RegisterDeltaUnit(
+        "trace",
+        [this](ByteWriter& w) { trace_->SaveDurableState(w); },
+        [this](ByteReader& r) { return trace_->LoadDurableState(r); },
+        [this]() { return trace_->HasTickOps(); },
+        [this](ByteWriter& w) { trace_->DrainTickOps(w); },
+        [this](ByteReader& r) { return trace_->ApplyTickOps(r); });
+  }
+
+  const Status started = durability_->Start(0, options_.durability.manifest);
+  MERCURIAL_CHECK(started.ok()) << started.ToString();
+  durability_stats_.enabled = true;
+}
+
+void FleetStudy::EndTickDurability(uint64_t t) {
+  // Journal this tick's durable frame first: the crash, if one is due, hits a controller
+  // whose latest tick already reached the journal (the torn-tail knob is what takes it back).
+  durability_->EndTick(t + 1);
+
+  const ChaosOptions& chaos = options_.control_plane.chaos;
+  if (!chaos.controller_enabled()) {
+    return;
+  }
+  // Stateless per-tick stream: crash/tear/flip draws can never shift any other stream, so a
+  // run with durability on and no crash due stays bit-identical to one with durability off.
+  Rng crash_rng(DeriveStreamSeed(options_.seed ^ kControllerCrashSalt, 0, t));
+  bool crash_due = false;
+  if (chaos.controller_crash_every_ticks > 0) {
+    crash_due =
+        (t + 1) % static_cast<uint64_t>(chaos.controller_crash_every_ticks) == 0;
+  } else {
+    const double tick_days =
+        static_cast<double>(options_.tick.seconds()) / SimTime::Days(1).seconds();
+    crash_due = crash_rng.Bernoulli(
+        1.0 - std::exp(-chaos.controller_crash_per_day * tick_days));
+  }
+  if (crash_due) {
+    CrashAndRecoverController(t, crash_rng);
+  }
+}
+
+void FleetStudy::CrashAndRecoverController(uint64_t t, Rng& crash_rng) {
+  ++durability_stats_.controller_crashes;
+  const ChaosOptions& chaos = options_.control_plane.chaos;
+
+  // Every tick frame since the last snapshot must be accounted for by this recovery:
+  // replayed from the surviving prefix or counted as truncated. Nothing in between.
+  const uint64_t frames_at_risk = durability_->tick_frames_since_snapshot();
+
+  // The crash may take part of the journal with it. Damage is confined to the mutable tail
+  // (after the last snapshot), so recovery always has a full snapshot to fall back on.
+  if (chaos.journal_torn_tail > 0.0 && crash_rng.Bernoulli(chaos.journal_torn_tail)) {
+    const size_t tail = durability_->size() - durability_->mutable_tail_start();
+    if (tail > 0) {
+      const size_t bytes =
+          1 + static_cast<size_t>(crash_rng.NextDouble() * static_cast<double>(tail - 1));
+      durability_->TearTail(bytes);
+    }
+  }
+  if (chaos.journal_bit_flip > 0.0 && crash_rng.Bernoulli(chaos.journal_bit_flip)) {
+    const size_t tail = durability_->size() - durability_->mutable_tail_start();
+    if (tail > 0) {
+      const size_t offset =
+          durability_->mutable_tail_start() +
+          static_cast<size_t>(crash_rng.NextDouble() * static_cast<double>(tail));
+      durability_->FlipBit(offset, crash_rng.UniformInt(0, 7));
+    }
+  }
+
+  StatusOr<DurabilityManager::RecoveryResult> recovered = durability_->Recover();
+  MERCURIAL_CHECK(recovered.ok()) << recovered.status().ToString();
+  const DurabilityManager::RecoveryResult& result = *recovered;
+  MERCURIAL_CHECK_EQ(result.frames_replayed + result.frames_truncated, frames_at_risk)
+      << "recovery lost track of tick frames at tick " << t;
+  durability_frames_covered_ += frames_at_risk;
+
+  if (!result.exact) {
+    // The books rolled back to an older durable prefix while the scheduler kept running:
+    // reconcile, counting every repaired divergence.
+    control_plane_.ReconcileWithFleet(scheduler_,
+                                      &durability_stats_.reconcile_released_unknown,
+                                      &durability_stats_.reconcile_reinstated_unknown,
+                                      &durability_stats_.reconcile_dropped_pending,
+                                      &durability_stats_.reconcile_dropped_probation);
   }
 }
 
@@ -707,6 +832,33 @@ void FleetStudy::Finalize() {
     metrics_.Increment("trace.events_sampled_out", report_.trace.counters.events_sampled_out);
   }
 
+  if (durability_ != nullptr) {
+    const JournalStats& journal = durability_->stats();
+    // Journal conservation: every tick frame at risk across every recovery was either
+    // replayed from the durable prefix or counted as truncated — no third fate.
+    MERCURIAL_CHECK_EQ(journal.frames_replayed + journal.frames_truncated,
+                       durability_frames_covered_)
+        << "journal frames lost outside recovery accounting";
+    durability_stats_.frames_written = journal.frames_written;
+    durability_stats_.bytes_written = journal.bytes_written;
+    durability_stats_.snapshots_written = journal.snapshots_written;
+    durability_stats_.tick_frames_written = journal.tick_frames_written;
+    durability_stats_.recoveries = journal.recoveries;
+    durability_stats_.exact_recoveries = journal.exact_recoveries;
+    durability_stats_.prefix_recoveries = journal.prefix_recoveries;
+    durability_stats_.frames_replayed = journal.frames_replayed;
+    durability_stats_.frames_truncated = journal.frames_truncated;
+    durability_stats_.torn_tail_truncations = journal.torn_tail_truncations;
+    durability_stats_.corrupt_frames_rejected = journal.corrupt_frames_rejected;
+    report_.durability = durability_stats_;
+    metrics_.Increment("journal.frames_written", journal.frames_written);
+    metrics_.Increment("journal.bytes", journal.bytes_written);
+    metrics_.Increment("journal.snapshots", journal.snapshots_written);
+    metrics_.Increment("journal.recoveries", journal.recoveries);
+    metrics_.Increment("journal.torn_tail_truncations", journal.torn_tail_truncations);
+    metrics_.Increment("journal.corrupt_frames_rejected", journal.corrupt_frames_rejected);
+  }
+
   const double thousands = static_cast<double>(fleet_.machine_count()) / 1000.0;
   report_.planted_per_thousand_machines =
       static_cast<double>(report_.true_mercurial_cores) / thousands;
@@ -789,6 +941,12 @@ StudyReport FleetStudy::Run() {
 
   if (options_.sparse_engine) {
     EnableSparseEngine(PartitionCores(fleet_.core_count(), shards));
+  }
+
+  if (options_.durability.enabled) {
+    // After burn-in: the initial snapshot covers everything up to the first production tick,
+    // so burn-in state never needs a journal frame of its own.
+    SetupDurability();
   }
 
   const int64_t ticks = options_.duration.seconds() / options_.tick.seconds();

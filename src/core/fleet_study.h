@@ -38,6 +38,7 @@
 #include "src/detect/quarantine.h"
 #include "src/detect/report_service.h"
 #include "src/detect/screening.h"
+#include "src/durability/journal.h"
 #include "src/fleet/fleet.h"
 #include "src/mitigate/blast_radius.h"
 #include "src/mitigate/repair_orchestrator.h"
@@ -48,6 +49,24 @@
 #include "src/workload/workload.h"
 
 namespace mercurial {
+
+// Crash-tolerant control plane (src/durability/journal.h). When enabled, the study journals
+// every control-plane tick (write-ahead frames + periodic snapshots) and can lose its entire
+// controller — control plane, repair orchestrator, blast-radius ledger, trace rings — at any
+// tick and recover it bit-identically from the journal. Chaos decides when the controller
+// crashes (ChaosOptions::controller_crash_* / journal_* knobs); durability decides what
+// survives. Disabled, the study is bit-identical to the pre-durability engine.
+struct DurabilityOptions {
+  bool enabled = false;
+  // Ticks between full snapshots (0 = only the initial snapshot; replay grows unboundedly).
+  uint64_t snapshot_every = 64;
+  // Optional write-through journal file (mercurialctl `recover` reads it back). Empty = the
+  // journal lives in memory only, which is all in-study crash recovery needs.
+  std::string journal_path;
+  // Opaque manifest stored in the journal's second frame; mercurialctl records its argv here
+  // so `recover` can reconstruct the exact study invocation.
+  std::vector<uint8_t> manifest;
+};
 
 struct StudyOptions {
   uint64_t seed = 42;
@@ -75,6 +94,10 @@ struct StudyOptions {
   // Events route to the shard that owns the core, so the assembled trace is bit-identical for
   // any thread count (like the report itself).
   TraceOptions trace;
+
+  // Write-ahead journal + snapshots for the controller state, and the recovery path injected
+  // controller crashes exercise. Off by default and bit-invisible when off.
+  DurabilityOptions durability;
 
   SimTime tick = SimTime::Days(1);
   SimTime duration = SimTime::Days(3 * 365);
@@ -124,6 +147,33 @@ struct StudyOptions {
   // t=0 the backlog of never-screened active defects produces a cold-start spike that a
   // long-running fleet would not show).
   SimTime series_warmup = SimTime::Days(0);
+};
+
+// Durability and crash-recovery accounting (populated only when StudyOptions::durability is
+// enabled). Journal counters come from the DurabilityManager; crash/reconcile counters from
+// the study's chaos-driven crash loop. Conservation (checked at finalization): across all
+// recoveries, frames_replayed + frames_truncated == the tick frames written since each
+// recovered snapshot.
+struct DurabilityStats {
+  bool enabled = false;
+  uint64_t frames_written = 0;
+  uint64_t bytes_written = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t tick_frames_written = 0;
+  uint64_t recoveries = 0;
+  uint64_t exact_recoveries = 0;
+  uint64_t prefix_recoveries = 0;
+  uint64_t frames_replayed = 0;
+  uint64_t frames_truncated = 0;
+  uint64_t torn_tail_truncations = 0;
+  uint64_t corrupt_frames_rejected = 0;
+  uint64_t controller_crashes = 0;
+  // Post-recovery reconciliation with the live fleet (prefix recoveries only): every repaired
+  // divergence is counted, never silent.
+  uint64_t reconcile_released_unknown = 0;
+  uint64_t reconcile_reinstated_unknown = 0;
+  uint64_t reconcile_dropped_pending = 0;
+  uint64_t reconcile_dropped_probation = 0;
 };
 
 struct StudyReport {
@@ -177,6 +227,11 @@ struct StudyReport {
   // the assembled lifecycle event log plus its conservation counters
   // (dropped + recorded == emitted).
   IncidentTrace trace;
+
+  // Crash-tolerance accounting (populated only when StudyOptions::durability.enabled). Not
+  // part of the bit-identity contract between crashed and uncrashed studies — it is the one
+  // field that records that crashes happened at all.
+  DurabilityStats durability;
 };
 
 // ShardRange and PartitionCores moved to src/core/active_index.h (included above) so the
@@ -189,6 +244,10 @@ struct StudyReport {
 // to pin its draw accounting (e.g. the background-noise pick-then-check contract).
 inline constexpr uint64_t kProductionStreamSalt = 0x70726f64756374ull;  // "product"
 inline constexpr uint64_t kScreeningStreamSalt = 0x73637265656e00ull;   // "screen"
+// Controller-crash chaos stream: Rng(DeriveStreamSeed(seed ^ salt, 0, tick)). Stateless and
+// per-tick derived, so crash/tear/flip decisions can never shift any other stream — a study
+// with durability on but no crash due is bit-identical to one with durability off.
+inline constexpr uint64_t kControllerCrashSalt = 0x6372617368000000ull;  // "crash"
 
 class FleetStudy {
  public:
@@ -204,6 +263,11 @@ class FleetStudy {
   // Blast-radius provenance; empty unless options.audit.enabled. The CLI's incident timeline
   // uses it to annotate convicted cores with the artifacts their defect touched.
   const BlastRadiusLedger& ledger() const { return ledger_; }
+  // Journal access; null unless options.durability.enabled. mercurialctl `recover` verifies
+  // an on-disk journal image byte-for-byte against a deterministic re-run's journal, and
+  // bench_recovery times Recover() against the completed study's live units.
+  const DurabilityManager* durability() const { return durability_.get(); }
+  DurabilityManager* durability() { return durability_.get(); }
 
  private:
   struct PendingHumanReport {
@@ -256,6 +320,19 @@ class FleetStudy {
   void EnableSparseEngine(const std::vector<ShardRange>& ranges);
   void Finalize();
 
+  // --- Durability (src/durability/journal.h) ------------------------------------------------
+  // Registers the durable units (control plane, repair orchestrator, blast-radius ledger,
+  // trace rings) in a fixed order and writes the initial snapshot. Called from Run() after
+  // burn-in, so the journal's baseline is the deployed controller.
+  void SetupDurability();
+  // End-of-tick journal append plus the chaos-driven crash check; runs in the serial phase of
+  // both engines, after the tick's last controller mutation. `t` is the 0-based tick index.
+  void EndTickDurability(uint64_t t);
+  // Kills and recovers the controller in place: optional chaos damage to the journal tail,
+  // then Recover() overwrites all durable controller state from the journal and — when the
+  // durable prefix fell short of the present — reconciles the books with the live fleet.
+  void CrashAndRecoverController(uint64_t t, Rng& crash_rng);
+
   void RunTicksSerial(SimClock& clock, int64_t ticks,
                       const std::unordered_map<uint64_t, SimTime>& activation_time);
   void RunTicksSharded(SimClock& clock, int64_t ticks, int shards, int threads,
@@ -295,6 +372,14 @@ class FleetStudy {
   // resolved; advanced serially each tick; pruned via the scheduler's retirement listener.
   ActiveProductionIndex active_index_;
   McaLog mca_log_;
+  // Write-ahead journal for the controller state; null unless options_.durability.enabled.
+  // The study-side crash/reconcile counters live here (the manager only counts journal work);
+  // Finalize folds both into report_.durability. frames_covered_ accumulates, per recovery,
+  // the tick frames the recovered snapshot had to account for — the independent side of the
+  // conservation check frames_replayed + frames_truncated == frames_covered_.
+  std::unique_ptr<DurabilityManager> durability_;
+  DurabilityStats durability_stats_;
+  uint64_t durability_frames_covered_ = 0;
   StudyReport report_;
   bool ran_ = false;
 };

@@ -20,6 +20,7 @@
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
 #include "src/common/status.h"
+#include "src/common/wire.h"
 #include "src/detect/signal.h"
 
 namespace mercurial {
@@ -54,6 +55,24 @@ struct ChaosOptions {
   double witness_crash = 0.0;      // P(a witness crashes mid-vote and casts nothing)
   double probation_suppress = 0.0; // P(a probation shadow-screen signal is swallowed)
 
+  // Controller-process faults (consumed by the fleet study's durability layer,
+  // src/durability/journal.h — the injector object itself never draws for them). The
+  // controller running this detection machinery is as mercurial as the fleet it polices: it
+  // can die mid-study and must recover from its write-ahead journal. Crash decisions are
+  // drawn from a stateless counter-keyed stream of (seed, tick), never from the injector's
+  // sequential stream, so a crashed-and-recovered study stays bit-identical to an uncrashed
+  // one. These knobs deliberately do NOT participate in enabled(): flipping enabled() would
+  // make the report-path injector start consuming Bernoulli draws for its zero-rate knobs
+  // and silently shift every stream.
+  double controller_crash_per_day = 0.0;  // P per day that the controller dies and recovers
+  int controller_crash_every_ticks = 0;   // deterministic: crash after every k-th tick (0=off)
+  double journal_torn_tail = 0.0;  // P(a crash also tears bytes off the journal tail)
+  double journal_bit_flip = 0.0;   // P(a crash also flips one bit in the journal tail)
+
+  bool controller_enabled() const {
+    return controller_crash_per_day > 0.0 || controller_crash_every_ticks > 0;
+  }
+
   bool enabled() const {
     return drop_report > 0.0 || delay_report > 0.0 || duplicate_report > 0.0 ||
            abort_interrogation > 0.0 || machine_restart_per_day > 0.0 || repair_enabled() ||
@@ -86,6 +105,11 @@ struct ChaosStats {
   uint64_t witnesses_crashed = 0;     // witnesses that died mid-vote and cast nothing
   uint64_t probation_signals_suppressed = 0;  // shadow-screen confessions swallowed in flight
 };
+
+// Wire round trip for a ChaosStats block, shared by the serializers that embed one (the
+// control plane's and repair orchestrator's durable-state codecs).
+void SaveChaosStatsWire(ByteWriter& w, const ChaosStats& stats);
+Status LoadChaosStatsWire(ByteReader& r, ChaosStats* stats);
 
 class ChaosInjector {
  public:
@@ -137,6 +161,13 @@ class ChaosInjector {
 
   size_t delayed_in_flight() const { return delayed_.size(); }
   const ChaosStats& stats() const { return stats_; }
+
+  // Durable-state round trip for the write-ahead journal (src/durability): the RNG cursor,
+  // fault counters, and the delayed-report queue are controller state a crash must not lose —
+  // a delayed report that vanished with the daemon would silently un-delay a suspect.
+  // Options and wiring are reconstructed from StudyOptions, not persisted.
+  void SaveDurableState(ByteWriter& w) const;
+  Status LoadDurableState(ByteReader& r);
 
  private:
   struct DelayedSignal {

@@ -185,6 +185,25 @@ class QuarantineControlPlane {
   QuarantineManager& manager() { return manager_; }
   const QuarantineManager& manager() const { return manager_; }
 
+  // Durable-state round trip for the write-ahead journal (src/durability). One payload covers
+  // everything a controller crash would otherwise forget: the plane's own counters, the
+  // pending and probation books, the control RNG cursor, and the nested manager / chaos /
+  // quorum state. Options, hooks, and the trace recorder are wiring, reconstructed by the
+  // owning study, never persisted. LoadDurableState fully replaces the durable state — a
+  // recovered plane continues bit-identically from the journaled cursor.
+  void SaveDurableState(ByteWriter& w) const;
+  Status LoadDurableState(ByteReader& r);
+
+  // Post-recovery reconciliation with the live fleet (torn-tail fallback: the books were
+  // restored to an older durable prefix while the scheduler kept running). Cores the
+  // scheduler holds in quarantine/drain that the recovered books no longer know are released
+  // back to service; probation cores without a book entry are reinstated; book entries whose
+  // core the scheduler shows already resolved (active or retired) are dropped. Every action
+  // is counted into the out-params — divergence is repaired loudly, never silently.
+  void ReconcileWithFleet(CoreScheduler& scheduler, uint64_t* released_unknown,
+                          uint64_t* reinstated_unknown, uint64_t* dropped_pending,
+                          uint64_t* dropped_probation);
+
  private:
   struct Pending {
     uint64_t core_global = 0;

@@ -22,6 +22,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
+#include "src/common/wire.h"
 #include "src/detect/confession.h"
 #include "src/detect/report_service.h"
 #include "src/fleet/fleet.h"
@@ -176,6 +177,14 @@ class QuarantineManager {
   const std::unordered_map<uint64_t, SimTime>& retirement_times() const {
     return retirement_times_;
   }
+
+  // Durable-state round trip for the write-ahead journal (src/durability): the interrogation
+  // RNG cursor, verdict counters, and the recidivism/failed-unit/retirement books. Maps are
+  // serialized in sorted key order so the bytes are deterministic; the books are only ever
+  // consumed by key lookup, so the rebuilt hash order is behavior-invisible. Policy and the
+  // (stateless) tester are reconstructed from StudyOptions, not persisted.
+  void SaveDurableState(ByteWriter& w) const;
+  Status LoadDurableState(ByteReader& r);
 
  private:
   QuarantinePolicy policy_;

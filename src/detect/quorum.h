@@ -108,6 +108,11 @@ struct QuorumVerdict {
 uint64_t PackQuorumDetail(const QuorumVerdict& verdict);
 QuorumVerdict UnpackQuorumDetail(uint64_t detail);
 
+// Wire round trip for a QuorumStats block, shared by the serializers that embed one (the
+// control plane's durable-state codec carries its copied QuorumStats).
+void SaveQuorumStatsWire(ByteWriter& w, const QuorumStats& stats);
+Status LoadQuorumStatsWire(ByteReader& r, QuorumStats* stats);
+
 class QuorumInterrogator {
  public:
   // `rng` must be a dedicated stream; it is only ever drawn from while judging.
@@ -122,6 +127,11 @@ class QuorumInterrogator {
   // `chaos` supplies the lying-witness / witness-crash faults. Call only when enabled().
   QuorumVerdict Judge(uint64_t suspect, bool tester_confessed, const Fleet& fleet,
                       const CoreScheduler& scheduler, ChaosInjector& chaos);
+
+  // Durable-state round trip for the write-ahead journal (src/durability): the witness-draw
+  // RNG cursor and the judgment counters. Options are reconstructed, not persisted.
+  void SaveDurableState(ByteWriter& w) const;
+  Status LoadDurableState(ByteReader& r);
 
  private:
   // One voting round with `quorum_size` witnesses. Returns true if a majority formed.

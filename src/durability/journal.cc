@@ -1,0 +1,578 @@
+#include "src/durability/journal.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/substrate/checksum.h"
+
+namespace mercurial {
+
+namespace {
+
+constexpr uint32_t kJournalMagic = 0x4c4a434d;  // "MCJL"
+constexpr uint32_t kJournalVersion = 1;
+// u32 payload_len + u8 type + u64 tick before the payload, u32 crc after it.
+constexpr size_t kFramePrefixBytes = 4 + 1 + 8;
+constexpr size_t kFrameOverheadBytes = kFramePrefixBytes + 4;
+
+bool ValidFrameType(uint8_t type) {
+  return type == static_cast<uint8_t>(JournalFrameType::kHeader) ||
+         type == static_cast<uint8_t>(JournalFrameType::kManifest) ||
+         type == static_cast<uint8_t>(JournalFrameType::kSnapshot) ||
+         type == static_cast<uint8_t>(JournalFrameType::kTickDelta);
+}
+
+}  // namespace
+
+StatusOr<JournalImageInfo> InspectJournalImage(const std::vector<uint8_t>& image) {
+  JournalImageInfo info;
+  size_t offset = 0;
+  bool saw_header = false;
+  bool saw_snapshot = false;
+  while (offset < image.size()) {
+    if (image.size() - offset < kFrameOverheadBytes) {
+      info.torn_tail = true;
+      break;
+    }
+    ByteReader prefix(image.data() + offset, kFramePrefixBytes);
+    uint32_t payload_len = 0;
+    uint8_t type = 0;
+    uint64_t tick = 0;
+    MERCURIAL_CHECK(prefix.GetU32(&payload_len).ok());
+    MERCURIAL_CHECK(prefix.GetU8(&type).ok());
+    MERCURIAL_CHECK(prefix.GetU64(&tick).ok());
+    if (image.size() - offset - kFrameOverheadBytes < payload_len) {
+      info.torn_tail = true;
+      break;
+    }
+    const size_t crc_offset = offset + kFramePrefixBytes + payload_len;
+    ByteReader crc_reader(image.data() + crc_offset, 4);
+    uint32_t stored_crc = 0;
+    MERCURIAL_CHECK(crc_reader.GetU32(&stored_crc).ok());
+    if (stored_crc != Crc32(image.data() + offset, kFramePrefixBytes + payload_len) ||
+        !ValidFrameType(type)) {
+      info.corrupt_frame = true;
+      break;
+    }
+    const JournalFrameType frame_type = static_cast<JournalFrameType>(type);
+    if (info.frames == 0) {
+      if (frame_type != JournalFrameType::kHeader) {
+        return DataLossError("journal has no valid header frame");
+      }
+      ByteReader header(image.data() + offset + kFramePrefixBytes, payload_len);
+      uint32_t magic = 0;
+      uint32_t version = 0;
+      if (Status s = header.GetU32(&magic); !s.ok()) return s;
+      if (Status s = header.GetU32(&version); !s.ok()) return s;
+      if (magic != kJournalMagic || version != kJournalVersion) {
+        return DataLossError("journal header magic/version mismatch");
+      }
+      saw_header = true;
+    }
+    if (frame_type == JournalFrameType::kSnapshot) {
+      ++info.snapshots;
+      info.snapshot_tick = tick;
+      saw_snapshot = true;
+    } else if (frame_type == JournalFrameType::kTickDelta) {
+      ++info.tick_frames;
+    } else if (frame_type == JournalFrameType::kManifest) {
+      info.manifest.assign(image.begin() + offset + kFramePrefixBytes,
+                           image.begin() + offset + kFramePrefixBytes + payload_len);
+    }
+    ++info.frames;
+    info.durable_tick = tick;
+    offset = crc_offset + 4;
+    info.durable_prefix_bytes = offset;
+  }
+  if (!saw_header) {
+    return DataLossError("journal has no valid header frame");
+  }
+  if (!saw_snapshot) {
+    return DataLossError("journal has no valid snapshot frame");
+  }
+  return info;
+}
+
+DurabilityManager::DurabilityManager(Options options) : options_(std::move(options)) {}
+
+void DurabilityManager::RegisterUnit(std::string name, SaveFn save, LoadFn load) {
+  MERCURIAL_CHECK(!started_) << "units must be registered before Start()";
+  Unit unit;
+  unit.name = std::move(name);
+  unit.save = std::move(save);
+  unit.load = std::move(load);
+  units_.push_back(std::move(unit));
+}
+
+void DurabilityManager::RegisterDeltaUnit(std::string name, SaveFn save, LoadFn load,
+                                          HasOpsFn has_ops, SaveFn drain, LoadFn apply) {
+  MERCURIAL_CHECK(!started_) << "units must be registered before Start()";
+  Unit unit;
+  unit.name = std::move(name);
+  unit.save = std::move(save);
+  unit.load = std::move(load);
+  unit.is_delta = true;
+  unit.has_ops = std::move(has_ops);
+  unit.drain = std::move(drain);
+  unit.apply = std::move(apply);
+  units_.push_back(std::move(unit));
+}
+
+void DurabilityManager::AppendFrame(JournalFrameType type, uint64_t tick,
+                                    const std::vector<uint8_t>& payload) {
+  const size_t start = buffer_.size();
+  ByteWriter w(buffer_);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(tick);
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  const uint32_t crc = Crc32(buffer_.data() + start, buffer_.size() - start);
+  w.PutU32(crc);
+  ++stats_.frames_written;
+  stats_.bytes_written += buffer_.size() - start;
+  if (type == JournalFrameType::kSnapshot) {
+    ++stats_.snapshots_written;
+    last_snapshot_end_ = buffer_.size();
+    tick_frames_at_last_snapshot_ = stats_.tick_frames_written;
+  } else if (type == JournalFrameType::kTickDelta) {
+    ++stats_.tick_frames_written;
+  }
+  SyncFile();
+}
+
+void DurabilityManager::WriteSnapshot(uint64_t tick) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  // Cumulative tick frames before this snapshot: recovery uses it to close the conservation
+  // invariant frames_replayed + frames_truncated == tick frames written since the snapshot.
+  w.PutU64(stats_.tick_frames_written);
+  w.PutU32(static_cast<uint32_t>(units_.size()));
+  for (Unit& unit : units_) {
+    std::vector<uint8_t> bytes;
+    bytes.reserve(unit.last_bytes.size() + 64);
+    ByteWriter unit_writer(bytes);
+    unit.save(unit_writer);
+    w.PutU32(static_cast<uint32_t>(bytes.size()));
+    payload.insert(payload.end(), bytes.begin(), bytes.end());
+    if (unit.is_delta) {
+      // The snapshot captures post-tick state; this tick's ops are subsumed by it, so they
+      // are drained and discarded — a replay from this snapshot must not re-apply them.
+      std::vector<uint8_t> discard;
+      ByteWriter discard_writer(discard);
+      unit.drain(discard_writer);
+    } else {
+      unit.last_bytes = std::move(bytes);
+    }
+  }
+  AppendFrame(JournalFrameType::kSnapshot, tick, payload);
+}
+
+void DurabilityManager::WriteTickDelta(uint64_t tick) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  // Full units whose serialized state changed since their last journaled bytes. Comparing
+  // serializations (not trusting mutation paths to self-report) means a forgotten dirty bit
+  // is impossible by construction.
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> dirty;
+  for (uint32_t i = 0; i < units_.size(); ++i) {
+    Unit& unit = units_[i];
+    if (unit.is_delta) {
+      continue;
+    }
+    std::vector<uint8_t> bytes;
+    // The previous serialization is an exact size prediction unless the unit grew this tick,
+    // so reserving it turns the per-tick dirty probe into a single allocation.
+    bytes.reserve(unit.last_bytes.size() + 64);
+    ByteWriter unit_writer(bytes);
+    unit.save(unit_writer);
+    if (bytes != unit.last_bytes) {
+      dirty.emplace_back(i, std::move(bytes));
+    }
+  }
+  w.PutU32(static_cast<uint32_t>(dirty.size()));
+  for (auto& [index, bytes] : dirty) {
+    w.PutU32(index);
+    w.PutU32(static_cast<uint32_t>(bytes.size()));
+    payload.insert(payload.end(), bytes.begin(), bytes.end());
+    units_[index].last_bytes = std::move(bytes);
+  }
+  uint32_t delta_count = 0;
+  for (Unit& unit : units_) {
+    if (unit.is_delta && unit.has_ops()) {
+      ++delta_count;
+    }
+  }
+  w.PutU32(delta_count);
+  for (uint32_t i = 0; i < units_.size(); ++i) {
+    Unit& unit = units_[i];
+    if (!unit.is_delta || !unit.has_ops()) {
+      continue;
+    }
+    std::vector<uint8_t> ops;
+    ByteWriter ops_writer(ops);
+    unit.drain(ops_writer);
+    w.PutU32(i);
+    w.PutU32(static_cast<uint32_t>(ops.size()));
+    payload.insert(payload.end(), ops.begin(), ops.end());
+  }
+  AppendFrame(JournalFrameType::kTickDelta, tick, payload);
+}
+
+Status DurabilityManager::Start(uint64_t tick, const std::vector<uint8_t>& manifest) {
+  MERCURIAL_CHECK(!started_) << "DurabilityManager::Start called twice";
+  MERCURIAL_CHECK(!units_.empty()) << "no durable units registered";
+  started_ = true;
+  std::vector<uint8_t> header;
+  ByteWriter w(header);
+  w.PutU32(kJournalMagic);
+  w.PutU32(kJournalVersion);
+  AppendFrame(JournalFrameType::kHeader, tick, header);
+  AppendFrame(JournalFrameType::kManifest, tick, manifest);
+  WriteSnapshot(tick);
+  return Status::Ok();
+}
+
+void DurabilityManager::EndTick(uint64_t tick) {
+  MERCURIAL_CHECK(started_) << "EndTick before Start";
+  const auto start = std::chrono::steady_clock::now();
+  if (options_.snapshot_every > 0 &&
+      stats_.tick_frames_written - tick_frames_at_last_snapshot_ + 1 >= options_.snapshot_every) {
+    // Count the tick frame the snapshot replaces, so cadence counts ticks, not frame types.
+    ++stats_.tick_frames_written;
+    WriteSnapshot(tick);
+  } else {
+    WriteTickDelta(tick);
+  }
+  stats_.end_tick_nanos += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count());
+}
+
+uint64_t DurabilityManager::tick_frames_since_snapshot() const {
+  return stats_.tick_frames_written - tick_frames_at_last_snapshot_;
+}
+
+Status DurabilityManager::ApplySnapshot(const ScannedFrame& frame,
+                                        uint64_t* tick_frames_before) {
+  ByteReader r(buffer_.data() + frame.payload_begin, frame.payload_len);
+  uint32_t unit_count = 0;
+  if (Status s = r.GetU64(tick_frames_before); !s.ok()) {
+    return s;
+  }
+  if (Status s = r.GetU32(&unit_count); !s.ok()) {
+    return s;
+  }
+  if (unit_count != units_.size()) {
+    return DataLossError("snapshot unit count does not match the registered units");
+  }
+  size_t offset = frame.payload_begin + frame.payload_len - r.remaining();
+  for (Unit& unit : units_) {
+    uint32_t len = 0;
+    if (Status s = r.GetU32(&len); !s.ok()) {
+      return s;
+    }
+    offset += 4;
+    if (len > r.remaining()) {
+      return DataLossError("snapshot unit payload exceeds the frame");
+    }
+    ByteReader unit_reader(buffer_.data() + offset, len);
+    if (Status s = unit.load(unit_reader); !s.ok()) {
+      return s;
+    }
+    if (Status s = unit_reader.ExpectEnd(); !s.ok()) {
+      return s;
+    }
+    // Skip over the unit payload in the frame reader.
+    for (uint32_t skipped = 0; skipped < len; ++skipped) {
+      uint8_t byte = 0;
+      if (Status s = r.GetU8(&byte); !s.ok()) {
+        return s;
+      }
+    }
+    offset += len;
+  }
+  return r.ExpectEnd();
+}
+
+Status DurabilityManager::ApplyTickDelta(const ScannedFrame& frame) {
+  ByteReader r(buffer_.data() + frame.payload_begin, frame.payload_len);
+  uint32_t full_count = 0;
+  if (Status s = r.GetU32(&full_count); !s.ok()) {
+    return s;
+  }
+  size_t offset = frame.payload_begin + (frame.payload_len - r.remaining());
+  for (uint32_t i = 0; i < full_count; ++i) {
+    uint32_t index = 0;
+    uint32_t len = 0;
+    if (Status s = r.GetU32(&index); !s.ok()) return s;
+    if (Status s = r.GetU32(&len); !s.ok()) return s;
+    offset += 8;
+    if (index >= units_.size() || units_[index].is_delta) {
+      return DataLossError("tick frame names an invalid full unit");
+    }
+    if (len > r.remaining()) {
+      return DataLossError("tick frame unit payload exceeds the frame");
+    }
+    ByteReader unit_reader(buffer_.data() + offset, len);
+    if (Status s = units_[index].load(unit_reader); !s.ok()) {
+      return s;
+    }
+    if (Status s = unit_reader.ExpectEnd(); !s.ok()) {
+      return s;
+    }
+    for (uint32_t skipped = 0; skipped < len; ++skipped) {
+      uint8_t byte = 0;
+      if (Status s = r.GetU8(&byte); !s.ok()) {
+        return s;
+      }
+    }
+    offset += len;
+  }
+  uint32_t delta_count = 0;
+  if (Status s = r.GetU32(&delta_count); !s.ok()) {
+    return s;
+  }
+  offset += 4;
+  for (uint32_t i = 0; i < delta_count; ++i) {
+    uint32_t index = 0;
+    uint32_t len = 0;
+    if (Status s = r.GetU32(&index); !s.ok()) return s;
+    if (Status s = r.GetU32(&len); !s.ok()) return s;
+    offset += 8;
+    if (index >= units_.size() || !units_[index].is_delta) {
+      return DataLossError("tick frame names an invalid delta unit");
+    }
+    if (len > r.remaining()) {
+      return DataLossError("tick frame ops payload exceeds the frame");
+    }
+    ByteReader ops_reader(buffer_.data() + offset, len);
+    if (Status s = units_[index].apply(ops_reader); !s.ok()) {
+      return s;
+    }
+    if (Status s = ops_reader.ExpectEnd(); !s.ok()) {
+      return s;
+    }
+    for (uint32_t skipped = 0; skipped < len; ++skipped) {
+      uint8_t byte = 0;
+      if (Status s = r.GetU8(&byte); !s.ok()) {
+        return s;
+      }
+    }
+    offset += len;
+  }
+  return r.ExpectEnd();
+}
+
+void DurabilityManager::RebuildCaches() {
+  for (Unit& unit : units_) {
+    if (unit.is_delta) {
+      continue;
+    }
+    std::vector<uint8_t> bytes;
+    ByteWriter w(bytes);
+    unit.save(w);
+    unit.last_bytes = std::move(bytes);
+  }
+}
+
+StatusOr<DurabilityManager::RecoveryResult> DurabilityManager::Recover() {
+  // Scan the longest valid frame prefix. The scan itself mutates nothing; classification of
+  // why it stopped (clean end, torn tail, corrupt frame) feeds the loss accounting.
+  std::vector<ScannedFrame> frames;
+  size_t offset = 0;
+  bool torn = false;
+  bool corrupt = false;
+  while (offset < buffer_.size()) {
+    if (buffer_.size() - offset < kFrameOverheadBytes) {
+      torn = true;
+      break;
+    }
+    ByteReader prefix(buffer_.data() + offset, kFramePrefixBytes);
+    uint32_t payload_len = 0;
+    uint8_t type = 0;
+    uint64_t tick = 0;
+    MERCURIAL_CHECK(prefix.GetU32(&payload_len).ok());
+    MERCURIAL_CHECK(prefix.GetU8(&type).ok());
+    MERCURIAL_CHECK(prefix.GetU64(&tick).ok());
+    if (buffer_.size() - offset - kFrameOverheadBytes < payload_len) {
+      // A clipped body and a bit flip in the length word are indistinguishable here; both end
+      // the durable prefix, classified as a torn tail.
+      torn = true;
+      break;
+    }
+    const size_t crc_offset = offset + kFramePrefixBytes + payload_len;
+    ByteReader crc_reader(buffer_.data() + crc_offset, 4);
+    uint32_t stored_crc = 0;
+    MERCURIAL_CHECK(crc_reader.GetU32(&stored_crc).ok());
+    const uint32_t computed_crc = Crc32(buffer_.data() + offset, kFramePrefixBytes + payload_len);
+    if (stored_crc != computed_crc || !ValidFrameType(type)) {
+      corrupt = true;
+      break;
+    }
+    ScannedFrame frame;
+    frame.type = static_cast<JournalFrameType>(type);
+    frame.tick = tick;
+    frame.payload_begin = offset + kFramePrefixBytes;
+    frame.payload_len = payload_len;
+    frame.frame_end = crc_offset + 4;
+    frames.push_back(frame);
+    offset = frame.frame_end;
+  }
+
+  if (frames.empty() || frames.front().type != JournalFrameType::kHeader) {
+    return DataLossError("journal has no valid header frame");
+  }
+  {
+    ByteReader header(buffer_.data() + frames.front().payload_begin, frames.front().payload_len);
+    uint32_t magic = 0;
+    uint32_t version = 0;
+    if (Status s = header.GetU32(&magic); !s.ok()) return s;
+    if (Status s = header.GetU32(&version); !s.ok()) return s;
+    if (magic != kJournalMagic || version != kJournalVersion) {
+      return DataLossError("journal header magic/version mismatch");
+    }
+  }
+
+  // Latest valid snapshot in the prefix wins; tick frames after it replay in order.
+  size_t snapshot_index = frames.size();
+  for (size_t i = frames.size(); i-- > 0;) {
+    if (frames[i].type == JournalFrameType::kSnapshot) {
+      snapshot_index = i;
+      break;
+    }
+  }
+  if (snapshot_index == frames.size()) {
+    return DataLossError("journal has no valid snapshot frame");
+  }
+
+  // A fresh manager recovering a journal image it did not write (the CLI path) has no write
+  // stats; adopt the scanned prefix as the written history so conservation closes with zero
+  // truncation attributed to the unknowable physical tail.
+  if (stats_.frames_written == 0) {
+    for (const ScannedFrame& frame : frames) {
+      ++stats_.frames_written;
+      if (frame.type == JournalFrameType::kSnapshot) {
+        ++stats_.snapshots_written;
+      } else if (frame.type == JournalFrameType::kTickDelta) {
+        ++stats_.tick_frames_written;
+      }
+    }
+    stats_.bytes_written = frames.back().frame_end;
+    // Mirror EndTick's counting: every snapshot after the initial one replaced (and counted)
+    // a due tick frame, so covered-frame math closes with zero truncation attributed to the
+    // physically unknowable tail.
+    if (stats_.snapshots_written > 0) {
+      stats_.tick_frames_written += stats_.snapshots_written - 1;
+    }
+  }
+
+  uint64_t tick_frames_before = 0;
+  if (Status s = ApplySnapshot(frames[snapshot_index], &tick_frames_before); !s.ok()) {
+    return s;
+  }
+  uint64_t replayed = 0;
+  uint64_t durable_tick = frames[snapshot_index].tick;
+  for (size_t i = snapshot_index + 1; i < frames.size(); ++i) {
+    if (frames[i].type != JournalFrameType::kTickDelta) {
+      return DataLossError("non-tick frame after the recovered snapshot");
+    }
+    if (Status s = ApplyTickDelta(frames[i]); !s.ok()) {
+      return s;
+    }
+    ++replayed;
+    durable_tick = frames[i].tick;
+  }
+
+  // The snapshot payload's tick_frames_before includes the tick a due snapshot replaced
+  // (EndTick counts it before writing), so `covered` is exactly the tick frames written after
+  // this snapshot — replayed ones plus whatever the lost tail carried.
+  MERCURIAL_CHECK_GE(stats_.tick_frames_written, tick_frames_before);
+  const uint64_t covered = stats_.tick_frames_written - tick_frames_before;
+  MERCURIAL_CHECK_GE(covered, replayed);
+  const uint64_t truncated = covered - replayed;
+
+  RecoveryResult result;
+  result.durable_tick = durable_tick;
+  result.snapshot_tick = frames[snapshot_index].tick;
+  result.frames_replayed = replayed;
+  result.frames_truncated = truncated;
+  result.exact = truncated == 0 && !torn && !corrupt;
+
+  ++stats_.recoveries;
+  if (result.exact) {
+    ++stats_.exact_recoveries;
+  } else {
+    ++stats_.prefix_recoveries;
+  }
+  stats_.frames_replayed += replayed;
+  stats_.frames_truncated += truncated;
+  if (torn) {
+    ++stats_.torn_tail_truncations;
+  }
+  if (corrupt) {
+    ++stats_.corrupt_frames_rejected;
+  }
+
+  // Manifest: last valid manifest frame in the prefix (there is exactly one in practice).
+  for (const ScannedFrame& frame : frames) {
+    if (frame.type == JournalFrameType::kManifest) {
+      recovered_manifest_.assign(buffer_.begin() + frame.payload_begin,
+                                 buffer_.begin() + frame.payload_begin + frame.payload_len);
+    }
+  }
+
+  // Truncate to the durable prefix: everything after the last valid frame is untrusted. The
+  // write cursor continues from here — recovery rewinds the journal as well as the state.
+  buffer_.resize(frames.back().frame_end);
+  last_snapshot_end_ = frames[snapshot_index].frame_end;
+  tick_frames_at_last_snapshot_ = tick_frames_before;
+  // Rewind the written-frame accounting to the durable prefix so post-recovery writes keep
+  // conservation exact: frames written past the prefix were just accounted as truncated.
+  stats_.tick_frames_written -= truncated;
+  RebuildCaches();
+  started_ = true;
+  SyncFile();
+  return result;
+}
+
+void DurabilityManager::TearTail(size_t bytes) {
+  MERCURIAL_CHECK_LE(last_snapshot_end_, buffer_.size());
+  const size_t tail = buffer_.size() - last_snapshot_end_;
+  MERCURIAL_CHECK_LE(bytes, tail) << "torn tail cannot reach past the last snapshot";
+  buffer_.resize(buffer_.size() - bytes);
+  SyncFile();
+}
+
+void DurabilityManager::FlipBit(size_t byte_offset, int bit) {
+  MERCURIAL_CHECK_GE(byte_offset, last_snapshot_end_) << "bit flips stay in the mutable tail";
+  MERCURIAL_CHECK_LT(byte_offset, buffer_.size());
+  MERCURIAL_CHECK(bit >= 0 && bit < 8);
+  buffer_[byte_offset] ^= static_cast<uint8_t>(1u << bit);
+  SyncFile();
+}
+
+void DurabilityManager::ReplaceBuffer(std::vector<uint8_t> bytes) {
+  MERCURIAL_CHECK(!started_) << "ReplaceBuffer is for recovery on a fresh manager";
+  buffer_ = std::move(bytes);
+}
+
+void DurabilityManager::SyncFile() const {
+  if (options_.path.empty()) {
+    return;
+  }
+  // Whole-image rewrite: the journal is modest (snapshots bound it) and recovery/chaos also
+  // truncate, which an append-only stream cannot express. std::FILE keeps the dependency
+  // surface minimal.
+  std::FILE* file = std::fopen(options_.path.c_str(), "wb");
+  MERCURIAL_CHECK(file != nullptr) << "cannot open journal file " << options_.path;
+  if (!buffer_.empty()) {
+    const size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), file);
+    MERCURIAL_CHECK_EQ(written, buffer_.size()) << "short journal write " << options_.path;
+  }
+  MERCURIAL_CHECK_EQ(std::fclose(file), 0);
+}
+
+}  // namespace mercurial

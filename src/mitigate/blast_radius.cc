@@ -75,6 +75,16 @@ void BlastRadiusLedger::RecordArtifacts(uint64_t core_global, uint64_t epoch, Ar
   counts.corrupt += corrupt;
   artifacts_recorded_ += produced;
   corrupt_recorded_ += corrupt;
+  if (log_ops_) {
+    MutationOp op;
+    op.op = 0;
+    op.core_global = core_global;
+    op.epoch = epoch;
+    op.artifact_kind = static_cast<uint8_t>(kind);
+    op.produced = produced;
+    op.corrupt = corrupt;
+    tick_ops_.push_back(op);
+  }
 }
 
 void BlastRadiusLedger::NoteSignal(uint64_t core_global, SimTime time) {
@@ -82,10 +92,50 @@ void BlastRadiusLedger::NoteSignal(uint64_t core_global, SimTime time) {
   if (!core.has_signal || time < core.first_signal) {
     core.first_signal = time;
     core.has_signal = true;
+    if (log_ops_) {
+      MutationOp op;
+      op.op = 1;
+      op.core_global = core_global;
+      op.signal_seconds = time.seconds();
+      tick_ops_.push_back(op);
+    }
   }
 }
 
 void BlastRadiusLedger::MergeFrom(BlastRadiusLedger& other) {
+  // Shard ledgers are merged, not recorded into, so the mutation log captures the incoming
+  // content here: one artifacts op per non-empty (core, epoch, kind) bucket, in the incoming
+  // ledger's deterministic (sorted-core, epoch-order) iteration order.
+  if (log_ops_) {
+    for (const auto& [core_global, incoming] : other.cores_) {
+      for (const EpochArtifacts& epoch : incoming.epochs) {
+        for (int k = 0; k < kArtifactKindCount; ++k) {
+          if (epoch.counts[k].produced == 0 && epoch.counts[k].corrupt == 0) {
+            continue;
+          }
+          MutationOp op;
+          op.op = 0;
+          op.core_global = core_global;
+          op.epoch = epoch.epoch;
+          op.artifact_kind = static_cast<uint8_t>(k);
+          op.produced = epoch.counts[k].produced;
+          op.corrupt = epoch.counts[k].corrupt;
+          tick_ops_.push_back(op);
+        }
+      }
+      if (incoming.has_signal) {
+        const CoreLedger* existing = Find(core_global);
+        if (existing == nullptr || !existing->has_signal ||
+            incoming.first_signal < existing->first_signal) {
+          MutationOp op;
+          op.op = 1;
+          op.core_global = core_global;
+          op.signal_seconds = incoming.first_signal.seconds();
+          tick_ops_.push_back(op);
+        }
+      }
+    }
+  }
   for (auto& [core_global, incoming] : other.cores_) {
     CoreLedger& core = cores_[core_global];
     for (EpochArtifacts& epoch : incoming.epochs) {
@@ -145,6 +195,137 @@ uint64_t BlastRadiusLedger::CorruptForCore(uint64_t core_global) const {
     total += epoch.corrupt();
   }
   return total;
+}
+
+void BlastRadiusLedger::DrainTickOps(ByteWriter& w) {
+  w.PutU32(static_cast<uint32_t>(tick_ops_.size()));
+  for (const MutationOp& op : tick_ops_) {
+    w.PutU8(op.op);
+    w.PutU64(op.core_global);
+    if (op.op == 0) {
+      w.PutU64(op.epoch);
+      w.PutU8(op.artifact_kind);
+      w.PutU64(op.produced);
+      w.PutU64(op.corrupt);
+    } else {
+      w.PutI64(op.signal_seconds);
+    }
+  }
+  tick_ops_.clear();
+}
+
+Status BlastRadiusLedger::ApplyTickOps(ByteReader& r) {
+  uint32_t count = 0;
+  if (Status s = r.GetU32(&count); !s.ok()) {
+    return s;
+  }
+  // Replay through the normal recording paths with logging suspended, so the replayed
+  // mutations are not re-logged into the next tick frame.
+  const bool saved_log = log_ops_;
+  log_ops_ = false;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t op = 0;
+    uint64_t core_global = 0;
+    if (Status s = r.GetU8(&op); !s.ok()) {
+      log_ops_ = saved_log;
+      return s;
+    }
+    if (Status s = r.GetU64(&core_global); !s.ok()) {
+      log_ops_ = saved_log;
+      return s;
+    }
+    if (op == 0) {
+      uint64_t epoch = 0;
+      uint8_t kind = 0;
+      uint64_t produced = 0;
+      uint64_t corrupt = 0;
+      Status s = r.GetU64(&epoch);
+      if (s.ok()) s = r.GetU8(&kind);
+      if (s.ok()) s = r.GetU64(&produced);
+      if (s.ok()) s = r.GetU64(&corrupt);
+      if (!s.ok()) {
+        log_ops_ = saved_log;
+        return s;
+      }
+      if (kind >= kArtifactKindCount) {
+        log_ops_ = saved_log;
+        return DataLossError("blast-radius op has artifact kind out of range");
+      }
+      if (corrupt > produced) {
+        log_ops_ = saved_log;
+        return DataLossError("blast-radius op has corrupt > produced");
+      }
+      RecordArtifacts(core_global, epoch, static_cast<ArtifactKind>(kind), produced, corrupt);
+    } else if (op == 1) {
+      int64_t seconds = 0;
+      if (Status s = r.GetI64(&seconds); !s.ok()) {
+        log_ops_ = saved_log;
+        return s;
+      }
+      NoteSignal(core_global, SimTime::Seconds(seconds));
+    } else {
+      log_ops_ = saved_log;
+      return DataLossError("blast-radius op tag unrecognized");
+    }
+  }
+  log_ops_ = saved_log;
+  return Status::Ok();
+}
+
+void BlastRadiusLedger::SaveDurableState(ByteWriter& w) const {
+  w.PutU64(artifacts_recorded_);
+  w.PutU64(corrupt_recorded_);
+  w.PutU32(static_cast<uint32_t>(cores_.size()));
+  for (const auto& [core_global, core] : cores_) {
+    w.PutU64(core_global);
+    w.PutBool(core.has_signal);
+    w.PutI64(core.first_signal.seconds());
+    w.PutU32(static_cast<uint32_t>(core.epochs.size()));
+    for (const EpochArtifacts& epoch : core.epochs) {
+      w.PutU64(epoch.epoch);
+      for (const ArtifactCounts& counts : epoch.counts) {
+        w.PutU64(counts.produced);
+        w.PutU64(counts.corrupt);
+      }
+    }
+  }
+}
+
+Status BlastRadiusLedger::LoadDurableState(ByteReader& r) {
+  uint64_t artifacts_recorded = 0;
+  uint64_t corrupt_recorded = 0;
+  uint32_t core_count = 0;
+  if (Status s = r.GetU64(&artifacts_recorded); !s.ok()) return s;
+  if (Status s = r.GetU64(&corrupt_recorded); !s.ok()) return s;
+  if (Status s = r.GetU32(&core_count); !s.ok()) return s;
+  std::map<uint64_t, CoreLedger> cores;
+  for (uint32_t i = 0; i < core_count; ++i) {
+    uint64_t core_global = 0;
+    int64_t first_signal = 0;
+    uint32_t epoch_count = 0;
+    CoreLedger core;
+    if (Status s = r.GetU64(&core_global); !s.ok()) return s;
+    if (Status s = r.GetBool(&core.has_signal); !s.ok()) return s;
+    if (Status s = r.GetI64(&first_signal); !s.ok()) return s;
+    if (Status s = r.GetU32(&epoch_count); !s.ok()) return s;
+    core.first_signal = SimTime::Seconds(first_signal);
+    core.epochs.reserve(epoch_count);
+    for (uint32_t e = 0; e < epoch_count; ++e) {
+      EpochArtifacts epoch;
+      if (Status s = r.GetU64(&epoch.epoch); !s.ok()) return s;
+      for (ArtifactCounts& counts : epoch.counts) {
+        if (Status s = r.GetU64(&counts.produced); !s.ok()) return s;
+        if (Status s = r.GetU64(&counts.corrupt); !s.ok()) return s;
+      }
+      core.epochs.push_back(epoch);
+    }
+    cores.emplace(core_global, std::move(core));
+  }
+  cores_ = std::move(cores);
+  artifacts_recorded_ = artifacts_recorded;
+  corrupt_recorded_ = corrupt_recorded;
+  tick_ops_.clear();
+  return Status::Ok();
 }
 
 }  // namespace mercurial

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/common/sim_time.h"
+#include "src/common/wire.h"
 #include "src/workload/workload.h"
 
 namespace mercurial {
@@ -119,10 +120,39 @@ class BlastRadiusLedger {
   // Ordered iteration for deterministic finalization.
   const std::map<uint64_t, CoreLedger>& cores() const { return cores_; }
 
+  // --- Durable-state support (src/durability) ----------------------------------------------
+  //
+  // The ledger grows without bound (per-core epoch histories), so the journal records it as a
+  // delta unit: with the mutation log enabled, every recording — direct RecordArtifacts /
+  // NoteSignal calls and the per-core content folded in by MergeFrom — appends a compact op.
+  // DrainTickOps serializes and clears the ops accumulated since the last drain (one journal
+  // tick frame's worth); ApplyTickOps replays them through the normal recording paths, so a
+  // recovered ledger is bit-identical. Snapshots use the full round trip: the map is already
+  // key-sorted, so the bytes are deterministic. Serialize assumes the op buffer was drained at
+  // the preceding tick boundary.
+  void EnableMutationLog(bool enabled) { log_ops_ = enabled; }
+  bool HasTickOps() const { return !tick_ops_.empty(); }
+  void DrainTickOps(ByteWriter& w);
+  Status ApplyTickOps(ByteReader& r);
+  void SaveDurableState(ByteWriter& w) const;
+  Status LoadDurableState(ByteReader& r);
+
  private:
+  struct MutationOp {
+    uint8_t op = 0;  // 0 = artifacts, 1 = signal
+    uint64_t core_global = 0;
+    uint64_t epoch = 0;          // artifacts op
+    uint8_t artifact_kind = 0;   // artifacts op
+    uint64_t produced = 0;       // artifacts op
+    uint64_t corrupt = 0;        // artifacts op
+    int64_t signal_seconds = 0;  // signal op
+  };
+
   std::map<uint64_t, CoreLedger> cores_;
   uint64_t artifacts_recorded_ = 0;
   uint64_t corrupt_recorded_ = 0;
+  bool log_ops_ = false;
+  std::vector<MutationOp> tick_ops_;
 };
 
 }  // namespace mercurial

@@ -160,6 +160,9 @@ size_t TraceRecorder::shard_of(uint64_t core) const {
 
 void TraceRecorder::Emit(uint64_t core, TraceEventKind kind, TraceCause cause, uint64_t detail) {
   ShardRing& ring = rings_[shard_of(core)];
+  if (log_ops_) {
+    ring.tick_dirty = true;  // even a sampled-out event moves seen[] and counters
+  }
   const size_t kind_index = static_cast<size_t>(kind);
   const uint32_t every = options_.sample_every[kind_index];
   const uint64_t seen = ring.seen[kind_index]++;
@@ -175,6 +178,9 @@ void TraceRecorder::Emit(uint64_t core, TraceEventKind kind, TraceCause cause, u
   event.kind = kind;
   event.cause = cause;
   event.detail = detail;
+  if (log_ops_) {
+    ring.tick_log.push_back(event);
+  }
   if (ring.slots.size() < options_.ring_capacity) {
     ring.slots.push_back(event);
     ++ring.counters.events_recorded;
@@ -219,6 +225,188 @@ IncidentTrace TraceRecorder::Assemble() const {
                      return a.time_seconds < b.time_seconds;
                    });
   return trace;
+}
+
+namespace {
+
+void PutTraceEventWire(ByteWriter& w, const TraceEvent& event) {
+  w.PutI64(event.time_seconds);
+  w.PutU64(event.core);
+  w.PutU64(event.epoch);
+  w.PutU8(static_cast<uint8_t>(event.kind));
+  w.PutU8(static_cast<uint8_t>(event.cause));
+  w.PutU64(event.detail);
+}
+
+Status GetTraceEventWire(ByteReader& r, TraceEvent* event) {
+  uint8_t kind = 0;
+  uint8_t cause = 0;
+  if (Status s = r.GetI64(&event->time_seconds); !s.ok()) return s;
+  if (Status s = r.GetU64(&event->core); !s.ok()) return s;
+  if (Status s = r.GetU64(&event->epoch); !s.ok()) return s;
+  if (Status s = r.GetU8(&kind); !s.ok()) return s;
+  if (Status s = r.GetU8(&cause); !s.ok()) return s;
+  if (Status s = r.GetU64(&event->detail); !s.ok()) return s;
+  if (kind >= kTraceEventKindCount) {
+    return DataLossError("trace event kind out of range");
+  }
+  if (cause >= kTraceCauseCount) {
+    return DataLossError("trace event cause out of range");
+  }
+  event->kind = static_cast<TraceEventKind>(kind);
+  event->cause = static_cast<TraceCause>(cause);
+  return Status::Ok();
+}
+
+void PutTraceCountersWire(ByteWriter& w, const TraceCounters& counters) {
+  w.PutU64(counters.events_emitted);
+  w.PutU64(counters.events_recorded);
+  w.PutU64(counters.events_dropped);
+  w.PutU64(counters.events_sampled_out);
+}
+
+Status GetTraceCountersWire(ByteReader& r, TraceCounters* counters) {
+  if (Status s = r.GetU64(&counters->events_emitted); !s.ok()) return s;
+  if (Status s = r.GetU64(&counters->events_recorded); !s.ok()) return s;
+  if (Status s = r.GetU64(&counters->events_dropped); !s.ok()) return s;
+  return r.GetU64(&counters->events_sampled_out);
+}
+
+}  // namespace
+
+bool TraceRecorder::HasTickOps() const {
+  for (const ShardRing& ring : rings_) {
+    if (ring.tick_dirty) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TraceRecorder::DrainTickOps(ByteWriter& w) {
+  uint32_t dirty = 0;
+  for (const ShardRing& ring : rings_) {
+    if (ring.tick_dirty) {
+      ++dirty;
+    }
+  }
+  w.PutU32(dirty);
+  for (size_t shard = 0; shard < rings_.size(); ++shard) {
+    ShardRing& ring = rings_[shard];
+    if (!ring.tick_dirty) {
+      continue;
+    }
+    w.PutU32(static_cast<uint32_t>(shard));
+    w.PutU32(static_cast<uint32_t>(ring.tick_log.size()));
+    for (const TraceEvent& event : ring.tick_log) {
+      PutTraceEventWire(w, event);
+    }
+    // Absolutes, not deltas: replay overwrites these after applying the inserts, so a
+    // recovered ring's sampling phase and conservation counters match exactly.
+    for (uint64_t seen : ring.seen) {
+      w.PutU64(seen);
+    }
+    PutTraceCountersWire(w, ring.counters);
+    ring.tick_log.clear();
+    ring.tick_dirty = false;
+  }
+}
+
+Status TraceRecorder::ApplyTickOps(ByteReader& r) {
+  uint32_t dirty = 0;
+  if (Status s = r.GetU32(&dirty); !s.ok()) {
+    return s;
+  }
+  for (uint32_t i = 0; i < dirty; ++i) {
+    uint32_t shard = 0;
+    uint32_t inserted = 0;
+    if (Status s = r.GetU32(&shard); !s.ok()) return s;
+    if (shard >= rings_.size()) {
+      return DataLossError("trace tick delta names a shard out of range");
+    }
+    if (Status s = r.GetU32(&inserted); !s.ok()) return s;
+    ShardRing& ring = rings_[shard];
+    for (uint32_t e = 0; e < inserted; ++e) {
+      TraceEvent event;
+      if (Status s = GetTraceEventWire(r, &event); !s.ok()) {
+        return s;
+      }
+      if (ring.slots.size() < options_.ring_capacity) {
+        ring.slots.push_back(event);
+      } else {
+        ring.slots[ring.head] = event;
+        ring.head = (ring.head + 1) % options_.ring_capacity;
+      }
+    }
+    for (uint64_t& seen : ring.seen) {
+      if (Status s = r.GetU64(&seen); !s.ok()) {
+        return s;
+      }
+    }
+    if (Status s = GetTraceCountersWire(r, &ring.counters); !s.ok()) {
+      return s;
+    }
+    ring.tick_log.clear();
+    ring.tick_dirty = false;
+  }
+  return Status::Ok();
+}
+
+void TraceRecorder::SaveDurableState(ByteWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(rings_.size()));
+  for (const ShardRing& ring : rings_) {
+    w.PutU64(static_cast<uint64_t>(ring.head));
+    w.PutU32(static_cast<uint32_t>(ring.slots.size()));
+    for (const TraceEvent& event : ring.slots) {
+      PutTraceEventWire(w, event);
+    }
+    for (uint64_t seen : ring.seen) {
+      w.PutU64(seen);
+    }
+    PutTraceCountersWire(w, ring.counters);
+  }
+}
+
+Status TraceRecorder::LoadDurableState(ByteReader& r) {
+  uint32_t shard_count = 0;
+  if (Status s = r.GetU32(&shard_count); !s.ok()) {
+    return s;
+  }
+  if (shard_count != rings_.size()) {
+    return DataLossError("trace snapshot shard count does not match the recorder");
+  }
+  std::vector<ShardRing> rings(rings_.size());
+  for (ShardRing& ring : rings) {
+    uint64_t head = 0;
+    uint32_t slot_count = 0;
+    if (Status s = r.GetU64(&head); !s.ok()) return s;
+    if (Status s = r.GetU32(&slot_count); !s.ok()) return s;
+    if (slot_count > options_.ring_capacity) {
+      return DataLossError("trace snapshot ring exceeds ring_capacity");
+    }
+    if (head >= slot_count && !(head == 0 && slot_count == 0)) {
+      return DataLossError("trace snapshot ring head out of range");
+    }
+    ring.head = static_cast<size_t>(head);
+    ring.slots.reserve(slot_count);
+    for (uint32_t e = 0; e < slot_count; ++e) {
+      TraceEvent event;
+      if (Status s = GetTraceEventWire(r, &event); !s.ok()) {
+        return s;
+      }
+      ring.slots.push_back(event);
+    }
+    for (uint64_t& seen : ring.seen) {
+      if (Status s = r.GetU64(&seen); !s.ok()) {
+        return s;
+      }
+    }
+    if (Status s = GetTraceCountersWire(r, &ring.counters); !s.ok()) {
+      return s;
+    }
+  }
+  rings_ = std::move(rings);
+  return Status::Ok();
 }
 
 std::vector<uint8_t> SerializeTrace(const IncidentTrace& trace) {

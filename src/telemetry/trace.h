@@ -31,6 +31,7 @@
 
 #include "src/common/sim_time.h"
 #include "src/common/status.h"
+#include "src/common/wire.h"
 
 namespace mercurial {
 
@@ -194,12 +195,32 @@ class TraceRecorder {
   // Fleet-wide counter totals (same values Assemble() reports).
   TraceCounters Totals() const;
 
+  // --- Durable-state support (src/durability) ----------------------------------------------
+  //
+  // Rings can be overwritten within a tick, so a post-hoc capture of the resident events
+  // cannot reconstruct intra-tick drops; instead, with the mutation log enabled each ring
+  // logs the events it actually inserted (push or overwrite) plus a dirty flag covering every
+  // Emit — sampled-out events move seen[]/counters too. DrainTickOps serializes the dirty
+  // rings (inserted events + absolute seen[] and counters) and clears the logs; ApplyTickOps
+  // replays the inserts mechanically and overwrites the absolutes, so a recovered recorder's
+  // Assemble() is bit-identical. Snapshots round-trip the full ring contents. Logging follows
+  // the same shard-confinement contract as Emit. Tick context is per-tick wiring
+  // (SetTickContext), never persisted.
+  void EnableMutationLog(bool enabled) { log_ops_ = enabled; }
+  bool HasTickOps() const;
+  void DrainTickOps(ByteWriter& w);
+  Status ApplyTickOps(ByteReader& r);
+  void SaveDurableState(ByteWriter& w) const;
+  Status LoadDurableState(ByteReader& r);
+
  private:
   struct alignas(64) ShardRing {
     std::vector<TraceEvent> slots;  // grows to ring_capacity, then wraps
     size_t head = 0;                // oldest slot once the ring has wrapped
     std::array<uint64_t, kTraceEventKindCount> seen{};  // per-kind sampling counters
     TraceCounters counters;
+    std::vector<TraceEvent> tick_log;  // events inserted since the last DrainTickOps
+    bool tick_dirty = false;           // any Emit touched this ring since the last drain
   };
 
   TraceOptions options_;
@@ -207,6 +228,7 @@ class TraceRecorder {
   std::vector<ShardRing> rings_;
   int64_t context_time_seconds_ = 0;
   uint64_t context_epoch_ = 0;
+  bool log_ops_ = false;
 };
 
 // CRC32-framed binary codec. Any single-bit flip, truncation, or trailing garbage in the

@@ -33,6 +33,11 @@
 //       stream-neutrality obligation of the sparse overhaul (DESIGN.md, "Decision: sparsity
 //       is free when streams are counter-keyed"): skipped cores draw nothing, so visiting
 //       only due/active cores cannot shift any stream.
+//   D11. Crash-recovery equivalence: with the write-ahead journal on and the controller
+//       killed and recovered after every k-th tick (k in {1, 7, 64}), the report — including
+//       serialized trace bytes — is EXACTLY equal to an uncrashed run, across threads
+//       {1, 2, 8} x {sparse, dense} x chaos {off, high}. And durability itself is an
+//       observer: enabled with no crash due, it is bit-invisible to every report field.
 
 #include <algorithm>
 #include <atomic>
@@ -204,6 +209,27 @@ void ExpectReportsEqual(const StudyReport& a, const StudyReport& b) {
   EXPECT_EQ(a.repair.chaos.reverify_misses, b.repair.chaos.reverify_misses);
   EXPECT_EQ(a.repair.chaos.defective_repairs, b.repair.chaos.defective_repairs);
   EXPECT_EQ(a.repair.chaos.partial_repairs, b.repair.chaos.partial_repairs);
+
+  // Durability + crash-recovery accounting (all-defaults when durability is off; D11 strips
+  // it before comparing a crashed run against an uncrashed reference).
+  EXPECT_EQ(a.durability.enabled, b.durability.enabled);
+  EXPECT_EQ(a.durability.frames_written, b.durability.frames_written);
+  EXPECT_EQ(a.durability.bytes_written, b.durability.bytes_written);
+  EXPECT_EQ(a.durability.snapshots_written, b.durability.snapshots_written);
+  EXPECT_EQ(a.durability.tick_frames_written, b.durability.tick_frames_written);
+  EXPECT_EQ(a.durability.recoveries, b.durability.recoveries);
+  EXPECT_EQ(a.durability.exact_recoveries, b.durability.exact_recoveries);
+  EXPECT_EQ(a.durability.prefix_recoveries, b.durability.prefix_recoveries);
+  EXPECT_EQ(a.durability.frames_replayed, b.durability.frames_replayed);
+  EXPECT_EQ(a.durability.frames_truncated, b.durability.frames_truncated);
+  EXPECT_EQ(a.durability.torn_tail_truncations, b.durability.torn_tail_truncations);
+  EXPECT_EQ(a.durability.corrupt_frames_rejected, b.durability.corrupt_frames_rejected);
+  EXPECT_EQ(a.durability.controller_crashes, b.durability.controller_crashes);
+  EXPECT_EQ(a.durability.reconcile_released_unknown, b.durability.reconcile_released_unknown);
+  EXPECT_EQ(a.durability.reconcile_reinstated_unknown,
+            b.durability.reconcile_reinstated_unknown);
+  EXPECT_EQ(a.durability.reconcile_dropped_pending, b.durability.reconcile_dropped_pending);
+  EXPECT_EQ(a.durability.reconcile_dropped_probation, b.durability.reconcile_dropped_probation);
 }
 
 // Sanity: the harness options actually exercise the machinery (otherwise equality over empty
@@ -597,6 +623,83 @@ TEST(DeterminismTest, SparseHarnessExercisesTheHardPaths) {
       << " activations=" << report.control_plane.guardrail_activations
       << " releases=" << report.control_plane.guardrail_releases
       << " cores=" << report.cores;
+}
+
+// --- D11: crash-recovery equivalence ---------------------------------------------------------
+
+// The D10 harness (quorum + probation + audit + tracing, chaos optional) with the write-ahead
+// journal on and the controller crashed-and-recovered after every k-th tick. Clean crashes
+// only: the journal is intact, so every recovery must be exact and bit-identical.
+StudyOptions CrashHarness(bool chaos, bool sparse, int threads, int crash_every) {
+  StudyOptions options = SparseHarness(/*seed=*/20210531, chaos, /*audit=*/true, sparse,
+                                       /*shards=*/8, threads);
+  options.durability.enabled = true;
+  options.control_plane.chaos.controller_crash_every_ticks = crash_every;
+  return options;
+}
+
+// D11a: a controller that dies after every k-th tick and recovers from the journal finishes
+// the study with EXACTLY the report — and the trace bytes — of a controller that never died,
+// for every k x thread-count x engine x chaos combination. LoadDurableState must therefore
+// round-trip every bit of controller state: one forgotten field diverges this matrix.
+TEST(DeterminismTest, CrashedControllerRecoversBitIdentically) {
+  for (const bool chaos : {false, true}) {
+    for (const bool sparse : {false, true}) {
+      SCOPED_TRACE(std::string("chaos=") + (chaos ? "high" : "off") +
+                   " engine=" + (sparse ? "sparse" : "dense"));
+      const StudyReport uncrashed = RunStudy(SparseHarness(
+          /*seed=*/20210531, chaos, /*audit=*/true, sparse, /*shards=*/8, /*threads=*/1));
+      const std::vector<uint8_t> golden = SerializeTrace(uncrashed.trace);
+      ASSERT_GT(uncrashed.trace.events.size(), 0u) << "harness recorded no events";
+      for (const int crash_every : {1, 7, 64}) {
+        for (const int threads : {1, 2, 8}) {
+          SCOPED_TRACE("crash_every=" + std::to_string(crash_every) +
+                       " threads=" + std::to_string(threads));
+          StudyReport crashed = RunStudy(CrashHarness(chaos, sparse, threads, crash_every));
+          ASSERT_GT(crashed.durability.controller_crashes, 0u);
+          EXPECT_EQ(crashed.durability.recoveries, crashed.durability.controller_crashes);
+          EXPECT_EQ(crashed.durability.recoveries, crashed.durability.exact_recoveries)
+              << "a clean crash must recover exactly";
+          EXPECT_EQ(crashed.durability.frames_truncated, 0u);
+          EXPECT_EQ(crashed.durability.reconcile_released_unknown +
+                        crashed.durability.reconcile_reinstated_unknown +
+                        crashed.durability.reconcile_dropped_pending +
+                        crashed.durability.reconcile_dropped_probation,
+                    0u)
+              << "exact recovery must never need fleet reconciliation";
+          EXPECT_EQ(golden, SerializeTrace(crashed.trace));
+          // Strip the crash accounting; every simulation field must match the uncrashed run.
+          crashed.durability = DurabilityStats{};
+          ExpectReportsEqual(uncrashed, crashed);
+        }
+      }
+    }
+  }
+}
+
+// D11b: durability is an observer. Journaling consumes no randomness and the crash stream is
+// stateless per tick, so enabling the journal with no crash due leaves every report field and
+// every trace byte identical to a durability-off run — serial and sharded engines both.
+TEST(DeterminismTest, DurabilityIsBitInvisibleWithoutCrashes) {
+  for (const int shards : {1, 8}) {
+    StudyOptions durable = SparseHarness(/*seed=*/20210531, /*chaos=*/true, /*audit=*/true,
+                                         /*sparse=*/true, shards,
+                                         /*threads=*/shards == 1 ? 1 : 2);
+    durable.durability.enabled = true;
+    StudyOptions plain = durable;
+    plain.durability = DurabilityOptions{};  // disabled, all defaults
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    StudyReport on = RunStudy(durable);
+    const StudyReport off = RunStudy(plain);
+    EXPECT_TRUE(on.durability.enabled);
+    EXPECT_FALSE(off.durability.enabled);
+    EXPECT_GT(on.durability.frames_written, 0u);
+    EXPECT_EQ(on.durability.recoveries, 0u);
+    EXPECT_EQ(SerializeTrace(on.trace), SerializeTrace(off.trace));
+    // Strip the journal accounting; everything that remains must match exactly.
+    on.durability = DurabilityStats{};
+    ExpectReportsEqual(on, off);
+  }
 }
 
 // --- Background-noise draw accounting (stream pin) -------------------------------------------

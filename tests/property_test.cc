@@ -40,6 +40,15 @@
 //       tick >= its earliest defect activation (install + onset) and never later — every core
 //       with AnyDefectActive() is in its shard's slice — and retirement removes admitted and
 //       pending cores alike, permanently.
+//   P17. Crash-recovery conservation: with the write-ahead journal on and the controller
+//       killed after every tick, the conviction/probation lifecycle books (P12/P13) still
+//       balance exactly — no conviction, probation record, or repair item is lost or applied
+//       twice across recoveries. The torn-tail variant loses frames by design, and every loss
+//       is accounted: exact + prefix recoveries == crashes, truncated frames and reconcile
+//       actions are counted, never silent.
+//   P18. Every journal prefix is recoverable: truncating a journal at EVERY byte boundary
+//       yields either a clean recovery to some durable tick (state exactly as it was at that
+//       tick) or a loud DATA_LOSS refusal — never a crash, never a blend, never garbage.
 
 #include <algorithm>
 #include <cstring>
@@ -946,6 +955,163 @@ TEST(PropertyTest, ActiveIndexAdmitsExactlyTheOnsetWindow) {
   // so the removal counter never exceeds the retirements actually issued.
   EXPECT_GT(index.retired_count(), 0u);
   EXPECT_LE(index.retired_count(), retired.size());
+}
+
+// --- P17/P18: crash-recovery conservation ------------------------------------------------------
+
+namespace {
+
+// The quorum + probation lifecycle harness with the write-ahead journal armed and the
+// controller dying after every tick. Clean crashes: the journal survives intact.
+StudyOptions CrashEveryTickLifecycleOptions() {
+  StudyOptions options = QuorumProbationLifecycleOptions();
+  options.durability.enabled = true;
+  options.control_plane.chaos.controller_crash_every_ticks = 1;
+  return options;
+}
+
+}  // namespace
+
+// P17 (clean crashes): the lifecycle conservation of P12 and P13 holds verbatim through a
+// controller that is killed and recovered from the journal after EVERY tick — the books are
+// reconstructed exactly, so nothing is lost and nothing double-applied, including the repair
+// pipeline riding on those verdicts.
+TEST(PropertyTest, LifecycleBooksBalanceThroughCrashRecoveryEveryTick) {
+  FleetStudy study(CrashEveryTickLifecycleOptions());
+  const StudyReport report = study.Run();
+
+  ASSERT_GT(report.durability.controller_crashes, 0u);
+  ASSERT_EQ(report.durability.recoveries, report.durability.exact_recoveries)
+      << "clean crashes must all recover exactly";
+
+  // P12's fleet-wide conservation, re-run on the crashed-and-recovered trace.
+  uint64_t convictions = 0;
+  uint64_t strong_convictions = 0;
+  uint64_t probation_starts = 0;
+  uint64_t probation_ends = 0;
+  for (const TraceEvent& event : report.trace.events) {
+    switch (event.kind) {
+      case TraceEventKind::kConviction:
+        ++convictions;
+        if (event.cause != TraceCause::kWeakEvidence) {
+          ++strong_convictions;
+        }
+        break;
+      case TraceEventKind::kProbationStart:
+        ++probation_starts;
+        break;
+      case TraceEventKind::kProbationEnd:
+        ++probation_ends;
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_GT(convictions, 0u) << "no convictions; conservation is vacuous";
+  ASSERT_GT(probation_starts, 0u) << "no weak convictions; probation path untested";
+  EXPECT_EQ(convictions,
+            strong_convictions + probation_ends + report.control_plane.probation_pending_at_end);
+  EXPECT_EQ(convictions - strong_convictions, probation_starts);
+
+  // P13's per-core probation books, same trace.
+  std::map<uint64_t, int64_t> starts;
+  std::map<uint64_t, int64_t> ends;
+  for (const TraceEvent& event : report.trace.events) {
+    if (event.kind == TraceEventKind::kProbationStart) {
+      ++starts[event.core];
+    } else if (event.kind == TraceEventKind::kProbationEnd) {
+      ++ends[event.core];
+    }
+  }
+  uint64_t deficit_total = 0;
+  for (const auto& [core, started] : starts) {
+    const int64_t closed = ends.count(core) ? ends.at(core) : 0;
+    const int64_t deficit = started - closed;
+    EXPECT_GE(deficit, 0) << "core " << core << " ended probation it never started";
+    EXPECT_LE(deficit, 1) << "core " << core << " holds multiple open probation records";
+    deficit_total += static_cast<uint64_t>(deficit);
+  }
+  EXPECT_EQ(deficit_total, report.control_plane.probation_pending_at_end);
+}
+
+// P17 (torn tails): crashes that also damage the journal roll the books back by design. The
+// property is loud accounting, not losslessness: every crash recovers (exactly or to a
+// prefix), every truncated frame is counted, and the study's conservation CHECK
+// (frames_replayed + frames_truncated == frames at risk) passes at finalization — reaching
+// the assertions below at all proves it.
+TEST(PropertyTest, TornTailCrashesAccountEveryLostFrame) {
+  StudyOptions options = CrashEveryTickLifecycleOptions();
+  options.durability.snapshot_every = 8;
+  options.control_plane.chaos.controller_crash_every_ticks = 2;
+  options.control_plane.chaos.journal_torn_tail = 0.5;
+  options.control_plane.chaos.journal_bit_flip = 0.25;
+  FleetStudy study(options);
+  const StudyReport report = study.Run();
+
+  ASSERT_GT(report.durability.controller_crashes, 0u);
+  EXPECT_EQ(report.durability.recoveries, report.durability.controller_crashes);
+  EXPECT_EQ(report.durability.exact_recoveries + report.durability.prefix_recoveries,
+            report.durability.recoveries);
+  EXPECT_GT(report.durability.prefix_recoveries, 0u) << "no journal damage landed; vacuous";
+  EXPECT_GT(report.durability.frames_truncated, 0u);
+  EXPECT_GT(report.durability.torn_tail_truncations + report.durability.corrupt_frames_rejected,
+            0u);
+}
+
+// P18: every journal prefix is recoverable. A toy journal truncated at every byte boundary
+// either recovers to some durable tick — with the unit state exactly as it was at that tick —
+// or refuses loudly with DATA_LOSS (no valid header/snapshot yet). Nothing in between.
+TEST(PropertyTest, EveryJournalPrefixRecoversCleanlyOrFailsLoudly) {
+  struct ToyState {
+    uint64_t value = 0;
+  };
+
+  // Build a reference journal: 6 ticks, value = 100 + tick. expected[t] is the durable value
+  // at tick t (expected[0] is the initial snapshot's state).
+  std::vector<uint8_t> image;
+  std::vector<uint64_t> expected = {100};
+  {
+    ToyState state{100};
+    DurabilityManager writer(DurabilityManager::Options{});
+    writer.RegisterUnit(
+        "toy", [&state](ByteWriter& w) { w.PutU64(state.value); },
+        [&state](ByteReader& r) { return r.GetU64(&state.value); });
+    ASSERT_TRUE(writer.Start(0, {0x42}).ok());
+    for (uint64_t tick = 1; tick <= 6; ++tick) {
+      state.value = 100 + tick;
+      writer.EndTick(tick);
+      expected.push_back(state.value);
+    }
+    image = writer.buffer();
+  }
+
+  uint64_t recovered_count = 0;
+  uint64_t refused_count = 0;
+  for (size_t len = 0; len <= image.size(); ++len) {
+    ToyState state{0};
+    DurabilityManager reader(DurabilityManager::Options{});
+    reader.RegisterUnit(
+        "toy", [&state](ByteWriter& w) { w.PutU64(state.value); },
+        [&state](ByteReader& r) { return r.GetU64(&state.value); });
+    reader.ReplaceBuffer(std::vector<uint8_t>(image.begin(), image.begin() + len));
+    StatusOr<DurabilityManager::RecoveryResult> result = reader.Recover();
+    if (result.ok()) {
+      ++recovered_count;
+      ASSERT_LE(result->durable_tick, 6u) << "prefix len " << len;
+      EXPECT_EQ(state.value, expected[result->durable_tick])
+          << "prefix len " << len << " recovered tick " << result->durable_tick
+          << " with the wrong state";
+    } else {
+      ++refused_count;
+      EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+          << "prefix len " << len << ": " << result.status().ToString();
+    }
+  }
+  // Short prefixes (no header or no snapshot yet) refuse; everything past the initial
+  // snapshot recovers. Both arms must be exercised.
+  EXPECT_GT(recovered_count, 0u);
+  EXPECT_GT(refused_count, 0u);
+  EXPECT_EQ(recovered_count + refused_count, image.size() + 1);
 }
 
 }  // namespace

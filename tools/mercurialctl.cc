@@ -3,6 +3,7 @@
 // Subcommands:
 //   study        run a full fleet lifecycle study and print the report
 //   trace        run a study with the incident flight recorder on and print the timeline
+//   recover      inspect a journal file, rebuild the study it came from, verify the prefix
 //   interrogate  plant a catalog defect on one core and extract a confession
 //   screen       run the directed stress battery on a healthy or defective core
 //   defects      list the defect catalog
@@ -10,20 +11,25 @@
 // Examples:
 //   mercurialctl study --machines=1000 --days=365 --multiplier=25
 //   mercurialctl study --machines=200 --days=180 --trace --trace-core=42
+//   mercurialctl study --days=180 --journal=study.journal --chaos-controller-crash-every=7
+//   mercurialctl recover --journal=study.journal
 //   mercurialctl trace --machines=200 --days=180 --audit --jsonl=trace.jsonl
 //   mercurialctl interrogate --defect=self_inverting_aes --iterations=1024
 //   mercurialctl screen --defect=copy_stuck_bit --sweep=true
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/common/flags.h"
+#include "src/common/wire.h"
 #include "src/core/fleet_study.h"
 #include "src/core/tradeoff.h"
 #include "src/detect/confession.h"
 #include "src/detect/quorum.h"
+#include "src/durability/journal.h"
 #include "src/mitigate/blast_radius.h"
 #include "src/sim/defect_catalog.h"
 #include "src/telemetry/trace.h"
@@ -160,8 +166,10 @@ bool ExportTraceArtifacts(const IncidentTrace& trace, const std::string& jsonl_p
   return true;
 }
 
-int CmdStudy(int argc, const char* const* argv) {
-  FlagSet flags;
+// Shared between `study` and `recover`: the full study flag surface. `recover` re-parses the
+// argv recorded in the journal manifest through these same definitions, so the rebuilt study
+// is flag-for-flag the invocation that wrote the journal.
+void DefineStudyFlags(FlagSet& flags) {
   flags.DefineInt("machines", 500, "fleet size in machines");
   flags.DefineInt("days", 365, "simulated study duration");
   flags.DefineInt("seed", 42, "master seed (fixes the whole study)");
@@ -237,12 +245,27 @@ int CmdStudy(int argc, const char* const* argv) {
                   "print only this core's timeline (-1 = every convicted core)");
   flags.DefineString("trace-jsonl", "", "export the full trace as JSONL to this path");
   flags.DefineString("trace-csv", "", "export the full trace as CSV to this path");
-  const Status status = flags.Parse(argc, argv, 2);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
-    return 1;
-  }
+  flags.DefineBool("durable", false,
+                   "arm the write-ahead journal + snapshots for the controller state "
+                   "(in memory; --journal adds a write-through file)");
+  flags.DefineString("journal", "",
+                     "write-through journal file (implies --durable); replay it with "
+                     "`mercurialctl recover --journal=PATH`");
+  flags.DefineInt("snapshot-every", 64,
+                  "ticks between full journal snapshots (0 = initial snapshot only)");
+  flags.DefineInt("chaos-controller-crash-every", 0,
+                  "kill + recover the controller from the journal every K ticks "
+                  "(0 = off; implies --durable)");
+  flags.DefineDouble("chaos-controller-crash", 0.0,
+                     "controller crash rate per day, at chaos-chosen ticks (implies --durable)");
+  flags.DefineDouble("chaos-journal-torn-tail", 0.0,
+                     "P(a controller crash also tears bytes off the journal tail)");
+  flags.DefineDouble("chaos-journal-bit-flip", 0.0,
+                     "P(a controller crash also flips one bit in the journal tail)");
+}
 
+// Builds and validates StudyOptions from a parsed study flag set.
+Status BuildStudyOptions(const FlagSet& flags, StudyOptions* out) {
   StudyOptions options;
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   options.fleet.machine_count = static_cast<size_t>(flags.GetInt("machines"));
@@ -308,22 +331,121 @@ int CmdStudy(int argc, const char* const* argv) {
   options.audit.chaos.repair_partial = flags.GetDouble("chaos-repair-partial");
   options.trace.enabled = flags.GetBool("trace");
   options.trace.ring_capacity = static_cast<size_t>(flags.GetInt("trace-ring-capacity"));
-  {
-    const Status invalid = options.control_plane.Validate();
-    if (!invalid.ok()) {
-      std::fprintf(stderr, "%s\n", invalid.ToString().c_str());
-      return 1;
+  options.control_plane.chaos.controller_crash_per_day =
+      flags.GetDouble("chaos-controller-crash");
+  options.control_plane.chaos.controller_crash_every_ticks =
+      static_cast<int>(flags.GetInt("chaos-controller-crash-every"));
+  options.control_plane.chaos.journal_torn_tail = flags.GetDouble("chaos-journal-torn-tail");
+  options.control_plane.chaos.journal_bit_flip = flags.GetDouble("chaos-journal-bit-flip");
+  if (flags.GetInt("snapshot-every") < 0) {
+    return InvalidArgumentError("--snapshot-every must be >= 0");
+  }
+  options.durability.snapshot_every = static_cast<uint64_t>(flags.GetInt("snapshot-every"));
+  options.durability.journal_path = flags.GetString("journal");
+  options.durability.enabled = flags.GetBool("durable") ||
+                               !options.durability.journal_path.empty() ||
+                               options.control_plane.chaos.controller_enabled();
+  if (Status invalid = options.control_plane.Validate(); !invalid.ok()) {
+    return invalid;
+  }
+  if (Status bad_audit = options.audit.Validate(); !bad_audit.ok()) {
+    return bad_audit;
+  }
+  if (Status bad_trace = options.trace.Validate(); !bad_trace.ok()) {
+    return bad_trace;
+  }
+  *out = std::move(options);
+  return Status::Ok();
+}
+
+// The journal manifest is the study's own argv — [u32 count][u32 len + bytes]* — enough for
+// `recover` to rebuild and deterministically re-run the exact invocation that wrote it.
+std::vector<uint8_t> EncodeArgvManifest(int argc, const char* const* argv) {
+  std::vector<uint8_t> bytes;
+  ByteWriter w(bytes);
+  w.PutU32(static_cast<uint32_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const size_t len = std::strlen(argv[i]);
+    w.PutU32(static_cast<uint32_t>(len));
+    bytes.insert(bytes.end(), argv[i], argv[i] + len);
+  }
+  return bytes;
+}
+
+Status DecodeArgvManifest(const std::vector<uint8_t>& bytes, std::vector<std::string>* out) {
+  ByteReader r(bytes.data(), bytes.size());
+  uint32_t count = 0;
+  if (Status s = r.GetU32(&count); !s.ok()) {
+    return s;
+  }
+  out->clear();
+  size_t offset = 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (Status s = r.GetU32(&len); !s.ok()) {
+      return s;
     }
-    const Status bad_audit = options.audit.Validate();
-    if (!bad_audit.ok()) {
-      std::fprintf(stderr, "%s\n", bad_audit.ToString().c_str());
-      return 1;
+    offset += 4;
+    if (len > r.remaining()) {
+      return DataLossError("manifest argv entry exceeds the payload");
     }
-    const Status bad_trace = options.trace.Validate();
-    if (!bad_trace.ok()) {
-      std::fprintf(stderr, "%s\n", bad_trace.ToString().c_str());
-      return 1;
+    out->emplace_back(reinterpret_cast<const char*>(bytes.data() + offset), len);
+    for (uint32_t skipped = 0; skipped < len; ++skipped) {
+      uint8_t byte = 0;
+      if (Status s = r.GetU8(&byte); !s.ok()) {
+        return s;
+      }
     }
+    offset += len;
+  }
+  return r.ExpectEnd();
+}
+
+void PrintDurabilitySection(const DurabilityStats& d) {
+  std::printf("\ndurability (write-ahead journal):\n");
+  std::printf("  journal                %llu frames / %llu bytes (%llu snapshots, "
+              "%llu tick frames)\n",
+              static_cast<unsigned long long>(d.frames_written),
+              static_cast<unsigned long long>(d.bytes_written),
+              static_cast<unsigned long long>(d.snapshots_written),
+              static_cast<unsigned long long>(d.tick_frames_written));
+  std::printf("  controller crashes     %llu -> %llu recoveries (%llu exact, %llu prefix)\n",
+              static_cast<unsigned long long>(d.controller_crashes),
+              static_cast<unsigned long long>(d.recoveries),
+              static_cast<unsigned long long>(d.exact_recoveries),
+              static_cast<unsigned long long>(d.prefix_recoveries));
+  std::printf("  frames replayed/lost   %llu/%llu (torn tails %llu, corrupt frames %llu)\n",
+              static_cast<unsigned long long>(d.frames_replayed),
+              static_cast<unsigned long long>(d.frames_truncated),
+              static_cast<unsigned long long>(d.torn_tail_truncations),
+              static_cast<unsigned long long>(d.corrupt_frames_rejected));
+  const uint64_t reconciled = d.reconcile_released_unknown + d.reconcile_reinstated_unknown +
+                              d.reconcile_dropped_pending + d.reconcile_dropped_probation;
+  if (reconciled > 0) {
+    std::printf("  fleet reconciliation   released=%llu reinstated=%llu dropped "
+                "pending=%llu probation=%llu\n",
+                static_cast<unsigned long long>(d.reconcile_released_unknown),
+                static_cast<unsigned long long>(d.reconcile_reinstated_unknown),
+                static_cast<unsigned long long>(d.reconcile_dropped_pending),
+                static_cast<unsigned long long>(d.reconcile_dropped_probation));
+  }
+}
+
+int CmdStudy(int argc, const char* const* argv) {
+  FlagSet flags;
+  DefineStudyFlags(flags);
+  const Status status = flags.Parse(argc, argv, 2);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+  StudyOptions options;
+  if (Status bad = BuildStudyOptions(flags, &options); !bad.ok()) {
+    std::fprintf(stderr, "%s\n", bad.ToString().c_str());
+    return 1;
+  }
+  if (options.durability.enabled) {
+    options.durability.manifest = EncodeArgvManifest(argc, argv);
   }
 
   FleetStudy study(options);
@@ -455,6 +577,13 @@ int CmdStudy(int argc, const char* const* argv) {
     }
   }
 
+  if (options.durability.enabled) {
+    PrintDurabilitySection(report.durability);
+    if (!options.durability.journal_path.empty()) {
+      std::printf("  journal file           %s\n", options.durability.journal_path.c_str());
+    }
+  }
+
   const CostBreakdown bill = EvaluateStudyCost(report, CostModel{});
   std::printf("\ncost (default model): corruption=%.0f disruption=%.0f screening=%.1f "
               "capacity=%.0f total=%.0f\n",
@@ -476,6 +605,146 @@ int CmdStudy(int argc, const char* const* argv) {
       std::printf("%zu,%g,%g\n", w, report.weekly_user_rate[w], report.weekly_auto_rate[w]);
     }
   }
+  return 0;
+}
+
+// `mercurialctl recover`: the journal's read side. Reads a journal file written by
+// `study --journal=PATH`, validates its framing (every CRC), recovers the manifest argv,
+// rebuilds the exact study invocation recorded there, deterministically re-runs it with an
+// in-memory journal, and verifies the on-disk durable prefix byte-for-byte against the
+// re-run. A torn or corrupt tail bounds the durable prefix; an image that proves no durable
+// state at all is refused loudly with DATA_LOSS.
+int CmdRecover(int argc, const char* const* argv) {
+  FlagSet flags;
+  flags.DefineString("journal", "", "journal file written by `mercurialctl study --journal`");
+  flags.DefineBool("run", true,
+                   "re-run the recovered invocation and verify the journal prefix against it");
+  const Status status = flags.Parse(argc, argv, 2);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\nflags:\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+  const std::string path = flags.GetString("journal");
+  if (path.empty()) {
+    std::fprintf(stderr, "--journal is required\n");
+    return 1;
+  }
+
+  std::vector<uint8_t> image;
+  {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::rewind(file);
+    image.resize(size > 0 ? static_cast<size_t>(size) : 0);
+    if (!image.empty() && std::fread(image.data(), 1, image.size(), file) != image.size()) {
+      std::fprintf(stderr, "short read from %s\n", path.c_str());
+      std::fclose(file);
+      return 1;
+    }
+    std::fclose(file);
+  }
+
+  const StatusOr<JournalImageInfo> inspected = InspectJournalImage(image);
+  if (!inspected.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), inspected.status().ToString().c_str());
+    return 1;
+  }
+  const JournalImageInfo& info = *inspected;
+  std::printf("journal %s: %zu bytes\n", path.c_str(), image.size());
+  std::printf("  durable prefix         %zu bytes / %llu frames (%llu snapshots, "
+              "%llu tick frames)\n",
+              info.durable_prefix_bytes, static_cast<unsigned long long>(info.frames),
+              static_cast<unsigned long long>(info.snapshots),
+              static_cast<unsigned long long>(info.tick_frames));
+  std::printf("  durable tick           %llu (latest snapshot at tick %llu)\n",
+              static_cast<unsigned long long>(info.durable_tick),
+              static_cast<unsigned long long>(info.snapshot_tick));
+  if (info.durable_prefix_bytes < image.size()) {
+    std::printf("  untrusted tail         %zu bytes rejected (%s)\n",
+                image.size() - info.durable_prefix_bytes,
+                info.corrupt_frame ? "corrupt frame" : "torn tail");
+  }
+
+  std::vector<std::string> manifest_argv;
+  if (Status bad = DecodeArgvManifest(info.manifest, &manifest_argv); !bad.ok()) {
+    std::fprintf(stderr, "manifest does not decode as an argv record: %s\n",
+                 bad.ToString().c_str());
+    return 1;
+  }
+  std::printf("  recovered invocation  ");
+  for (const std::string& arg : manifest_argv) {
+    std::printf(" %s", arg.c_str());
+  }
+  std::printf("\n");
+  if (!flags.GetBool("run")) {
+    return 0;
+  }
+
+  // Re-parse the recorded argv through the same flag surface `study` uses, then re-run with
+  // an in-memory journal (never clobbering the image under verification) but the exact
+  // manifest bytes — the re-run's journal is byte-for-byte the one the original run wrote.
+  std::vector<const char*> raw;
+  raw.reserve(manifest_argv.size());
+  for (const std::string& arg : manifest_argv) {
+    raw.push_back(arg.c_str());
+  }
+  FlagSet study_flags;
+  DefineStudyFlags(study_flags);
+  if (Status bad = study_flags.Parse(static_cast<int>(raw.size()), raw.data(), 2);
+      !bad.ok()) {
+    std::fprintf(stderr, "recovered invocation does not parse: %s\n", bad.ToString().c_str());
+    return 1;
+  }
+  StudyOptions options;
+  if (Status bad = BuildStudyOptions(study_flags, &options); !bad.ok()) {
+    std::fprintf(stderr, "%s\n", bad.ToString().c_str());
+    return 1;
+  }
+  options.durability.enabled = true;
+  options.durability.journal_path.clear();
+  options.durability.manifest = info.manifest;
+
+  FleetStudy study(options);
+  std::printf("\nre-running: %zu machines / %zu cores, seed %llu\n",
+              study.fleet().machine_count(), study.fleet().core_count(),
+              static_cast<unsigned long long>(options.seed));
+  const StudyReport report = study.Run();
+  PrintDurabilitySection(report.durability);
+
+  const std::vector<uint8_t>& rerun = study.durability()->buffer();
+  const bool prefix_matches =
+      info.durable_prefix_bytes <= rerun.size() &&
+      std::equal(image.begin(),
+                 image.begin() + static_cast<std::ptrdiff_t>(info.durable_prefix_bytes),
+                 rerun.begin());
+  if (!prefix_matches) {
+    size_t first_diff = 0;
+    const size_t limit = std::min(info.durable_prefix_bytes, rerun.size());
+    while (first_diff < limit && image[first_diff] == rerun[first_diff]) {
+      ++first_diff;
+    }
+    std::fprintf(stderr,
+                 "\njournal prefix verification FAILED: diverges from the re-run at byte %zu "
+                 "of %zu — the image may predate a later journal truncation, or the recorded "
+                 "flags no longer reproduce it\n",
+                 first_diff, info.durable_prefix_bytes);
+    return 2;
+  }
+  std::printf("\njournal prefix verified: %zu bytes bit-identical to the deterministic "
+              "re-run%s\n",
+              info.durable_prefix_bytes,
+              info.durable_prefix_bytes == rerun.size() ? " (complete journal)" : "");
+  std::printf("study replayed: %llu work units, %llu retirements (%llu mercurial), "
+              "%llu controller crashes survived\n",
+              static_cast<unsigned long long>(report.work_units_executed),
+              static_cast<unsigned long long>(report.quarantine.retirements),
+              static_cast<unsigned long long>(report.mercurial_retired),
+              static_cast<unsigned long long>(report.durability.controller_crashes));
   return 0;
 }
 
@@ -652,6 +921,7 @@ void PrintTopLevelUsage() {
   std::printf("mercurialctl <command> [flags]\n\ncommands:\n"
               "  study        run a fleet lifecycle study\n"
               "  trace        run a study with the flight recorder on; print incident timelines\n"
+              "  recover      inspect + verify a journal file written by `study --journal`\n"
               "  interrogate  plant a defect and extract a confession\n"
               "  screen       run the stress battery on one core\n"
               "  defects      list the defect catalog\n");
@@ -670,6 +940,9 @@ int main(int argc, char** argv) {
   }
   if (command == "trace") {
     return CmdTrace(argc, argv);
+  }
+  if (command == "recover") {
+    return CmdRecover(argc, argv);
   }
   if (command == "interrogate") {
     return CmdInterrogate(argc, argv);
