@@ -66,6 +66,7 @@ struct FleetStudy::ShardDelta {
     screen.stats = ScreeningTickStats{};
     screen.failures.clear();
     screen.offline_drained.clear();
+    screen.drained_tiers.clear();
   }
 };
 
@@ -123,6 +124,21 @@ FleetStudy::FleetStudy(StudyOptions options)
     // profile per WorkloadKind, in enum order).
     placement_profiles_ = PlacementPlanner::StandardProfiles();
     MERCURIAL_CHECK_EQ(placement_profiles_.size(), corpus_.size());
+  }
+
+  if (options_.screening.adaptive) {
+    // Evidence probe for the risk-adaptive allocator. Called only from the serial plan phase
+    // (PlanAdaptiveTick), so the report-service and scheduler reads are race-free; the peek
+    // is const, so probing changes neither component's state — adaptive mode stays
+    // bit-invisible to them.
+    screening_.set_risk_probe([this](uint64_t core, SimTime now) {
+      const CeeReportService::CoreEvidence peek = service_.PeekEvidence(core, now);
+      ScreeningRiskEvidence evidence;
+      evidence.report_score = peek.score;
+      evidence.direct_score = peek.direct_score;
+      evidence.on_probation = scheduler_.state(core) == CoreState::kProbation;
+      return evidence;
+    });
   }
 
   if (options_.trace.enabled) {
@@ -366,9 +382,13 @@ void FleetStudy::ApplyShardDelta(ShardDelta& delta) {
 void FleetStudy::ApplyScreenOutcome(SimTime now, const ShardScreenOutcome& outcome) {
   // Offline screens owe the scheduler a drain (migration costs) and a release back to
   // service; replayed here in shard order so cost accounting is thread-count independent.
-  for (uint64_t core : outcome.offline_drained) {
-    scheduler_.Drain(core);
-    scheduler_.Release(core);
+  // Adaptive screens also carry their risk tier for the per-tier drain breakdown.
+  for (size_t i = 0; i < outcome.offline_drained.size(); ++i) {
+    scheduler_.Drain(outcome.offline_drained[i]);
+    if (!outcome.drained_tiers.empty()) {
+      scheduler_.NoteScreenDrainTier(outcome.drained_tiers[i]);
+    }
+    scheduler_.Release(outcome.offline_drained[i]);
   }
   for (const Signal& signal : outcome.failures) {
     auto_series_->Add(now, 1.0);
@@ -460,6 +480,10 @@ void FleetStudy::RunBurnIn() {
   burn_in_options.online_enabled = false;
   // Zero period => every core is due immediately, and t=0 coverage applies.
   burn_in_options.offline_period = SimTime::Seconds(0);
+  // Burn-in is a one-shot acceptance sweep, never budget-arbitrated: with adaptive left on,
+  // this orchestrator's Tick would consume an (empty, never-planned) admission list and
+  // screen nothing at all.
+  burn_in_options.adaptive = false;
   ScreeningOrchestrator burn_in(burn_in_options, fleet_.core_count(), rng_.Split(0xb124));
   // Burn-in runs at t=0 under the recorder's initial (time 0, epoch 0) context.
   burn_in.set_trace_recorder(trace_.get());
@@ -486,6 +510,11 @@ void FleetStudy::RunTicksSerial(
     }
     if (sparse) {
       active_index_.Advance(now);
+    }
+    if (screening_.adaptive()) {
+      // Serial plan phase: score due cores and fix this tick's screening admissions while
+      // scheduler state is frozen (it next changes in ProcessSuspects, after screening).
+      screening_.PlanAdaptiveTick(now, options_.tick, fleet_, scheduler_);
     }
 
     delta.Reset();
@@ -547,6 +576,13 @@ void FleetStudy::RunTicksSharded(
       // Serial admissions: the per-shard active slices are frozen shared state during the
       // parallel phase, exactly like the scheduler's states.
       active_index_.Advance(now);
+    }
+    if (screening_.adaptive()) {
+      // Serial plan phase: budget arbitration is global (risk priority across all shards),
+      // so it cannot run inside the shards. The plan fixes each shard's admissions before
+      // dispatch; TickShard then consumes its ascending slice, and the schedulability
+      // decisions hold because scheduler state is frozen until ProcessSuspects.
+      screening_.PlanAdaptiveTick(now, options_.tick, fleet_, scheduler_);
     }
 
     // Parallel phase: every shard reads frozen shared state (scheduler, fleet layout,
@@ -822,6 +858,20 @@ void FleetStudy::Finalize() {
     metrics_.Increment("production.active_admitted", active_index_.admitted_count());
     metrics_.Increment("production.active_retired", active_index_.retired_count());
     metrics_.Increment("production.latent_at_end", active_index_.pending_count());
+  }
+
+  if (options_.screening.adaptive) {
+    // Adaptive-allocator counters; absent (not zero) on the legacy path, same contract as
+    // the sparse-engine block above.
+    const ScreeningRiskStats& risk = screening_.risk_stats();
+    metrics_.Increment("screening.risk_rescores", risk.rescores);
+    metrics_.Increment("screening.risk_admitted", risk.admitted);
+    metrics_.Increment("screening.risk_deferred", risk.deferred);
+    metrics_.Increment("screening.risk_budget_exhausted_ticks", risk.budget_exhausted_ticks);
+    metrics_.Increment("screening.risk_ops_planned", risk.ops_planned);
+    metrics_.Increment("screening.risk_cold_screens", risk.tier_screens[0]);
+    metrics_.Increment("screening.risk_warm_screens", risk.tier_screens[1]);
+    metrics_.Increment("screening.risk_hot_screens", risk.tier_screens[2]);
   }
 
   if (trace_ != nullptr) {

@@ -115,6 +115,16 @@ std::vector<SuspectCore> CeeReportService::Suspects(SimTime now) {
     if (record.score >= options_.min_score) {
       const uint32_t core_count = cores_on_machine_(record.machine);
       MERCURIAL_CHECK_GT(core_count, 0u);
+      if (core_count == 1) {
+        // Degenerate null: on a single-core machine every report lands on the only core with
+        // probability 1, so BinomialUpperTail(k, n, 1/1) == 1 and concentration can never be
+        // significant — which is correct (there is no spread to distinguish a CEE from a
+        // software bug), not a bug to paper over. Such cores are convictable only via the
+        // direct-evidence bypass above (screen fails are core-attributed). Skip explicitly
+        // instead of grinding through a test that cannot fire.
+        ++it;
+        continue;
+      }
       const auto machine_it = std::lower_bound(
           machine_records_.begin(), machine_records_.end(), record.machine,
           [](const MachineRecord& rec, uint64_t id) { return rec.machine < id; });
@@ -138,6 +148,23 @@ std::vector<SuspectCore> CeeReportService::Suspects(SimTime now) {
     ++it;
   }
   return suspects;
+}
+
+CeeReportService::CoreEvidence CeeReportService::PeekEvidence(uint64_t core_global,
+                                                              SimTime now) const {
+  const auto it = core_records_.find(core_global);
+  if (it == core_records_.end()) {
+    return CoreEvidence{};
+  }
+  const CoreRecord& record = it->second;
+  // Decay out-of-line rather than via DecayTo: this is a const peek, and it must not touch
+  // the shared memo either (a probe-sized dt would evict the tick-sized entry the Suspects
+  // sweep relies on).
+  double factor = 1.0;
+  if (now > record.last_update) {
+    factor = std::exp2(-(now - record.last_update).days() / options_.half_life_days);
+  }
+  return CoreEvidence{record.score * factor, record.direct_score * factor};
 }
 
 void CeeReportService::Forget(uint64_t core_global) { core_records_.erase(core_global); }

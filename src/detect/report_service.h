@@ -40,6 +40,14 @@ struct ReportServiceOptions {
   double direct_evidence_threshold = 3.0;
 };
 
+// Every SignalType must carry an explicit weight in type_weight above: a new enumerator that
+// silently picks up garbage (or clips the array) would corrupt every score. Extending
+// SignalType must update the initializer, the name switch in report_service.cc, and this
+// count — loudly, here, at compile time.
+static_assert(kSignalTypeCount == 6,
+              "SignalType changed: update ReportServiceOptions::type_weight defaults, "
+              "SignalTypeName(), and this assert");
+
 struct SuspectCore {
   uint64_t core_global = 0;
   uint64_t machine = 0;
@@ -61,6 +69,15 @@ class CeeReportService {
   // Forgets a core's accumulated score (call after quarantining/clearing it, so stale mass
   // doesn't immediately re-trigger suspicion).
   void Forget(uint64_t core_global);
+
+  // Decayed evidence snapshot for one core as of `now`, without mutating the record (no
+  // last_update advance, no decay-memo write): the adaptive screening allocator's risk probe.
+  // Returns zeros for untracked cores. Read-only and cheap — one hash lookup plus one exp2.
+  struct CoreEvidence {
+    double score = 0.0;         // decayed weighted mass of all signals
+    double direct_score = 0.0;  // decayed screen-fail-only mass
+  };
+  CoreEvidence PeekEvidence(uint64_t core_global, SimTime now) const;
 
   // Incident flight recorder hook: when set, every core Suspects() names emits a
   // kSuspicionRaised event (cause = direct evidence vs concentration test). Suspects runs in

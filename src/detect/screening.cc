@@ -1,9 +1,12 @@
 #include "src/detect/screening.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <string>
 
 #include "src/common/logging.h"
+#include "src/sim/exec_unit.h"
 #include "src/telemetry/trace.h"
 
 namespace mercurial {
@@ -20,6 +23,50 @@ Status ValidateScreeningOptions(const ScreeningOptions& options) {
   }
   if (options.online_enabled && options.online_iterations == 0) {
     return InvalidArgumentError("online_iterations must be positive");
+  }
+  // coverage_schedule must be sorted by activation time: CoveredUnits/CoveredUnitCount and
+  // the coverage-gap scorer all assume it, and an out-of-order entry used to be accepted
+  // silently — it still *worked* for counting (every comparison is independent), but any
+  // schedule-order consumer (gap scoring, documentation, operator reasoning) saw a unit that
+  // "never comes online". Reject instead of sorting in place: the options struct is the
+  // user's record of what they asked for.
+  for (size_t i = 1; i < options.coverage_schedule.size(); ++i) {
+    if (options.coverage_schedule[i].first < options.coverage_schedule[i - 1].first) {
+      return InvalidArgumentError(
+          "coverage_schedule must be sorted by activation time (entry " + std::to_string(i) +
+          " comes online before entry " + std::to_string(i - 1) + ")");
+    }
+  }
+  // No unit may be covered twice — within initial_coverage, within the schedule, or across
+  // the two — or every battery double-counts (and double-charges) that unit.
+  bool covered[kExecUnitCount] = {};
+  for (const ExecUnit unit : options.initial_coverage) {
+    if (covered[static_cast<int>(unit)]) {
+      return InvalidArgumentError(std::string("initial_coverage lists ") + ExecUnitName(unit) +
+                                  " more than once");
+    }
+    covered[static_cast<int>(unit)] = true;
+  }
+  for (const auto& [when, unit] : options.coverage_schedule) {
+    if (covered[static_cast<int>(unit)]) {
+      return InvalidArgumentError(std::string("coverage_schedule duplicates unit ") +
+                                  ExecUnitName(unit));
+    }
+    covered[static_cast<int>(unit)] = true;
+  }
+  if (options.adaptive) {
+    if (!options.offline_enabled) {
+      return InvalidArgumentError("adaptive screening requires offline screening");
+    }
+    if (options.adaptive_min_period.seconds() <= 0) {
+      return InvalidArgumentError("adaptive_min_period must be positive");
+    }
+    if (options.adaptive_max_period < options.adaptive_min_period) {
+      return InvalidArgumentError("adaptive_max_period must be >= adaptive_min_period");
+    }
+    if (!(options.risk_warm <= options.risk_hot)) {  // NaN fails too
+      return InvalidArgumentError("risk_warm must be <= risk_hot (and neither NaN)");
+    }
   }
   return Status::Ok();
 }
@@ -160,9 +207,13 @@ void ScreeningOrchestrator::EnableSparse(
   MERCURIAL_CHECK_LE(next_offline_due_.size(),
                      static_cast<size_t>(std::numeric_limits<uint32_t>::max()));
   // Size each ring to the cadence so steady-state reschedules (one per screen) stay in the
-  // ring instead of the overflow map; +2 covers the fire-tick ceiling and the next-tick floor.
-  const int64_t span_ticks =
-      (options_.offline_period.seconds() + dt.seconds() - 1) / dt.seconds() + 2;
+  // ring instead of the overflow map; +2 covers the fire-tick ceiling and the next-tick
+  // floor. Adaptive reschedules range up to the cadence ceiling, so size for that too.
+  const int64_t horizon_seconds =
+      options_.adaptive ? std::max(options_.offline_period.seconds(),
+                                   options_.adaptive_max_period.seconds())
+                        : options_.offline_period.seconds();
+  const int64_t span_ticks = (horizon_seconds + dt.seconds() - 1) / dt.seconds() + 2;
   wheels_.reserve(shard_ranges.size());
   for (const auto& [begin, end] : shard_ranges) {
     ShardWheel& sw = wheels_.emplace_back(ShardWheel{begin, end, DueWheel(span_ticks)});
@@ -183,8 +234,214 @@ DueWheelStats ScreeningOrchestrator::wheel_stats() const {
   return total;
 }
 
+SimTime ScreeningOrchestrator::PeriodForRisk(double risk) const {
+  // Hyperbolic cadence: risk 0 rides the ceiling, risk 1 halves it, and the floor bounds how
+  // hard a pathological score can hammer one core with drains.
+  const double scaled = static_cast<double>(options_.adaptive_max_period.seconds()) /
+                        (1.0 + std::max(0.0, risk));
+  const int64_t lo = options_.adaptive_min_period.seconds();
+  const int64_t hi = options_.adaptive_max_period.seconds();
+  return SimTime::Seconds(std::clamp(static_cast<int64_t>(std::llround(scaled)), lo, hi));
+}
+
+int ScreeningOrchestrator::TierForRisk(double risk) const {
+  if (risk >= options_.risk_hot) {
+    return 2;
+  }
+  if (risk >= options_.risk_warm) {
+    return 1;
+  }
+  return 0;
+}
+
+uint64_t ScreeningOrchestrator::IterationsForTier(int tier) const {
+  return options_.offline_iterations << tier;  // 1x / 2x / 4x battery depth
+}
+
+ScreeningOrchestrator::ShardWheel& ScreeningOrchestrator::WheelForCore(uint64_t core) {
+  const auto it = std::upper_bound(
+      wheels_.begin(), wheels_.end(), core,
+      [](uint64_t c, const ShardWheel& sw) { return c < sw.begin; });
+  MERCURIAL_CHECK(it != wheels_.begin()) << "core below the sparse partition";
+  ShardWheel& sw = *(it - 1);
+  MERCURIAL_CHECK(core >= sw.begin && core < sw.end) << "core outside the sparse partition";
+  return sw;
+}
+
+void ScreeningOrchestrator::RescheduleAdaptive(SimTime now, uint64_t core, SimTime period) {
+  next_offline_due_[core] = now + period;
+  if (sparse_enabled()) {
+    ShardWheel& sw = WheelForCore(core);
+    sw.wheel.Schedule(static_cast<uint32_t>(core),
+                      std::max(TickIndex(now) + 1, FireTick(next_offline_due_[core])));
+  }
+}
+
+double ScreeningOrchestrator::RiskScore(SimTime now, uint64_t core, Fleet& fleet) {
+  const ScreeningRiskWeights& w = options_.risk_weights;
+  RiskState& rs = risk_[core];
+  double risk = 0.0;
+  if (risk_probe_) {
+    const ScreeningRiskEvidence evidence = risk_probe_(core, now);
+    if (evidence.on_probation) {
+      rs.probation_seen = true;
+    }
+    risk += w.report_evidence * evidence.report_score;
+    risk += w.direct_evidence * evidence.direct_score;
+    risk += w.probation * (evidence.on_probation ? 1.0 : (rs.probation_seen ? 0.5 : 0.0));
+  }
+  risk += w.screen_failures * static_cast<double>(rs.screen_failures);
+  const SimCore& sim_core = fleet.core(core);
+  risk += w.age_years * (sim_core.age().days() / 365.0);
+  // Operating-point stress: hot silicon and thin voltage margin both raise the chance a
+  // marginal defect fires in production before the next screen (§5: defects are f/V/T
+  // sensitive). Normalized so the default point (60 C, 0.92 V) scores ~0.15.
+  const OperatingPoint point = sim_core.operating_point();
+  const double temp_stress = std::clamp((point.temperature_c - 50.0) / 50.0, 0.0, 1.0);
+  const double volt_stress = std::clamp((0.95 - sim_core.voltage()) / 0.30, 0.0, 1.0);
+  risk += w.stress * 0.5 * (temp_stress + volt_stress);
+  // Coverage gap: corpus units that came online after this core's last offline screen have
+  // never been run against it — its defects there are still zero-days (§4).
+  uint64_t gap = 0;
+  if (rs.last_screen.seconds() < 0) {
+    gap = CoveredUnitCount(now);  // never screened: the whole live corpus is untested
+  } else {
+    for (const auto& [when, unit] : options_.coverage_schedule) {
+      if (when <= now && when > rs.last_screen) {
+        ++gap;
+      }
+    }
+  }
+  risk += w.coverage_gap * static_cast<double>(gap);
+  return risk;
+}
+
+void ScreeningOrchestrator::PlanAdaptiveTick(SimTime now, SimTime dt, Fleet& fleet,
+                                             const CoreScheduler& scheduler) {
+  planned_.clear();
+  if (!adaptive()) {
+    return;
+  }
+  if (risk_.empty()) {
+    risk_.resize(next_offline_due_.size());
+  }
+
+  // 1. Collect this tick's due, installed candidates in ascending core order. Sparse drains
+  // every shard wheel in shard order (shard ranges partition ascending, so the concatenation
+  // is globally ascending — the dense visit order); dense scans the due table. Uninstalled
+  // cores park exactly like the legacy paths (due pinned to now; wheel jumps to the install
+  // tick) so the two engines converge on identical due values.
+  plan_candidates_.clear();
+  if (sparse_enabled()) {
+    const int64_t tick = TickIndex(now);
+    for (ShardWheel& sw : wheels_) {
+      for (const uint32_t core : sw.wheel.Drain(tick)) {
+        MERCURIAL_CHECK_LE(next_offline_due_[core].seconds(), now.seconds());
+        if (!fleet.Installed(core, now)) {
+          next_offline_due_[core] = now;
+          const SimTime install = fleet.machine(fleet.core_id(core).machine).install_time();
+          sw.wheel.Schedule(core, std::max(tick + 1, FireTick(install)));
+          continue;
+        }
+        plan_candidates_.push_back(core);
+      }
+    }
+  } else {
+    for (uint64_t core = 0; core < next_offline_due_.size(); ++core) {
+      if (next_offline_due_[core] > now) {
+        continue;
+      }
+      if (!fleet.Installed(core, now)) {
+        next_offline_due_[core] = now;  // not racked yet; first screen once installed
+        continue;
+      }
+      plan_candidates_.push_back(core);
+    }
+  }
+
+  // 2. Score. Serial and in ascending core order, so every float accumulates in a fixed
+  // order regardless of shard/thread count. Unschedulable cores ride the cadence ceiling,
+  // mirroring the legacy skip (the confession path tests them instead).
+  struct Scored {
+    double risk;
+    uint64_t core;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(plan_candidates_.size());
+  for (const uint64_t core : plan_candidates_) {
+    if (!scheduler.Schedulable(core)) {
+      RescheduleAdaptive(now, core, options_.adaptive_max_period);
+      continue;
+    }
+    scored.push_back(Scored{RiskScore(now, core, fleet), core});
+    ++risk_stats_.rescores;
+  }
+
+  // 3. Deterministic priority: risk descending, core id ascending on ties.
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.risk != b.risk) {
+      return a.risk > b.risk;
+    }
+    return a.core < b.core;
+  });
+
+  // 4. Greedy admission under this tick's ops budget. Strict stop: the first candidate that
+  // does not fit (and everything below it) defers to the next tick — no best-fit backfill,
+  // which would make admission depend on float comparisons deep down the list.
+  const bool metered = options_.budget_ops_per_day > 0;
+  uint64_t remaining =
+      metered ? static_cast<uint64_t>(
+                    std::llround(static_cast<double>(options_.budget_ops_per_day) * dt.days()))
+              : 0;
+  const uint64_t unit_count = CoveredUnitCount(now);
+  bool exhausted = false;
+  for (const Scored& s : scored) {
+    const int tier = TierForRisk(s.risk);
+    const uint64_t iterations = IterationsForTier(tier);
+    const uint64_t cost = iterations * unit_count;
+    const auto risk_milli =
+        static_cast<uint64_t>(std::llround(std::max(0.0, s.risk) * 1000.0));
+    if (!exhausted && (!metered || cost <= remaining)) {
+      if (metered) {
+        remaining -= cost;
+      }
+      planned_.push_back(PlannedScreen{s.core, iterations, static_cast<uint8_t>(tier)});
+      RescheduleAdaptive(now, s.core, PeriodForRisk(s.risk));
+      risk_[s.core].last_screen = now;
+      ++risk_stats_.admitted;
+      ++risk_stats_.tier_screens[tier];
+      risk_stats_.ops_planned += cost;
+      if (trace_ != nullptr) {
+        trace_->Emit(s.core, TraceEventKind::kRiskRescore, TraceCause::kRiskAdmitted,
+                     (risk_milli << 2) | static_cast<uint64_t>(tier));
+      }
+    } else {
+      // Budget exhausted: stays due (dense rescans it; sparse re-fires next tick) and is
+      // re-scored against the fresh candidate pool.
+      exhausted = true;
+      ++risk_stats_.deferred;
+      if (sparse_enabled()) {
+        ShardWheel& sw = WheelForCore(s.core);
+        sw.wheel.Schedule(static_cast<uint32_t>(s.core), TickIndex(now) + 1);
+      }
+      if (trace_ != nullptr) {
+        trace_->Emit(s.core, TraceEventKind::kRiskRescore, TraceCause::kRiskDeferred,
+                     (risk_milli << 2) | static_cast<uint64_t>(tier));
+      }
+    }
+  }
+  if (exhausted) {
+    ++risk_stats_.budget_exhausted_ticks;
+  }
+
+  // 5. Execution consumes planned_ in ascending core order (each shard takes its slice), so
+  // restore the dense visit order.
+  std::sort(planned_.begin(), planned_.end(),
+            [](const PlannedScreen& a, const PlannedScreen& b) { return a.core < b.core; });
+}
+
 bool ScreeningOrchestrator::ScreenOne(SimTime now, uint64_t core_index, bool offline,
-                                      Fleet& fleet, Rng& rng,
+                                      uint64_t iterations, Fleet& fleet, Rng& rng,
                                       const std::function<void(const Signal&)>& emit,
                                       ScreeningTickStats& stats) {
   if (fleet.Healthy(core_index)) {
@@ -193,13 +450,13 @@ bool ScreeningOrchestrator::ScreenOne(SimTime now, uint64_t core_index, bool off
     // itself maintains, so defects planted after Fleet::Build (tests, chaos hooks) are still
     // seen — while the common healthy case costs one flat byte load instead of the
     // cache-cold core -> defects_ pointer chain.
-    stats.ops_spent += offline ? OfflineBatteryOps(now) : OnlineBatteryOps(now);
+    stats.ops_spent += iterations * CoveredUnitCount(now);
     return false;
   }
   SimCore& core = fleet.core(core_index);
   StressOptions stress;
   stress.units = CoveredUnits(now);
-  stress.iterations_per_unit = offline ? options_.offline_iterations : options_.online_iterations;
+  stress.iterations_per_unit = iterations;
   if (offline && options_.offline_sweep_fvt) {
     stress.sweep = StandardScreeningSweep();
   }
@@ -223,7 +480,21 @@ ScreeningTickStats ScreeningOrchestrator::Tick(SimTime now, SimTime dt, Fleet& f
                                                const std::function<void(const Signal&)>& emit) {
   ScreeningTickStats stats;
 
-  if (options_.offline_enabled && sparse_enabled()) {
+  if (adaptive()) {
+    // Adaptive path: PlanAdaptiveTick already drained the wheels / advanced the due table and
+    // chose this tick's admissions; execution just runs them (ascending core order — the
+    // plan sorted planned_ back into the dense visit order).
+    for (const PlannedScreen& plan : planned_) {
+      scheduler.Drain(plan.core);
+      scheduler.NoteScreenDrainTier(plan.tier);
+      ++stats.offline_screens;
+      if (ScreenOne(now, plan.core, /*offline=*/true, plan.iterations, fleet, rng_, emit,
+                    stats)) {
+        ++risk_[plan.core].screen_failures;
+      }
+      scheduler.Release(plan.core);
+    }
+  } else if (options_.offline_enabled && sparse_enabled()) {
     // Sparse path: drain this tick's wheel bucket instead of scanning every core. Drains are
     // ascending, so visits (and therefore draws) happen in the dense scan's order.
     MERCURIAL_CHECK_EQ(wheels_.size(), 1u)
@@ -240,7 +511,8 @@ ScreeningTickStats ScreeningOrchestrator::Tick(SimTime now, SimTime dt, Fleet& f
       // Offline screening requires vacating the core, then it returns to service.
       scheduler.Drain(core);
       ++stats.offline_screens;
-      ScreenOne(now, core, /*offline=*/true, fleet, rng_, emit, stats);
+      ScreenOne(now, core, /*offline=*/true, options_.offline_iterations, fleet, rng_, emit,
+                stats);
       scheduler.Release(core);
     }
   } else if (options_.offline_enabled) {
@@ -259,7 +531,8 @@ ScreeningTickStats ScreeningOrchestrator::Tick(SimTime now, SimTime dt, Fleet& f
       // Offline screening requires vacating the core, then it returns to service.
       scheduler.Drain(core);
       ++stats.offline_screens;
-      ScreenOne(now, core, /*offline=*/true, fleet, rng_, emit, stats);
+      ScreenOne(now, core, /*offline=*/true, options_.offline_iterations, fleet, rng_, emit,
+                stats);
       scheduler.Release(core);
     }
   }
@@ -275,7 +548,8 @@ ScreeningTickStats ScreeningOrchestrator::Tick(SimTime now, SimTime dt, Fleet& f
         continue;
       }
       ++stats.online_screens;
-      ScreenOne(now, core, /*offline=*/false, fleet, rng_, emit, stats);
+      ScreenOne(now, core, /*offline=*/false, options_.online_iterations, fleet, rng_, emit,
+                stats);
     }
   }
   return stats;
@@ -289,7 +563,24 @@ ShardScreenOutcome ScreeningOrchestrator::TickShard(SimTime now, SimTime dt,
   ShardScreenOutcome outcome;
   const auto emit = [&outcome](const Signal& signal) { outcome.failures.push_back(signal); };
 
-  if (options_.offline_enabled && sparse_enabled() && core_end > core_begin) {
+  if (adaptive()) {
+    // Adaptive path: execute this shard's slice of the serial plan. planned_ is ascending by
+    // core, so a binary search bounds the slice; risk_ writes are shard-confined (each entry
+    // belongs to the shard that owns the core). Drain/release and tier accounting are
+    // deferred to the merge barrier via offline_drained/drained_tiers.
+    const auto begin = std::lower_bound(
+        planned_.begin(), planned_.end(), core_begin,
+        [](const PlannedScreen& plan, uint64_t core) { return plan.core < core; });
+    for (auto it = begin; it != planned_.end() && it->core < core_end; ++it) {
+      outcome.offline_drained.push_back(it->core);
+      outcome.drained_tiers.push_back(it->tier);
+      ++outcome.stats.offline_screens;
+      if (ScreenOne(now, it->core, /*offline=*/true, it->iterations, fleet, rng, emit,
+                    outcome.stats)) {
+        ++risk_[it->core].screen_failures;
+      }
+    }
+  } else if (options_.offline_enabled && sparse_enabled() && core_end > core_begin) {
     // Sparse path: drain this shard's wheel bucket (ascending — the dense visit order)
     // instead of scanning the whole range. Safe concurrently with other shards: the wheel,
     // the due-table slice, and the drained cores all belong to this shard.
@@ -305,7 +596,8 @@ ShardScreenOutcome ScreeningOrchestrator::TickShard(SimTime now, SimTime dt,
       // Drain/release deferral: same contract as the dense loop below.
       outcome.offline_drained.push_back(core);
       ++outcome.stats.offline_screens;
-      ScreenOne(now, core, /*offline=*/true, fleet, rng, emit, outcome.stats);
+      ScreenOne(now, core, /*offline=*/true, options_.offline_iterations, fleet, rng, emit,
+                outcome.stats);
     }
   } else if (options_.offline_enabled) {
     for (uint64_t core = core_begin; core < core_end; ++core) {
@@ -326,7 +618,8 @@ ShardScreenOutcome ScreeningOrchestrator::TickShard(SimTime now, SimTime dt,
       // one for the rest of this tick — exactly the serial drain-screen-release semantics.
       outcome.offline_drained.push_back(core);
       ++outcome.stats.offline_screens;
-      ScreenOne(now, core, /*offline=*/true, fleet, rng, emit, outcome.stats);
+      ScreenOne(now, core, /*offline=*/true, options_.offline_iterations, fleet, rng, emit,
+                outcome.stats);
     }
   }
 
@@ -340,7 +633,8 @@ ShardScreenOutcome ScreeningOrchestrator::TickShard(SimTime now, SimTime dt,
         continue;
       }
       ++outcome.stats.online_screens;
-      ScreenOne(now, core, /*offline=*/false, fleet, rng, emit, outcome.stats);
+      ScreenOne(now, core, /*offline=*/false, options_.online_iterations, fleet, rng, emit,
+                outcome.stats);
     }
   }
   return outcome;

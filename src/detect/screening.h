@@ -31,6 +31,20 @@ namespace mercurial {
 
 class TraceRecorder;
 
+// Per-factor weights of the adaptive allocator's risk score (DESIGN.md, "screening is a
+// budget, risk is the allocator"). The score is a plain weighted sum — legible enough to
+// audit from a trace — over decayed report-service evidence, screen-fail recidivism,
+// probation history, core age, operating-point stress, and corpus-coverage gaps.
+struct ScreeningRiskWeights {
+  double report_evidence = 0.5;  // decayed weighted signal mass from the report service
+  double direct_evidence = 1.0;  // decayed screen-fail mass (direct evidence)
+  double screen_failures = 1.5;  // lifetime offline screen-fail count (recidivism)
+  double probation = 1.0;        // on probation now; half weight if ever on probation
+  double age_years = 0.1;        // core age in years (§3: failures grow with age)
+  double stress = 0.25;          // operating-point stress: temperature + voltage margin
+  double coverage_gap = 0.25;    // corpus units never run against this core
+};
+
 struct ScreeningOptions {
   bool offline_enabled = true;
   SimTime offline_period = SimTime::Days(45);  // per-core cadence
@@ -50,6 +64,47 @@ struct ScreeningOptions {
       {SimTime::Days(470), ExecUnit::kCrc},     {SimTime::Days(650), ExecUnit::kAtomic},
       {SimTime::Days(820), ExecUnit::kAes},
   };
+
+  // --- Risk-adaptive offline allocation (§6's economics; off by default) ---
+  // When on, the fixed cadence above only seeds the initial stagger: a serial plan phase at
+  // the top of every tick scores each due core and decides when it is next due (risk-scaled
+  // cadence clamped to [adaptive_min_period, adaptive_max_period]) and how deep its battery
+  // runs (offline_iterations scaled by risk tier), admitting the riskiest cores first under
+  // the global ops budget. Off (the default): the legacy fixed-cadence path, bit-for-bit
+  // unchanged, which stays the reference oracle.
+  bool adaptive = false;
+  // Global offline-screening budget in battery micro-ops per day (0 = unmetered). Admission
+  // is greedy in priority order (risk desc, core id asc) and stops at the first core that
+  // does not fit; deferred cores stay due and are re-scored next tick. Budget left unspent
+  // on a tick does not carry forward, so a budget smaller than one hot battery
+  // (4 * offline_iterations * covered units) can never admit anything.
+  uint64_t budget_ops_per_day = 0;
+  SimTime adaptive_min_period = SimTime::Days(10);  // cadence floor for the riskiest cores
+  SimTime adaptive_max_period = SimTime::Days(60);  // cadence ceiling for pristine cores
+  // Tier thresholds: risk >= risk_warm doubles the battery depth, >= risk_hot quadruples it.
+  double risk_warm = 1.0;
+  double risk_hot = 3.0;
+  ScreeningRiskWeights risk_weights;
+};
+
+// Decayed per-core evidence the risk scorer folds in, supplied by the study driver (the
+// orchestrator must not depend on the report service or scheduler internals directly). Only
+// called from the serial plan phase, so implementations may read shared state freely.
+struct ScreeningRiskEvidence {
+  double report_score = 0.0;  // decayed weighted mass of all signals against the core
+  double direct_score = 0.0;  // decayed screen-fail-only mass
+  bool on_probation = false;
+};
+using ScreeningRiskProbe = std::function<ScreeningRiskEvidence(uint64_t core, SimTime now)>;
+
+// Plan-phase counters for the adaptive allocator; all accumulated serially.
+struct ScreeningRiskStats {
+  uint64_t rescores = 0;                // due cores scored by the plan phase
+  uint64_t admitted = 0;                // screens admitted under the budget
+  uint64_t deferred = 0;                // due cores pushed to the next tick by the budget
+  uint64_t budget_exhausted_ticks = 0;  // ticks on which at least one core was deferred
+  uint64_t ops_planned = 0;             // planned battery cost of all admitted screens
+  uint64_t tier_screens[kScreenRiskTierCount] = {};  // admissions per risk tier
 };
 
 // Validates user-supplied screening options instead of letting bad values silently misbehave
@@ -58,6 +113,11 @@ struct ScreeningOptions {
 // offline_period while offline screening is enabled, and zero iteration counts for an enabled
 // mode. Internal callers may still construct orchestrators with offline_period == 0 ("every
 // core due immediately", e.g. the burn-in pass); the validator guards user-facing configs.
+// The coverage_schedule must be sorted by activation time with no duplicate units (within the
+// schedule or against initial_coverage): an out-of-order entry would silently never come
+// online for cost accounting, and a duplicate would double-charge every battery. Adaptive
+// mode additionally requires offline screening, a positive cadence floor no larger than the
+// ceiling, and risk_warm <= risk_hot (NaN rejected).
 Status ValidateScreeningOptions(const ScreeningOptions& options);
 
 struct ScreeningTickStats {
@@ -82,6 +142,7 @@ struct ShardScreenOutcome {
   ScreeningTickStats stats;
   std::vector<Signal> failures;          // kScreenFail signals, in emission order
   std::vector<uint64_t> offline_drained; // cores offline-screened; owe Drain+Release costs
+  std::vector<uint8_t> drained_tiers;    // risk tier per offline_drained entry; empty legacy
 };
 
 class ScreeningOrchestrator {
@@ -148,6 +209,32 @@ class ScreeningOrchestrator {
   // Aggregate wheel occupancy/traffic over all shards; zeros when sparse is off.
   DueWheelStats wheel_stats() const;
 
+  // --- Risk-adaptive allocation ---
+
+  // True when the plan-phase allocator drives offline screening.
+  bool adaptive() const { return options_.adaptive && options_.offline_enabled; }
+
+  // Evidence source for the risk scorer; unset probes score those factors as zero.
+  void set_risk_probe(ScreeningRiskProbe probe) { risk_probe_ = std::move(probe); }
+
+  // Serial plan phase, called once per tick before the (possibly parallel) screening pass
+  // when adaptive() is on. Collects the cores due in (now - dt, now] (wheel drains when
+  // sparse, a due-table scan when dense), scores each, sorts by priority (risk desc, core id
+  // asc), and greedily admits under this tick's ops budget. Admitted cores are rescheduled on
+  // their risk-scaled cadence and queued — in ascending core order, so shard execution stays
+  // the dense visit order — for Tick/TickShard to screen; deferred cores stay due next tick.
+  // Scheduler states are frozen between this call and the screening pass, so the
+  // schedulability decisions made here remain valid at execution time.
+  void PlanAdaptiveTick(SimTime now, SimTime dt, Fleet& fleet, const CoreScheduler& scheduler);
+
+  const ScreeningRiskStats& risk_stats() const { return risk_stats_; }
+
+  // Risk-to-policy mappings, exposed for tests: cadence max_period / (1 + risk) clamped to
+  // [min, max]; tiers cold (< warm), warm (< hot), hot; battery depth 1x / 2x / 4x.
+  SimTime PeriodForRisk(double risk) const;
+  int TierForRisk(double risk) const;
+  uint64_t IterationsForTier(int tier) const;
+
  private:
   // One shard's slice of the due table plus its calendar queue. Drained only by the owning
   // shard during the parallel phase; rebucketed (throttle) only in the serial phase.
@@ -157,8 +244,29 @@ class ScreeningOrchestrator {
     DueWheel wheel;
   };
 
-  bool ScreenOne(SimTime now, uint64_t core_index, bool offline, Fleet& fleet, Rng& rng,
-                 const std::function<void(const Signal&)>& emit, ScreeningTickStats& stats);
+  // One admitted screen: which core, how deep, and under which tier it was admitted.
+  struct PlannedScreen {
+    uint64_t core = 0;
+    uint64_t iterations = 0;
+    uint8_t tier = 0;
+  };
+  // Durable per-core allocator state (distinct from the per-tick plan).
+  struct RiskState {
+    uint32_t screen_failures = 0;              // lifetime offline screen fails
+    bool probation_seen = false;               // ever observed on probation by the probe
+    SimTime last_screen = SimTime::Seconds(-1);  // last offline screen; -1 = never
+  };
+
+  bool ScreenOne(SimTime now, uint64_t core_index, bool offline, uint64_t iterations,
+                 Fleet& fleet, Rng& rng, const std::function<void(const Signal&)>& emit,
+                 ScreeningTickStats& stats);
+
+  // Weighted risk sum for one core; serial-phase only (mutates probation_seen).
+  double RiskScore(SimTime now, uint64_t core, Fleet& fleet);
+  // Points the due table (and wheel, when sparse) at now + period.
+  void RescheduleAdaptive(SimTime now, uint64_t core, SimTime period);
+  // The wheel whose [begin, end) contains `core`; sparse only.
+  ShardWheel& WheelForCore(uint64_t core);
 
   // Earliest tick T with T * dt >= due — the first tick whose dense scan would fire `due`.
   int64_t FireTick(SimTime due) const;
@@ -179,6 +287,13 @@ class ScreeningOrchestrator {
   // Sparse-engine state; empty when running dense.
   std::vector<ShardWheel> wheels_;
   SimTime sparse_dt_;
+  // Adaptive-allocator state; planned_ holds this tick's admissions in ascending core order,
+  // risk_ is allocated lazily on the first plan. Both untouched on the legacy path.
+  ScreeningRiskProbe risk_probe_;
+  std::vector<PlannedScreen> planned_;
+  std::vector<RiskState> risk_;
+  ScreeningRiskStats risk_stats_;
+  std::vector<uint64_t> plan_candidates_;  // plan-phase scratch (due, installed, schedulable)
 };
 
 }  // namespace mercurial

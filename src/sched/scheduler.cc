@@ -74,6 +74,13 @@ bool CoreScheduler::Drain(uint64_t core) {
   return true;
 }
 
+void CoreScheduler::NoteScreenDrainTier(int tier) {
+  MERCURIAL_CHECK(tier >= 0 && tier < kScreenRiskTierCount) << "bad risk tier " << tier;
+  ++stats_.screen_drains_by_tier[tier];
+  stats_.screen_migration_cost_by_tier[tier] +=
+      costs_.migrate_task_core_seconds * costs_.tasks_per_core;
+}
+
 bool CoreScheduler::SurpriseRemove(uint64_t core) {
   if (states_[core] != CoreState::kActive && states_[core] != CoreState::kDraining) {
     return false;

@@ -40,6 +40,11 @@ struct SchedulerCosts {
   double surprise_kill_core_seconds = 600.0;
 };
 
+// Risk tiers of the adaptive screening allocator (detect/screening.h): cold / warm / hot.
+// Lives here so the scheduler's per-tier drain accounting does not depend on the screening
+// header (the dependency runs the other way).
+inline constexpr int kScreenRiskTierCount = 3;
+
 struct SchedulerStats {
   uint64_t drains = 0;
   uint64_t surprise_removals = 0;
@@ -55,6 +60,12 @@ struct SchedulerStats {
   // lifecycle recovers — and integrate separately below.
   double stranded_core_seconds = 0.0;
   double probation_core_seconds = 0.0;
+  // Offline screening drains broken down by the adaptive allocator's risk tier, with the
+  // migration cost each tier incurred. A *view* over the totals above (every such drain is
+  // also counted in `drains` / `migration_cost_core_seconds`); all-zero unless the
+  // risk-adaptive allocator is on.
+  uint64_t screen_drains_by_tier[kScreenRiskTierCount] = {};
+  double screen_migration_cost_by_tier[kScreenRiskTierCount] = {};
 };
 
 class CoreScheduler {
@@ -77,6 +88,11 @@ class CoreScheduler {
   // Graceful drain: pays migration costs, then the core is off the schedule. Returns false if
   // the core is not active.
   bool Drain(uint64_t core);
+
+  // Attributes the screen drain just charged via Drain() to an adaptive risk tier (the cost
+  // itself was already counted by Drain; this only updates the per-tier view). Call once per
+  // successful adaptive offline-screen drain, from a serial phase.
+  void NoteScreenDrainTier(int tier);
 
   // Core surprise removal: immediate, loses in-flight work.
   bool SurpriseRemove(uint64_t core);

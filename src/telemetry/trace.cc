@@ -75,6 +75,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kProbationStart: return "probation_start";
     case TraceEventKind::kProbationEnd: return "probation_end";
     case TraceEventKind::kQuorumVerdict: return "quorum_verdict";
+    case TraceEventKind::kRiskRescore: return "risk_rescore";
   }
   return "unknown";
 }
@@ -117,6 +118,8 @@ const char* TraceCauseName(TraceCause cause) {
     case TraceCause::kQuorumAgreed: return "quorum_agreed";
     case TraceCause::kQuorumSplit: return "quorum_split";
     case TraceCause::kQuorumFallback: return "quorum_fallback";
+    case TraceCause::kRiskAdmitted: return "risk_admitted";
+    case TraceCause::kRiskDeferred: return "risk_deferred";
   }
   return "unknown";
 }

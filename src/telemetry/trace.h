@@ -54,8 +54,9 @@ enum class TraceEventKind : uint8_t {
   kProbationStart = 13,      // weak-evidence conviction: restricted service, not retirement
   kProbationEnd = 14,        // probation resolved (reinstated or escalated to retirement)
   kQuorumVerdict = 15,       // witness quorum judged an interrogation battery
+  kRiskRescore = 16,         // adaptive screening scored a due core (admitted or deferred)
 };
-inline constexpr size_t kTraceEventKindCount = 16;
+inline constexpr size_t kTraceEventKindCount = 17;
 
 // Why the event happened. One flat namespace across kinds keeps the wire format to a byte;
 // names are scoped by the kind they accompany.
@@ -109,8 +110,11 @@ enum class TraceCause : uint8_t {
   kQuorumAgreed = 33,    // the first quorum reached a majority
   kQuorumSplit = 34,     // split vote(s): a wider quorum decided after escalation
   kQuorumFallback = 35,  // still split after max escalations; single tester decided
+  // kRiskRescore (appended); detail = (risk_millis << 2) | tier
+  kRiskAdmitted = 36,  // admitted under the ops budget; screen runs this tick
+  kRiskDeferred = 37,  // budget exhausted; stays due and is re-scored next tick
 };
-inline constexpr size_t kTraceCauseCount = 36;
+inline constexpr size_t kTraceCauseCount = 38;
 
 const char* TraceEventKindName(TraceEventKind kind);
 const char* TraceCauseName(TraceCause cause);

@@ -1,6 +1,7 @@
 // Tests for src/detect: report service, confession testing, screening, quarantine policy.
 
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -126,6 +127,50 @@ TEST(ReportServiceTest, TotalReportsCounted) {
     service.Report(At(SimTime::Days(1), 1, static_cast<uint64_t>(i)));
   }
   EXPECT_EQ(service.total_reports(), 7u);
+}
+
+TEST(ReportServiceTest, SingleCoreMachineConcentrationIsDegenerate) {
+  // On a single-core machine every report lands on the only core with probability 1, so the
+  // uniform null IS the observation: BinomialUpperTail(k, n, 1/1) == 1 and the concentration
+  // test can never fire, no matter how many reports pile up. There is no spread to
+  // distinguish a CEE from a software bug, so "never a suspect by concentration" is the
+  // correct answer — Suspects() skips the test explicitly rather than grinding through it.
+  CeeReportService service(ReportServiceOptions{}, [](uint64_t) { return 1u; });
+  const SimTime t = SimTime::Days(1);
+  for (int i = 0; i < 50; ++i) {
+    service.Report(At(t, /*machine=*/9, /*core=*/5));
+  }
+  EXPECT_TRUE(service.Suspects(t).empty())
+      << "p = 1 null: indirect reports alone must never convict a single-core machine";
+}
+
+TEST(ReportServiceTest, SingleCoreMachineStillConvictableByDirectEvidence) {
+  // The direct-evidence bypass is core-attributed (the screening battery compared against
+  // golden on that very core), so it does not need spread and must still work at p = 1.
+  CeeReportService service(ReportServiceOptions{}, [](uint64_t) { return 1u; });
+  const SimTime t = SimTime::Days(1);
+  service.Report(At(t, 9, 5, SignalType::kScreenFail));  // weight 4 >= direct threshold 3
+  const auto suspects = service.Suspects(t);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0].core_global, 5u);
+  EXPECT_EQ(suspects[0].p_value, 0.0);
+}
+
+TEST(ReportServiceTest, PeekEvidenceDecaysWithoutMutating) {
+  ReportServiceOptions options;
+  options.half_life_days = 14.0;
+  CeeReportService service = MakeService(options);
+  service.Report(At(SimTime::Days(0), 1, 10, SignalType::kScreenFail));
+  const auto fresh = service.PeekEvidence(10, SimTime::Days(0));
+  EXPECT_DOUBLE_EQ(fresh.score, 4.0);
+  EXPECT_DOUBLE_EQ(fresh.direct_score, 4.0);
+  const auto later = service.PeekEvidence(10, SimTime::Days(14));
+  EXPECT_DOUBLE_EQ(later.score, 2.0) << "one half-life halves the mass";
+  // Peeking far ahead must not advance the record: the same query again answers identically.
+  const auto again = service.PeekEvidence(10, SimTime::Days(14));
+  EXPECT_DOUBLE_EQ(again.score, later.score);
+  EXPECT_DOUBLE_EQ(service.PeekEvidence(999, SimTime::Days(1)).score, 0.0)
+      << "untracked cores peek as zero";
 }
 
 // --- Confession -----------------------------------------------------------------------------
@@ -332,6 +377,88 @@ TEST(ScreeningValidationTest, DisabledStagesSkipTheirChecks) {
   EXPECT_TRUE(ValidateScreeningOptions(options).ok());
 }
 
+TEST(ScreeningValidationTest, RejectsUnsortedCoverageSchedule) {
+  // An out-of-order entry used to be accepted silently; schedule-order consumers (the
+  // adaptive coverage-gap scorer, operators reading the config) then see a unit that "never
+  // comes online". The validator must reject, not sort in place.
+  ScreeningOptions options;
+  options.initial_coverage = {ExecUnit::kIntAlu};
+  options.coverage_schedule = {{SimTime::Days(300), ExecUnit::kVector},
+                               {SimTime::Days(150), ExecUnit::kCopy}};
+  const Status status = ValidateScreeningOptions(options);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("sorted"), std::string::npos) << status.ToString();
+}
+
+TEST(ScreeningValidationTest, AcceptsTiedActivationTimes) {
+  // Two units coming online the same day is fine — only strict inversions are rejected.
+  ScreeningOptions options;
+  options.initial_coverage = {ExecUnit::kIntAlu};
+  options.coverage_schedule = {{SimTime::Days(150), ExecUnit::kCopy},
+                               {SimTime::Days(150), ExecUnit::kVector}};
+  EXPECT_TRUE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, RejectsDuplicateUnitWithinSchedule) {
+  ScreeningOptions options;
+  options.initial_coverage = {ExecUnit::kIntAlu};
+  options.coverage_schedule = {{SimTime::Days(150), ExecUnit::kCopy},
+                               {SimTime::Days(300), ExecUnit::kCopy}};
+  const Status status = ValidateScreeningOptions(options);
+  EXPECT_FALSE(status.ok()) << "a unit covered twice double-charges every battery";
+  EXPECT_NE(status.ToString().find("copy"), std::string::npos) << status.ToString();
+}
+
+TEST(ScreeningValidationTest, RejectsScheduleUnitAlreadyInInitialCoverage) {
+  ScreeningOptions options;
+  options.initial_coverage = {ExecUnit::kIntAlu, ExecUnit::kCopy};
+  options.coverage_schedule = {{SimTime::Days(150), ExecUnit::kCopy}};
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, RejectsDuplicateUnitWithinInitialCoverage) {
+  ScreeningOptions options;
+  options.initial_coverage = {ExecUnit::kIntAlu, ExecUnit::kIntAlu};
+  options.coverage_schedule.clear();
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, AdaptiveRequiresOfflineScreening) {
+  ScreeningOptions options;
+  options.adaptive = true;
+  options.offline_enabled = false;
+  options.offline_period = SimTime::Days(45);
+  options.offline_iterations = 2048;
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, AdaptiveRejectsBadCadenceBounds) {
+  ScreeningOptions options;
+  options.adaptive = true;
+  options.adaptive_min_period = SimTime::Seconds(0);
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+  options.adaptive_min_period = SimTime::Days(30);
+  options.adaptive_max_period = SimTime::Days(10);
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+}
+
+TEST(ScreeningValidationTest, AdaptiveRejectsBadTierThresholds) {
+  ScreeningOptions options;
+  options.adaptive = true;
+  options.risk_warm = 3.0;
+  options.risk_hot = 1.0;
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok());
+  options.risk_warm = std::nan("");
+  options.risk_hot = 3.0;
+  EXPECT_FALSE(ValidateScreeningOptions(options).ok()) << "NaN thresholds must not validate";
+}
+
+TEST(ScreeningValidationTest, AdaptiveDefaultsAreValid) {
+  ScreeningOptions options;
+  options.adaptive = true;
+  EXPECT_TRUE(ValidateScreeningOptions(options).ok());
+}
+
 TEST(ScreeningTest, ThrottleOfflineDefersScreensDueSoon) {
   ScreeningOptions options;
   options.offline_period = SimTime::Days(30);
@@ -344,6 +471,143 @@ TEST(ScreeningTest, ThrottleOfflineDefersScreensDueSoon) {
       << "second throttle in the same window finds nothing left to defer";
   EXPECT_EQ(orchestrator.ThrottleOffline(SimTime::Days(1), SimTime::Seconds(0)), 0u)
       << "zero defer is a no-op";
+}
+
+TEST(ScreeningTest, OnlineSamplingRatePreservedAtSubDayTicks) {
+  // online_fraction_per_day -> per-tick conversion: the Poisson mean is cores * fraction *
+  // dt.days(), which is exact at ANY tick length (expectation is additive across ticks), so a
+  // 30-minute control tick must produce the same expected daily sample count as a 1-day tick.
+  // Locked statistically: each realized total must sit within 4 sigma of the analytic
+  // expectation (sum of per-tick Poissons is Poisson, sigma = sqrt(mean)).
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 50;  // 2400 cores, all installed before t = 0
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+
+  ScreeningOptions options;
+  options.offline_enabled = false;
+  options.online_enabled = true;
+  options.online_fraction_per_day = 0.5;
+  constexpr int kDays = 20;
+  const double expected = static_cast<double>(fleet.core_count()) * 0.5 * kDays;
+  const double tolerance = 4.0 * std::sqrt(expected);
+
+  const auto run = [&](SimTime dt, uint64_t rng_seed) {
+    ScreeningOrchestrator orchestrator(options, fleet.core_count(), Rng(rng_seed));
+    uint64_t sampled = 0;
+    const int64_t ticks = SimTime::Days(kDays).seconds() / dt.seconds();
+    for (int64_t t = 1; t <= ticks; ++t) {
+      const auto stats = orchestrator.Tick(SimTime::Seconds(t * dt.seconds()), dt, fleet,
+                                           scheduler, [](const Signal&) {});
+      sampled += stats.online_screens;
+    }
+    return sampled;
+  };
+
+  const auto daily = static_cast<double>(run(SimTime::Days(1), /*rng_seed=*/11));
+  const auto sub_day = static_cast<double>(run(SimTime::Seconds(1800), /*rng_seed=*/12));
+  EXPECT_NEAR(daily, expected, tolerance) << "1-day ticks off the analytic rate";
+  EXPECT_NEAR(sub_day, expected, tolerance) << "30-minute ticks off the analytic rate";
+}
+
+// --- Risk-adaptive allocation -----------------------------------------------------------------
+
+TEST(ScreeningAdaptiveTest, RiskToPolicyMappings) {
+  ScreeningOptions options;
+  options.adaptive = true;
+  ScreeningOrchestrator orchestrator(options, 16, Rng(1));
+  // Cadence: max_period / (1 + risk), clamped to [min, max].
+  EXPECT_EQ(orchestrator.PeriodForRisk(0.0).seconds(), options.adaptive_max_period.seconds());
+  EXPECT_EQ(orchestrator.PeriodForRisk(-5.0).seconds(), options.adaptive_max_period.seconds())
+      << "negative risk clamps at the ceiling";
+  EXPECT_EQ(orchestrator.PeriodForRisk(1.0).seconds(),
+            options.adaptive_max_period.seconds() / 2);
+  EXPECT_EQ(orchestrator.PeriodForRisk(1e9).seconds(), options.adaptive_min_period.seconds())
+      << "extreme risk clamps at the floor";
+  // Tiers: cold below warm, warm below hot, hot at and above.
+  EXPECT_EQ(orchestrator.TierForRisk(0.0), 0);
+  EXPECT_EQ(orchestrator.TierForRisk(options.risk_warm - 1e-9), 0);
+  EXPECT_EQ(orchestrator.TierForRisk(options.risk_warm), 1);
+  EXPECT_EQ(orchestrator.TierForRisk(options.risk_hot), 2);
+  // Battery depth: 1x / 2x / 4x the configured iteration count.
+  EXPECT_EQ(orchestrator.IterationsForTier(0), options.offline_iterations);
+  EXPECT_EQ(orchestrator.IterationsForTier(1), 2 * options.offline_iterations);
+  EXPECT_EQ(orchestrator.IterationsForTier(2), 4 * options.offline_iterations);
+}
+
+// Shared setup: a 2-machine fleet with every core due at the first tick (period = 1 day, the
+// stagger spreads first screens over [0, 1d)), a corpus of the 6 default initial units, and
+// online screening off so offline admission is the only signal.
+ScreeningOptions AdaptiveDueNowOptions() {
+  ScreeningOptions options;
+  options.adaptive = true;
+  options.offline_period = SimTime::Days(1);
+  options.offline_iterations = 64;
+  options.coverage_schedule.clear();
+  options.online_enabled = false;
+  return options;
+}
+
+TEST(ScreeningAdaptiveTest, BudgetDefersDueCoresDeterministically) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  ScreeningOptions options = AdaptiveDueNowOptions();
+  // Never-screened cores score warm (coverage gap alone: 6 units * 0.25 = 1.5 >= risk_warm),
+  // so one warm battery — 2 * 64 iterations * 6 units — admits exactly one core.
+  options.budget_ops_per_day = 2 * 64 * 6;
+  ScreeningOrchestrator orchestrator(options, fleet.core_count(), Rng(2));
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+
+  orchestrator.PlanAdaptiveTick(SimTime::Days(1), SimTime::Days(1), fleet, scheduler);
+  const ScreeningRiskStats& stats = orchestrator.risk_stats();
+  EXPECT_EQ(stats.rescores, fleet.core_count());
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.deferred, fleet.core_count() - 1);
+  EXPECT_EQ(stats.budget_exhausted_ticks, 1u);
+  EXPECT_EQ(stats.tier_screens[1], 1u) << "never-screened cores sit in the warm tier";
+  EXPECT_EQ(stats.ops_planned, options.budget_ops_per_day);
+
+  const auto tick_stats = orchestrator.Tick(SimTime::Days(1), SimTime::Days(1), fleet,
+                                            scheduler, [](const Signal&) {});
+  EXPECT_EQ(tick_stats.offline_screens, 1u) << "execution consumes exactly the planned list";
+  EXPECT_EQ(tick_stats.ops_spent, options.budget_ops_per_day);
+}
+
+TEST(ScreeningAdaptiveTest, EvidenceWinsThePriorityQueueUnderBudget) {
+  FleetOptions fleet_options;
+  fleet_options.machine_count = 2;
+  fleet_options.mercurial_rate_multiplier = 0.0;
+  Fleet fleet = Fleet::Build(fleet_options);
+  // Core 7 carries a defect in a covered unit AND heavy report-service evidence; with budget
+  // for a single screen, the allocator must pick it over 95 equally-due peers.
+  fleet.core(7).AddDefect(AlwaysFire(ExecUnit::kIntAlu, DefectEffect::kBitFlip, 1.0));
+  ScreeningOptions options = AdaptiveDueNowOptions();
+  options.budget_ops_per_day = 4 * 64 * 6;  // one hot battery
+  ScreeningOrchestrator orchestrator(options, fleet.core_count(), Rng(3));
+  orchestrator.set_risk_probe([](uint64_t core, SimTime) {
+    ScreeningRiskEvidence evidence;
+    if (core == 7) {
+      evidence.report_score = 40.0;  // 0.5 * 40 = +20 risk: hot tier, top priority
+    }
+    return evidence;
+  });
+  CoreScheduler scheduler(fleet.core_count(), SchedulerCosts{});
+
+  orchestrator.PlanAdaptiveTick(SimTime::Days(1), SimTime::Days(1), fleet, scheduler);
+  EXPECT_EQ(orchestrator.risk_stats().admitted, 1u);
+  EXPECT_EQ(orchestrator.risk_stats().tier_screens[2], 1u);
+
+  std::vector<Signal> emitted;
+  const auto tick_stats = orchestrator.Tick(SimTime::Days(1), SimTime::Days(1), fleet,
+                                            scheduler,
+                                            [&](const Signal& s) { emitted.push_back(s); });
+  EXPECT_EQ(tick_stats.offline_screens, 1u);
+  ASSERT_EQ(emitted.size(), 1u) << "the admitted screen must be the defective, accused core";
+  EXPECT_EQ(emitted[0].core_global, 7u);
+  EXPECT_EQ(static_cast<int>(emitted[0].type), static_cast<int>(SignalType::kScreenFail));
 }
 
 // --- Quarantine manager -----------------------------------------------------------------------
@@ -500,6 +764,17 @@ TEST(QuarantineTest, RecidivismZeroNeverRetiresByReaccusation) {
 TEST(SignalTest, TypeNames) {
   for (int t = 0; t < kSignalTypeCount; ++t) {
     EXPECT_STRNE(SignalTypeName(static_cast<SignalType>(t)), "unknown");
+  }
+}
+
+TEST(SignalTest, EveryTypeCarriesAPositiveDefaultWeight) {
+  // Companion to the static_assert in report_service.h: the compile-time guard pins the
+  // count; this pins the values — a new SignalType that slid in with a zero (value-initialized)
+  // weight would silently erase every report of that type from the evidence ledger.
+  const ReportServiceOptions options;
+  for (int t = 0; t < kSignalTypeCount; ++t) {
+    EXPECT_GT(options.type_weight[t], 0.0)
+        << "type_weight[" << SignalTypeName(static_cast<SignalType>(t)) << "] must be set";
   }
 }
 

@@ -125,6 +125,13 @@ void ExpectReportsEqual(const StudyReport& a, const StudyReport& b) {
   EXPECT_EQ(a.scheduler.probations, b.scheduler.probations);
   EXPECT_EQ(a.scheduler.reinstatements, b.scheduler.reinstatements);
   EXPECT_EQ(a.scheduler.probation_core_seconds, b.scheduler.probation_core_seconds);
+  for (int t = 0; t < kScreenRiskTierCount; ++t) {
+    EXPECT_EQ(a.scheduler.screen_drains_by_tier[t], b.scheduler.screen_drains_by_tier[t])
+        << "screen drains, risk tier " << t;
+    EXPECT_EQ(a.scheduler.screen_migration_cost_by_tier[t],
+              b.scheduler.screen_migration_cost_by_tier[t])
+        << "screen migration cost, risk tier " << t;
+  }
 
   // Control-plane pipeline accounting. screening_deferrals in particular is driven by the
   // guardrail's ThrottleOffline, whose sparse path rebuckets due-wheel entries — any
@@ -699,6 +706,90 @@ TEST(DeterminismTest, DurabilityIsBitInvisibleWithoutCrashes) {
     // Strip the journal accounting; everything that remains must match exactly.
     on.durability = DurabilityStats{};
     ExpectReportsEqual(on, off);
+  }
+}
+
+// --- D12: risk-adaptive screening determinism -------------------------------------------------
+
+// The D10 harness (fleet growth, quorum + probation churn, optional chaos, tracing on) with
+// the risk-adaptive allocator armed under a budget tight enough that every tick defers work —
+// the admission cutoff, the risk-scaled reschedules, and the tiered batteries all live on the
+// determinism-critical path. The plan phase is serial in BOTH engines and scores in ascending
+// core order, so threads must stay execution-only.
+StudyOptions AdaptiveHarness(bool chaos, bool sparse, int threads) {
+  StudyOptions options = SparseHarness(/*seed=*/20210531, chaos, /*audit=*/false, sparse,
+                                       /*shards=*/8, threads);
+  options.screening.adaptive = true;
+  options.screening.budget_ops_per_day = 1'000'000;  // ~half the fleet's steady-state demand
+  options.screening.adaptive_min_period = SimTime::Days(5);
+  options.screening.adaptive_max_period = SimTime::Days(40);
+  return options;
+}
+
+// D12a: adaptive reports — including the per-tier drain/migration-cost views and the trace
+// bytes (plan-phase kRiskRescore events included) — are bit-identical across threads
+// {1, 2, 8} x {sparse, dense} x chaos {off, high}.
+TEST(DeterminismTest, AdaptiveScreeningReportIsThreadCountInvariant) {
+  for (const bool chaos : {false, true}) {
+    for (const bool sparse : {false, true}) {
+      SCOPED_TRACE(std::string("chaos=") + (chaos ? "high" : "off") +
+                   " engine=" + (sparse ? "sparse" : "dense"));
+      const StudyReport one = RunStudy(AdaptiveHarness(chaos, sparse, /*threads=*/1));
+      const std::vector<uint8_t> golden = SerializeTrace(one.trace);
+      ASSERT_GT(one.trace.events.size(), 0u) << "harness recorded no events";
+      for (const int threads : {2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const StudyReport other = RunStudy(AdaptiveHarness(chaos, sparse, threads));
+        ExpectReportsEqual(one, other);
+        EXPECT_EQ(golden, SerializeTrace(other.trace));
+      }
+    }
+  }
+}
+
+// D12b: the harness actually exercises budget pressure and the tier machinery — without
+// deferrals and tiered admissions, D12a would pass vacuously.
+TEST(DeterminismTest, AdaptiveHarnessExercisesBudgetPressure) {
+  FleetStudy study(AdaptiveHarness(/*chaos=*/false, /*sparse=*/true, /*threads=*/2));
+  const StudyReport report = study.Run();
+  EXPECT_GT(study.metrics().counter("screening.risk_admitted"), 0u);
+  EXPECT_GT(study.metrics().counter("screening.risk_deferred"), 0u)
+      << "budget never bound; the admission cutoff went unexercised";
+  uint64_t tier_drains = 0;
+  for (int t = 0; t < kScreenRiskTierCount; ++t) {
+    tier_drains += report.scheduler.screen_drains_by_tier[t];
+  }
+  EXPECT_GT(tier_drains, 0u) << "no tiered screens reached the scheduler";
+  EXPECT_GT(report.screening_ops, 0u);
+}
+
+// D12c: adaptive = false is bit-invisible. Every new knob set to non-default values while the
+// master switch stays off must leave the legacy report — trace bytes included — byte-for-byte
+// identical to a run with pure default screening knobs: the allocator may not touch a single
+// stream, counter, or schedule when disabled.
+TEST(DeterminismTest, AdaptiveOffIsBitInvisibleToLegacyReport) {
+  for (const int shards : {1, 8}) {
+    StudyOptions knobbed = SparseHarness(/*seed=*/20210531, /*chaos=*/true, /*audit=*/false,
+                                         /*sparse=*/true, shards,
+                                         /*threads=*/shards == 1 ? 1 : 2);
+    StudyOptions plain = knobbed;
+    knobbed.screening.adaptive = false;  // master switch off; everything else cranked
+    knobbed.screening.budget_ops_per_day = 123456;
+    knobbed.screening.adaptive_min_period = SimTime::Days(3);
+    knobbed.screening.adaptive_max_period = SimTime::Days(33);
+    knobbed.screening.risk_warm = 0.5;
+    knobbed.screening.risk_hot = 2.0;
+    knobbed.screening.risk_weights.report_evidence = 9.0;
+    knobbed.screening.risk_weights.coverage_gap = 9.0;
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const StudyReport on = RunStudy(knobbed);
+    const StudyReport off = RunStudy(plain);
+    ExpectReportsEqual(on, off);
+    EXPECT_EQ(SerializeTrace(on.trace), SerializeTrace(off.trace));
+    for (int t = 0; t < kScreenRiskTierCount; ++t) {
+      EXPECT_EQ(off.scheduler.screen_drains_by_tier[t], 0u)
+          << "legacy runs must never account tiered drains";
+    }
   }
 }
 

@@ -176,6 +176,20 @@ void DefineStudyFlags(FlagSet& flags) {
   flags.DefineDouble("multiplier", 25.0, "mercurial-core rate multiplier over product rates");
   flags.DefineInt("work-units", 20, "work units per busy core-day");
   flags.DefineInt("screening-period", 45, "offline screening cadence in days (0 = disabled)");
+  flags.DefineBool("screen-adaptive", false,
+                   "risk-adaptive offline screening: score due cores (report evidence, "
+                   "screen-fail recidivism, probation, age, operating-point stress, coverage "
+                   "gaps) and spend the ops budget riskiest-first");
+  flags.DefineInt("screen-budget-ops-per-day", 0,
+                  "adaptive screening budget in battery micro-ops per day (0 = unmetered)");
+  flags.DefineDouble("screen-risk-min-period-days", 10.0,
+                     "adaptive cadence floor for the riskiest cores");
+  flags.DefineDouble("screen-risk-max-period-days", 60.0,
+                     "adaptive cadence ceiling for pristine cores");
+  flags.DefineDouble("screen-risk-warm", 1.0,
+                     "risk at or above this doubles the battery depth");
+  flags.DefineDouble("screen-risk-hot", 3.0,
+                     "risk at or above this quadruples the battery depth");
   flags.DefineBool("burn-in", false, "screen every core once before production");
   flags.DefineInt("threads", 1, "worker threads for the sharded parallel engine");
   flags.DefineInt("shards", 0,
@@ -286,6 +300,18 @@ Status BuildStudyOptions(const FlagSet& flags, StudyOptions* out) {
   options.screening.offline_enabled = period > 0;
   if (period > 0) {
     options.screening.offline_period = SimTime::Days(period);
+  }
+  options.screening.adaptive = flags.GetBool("screen-adaptive");
+  options.screening.budget_ops_per_day =
+      static_cast<uint64_t>(flags.GetInt("screen-budget-ops-per-day"));
+  options.screening.adaptive_min_period = SimTime::Seconds(
+      static_cast<int64_t>(flags.GetDouble("screen-risk-min-period-days") * 86400.0));
+  options.screening.adaptive_max_period = SimTime::Seconds(
+      static_cast<int64_t>(flags.GetDouble("screen-risk-max-period-days") * 86400.0));
+  options.screening.risk_warm = flags.GetDouble("screen-risk-warm");
+  options.screening.risk_hot = flags.GetDouble("screen-risk-hot");
+  if (Status bad_screening = ValidateScreeningOptions(options.screening); !bad_screening.ok()) {
+    return bad_screening;
   }
   options.control_plane.max_pending = static_cast<size_t>(flags.GetInt("quarantine-queue"));
   options.control_plane.max_retries = static_cast<int>(flags.GetInt("quarantine-retries"));
@@ -476,6 +502,21 @@ int CmdStudy(int argc, const char* const* argv) {
               report.detection_latency_days.Quantile(0.5));
   std::printf("  silent corruptions     %llu\n",
               static_cast<unsigned long long>(report.silent_corruptions));
+
+  if (options.screening.adaptive) {
+    std::printf("\nrisk-adaptive screening:\n");
+    std::printf("  screening ops          %llu (budget %llu/day, 0 = unmetered)\n",
+                static_cast<unsigned long long>(report.screening_ops),
+                static_cast<unsigned long long>(options.screening.budget_ops_per_day));
+    std::printf("  screens by tier        cold=%llu warm=%llu hot=%llu\n",
+                static_cast<unsigned long long>(report.scheduler.screen_drains_by_tier[0]),
+                static_cast<unsigned long long>(report.scheduler.screen_drains_by_tier[1]),
+                static_cast<unsigned long long>(report.scheduler.screen_drains_by_tier[2]));
+    std::printf("  tier migration cost    %.0f/%.0f/%.0f core-seconds\n",
+                report.scheduler.screen_migration_cost_by_tier[0],
+                report.scheduler.screen_migration_cost_by_tier[1],
+                report.scheduler.screen_migration_cost_by_tier[2]);
+  }
 
   const ControlPlaneStats& plane = report.control_plane;
   if (plane.suspects_shed > 0 || plane.retries_scheduled > 0 || plane.drain_escalations > 0 ||
